@@ -1,0 +1,181 @@
+//! Background subtraction over consecutive chirps (paper §5.1).
+//!
+//! Static reflectors (walls, desks, self-interference) return identical
+//! echoes chirp after chirp; the node, toggling at 10 kHz, does not.
+//! Subtracting consecutive chirp captures therefore cancels everything
+//! *except* the node. The AP takes five consecutive chirps, forms the four
+//! adjacent differences, and uses the strongest difference for detection.
+//!
+//! The subtraction works identically on time-domain dechirped signals and
+//! on their spectra (the FFT is linear); both forms are provided because
+//! ranging wants spectra and AP-side orientation sensing wants the
+//! time-domain difference.
+
+use milback_dsp::num::Cpx;
+use milback_dsp::signal::Signal;
+
+/// Pairwise differences of consecutive chirp captures (time domain).
+/// Returns `n−1` difference signals.
+pub fn pairwise_diff_signals(chirps: &[Signal]) -> Vec<Signal> {
+    assert!(chirps.len() >= 2, "need at least two chirps to subtract");
+    chirps
+        .windows(2)
+        .map(|w| {
+            assert_eq!(w[0].len(), w[1].len(), "chirp length mismatch");
+            let samples = w[1]
+                .samples
+                .iter()
+                .zip(&w[0].samples)
+                .map(|(b, a)| *b - *a)
+                .collect();
+            Signal::new(w[0].fs, w[0].fc, samples)
+        })
+        .collect()
+}
+
+/// Pairwise differences of consecutive chirp spectra.
+pub fn pairwise_diff_spectra(spectra: &[Vec<Cpx>]) -> Vec<Vec<Cpx>> {
+    assert!(spectra.len() >= 2, "need at least two spectra to subtract");
+    spectra
+        .windows(2)
+        .map(|w| {
+            assert_eq!(w[0].len(), w[1].len(), "spectrum length mismatch");
+            w[1].iter().zip(&w[0]).map(|(b, a)| *b - *a).collect()
+        })
+        .collect()
+}
+
+/// Index of the difference with the largest total energy — the pair that
+/// straddled a node state transition.
+pub fn strongest_diff<T: DiffEnergy>(diffs: &[T]) -> usize {
+    assert!(!diffs.is_empty(), "no differences given");
+    let mut best = 0;
+    let mut best_e = f64::MIN;
+    for (i, d) in diffs.iter().enumerate() {
+        let e = d.diff_energy();
+        if e > best_e {
+            best_e = e;
+            best = i;
+        }
+    }
+    best
+}
+
+/// Per-bin detection power: the maximum of `|d[k]|²` across all
+/// differences. Static clutter is near zero in every difference; the
+/// node's bin is large in at least one.
+pub fn detection_spectrum(diffs: &[Vec<Cpx>]) -> Vec<f64> {
+    assert!(!diffs.is_empty(), "no differences given");
+    let n = diffs[0].len();
+    let mut out = vec![0.0f64; n];
+    for d in diffs {
+        for (o, c) in out.iter_mut().zip(d) {
+            *o = (*o).max(c.norm_sq());
+        }
+    }
+    out
+}
+
+/// Total-energy abstraction so [`strongest_diff`] works on both forms.
+/// (Named `diff_energy` so it cannot be shadowed by `Signal`'s inherent
+/// `energy` method.)
+pub trait DiffEnergy {
+    /// Total energy of the difference.
+    fn diff_energy(&self) -> f64;
+}
+
+impl DiffEnergy for Signal {
+    fn diff_energy(&self) -> f64 {
+        self.samples.iter().map(|c| c.norm_sq()).sum()
+    }
+}
+
+impl DiffEnergy for Vec<Cpx> {
+    fn diff_energy(&self) -> f64 {
+        self.iter().map(|c| c.norm_sq()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone(amp: f64, n: usize) -> Signal {
+        Signal::tone(1e6, 0.0, 1e3, amp, n)
+    }
+
+    #[test]
+    fn static_returns_cancel() {
+        let chirps = vec![tone(1.0, 64); 5];
+        let diffs = pairwise_diff_signals(&chirps);
+        assert_eq!(diffs.len(), 4);
+        for d in &diffs {
+            assert!(
+                d.diff_energy() < 1e-20,
+                "static energy leaked: {}",
+                d.diff_energy()
+            );
+        }
+    }
+
+    #[test]
+    fn modulated_return_survives() {
+        // Node "on" in chirps 0-2, "off" in 3-4 → only diff 2→3 is nonzero.
+        let on = tone(1.0, 64);
+        let off = tone(0.1, 64);
+        let chirps = vec![on.clone(), on.clone(), on.clone(), off.clone(), off];
+        let diffs = pairwise_diff_signals(&chirps);
+        assert!(diffs[0].diff_energy() < 1e-20);
+        assert!(diffs[2].diff_energy() > 0.1);
+        assert_eq!(strongest_diff(&diffs), 2);
+    }
+
+    #[test]
+    fn spectra_subtraction_matches_fft_linearity() {
+        let a = tone(1.0, 64);
+        let b = tone(0.3, 64);
+        let sa = milback_dsp::fft::fft(&a.samples);
+        let sb = milback_dsp::fft::fft(&b.samples);
+        let diffs = pairwise_diff_spectra(&[sa, sb]);
+        // FFT(b−a) == FFT(b) − FFT(a).
+        let direct = milback_dsp::fft::fft(
+            &b.samples
+                .iter()
+                .zip(&a.samples)
+                .map(|(x, y)| *x - *y)
+                .collect::<Vec<_>>(),
+        );
+        for (x, y) in diffs[0].iter().zip(&direct) {
+            assert!((*x - *y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn detection_spectrum_keeps_node_bin() {
+        // Clutter at bin 3 static, node at bin 10 toggling.
+        let n = 32;
+        let make = |node_on: bool| -> Vec<Cpx> {
+            let mut v = vec![milback_dsp::num::ZERO; n];
+            v[3] = Cpx::new(100.0, 0.0);
+            v[10] = Cpx::new(if node_on { 1.0 } else { 0.0 }, 0.0);
+            v
+        };
+        let spectra = vec![make(true), make(true), make(false), make(false), make(true)];
+        let diffs = pairwise_diff_spectra(&spectra);
+        let det = detection_spectrum(&diffs);
+        assert!(det[3] < 1e-20, "clutter bin leaked: {}", det[3]);
+        assert!((det[10] - 1.0).abs() < 1e-12, "node bin: {}", det[10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn rejects_single_chirp() {
+        pairwise_diff_signals(&[tone(1.0, 8)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_mismatched_lengths() {
+        pairwise_diff_signals(&[tone(1.0, 8), tone(1.0, 9)]);
+    }
+}

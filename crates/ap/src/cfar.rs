@@ -1,0 +1,144 @@
+//! Cell-averaging CFAR (constant false-alarm rate) detection.
+//!
+//! The localizer's default gate compares the strongest bin against a
+//! global noise-floor estimate; CA-CFAR is the classical radar
+//! alternative — each cell is compared against the average of its
+//! *local* neighborhood (excluding guard cells), which adapts to a
+//! residue floor that varies across range. Offered as a drop-in
+//! alternative detection stage and exercised by the robustness tests.
+
+/// Cell-averaging CFAR detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CfarDetector {
+    /// Training cells on each side of the cell under test.
+    pub training: usize,
+    /// Guard cells on each side (excluded from the noise average — they
+    /// may contain the target's own energy).
+    pub guard: usize,
+    /// Detection threshold over the local average, linear power ratio.
+    pub threshold: f64,
+}
+
+impl CfarDetector {
+    /// A detector suited to the localizer's range profiles: 16 training
+    /// + 4 guard cells per side, 12 dB over the local floor.
+    pub fn range_profile() -> Self {
+        Self {
+            training: 16,
+            guard: 4,
+            threshold: 15.85, // 12 dB
+        }
+    }
+
+    /// Local noise estimate for cell `i`: mean of the training cells on
+    /// both sides (one-sided at the edges).
+    pub fn local_floor(&self, power: &[f64], i: usize) -> f64 {
+        let mut acc = 0.0;
+        let mut n = 0usize;
+        let lo_end = i.saturating_sub(self.guard);
+        let lo_start = i.saturating_sub(self.guard + self.training);
+        for v in &power[lo_start..lo_end] {
+            acc += v;
+            n += 1;
+        }
+        let hi_start = (i + self.guard + 1).min(power.len());
+        let hi_end = (i + self.guard + self.training + 1).min(power.len());
+        for v in &power[hi_start..hi_end] {
+            acc += v;
+            n += 1;
+        }
+        if n == 0 {
+            return f64::INFINITY;
+        }
+        acc / n as f64
+    }
+
+    /// Returns the indices of all cells that exceed `threshold` × their
+    /// local floor, within `[lo, hi)`.
+    pub fn detect(&self, power: &[f64], lo: usize, hi: usize) -> Vec<usize> {
+        let hi = hi.min(power.len());
+        (lo..hi)
+            .filter(|&i| power[i] > self.threshold * self.local_floor(power, i))
+            .collect()
+    }
+
+    /// The strongest CFAR detection in `[lo, hi)`, if any.
+    pub fn strongest(&self, power: &[f64], lo: usize, hi: usize) -> Option<usize> {
+        self.detect(power, lo, hi)
+            .into_iter()
+            .max_by(|a, b| power[*a].partial_cmp(&power[*b]).unwrap())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noise_with_peaks(peaks: &[(usize, f64)]) -> Vec<f64> {
+        let mut v: Vec<f64> = (0..256).map(|i| 1.0 + 0.1 * ((i as f64) * 0.7).sin()).collect();
+        for &(i, p) in peaks {
+            v[i] = p;
+        }
+        v
+    }
+
+    #[test]
+    fn detects_isolated_peak() {
+        let det = CfarDetector::range_profile();
+        let power = noise_with_peaks(&[(100, 100.0)]);
+        let hits = det.detect(&power, 0, 256);
+        assert_eq!(hits, vec![100]);
+        assert_eq!(det.strongest(&power, 0, 256), Some(100));
+    }
+
+    #[test]
+    fn no_detection_in_pure_noise() {
+        let det = CfarDetector::range_profile();
+        let power = noise_with_peaks(&[]);
+        assert!(det.detect(&power, 0, 256).is_empty());
+        assert_eq!(det.strongest(&power, 0, 256), None);
+    }
+
+    #[test]
+    fn adapts_to_stepped_noise_floor() {
+        // Floor jumps 20× at the midpoint; a 30× bump relative to the
+        // local floor must be detected on BOTH sides, while a bump that
+        // is large only relative to the *low* floor must not fire inside
+        // the high region.
+        let det = CfarDetector::range_profile();
+        let mut power: Vec<f64> = (0..256)
+            .map(|i| if i < 128 { 1.0 } else { 20.0 })
+            .collect();
+        power[60] = 30.0; // 30× local floor → detect
+        power[200] = 600.0; // 30× local floor → detect
+        power[190] = 40.0; // only 2× local floor → no detection
+        let hits = det.detect(&power, 0, 256);
+        assert!(hits.contains(&60), "{hits:?}");
+        assert!(hits.contains(&200), "{hits:?}");
+        assert!(!hits.contains(&190), "{hits:?}");
+    }
+
+    #[test]
+    fn guard_cells_protect_wide_targets() {
+        let det = CfarDetector::range_profile();
+        // A target smeared over 3 cells: guards keep its skirts out of
+        // the noise estimate.
+        let power = noise_with_peaks(&[(99, 30.0), (100, 100.0), (101, 30.0)]);
+        assert!(det.detect(&power, 0, 256).contains(&100));
+    }
+
+    #[test]
+    fn edge_cells_use_one_sided_training() {
+        let det = CfarDetector::range_profile();
+        let power = noise_with_peaks(&[(2, 100.0)]);
+        assert!(det.detect(&power, 0, 256).contains(&2));
+    }
+
+    #[test]
+    fn window_bounds_respected() {
+        let det = CfarDetector::range_profile();
+        let power = noise_with_peaks(&[(100, 100.0)]);
+        assert!(det.detect(&power, 110, 200).is_empty());
+        assert!(det.detect(&power, 90, 300).contains(&100));
+    }
+}

@@ -1,0 +1,196 @@
+//! FMCW dechirp and range processing (paper §2, §5.1).
+//!
+//! The AP mixes each received chirp with the transmitted reference; a
+//! reflection delayed by `τ` appears as a beat tone at
+//! `f_b = slope · τ`, so the FFT of the dechirped signal is a *range
+//! profile*: bin `k` ↔ round-trip delay `k·fs/(N·slope)` ↔ range
+//! `c·τ/2`.
+
+use milback_dsp::chirp::ChirpConfig;
+use milback_dsp::fft::fft;
+use milback_dsp::num::Cpx;
+use milback_dsp::signal::Signal;
+use milback_dsp::window::{apply_window, Window};
+use milback_rf::geometry::SPEED_OF_LIGHT;
+
+/// Range-processing parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct RangeProcessor {
+    /// The transmitted sawtooth chirp.
+    pub chirp: ChirpConfig,
+    /// Window applied before the range FFT.
+    pub window: Window,
+    /// FFT length (≥ chirp samples; extra is zero-padding for finer bin
+    /// spacing).
+    pub fft_len: usize,
+}
+
+impl RangeProcessor {
+    /// Builds a processor for a chirp, zero-padding the FFT to the next
+    /// power of two at least `pad` × the chirp length.
+    pub fn new(chirp: ChirpConfig, pad: usize) -> Self {
+        let n = chirp.n_samples() * pad.max(1);
+        Self {
+            chirp,
+            window: Window::Hann,
+            fft_len: n.next_power_of_two(),
+        }
+    }
+
+    /// Dechirps a received chirp against the transmitted reference:
+    /// `rx · tx*`.
+    pub fn dechirp(&self, rx: &Signal, tx_ref: &Signal) -> Signal {
+        rx.conj_multiply(tx_ref)
+    }
+
+    /// Windowed, zero-padded complex range spectrum of a dechirped chirp.
+    pub fn range_spectrum(&self, dechirped: &Signal) -> Vec<Cpx> {
+        let mut buf = dechirped.samples.clone();
+        apply_window(&mut buf, self.window);
+        buf.resize(self.fft_len, milback_dsp::num::ZERO);
+        fft(&buf)
+    }
+
+    /// Complex range profile: the range spectrum re-indexed so that bin
+    /// `k` corresponds to round-trip delay `k·fs/(fft_len·slope)`.
+    ///
+    /// Dechirping `rx·tx*` puts a delay-τ echo at beat frequency `−slope·τ`
+    /// (the delayed chirp lags the reference), i.e. in the
+    /// negative-frequency half of the FFT; this profile flips the axis so
+    /// increasing bin = increasing range, without conjugating (the complex
+    /// values keep the carrier phase used for AoA).
+    pub fn range_profile(&self, dechirped: &Signal) -> Vec<Cpx> {
+        let spec = self.range_spectrum(dechirped);
+        let n = spec.len();
+        (0..n).map(|k| spec[(n - k) % n]).collect()
+    }
+
+    /// Beat frequency of range-FFT bin `k` (fractional bins allowed),
+    /// interpreting bins below `fft_len/2` as positive beat frequencies.
+    pub fn bin_to_beat(&self, bin: f64, fs: f64) -> f64 {
+        bin * fs / self.fft_len as f64
+    }
+
+    /// Converts a beat frequency to round-trip delay: `τ = f_b / slope`.
+    pub fn beat_to_delay(&self, beat: f64) -> f64 {
+        beat / self.chirp.slope()
+    }
+
+    /// Converts a (fractional) range-FFT bin directly to one-way range in
+    /// meters.
+    pub fn bin_to_range(&self, bin: f64, fs: f64) -> f64 {
+        let tau = self.beat_to_delay(self.bin_to_beat(bin, fs));
+        tau * SPEED_OF_LIGHT / 2.0
+    }
+
+    /// The radar's intrinsic range resolution `c / 2B` in meters.
+    pub fn range_resolution(&self) -> f64 {
+        SPEED_OF_LIGHT / (2.0 * self.chirp.bandwidth())
+    }
+
+    /// Highest unambiguous one-way range for sample rate `fs`: the beat
+    /// must stay below `fs/2`.
+    pub fn max_range(&self, fs: f64) -> f64 {
+        let tau = (fs / 2.0) / self.chirp.slope();
+        tau * SPEED_OF_LIGHT / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use milback_dsp::detect::{parabolic_refine, argmax};
+
+    /// A fast test chirp: full 3 GHz bandwidth, short duration.
+    fn test_chirp() -> ChirpConfig {
+        ChirpConfig {
+            f_start: 26.5e9,
+            f_stop: 29.5e9,
+            duration: 4e-6,
+            fs: 3.2e9,
+            amplitude: 1.0,
+        }
+    }
+
+    /// Simulates an ideal point reflection at distance `d` and returns the
+    /// estimated range.
+    fn estimate_range(d: f64) -> f64 {
+        let cfg = test_chirp();
+        let proc = RangeProcessor::new(cfg, 2);
+        let tx = cfg.sawtooth();
+        let tau = 2.0 * d / SPEED_OF_LIGHT;
+        let mut rx = tx.delayed(tau);
+        rx.rotate(Cpx::cis(-2.0 * std::f64::consts::PI * tx.fc * tau));
+        let de = proc.dechirp(&rx, &tx);
+        let spec: Vec<f64> = proc.range_profile(&de).iter().map(|c| c.norm_sq()).collect();
+        // Only search the positive-delay half.
+        let half = &spec[..spec.len() / 2];
+        let peak = argmax(half).unwrap();
+        let refined = parabolic_refine(half, peak);
+        proc.bin_to_range(refined, tx.fs)
+    }
+
+    #[test]
+    fn range_recovery_across_distances() {
+        for d in [0.5, 1.0, 2.0, 4.0, 8.0] {
+            let est = estimate_range(d);
+            assert!(
+                (est - d).abs() < 0.02,
+                "true {d} m, estimated {est} m"
+            );
+        }
+    }
+
+    #[test]
+    fn range_resolution_is_5cm() {
+        let proc = RangeProcessor::new(test_chirp(), 1);
+        assert!((proc.range_resolution() - 0.04997).abs() < 1e-4);
+    }
+
+    #[test]
+    fn two_reflectors_resolved() {
+        let cfg = test_chirp();
+        let proc = RangeProcessor::new(cfg, 2);
+        let tx = cfg.sawtooth();
+        let mut rx = Signal::zeros(tx.fs, tx.fc, tx.len());
+        for d in [2.0, 2.5] {
+            let tau = 2.0 * d / SPEED_OF_LIGHT;
+            let mut echo = tx.delayed(tau);
+            echo.rotate(Cpx::cis(-2.0 * std::f64::consts::PI * tx.fc * tau));
+            rx.add(&echo);
+        }
+        let de = proc.dechirp(&rx, &tx);
+        let spec: Vec<f64> = proc.range_profile(&de).iter().map(|c| c.norm_sq()).collect();
+        let half = &spec[..spec.len() / 2];
+        let peaks = milback_dsp::detect::find_peaks(half, half[argmax(half).unwrap()] * 0.2, 4);
+        assert!(peaks.len() >= 2, "expected 2 peaks, got {}", peaks.len());
+        let mut ranges: Vec<f64> = peaks[..2]
+            .iter()
+            .map(|p| proc.bin_to_range(p.refined, tx.fs))
+            .collect();
+        ranges.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((ranges[0] - 2.0).abs() < 0.05, "{ranges:?}");
+        assert!((ranges[1] - 2.5).abs() < 0.05, "{ranges:?}");
+    }
+
+    #[test]
+    fn conversions_are_consistent() {
+        let cfg = test_chirp();
+        let proc = RangeProcessor::new(cfg, 1);
+        let fs = cfg.fs;
+        // Bin → beat → delay → range round-trips through the slope.
+        let bin = 100.0;
+        let beat = proc.bin_to_beat(bin, fs);
+        let tau = proc.beat_to_delay(beat);
+        assert!((beat - tau * cfg.slope()).abs() < 1e-3);
+        let r = proc.bin_to_range(bin, fs);
+        assert!((r - tau * SPEED_OF_LIGHT / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_range_is_generous() {
+        let proc = RangeProcessor::new(test_chirp(), 1);
+        // slope = 3 GHz / 4 µs = 7.5e14; fs/2 = 1.6 GHz → τ = 2.13 µs → 320 m.
+        assert!(proc.max_range(3.2e9) > 100.0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Doppler processing: radial-velocity estimation from a chirp train.
+//!
+//! A node moving radially at `v` advances each chirp's round-trip path by
+//! `2·v·T_chirp`, rotating the carrier phase of its range-bin peak by
+//! `Δφ = 2π·fc·2v·T_chirp/c` per chirp. An FFT across the chirps (the
+//! "slow-time" axis) turns that rotation into a Doppler bin — standard
+//! FMCW range-Doppler processing, and the natural complement of the
+//! paper's tracking use case (a static node has no business on a VR
+//! headset).
+
+use milback_dsp::detect::{argmax, parabolic_refine};
+use milback_dsp::fft::{fft, fft_freqs};
+use milback_dsp::num::Cpx;
+use milback_dsp::window::{apply_window, Window};
+use milback_rf::geometry::SPEED_OF_LIGHT;
+
+/// Doppler estimator over a train of per-chirp complex range-bin values.
+#[derive(Debug, Clone, Copy)]
+pub struct DopplerProcessor {
+    /// Carrier frequency, Hz.
+    pub fc: f64,
+    /// Chirp repetition interval, seconds.
+    pub chirp_interval: f64,
+    /// Zero-padding factor for the slow-time FFT.
+    pub pad: usize,
+}
+
+impl DopplerProcessor {
+    /// Builds a processor.
+    pub fn new(fc: f64, chirp_interval: f64) -> Self {
+        assert!(fc > 0.0 && chirp_interval > 0.0, "invalid Doppler parameters");
+        Self {
+            fc,
+            chirp_interval,
+            pad: 8,
+        }
+    }
+
+    /// Maximum unambiguous |velocity|: half a carrier cycle of phase per
+    /// chirp, `λ/(4·T_chirp)`.
+    pub fn max_velocity(&self) -> f64 {
+        SPEED_OF_LIGHT / self.fc / (4.0 * self.chirp_interval)
+    }
+
+    /// Velocity resolution for a train of `n` chirps: `λ/(2·n·T)`.
+    pub fn velocity_resolution(&self, n: usize) -> f64 {
+        SPEED_OF_LIGHT / self.fc / (2.0 * n as f64 * self.chirp_interval)
+    }
+
+    /// Estimates radial velocity (m/s, positive = receding) from the
+    /// per-chirp complex values of the node's range bin, using the
+    /// pulse-pair estimator: `f_d = arg(Σ x[i+1]·x*[i]) / (2π·T)` —
+    /// magnitude-weighted, exact for a clean tone, and unambiguous over
+    /// the same ±PRF/2 window as a slow-time FFT. Needs ≥ 4 chirps.
+    pub fn estimate(&self, slow_time: &[Cpx]) -> Option<f64> {
+        if slow_time.len() < 4 {
+            return None;
+        }
+        let acc: Cpx = slow_time
+            .windows(2)
+            .map(|w| w[1] * w[0].conj())
+            .sum();
+        if acc.abs() == 0.0 {
+            return None;
+        }
+        let f_doppler = acc.arg() / (2.0 * std::f64::consts::PI * self.chirp_interval);
+        // Receding target: path grows, phase −2πfcτ becomes more negative
+        // per chirp → negative Doppler frequency. v = −f_d·λ/2.
+        Some(-f_doppler * SPEED_OF_LIGHT / self.fc / 2.0)
+    }
+
+    /// Full slow-time Doppler power spectrum (Hann-windowed, zero-padded):
+    /// `(velocity_mps, power)` pairs — the range-Doppler map's velocity
+    /// axis for one range bin.
+    pub fn spectrum(&self, slow_time: &[Cpx]) -> Vec<(f64, f64)> {
+        let mut buf = slow_time.to_vec();
+        apply_window(&mut buf, Window::Hann);
+        let n_fft = (buf.len() * self.pad).next_power_of_two().max(8);
+        buf.resize(n_fft, milback_dsp::num::ZERO);
+        let spec = fft(&buf);
+        let prf = 1.0 / self.chirp_interval;
+        fft_freqs(n_fft, prf)
+            .into_iter()
+            .zip(spec.iter().map(|c| c.norm_sq()))
+            .map(|(f, p)| (-f * SPEED_OF_LIGHT / self.fc / 2.0, p))
+            .collect()
+    }
+
+    /// Peak of the Doppler [`Self::spectrum`] — the FFT-based velocity
+    /// estimate (coarser than [`Self::estimate`] but robust to multiple
+    /// movers in the same range bin).
+    pub fn estimate_fft(&self, slow_time: &[Cpx]) -> Option<f64> {
+        if slow_time.len() < 4 {
+            return None;
+        }
+        let spec = self.spectrum(slow_time);
+        let power: Vec<f64> = spec.iter().map(|(_, p)| *p).collect();
+        let peak = argmax(&power)?;
+        let refined = parabolic_refine(&power, peak);
+        // Velocities are uniformly spaced in FFT order within each half;
+        // linear interpolation between adjacent entries is fine away from
+        // the wrap, and the wrap bin is a half-resolution edge case.
+        let i = (refined.floor() as usize).min(spec.len() - 1);
+        let j = (i + 1).min(spec.len() - 1);
+        let frac = refined - i as f64;
+        Some(spec[i].0 * (1.0 - frac) + spec[j].0 * frac)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn slow_time_for(v: f64, fc: f64, t_chirp: f64, n: usize) -> Vec<Cpx> {
+        (0..n)
+            .map(|i| {
+                let d = 3.0 + v * i as f64 * t_chirp;
+                Cpx::from_polar(1.0, -2.0 * PI * fc * 2.0 * d / SPEED_OF_LIGHT)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn static_node_has_zero_velocity() {
+        let p = DopplerProcessor::new(28e9, 20e-6);
+        let st = slow_time_for(0.0, 28e9, 20e-6, 32);
+        let v = p.estimate(&st).unwrap();
+        assert!(v.abs() < 0.05, "{v}");
+    }
+
+    #[test]
+    fn recovers_walking_speed() {
+        let p = DopplerProcessor::new(28e9, 20e-6);
+        for v_true in [-2.0, -0.5, 0.7, 1.5] {
+            let st = slow_time_for(v_true, 28e9, 20e-6, 64);
+            let v = p.estimate(&st).unwrap();
+            assert!(
+                (v - v_true).abs() < 0.15,
+                "true {v_true}, est {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn unambiguous_range_is_tens_of_mps() {
+        let p = DopplerProcessor::new(28e9, 20e-6);
+        // λ ≈ 10.7 mm, T = 20 µs → ~134 m/s: covers any indoor motion.
+        assert!(p.max_velocity() > 100.0, "{}", p.max_velocity());
+    }
+
+    #[test]
+    fn resolution_improves_with_train_length() {
+        let p = DopplerProcessor::new(28e9, 20e-6);
+        assert!(p.velocity_resolution(64) < p.velocity_resolution(8));
+    }
+
+    #[test]
+    fn too_few_chirps_is_none() {
+        let p = DopplerProcessor::new(28e9, 20e-6);
+        assert!(p.estimate(&slow_time_for(1.0, 28e9, 20e-6, 3)).is_none());
+    }
+
+    #[test]
+    fn fft_estimate_agrees_with_pulse_pair() {
+        let p = DopplerProcessor::new(28e9, 20e-6);
+        let st = slow_time_for(1.2, 28e9, 20e-6, 64);
+        let v_pp = p.estimate(&st).unwrap();
+        let v_fft = p.estimate_fft(&st).unwrap();
+        assert!((v_pp - 1.2).abs() < 0.02, "pulse-pair {v_pp}");
+        assert!((v_fft - 1.2).abs() < 0.5, "fft {v_fft}");
+    }
+
+    #[test]
+    fn spectrum_peak_at_target_velocity() {
+        let p = DopplerProcessor::new(28e9, 20e-6);
+        let st = slow_time_for(-3.0, 28e9, 20e-6, 64);
+        let spec = p.spectrum(&st);
+        let peak = spec
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        assert!((peak.0 + 3.0).abs() < 2.2, "peak at {} m/s", peak.0);
+    }
+
+    #[test]
+    fn noisy_phases_still_recover() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let p = DopplerProcessor::new(28e9, 20e-6);
+        let mut rng = StdRng::seed_from_u64(11);
+        // The per-chirp Doppler phase at 1 m/s is tiny (~0.024 rad), so a
+        // decent pile of chirps is needed to average the phase noise out.
+        let mut st = slow_time_for(1.0, 28e9, 20e-6, 256);
+        for c in st.iter_mut() {
+            *c += milback_dsp::noise::complex_gaussian(&mut rng, 0.05);
+        }
+        let v = p.estimate(&st).unwrap();
+        assert!((v - 1.0).abs() < 0.35, "{v}");
+    }
+}

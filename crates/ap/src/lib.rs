@@ -1,0 +1,42 @@
+//! # milback-ap
+//!
+//! The MilBack access point:
+//!
+//! * [`waveform`] — the VXG's role: FMCW chirp trains, two-tone queries,
+//!   OAQFM/OOK downlink keying,
+//! * [`dechirp`] — FMCW dechirp and range-FFT processing,
+//! * [`background`] — five-chirp background subtraction,
+//! * [`cfar`] — cell-averaging CFAR detection (alternative gate),
+//! * [`doppler`] — slow-time radial-velocity estimation,
+//! * [`range_doppler`] — full 2-D range-Doppler maps,
+//! * [`ranging`] — the full localization pipeline (range + AoA),
+//! * [`pulse_compression`] — matched-filter ranging (ablation reference),
+//! * [`aoa`] — two-antenna phase-difference angle estimation,
+//! * [`orientation`] — AP-side node-orientation sensing,
+//! * [`uplink`] — the Figure-7 uplink receive chain,
+//! * [`tone_select`] — orientation-driven OAQFM carrier selection.
+
+pub mod aoa;
+pub mod background;
+pub mod cfar;
+pub mod dechirp;
+pub mod doppler;
+pub mod orientation;
+pub mod pulse_compression;
+pub mod range_doppler;
+pub mod ranging;
+pub mod tone_select;
+pub mod uplink;
+pub mod waveform;
+
+pub use aoa::AoaEstimator;
+pub use cfar::CfarDetector;
+pub use doppler::DopplerProcessor;
+pub use range_doppler::{RangeDopplerMap, RangeDopplerProcessor};
+pub use dechirp::RangeProcessor;
+pub use orientation::ApOrientationEstimator;
+pub use pulse_compression::PulseCompressionRanger;
+pub use ranging::{LocalizationResult, Localizer};
+pub use tone_select::{select_tones, ToneSelection};
+pub use uplink::{ook_ber, UplinkReceiver, UplinkStats, UPLINK_PILOT};
+pub use waveform::TxConfig;

@@ -1,0 +1,157 @@
+//! Matched-filter (pulse-compression) ranging — the classical alternative
+//! to FMCW dechirp, provided as an ablation reference.
+//!
+//! Instead of mixing the capture with the transmitted chirp and reading a
+//! beat frequency, correlate the (background-subtracted) capture against
+//! the chirp template and read the delay off the correlation peak. Same
+//! `c/2B` resolution; different compute shape (an O(N log N) correlation
+//! per chirp instead of one FFT of the dechirped signal), and no analog
+//! dechirp mixer in a real system — which is why FMCW radars prefer
+//! dechirp: the beat signal needs only a MHz-class ADC, while pulse
+//! compression must sample the full RF bandwidth.
+
+use crate::background::pairwise_diff_signals;
+use milback_dsp::detect::{argmax, parabolic_refine};
+use milback_dsp::signal::Signal;
+use milback_dsp::xcorr::matched_filter;
+use milback_rf::geometry::SPEED_OF_LIGHT;
+
+/// Matched-filter ranger.
+#[derive(Debug, Clone)]
+pub struct PulseCompressionRanger {
+    /// The transmitted chirp template.
+    pub template: Signal,
+    /// Minimum search range, m (excludes the leakage region).
+    pub min_range: f64,
+    /// Maximum search range, m.
+    pub max_range: f64,
+}
+
+impl PulseCompressionRanger {
+    /// Builds a ranger for a chirp template, searching 0.5–15 m.
+    pub fn new(template: Signal) -> Self {
+        Self {
+            template,
+            min_range: 0.5,
+            max_range: 15.0,
+        }
+    }
+
+    /// Round-trip delay of correlation lag `k` (fractional allowed).
+    fn lag_to_range(&self, lag: f64) -> f64 {
+        lag / self.template.fs * SPEED_OF_LIGHT / 2.0
+    }
+
+    fn range_to_lag(&self, range: f64) -> usize {
+        (2.0 * range / SPEED_OF_LIGHT * self.template.fs) as usize
+    }
+
+    /// Ranges the node from multi-chirp captures (antenna 0 only):
+    /// background-subtract in the time domain, matched-filter every
+    /// difference, and take the strongest in-window peak of the per-lag
+    /// maximum across differences (the same max-combining the dechirp
+    /// pipeline's detection spectrum uses — a single difference can be
+    /// dominated by clutter residue).
+    pub fn process(&self, captures: &[Signal]) -> Option<f64> {
+        let diffs = pairwise_diff_signals(captures);
+        let mut det: Vec<f64> = Vec::new();
+        for d in &diffs {
+            let mf = matched_filter(&d.samples, &self.template.samples);
+            if det.is_empty() {
+                det = mf;
+            } else {
+                for (acc, v) in det.iter_mut().zip(&mf) {
+                    *acc = acc.max(*v);
+                }
+            }
+        }
+        let lo = self.range_to_lag(self.min_range).max(1);
+        let hi = self.range_to_lag(self.max_range).min(det.len().saturating_sub(1));
+        if lo >= hi {
+            return None;
+        }
+        let rel = argmax(&det[lo..hi])?;
+        let peak = lo + rel;
+        let refined = parabolic_refine(&det, peak);
+        Some(self.lag_to_range(refined))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use milback_dsp::chirp::ChirpConfig;
+    use milback_dsp::num::Cpx;
+    use std::f64::consts::PI;
+
+    fn test_chirp() -> ChirpConfig {
+        ChirpConfig {
+            f_start: 26.5e9,
+            f_stop: 29.5e9,
+            duration: 2e-6,
+            fs: 3.2e9,
+            amplitude: 1.0,
+        }
+    }
+
+    /// Synthetic captures: static clutter + toggling node echo.
+    fn captures(d_node: f64, d_clutter: f64) -> (Signal, Vec<Signal>) {
+        let tx = test_chirp().sawtooth();
+        let mut caps = Vec::new();
+        for i in 0..5 {
+            let node_amp = if i % 2 == 0 { 0.01 } else { 0.001 };
+            let mut rx = Signal::zeros(tx.fs, tx.fc, tx.len());
+            let tau_c = 2.0 * d_clutter / SPEED_OF_LIGHT;
+            let mut e = tx.delayed(tau_c);
+            e.rotate(Cpx::from_polar(1.0, -2.0 * PI * tx.fc * tau_c));
+            rx.add(&e);
+            let tau_n = 2.0 * d_node / SPEED_OF_LIGHT;
+            let mut e = tx.delayed(tau_n);
+            e.rotate(Cpx::from_polar(node_amp, -2.0 * PI * tx.fc * tau_n));
+            rx.add(&e);
+            caps.push(rx);
+        }
+        (tx, caps)
+    }
+
+    #[test]
+    fn ranges_node_under_clutter() {
+        for d in [1.5, 3.0, 6.0] {
+            let (tx, caps) = captures(d, 5.0);
+            let ranger = PulseCompressionRanger::new(tx);
+            let got = ranger.process(&caps).expect("no range");
+            assert!((got - d).abs() < 0.05, "true {d}, got {got}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_dechirp_pipeline() {
+        use crate::dechirp::RangeProcessor;
+        let d = 4.2;
+        let (tx, caps) = captures(d, 7.0);
+        let ranger = PulseCompressionRanger::new(tx.clone());
+        let mf_range = ranger.process(&caps).unwrap();
+
+        let proc = RangeProcessor::new(test_chirp(), 2);
+        let diffs = pairwise_diff_signals(&caps);
+        let profile = proc.range_profile(&proc.dechirp(&diffs[0], &tx));
+        let power: Vec<f64> = profile.iter().map(|c| c.norm_sq()).collect();
+        let half = power.len() / 2;
+        let peak = argmax(&power[1..half]).unwrap() + 1;
+        let dechirp_range = proc.bin_to_range(parabolic_refine(&power[..half], peak), tx.fs);
+
+        assert!(
+            (mf_range - dechirp_range).abs() < 0.05,
+            "matched {mf_range} vs dechirp {dechirp_range}"
+        );
+    }
+
+    #[test]
+    fn empty_window_returns_none() {
+        let tx = test_chirp().sawtooth();
+        let mut ranger = PulseCompressionRanger::new(tx.clone());
+        ranger.min_range = 20.0; // beyond max
+        let (_, caps) = captures(3.0, 5.0);
+        assert!(ranger.process(&caps).is_none());
+    }
+}

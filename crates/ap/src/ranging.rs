@@ -1,0 +1,263 @@
+//! The AP's localization pipeline (paper §5.1, §9.2): five-chirp capture →
+//! dechirp → range FFT → background subtraction → node peak → range +
+//! angle.
+
+use crate::aoa::AoaEstimator;
+use crate::background::{detection_spectrum, pairwise_diff_spectra};
+use crate::dechirp::RangeProcessor;
+use milback_dsp::detect::{argmax, parabolic_refine};
+use milback_dsp::num::Cpx;
+use milback_dsp::signal::Signal;
+
+/// A localization fix produced by the AP.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocalizationResult {
+    /// Estimated one-way range to the node, meters.
+    pub range: f64,
+    /// Estimated azimuth of the node, radians. `None` when the AoA phase
+    /// fell outside the unambiguous range.
+    pub angle: Option<f64>,
+    /// Detection power at the node's range bin (arbitrary units).
+    pub peak_power: f64,
+}
+
+/// The AP's range+angle estimator.
+#[derive(Debug, Clone, Copy)]
+pub struct Localizer {
+    /// Range processing (dechirp + FFT) parameters.
+    pub proc: RangeProcessor,
+    /// AoA estimation parameters.
+    pub aoa: AoaEstimator,
+    /// Minimum search range, meters — excludes the self-interference /
+    /// DC region of the range profile.
+    pub min_range: f64,
+    /// Maximum search range, meters.
+    pub max_range: f64,
+    /// Sub-bin (parabolic) peak refinement. `true` is the library
+    /// default; `false` reproduces the paper's bin-resolution pipeline
+    /// (range quantized to `c/2B` steps), which is what Figure 12a's
+    /// error magnitudes correspond to.
+    pub sub_bin: bool,
+}
+
+impl Localizer {
+    /// Builds a localizer for the given chirp, searching 0.5–15 m.
+    pub fn new(proc: RangeProcessor) -> Self {
+        Self {
+            proc,
+            aoa: AoaEstimator::milback(),
+            min_range: 0.5,
+            max_range: 15.0,
+            sub_bin: true,
+        }
+    }
+
+    /// Bin index corresponding to a range (truncating).
+    fn range_to_bin(&self, range: f64, fs: f64) -> usize {
+        let tau = 2.0 * range / milback_rf::geometry::SPEED_OF_LIGHT;
+        let beat = tau * self.proc.chirp.slope();
+        (beat * self.proc.fft_len as f64 / fs) as usize
+    }
+
+    /// Index of the difference with the largest energy in the bins
+    /// `[peak−half, peak+half]`.
+    fn strongest_at_bin(diffs: &[Vec<Cpx>], peak: usize, half: usize) -> usize {
+        let mut best = 0;
+        let mut best_e = f64::MIN;
+        for (i, d) in diffs.iter().enumerate() {
+            let lo = peak.saturating_sub(half);
+            let hi = (peak + half + 1).min(d.len());
+            let e: f64 = d[lo..hi].iter().map(|c| c.norm_sq()).sum();
+            if e > best_e {
+                best_e = e;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Dechirps, FFTs and background-subtracts a multi-chirp capture.
+    /// Returns the per-antenna lists of complex range-profile differences.
+    pub fn profile_diffs(
+        &self,
+        tx_ref: &Signal,
+        captures: &[[Signal; 2]],
+    ) -> (Vec<Vec<Cpx>>, Vec<Vec<Cpx>>) {
+        assert!(captures.len() >= 2, "need at least two chirps");
+        let spectra: Vec<[Vec<Cpx>; 2]> = captures
+            .iter()
+            .map(|pair| {
+                [
+                    self.proc.range_profile(&self.proc.dechirp(&pair[0], tx_ref)),
+                    self.proc.range_profile(&self.proc.dechirp(&pair[1], tx_ref)),
+                ]
+            })
+            .collect();
+        let s0: Vec<Vec<Cpx>> = spectra.iter().map(|p| p[0].clone()).collect();
+        let s1: Vec<Vec<Cpx>> = spectra.iter().map(|p| p[1].clone()).collect();
+        (pairwise_diff_spectra(&s0), pairwise_diff_spectra(&s1))
+    }
+
+    /// Finds the node's range bin in a detection spectrum: the strongest
+    /// in-window bin, provided it rises at least 10 dB above the
+    /// subtraction-residue floor.
+    pub fn find_node_bin(&self, det: &[f64], fs: f64) -> Option<usize> {
+        let lo = self.range_to_bin(self.min_range, fs).max(1);
+        let hi = self.range_to_bin(self.max_range, fs).min(det.len() / 2 - 1);
+        if lo >= hi {
+            return None;
+        }
+        let window = &det[lo..hi];
+        let rel = argmax(window)?;
+        let peak = lo + rel;
+        let floor = milback_dsp::detect::noise_floor(window, 0.5);
+        if det[peak] < 5.0 * floor.max(f64::MIN_POSITIVE) {
+            return None;
+        }
+        Some(peak)
+    }
+
+    /// Processes a five-chirp (or more) capture.
+    ///
+    /// `captures[i]` holds the two RX antennas' raw captures of chirp `i`;
+    /// `tx_ref` is the transmitted chirp reference. Returns `None` when no
+    /// modulated return rises above the subtraction residue.
+    pub fn process(&self, tx_ref: &Signal, captures: &[[Signal; 2]]) -> Option<LocalizationResult> {
+        let fs = tx_ref.fs;
+        let (d0, d1) = self.profile_diffs(tx_ref, captures);
+
+        // Detection spectrum: sum the two antennas' per-bin maxima.
+        let det0 = detection_spectrum(&d0);
+        let det1 = detection_spectrum(&d1);
+        let det: Vec<f64> = det0.iter().zip(&det1).map(|(a, b)| a + b).collect();
+
+        let peak = self.find_node_bin(&det, fs)?;
+        let peak_power = det[peak];
+        let refined = if self.sub_bin {
+            parabolic_refine(&det[..det.len() / 2], peak)
+        } else {
+            peak as f64
+        };
+        let range = self.proc.bin_to_range(refined, fs);
+
+        // AoA from the difference pair with the most energy *at the node's
+        // bin* (total-energy selection can be fooled by clutter-residue
+        // energy smeared across the profile by trigger jitter). The same
+        // pair index is used at both antennas — the node's state sequence
+        // is common.
+        let best = Self::strongest_at_bin(&d0, peak, 2);
+        let angle = self.aoa.estimate_windowed(&d0[best], &d1[best], peak, 2);
+
+        Some(LocalizationResult {
+            range,
+            angle,
+            peak_power,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use milback_dsp::chirp::ChirpConfig;
+    use milback_rf::geometry::SPEED_OF_LIGHT;
+    use std::f64::consts::PI;
+
+    fn test_chirp() -> ChirpConfig {
+        ChirpConfig {
+            f_start: 26.5e9,
+            f_stop: 29.5e9,
+            duration: 4e-6,
+            fs: 3.2e9,
+            amplitude: 1.0,
+        }
+    }
+
+    /// Builds synthetic captures: a static clutter echo plus a node echo
+    /// that toggles between chirps, at both antennas with an AoA phase.
+    fn synthetic_captures(
+        d_node: f64,
+        node_angle: f64,
+        d_clutter: f64,
+        clutter_amp: f64,
+    ) -> (Signal, Vec<[Signal; 2]>) {
+        let cfg = test_chirp();
+        let tx = cfg.sawtooth();
+        let aoa = AoaEstimator::milback();
+        let dphi = aoa.angle_to_phase(node_angle);
+        let mut captures = Vec::new();
+        for i in 0..5 {
+            let node_amp = if i % 2 == 0 { 0.01 } else { 0.001 }; // toggling
+            let mut pair = Vec::new();
+            for ant in 0..2 {
+                let mut rx = Signal::zeros(tx.fs, tx.fc, tx.len());
+                // Clutter (static, same at both antennas).
+                let tau_c = 2.0 * d_clutter / SPEED_OF_LIGHT;
+                let mut e = tx.delayed(tau_c);
+                e.rotate(Cpx::from_polar(clutter_amp, -2.0 * PI * tx.fc * tau_c));
+                rx.add(&e);
+                // Node (toggling, with per-antenna AoA phase).
+                let tau_n = 2.0 * d_node / SPEED_OF_LIGHT;
+                let extra = if ant == 0 { dphi } else { 0.0 };
+                let mut e = tx.delayed(tau_n);
+                e.rotate(Cpx::from_polar(node_amp, -2.0 * PI * tx.fc * tau_n + extra));
+                rx.add(&e);
+                pair.push(rx);
+            }
+            captures.push([pair[0].clone(), pair[1].clone()]);
+        }
+        (tx, captures)
+    }
+
+    #[test]
+    fn localizes_node_under_strong_clutter() {
+        let (tx, caps) = synthetic_captures(3.0, 0.2, 5.0, 1.0);
+        let loc = Localizer::new(RangeProcessor::new(test_chirp(), 2));
+        let r = loc.process(&tx, &caps).expect("node not found");
+        assert!((r.range - 3.0).abs() < 0.05, "range {}", r.range);
+        let angle = r.angle.expect("no angle");
+        assert!((angle - 0.2).abs() < 0.02, "angle {angle}");
+    }
+
+    #[test]
+    fn clutter_alone_yields_none() {
+        let (tx, caps) = synthetic_captures(3.0, 0.0, 5.0, 1.0);
+        // Remove the node by keeping only the static parts: re-synthesize
+        // with zero node amplitude via equal chirps.
+        let caps_static: Vec<[Signal; 2]> = vec![caps[0].clone(); 5];
+        let loc = Localizer::new(RangeProcessor::new(test_chirp(), 2));
+        assert!(loc.process(&tx, &caps_static).is_none());
+    }
+
+    #[test]
+    fn different_distances_resolve() {
+        let loc = Localizer::new(RangeProcessor::new(test_chirp(), 2));
+        for d in [1.0, 2.0, 5.0, 8.0] {
+            let (tx, caps) = synthetic_captures(d, 0.0, 4.0, 0.5);
+            let r = loc.process(&tx, &caps).expect("node not found");
+            assert!((r.range - d).abs() < 0.05, "d {d}: range {}", r.range);
+        }
+    }
+
+    #[test]
+    fn angle_sign_recovered() {
+        let loc = Localizer::new(RangeProcessor::new(test_chirp(), 2));
+        for ang in [-0.3f64, -0.1, 0.1, 0.3] {
+            let (tx, caps) = synthetic_captures(2.5, ang, 6.0, 0.8);
+            let r = loc.process(&tx, &caps).unwrap();
+            let got = r.angle.unwrap();
+            assert!((got - ang).abs() < 0.02, "true {ang}, got {got}");
+        }
+    }
+
+    #[test]
+    fn min_range_excludes_near_region() {
+        // Node parked at 0.2 m — inside the excluded self-interference
+        // region; the localizer must not report it.
+        let (tx, caps) = synthetic_captures(0.2, 0.0, 9.0, 0.001);
+        let loc = Localizer::new(RangeProcessor::new(test_chirp(), 2));
+        if let Some(r) = loc.process(&tx, &caps) {
+            assert!(r.range >= 0.5, "reported range inside excluded region: {}", r.range);
+        }
+    }
+}

@@ -1,0 +1,413 @@
+//! Uplink receiver — the paper's Figure 7 chain.
+//!
+//! Per RX antenna: LNA → mixer (× one query tone) → low-pass/decimate →
+//! DC block → coherent projection → per-symbol integration → slicing.
+//!
+//! The mixer arithmetic is what rejects interference: clutter and
+//! self-interference are unmodulated copies of the query, so after
+//! multiplication by the tone they land at exactly DC (plus far-away
+//! mixing images); the node's keyed reflection lands at baseband with its
+//! modulation sidebands intact. A digital DC block (the paper's band-pass
+//! filter) removes the former.
+//!
+//! Projection sign ambiguity: after DC blocking, "on" symbols sit at
+//! `+A(1−p)` and "off" at `−Ap` along an unknown phasor. The transmitted
+//! symbol stream starts with the known [`milback_proto::packet`] uplink
+//! pilot, which fixes the sign.
+
+use milback_dsp::noise::thermal_noise_power;
+use milback_dsp::num::Cpx;
+
+use milback_dsp::signal::Signal;
+use milback_proto::bits::OaqfmSymbol;
+use milback_rf::frontend::{Lna, Mixer};
+use rand::Rng;
+
+/// Known pilot prefix for uplink payloads: both ports alternate
+/// reflect/absorb, giving each branch the pattern `1,0,1,0`.
+pub const UPLINK_PILOT: [OaqfmSymbol; 4] = [
+    OaqfmSymbol { a_on: true, b_on: true },
+    OaqfmSymbol { a_on: false, b_on: false },
+    OaqfmSymbol { a_on: true, b_on: true },
+    OaqfmSymbol { a_on: false, b_on: false },
+];
+
+/// Link statistics from an uplink demodulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UplinkStats {
+    /// Estimated SNR of the symbol decision variable, linear power ratio
+    /// (min across the two branches).
+    pub snr: f64,
+    /// Per-branch SNR `[A, B]`.
+    pub branch_snr: [f64; 2],
+}
+
+/// The AP's uplink receiver.
+#[derive(Debug, Clone, Copy)]
+pub struct UplinkReceiver {
+    /// The per-antenna LNA.
+    pub lna: Lna,
+    /// The per-antenna mixer.
+    pub mixer: Mixer,
+    /// Payload symbol rate, symbols/s.
+    pub symbol_rate: f64,
+    /// Decimated processing rate as a multiple of the symbol rate.
+    pub samples_per_symbol: usize,
+}
+
+impl UplinkReceiver {
+    /// The paper's receiver at the given symbol rate.
+    pub fn milback(symbol_rate: f64) -> Self {
+        Self {
+            lna: Lna::milback(),
+            mixer: Mixer::milback(),
+            symbol_rate,
+            samples_per_symbol: 8,
+        }
+    }
+
+    /// Target baseband rate after decimation.
+    fn target_fs(&self) -> f64 {
+        self.symbol_rate * self.samples_per_symbol as f64
+    }
+
+    /// Cascaded decimation from the capture rate down to the processing
+    /// rate, with Blackman-Harris anti-alias filters: the stopband must
+    /// crush the cross-tone clutter (up to ~60 dB above the node's
+    /// signal), which a standard Hamming design cannot.
+    fn decimate_to(&self, mut sig: Signal) -> Signal {
+        use milback_dsp::filter::Fir;
+        use milback_dsp::window::Window;
+        loop {
+            let ratio = sig.fs / self.target_fs();
+            if ratio < 2.0 {
+                return sig;
+            }
+            let factor = (ratio.floor() as usize).clamp(2, 8);
+            let new_fs = sig.fs / factor as f64;
+            let fir = Fir::lowpass_with_window(0.35 * new_fs, sig.fs, 127, Window::BlackmanHarris);
+            let filtered = fir.apply(&sig.samples);
+            let samples = filtered.iter().step_by(factor).copied().collect();
+            sig = Signal::new(new_fs, sig.fc, samples);
+        }
+    }
+
+    /// One branch of the Figure-7 chain: antenna capture → LNA (adds
+    /// thermal noise) → mix with the tone at `f_tone` → decimate → DC
+    /// block. Returns the complex baseband decision stream and its rate.
+    pub fn branch<R: Rng + ?Sized>(
+        &self,
+        rx: &Signal,
+        f_tone: f64,
+        rng: &mut R,
+    ) -> Signal {
+        let mut sig = rx.clone();
+        let capture_bw = sig.fs;
+        // LNA noise over the full capture bandwidth; decimation later
+        // reduces it to the detection bandwidth, as the hardware BPF does.
+        self.lna.apply(&mut sig, capture_bw, rng);
+        let lo = Signal::tone(sig.fs, sig.fc, f_tone - sig.fc, 1.0, sig.len());
+        let mixed = self.mixer.downconvert(&sig, &lo);
+        let mut low = self.decimate_to(mixed);
+        // DC block (the band-pass filter of Fig. 7): remove the capture
+        // mean, which holds all static clutter + self-interference energy.
+        // The mean is estimated over the central 80% of the capture —
+        // the decimation filters' edge transients attenuate the clutter DC
+        // near the capture boundaries and would bias a full-span mean.
+        let n = low.len();
+        let trim = n / 10;
+        let core = &low.samples[trim..n.saturating_sub(trim).max(trim + 1)];
+        let mean: Cpx = core.iter().copied().sum::<Cpx>() / core.len().max(1) as f64;
+        for c in low.samples.iter_mut() {
+            *c -= mean;
+        }
+        low
+    }
+
+    /// Per-symbol complex means of a decision stream starting at `t0`.
+    fn symbol_points(&self, stream: &Signal, t0: f64, n: usize) -> Vec<Cpx> {
+        let sps = stream.fs / self.symbol_rate;
+        let mut out = Vec::with_capacity(n);
+        for k in 0..n {
+            let start = ((t0 * stream.fs) + (k as f64 + 0.25) * sps) as usize;
+            let end = (((t0 * stream.fs) + (k as f64 + 0.95) * sps) as usize).min(stream.len());
+            if start >= end {
+                out.push(milback_dsp::num::ZERO);
+                continue;
+            }
+            let sum: Cpx = stream.samples[start..end].iter().copied().sum();
+            out.push(sum / (end - start) as f64);
+        }
+        out
+    }
+
+    /// Projects complex symbol points onto their dominant axis and fixes
+    /// the sign with the pilot pattern. Returns real decision levels.
+    fn project(points: &[Cpx], pilot_on: &[bool]) -> Vec<f64> {
+        // Dominant axis via the second-moment direction: arg(Σ p²)/2.
+        let m2: Cpx = points.iter().map(|p| *p * *p).sum();
+        let axis = Cpx::cis(-m2.arg() / 2.0);
+        let mut levels: Vec<f64> = points.iter().map(|p| (*p * axis).re).collect();
+        // Pilot correlation fixes the ± ambiguity.
+        let corr: f64 = pilot_on
+            .iter()
+            .zip(&levels)
+            .map(|(&on, &l)| if on { l } else { -l })
+            .sum();
+        if corr < 0.0 {
+            for l in levels.iter_mut() {
+                *l = -*l;
+            }
+        }
+        levels
+    }
+
+    /// Slices projected levels at the midpoint threshold.
+    fn slice(levels: &[f64]) -> Vec<bool> {
+        let max = levels.iter().cloned().fold(f64::MIN, f64::max);
+        let min = levels.iter().cloned().fold(f64::MAX, f64::min);
+        let thr = (max + min) / 2.0;
+        levels.iter().map(|l| *l > thr).collect()
+    }
+
+    /// SNR of the decision variable from sliced levels: distance between
+    /// cluster means squared over the summed cluster variances.
+    fn level_snr(levels: &[f64], decisions: &[bool]) -> f64 {
+        let on: Vec<f64> = levels
+            .iter()
+            .zip(decisions)
+            .filter(|(_, d)| **d)
+            .map(|(l, _)| *l)
+            .collect();
+        let off: Vec<f64> = levels
+            .iter()
+            .zip(decisions)
+            .filter(|(_, d)| !**d)
+            .map(|(l, _)| *l)
+            .collect();
+        if on.is_empty() || off.is_empty() {
+            return 0.0;
+        }
+        let mu_on = milback_dsp::stats::mean(&on);
+        let mu_off = milback_dsp::stats::mean(&off);
+        let var = milback_dsp::stats::variance(&on) + milback_dsp::stats::variance(&off);
+        if var <= 0.0 {
+            return f64::INFINITY;
+        }
+        (mu_on - mu_off).powi(2) / var
+    }
+
+    /// Demodulates an uplink capture into symbols (pilot included in the
+    /// returned stream) plus link statistics.
+    ///
+    /// * `rx0`/`rx1` — the two antenna captures (channel output, no noise),
+    /// * `f_a`/`f_b` — the query tone frequencies,
+    /// * `t0` — time of the first (pilot) symbol within the capture,
+    /// * `n_symbols` — total symbols including the 4-symbol pilot.
+    #[allow(clippy::too_many_arguments)] // one argument per physical input
+    pub fn demodulate<R: Rng + ?Sized>(
+        &self,
+        rx0: &Signal,
+        rx1: &Signal,
+        f_a: f64,
+        f_b: f64,
+        t0: f64,
+        n_symbols: usize,
+        rng: &mut R,
+    ) -> (Vec<OaqfmSymbol>, UplinkStats) {
+        let pilot_a: Vec<bool> = UPLINK_PILOT.iter().map(|s| s.a_on).collect();
+        let pilot_b: Vec<bool> = UPLINK_PILOT.iter().map(|s| s.b_on).collect();
+
+        let stream_a = self.branch(rx0, f_a, rng);
+        let stream_b = self.branch(rx1, f_b, rng);
+        let pts_a = self.symbol_points(&stream_a, t0, n_symbols);
+        let pts_b = self.symbol_points(&stream_b, t0, n_symbols);
+        let lev_a = Self::project(&pts_a, &pilot_a);
+        let lev_b = Self::project(&pts_b, &pilot_b);
+        let dec_a = Self::slice(&lev_a);
+        let dec_b = Self::slice(&lev_b);
+
+        let snr_a = Self::level_snr(&lev_a, &dec_a);
+        let snr_b = Self::level_snr(&lev_b, &dec_b);
+        let symbols = dec_a
+            .into_iter()
+            .zip(dec_b)
+            .map(|(a_on, b_on)| OaqfmSymbol { a_on, b_on })
+            .collect();
+        (
+            symbols,
+            UplinkStats {
+                snr: snr_a.min(snr_b),
+                branch_snr: [snr_a, snr_b],
+            },
+        )
+    }
+
+    /// Analytic noise power in the decision bandwidth (`symbol_rate` Hz of
+    /// complex bandwidth) referred to the LNA input, watts.
+    pub fn noise_power(&self) -> f64 {
+        thermal_noise_power(self.symbol_rate, self.lna.nf_db)
+    }
+}
+
+/// Non-coherent OOK bit-error probability at SNR `snr` (linear):
+/// `BER ≈ ½·exp(−SNR/4)` for equal-variance on/off clusters with midpoint
+/// threshold (each branch of OAQFM is an independent OOK decision).
+pub fn ook_ber(snr: f64) -> f64 {
+    0.5 * (-snr / 4.0).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Builds a synthetic capture: DC clutter + keyed node tone + the
+    /// other tone keyed with different data, at the capture rate.
+    #[allow(clippy::too_many_arguments)]
+    fn synthetic_rx(
+        fs: f64,
+        fc: f64,
+        f_mine: f64,
+        f_other: f64,
+        data_mine: &[bool],
+        data_other: &[bool],
+        symbol_rate: f64,
+        amp_node: f64,
+        amp_clutter: f64,
+    ) -> Signal {
+        let sps = (fs / symbol_rate) as usize;
+        let n = data_mine.len() * sps;
+        let mut sig = Signal::tone(fs, fc, f_mine - fc, amp_clutter, n); // clutter at my tone
+        let other_clutter = Signal::tone(fs, fc, f_other - fc, amp_clutter, n);
+        sig.add(&other_clutter);
+        // Keyed node reflections.
+        let w_m = 2.0 * std::f64::consts::PI * (f_mine - fc) / fs;
+        let w_o = 2.0 * std::f64::consts::PI * (f_other - fc) / fs;
+        for (k, (&dm, &do2)) in data_mine.iter().zip(data_other).enumerate() {
+            for i in 0..sps {
+                let t = (k * sps + i) as f64;
+                let mut v = milback_dsp::num::ZERO;
+                if dm {
+                    v += Cpx::from_polar(amp_node, w_m * t + 0.8);
+                }
+                if do2 {
+                    v += Cpx::from_polar(amp_node, w_o * t + 1.9);
+                }
+                sig.samples[k * sps + i] += v;
+            }
+        }
+        sig
+    }
+
+    fn with_pilot(data: &[bool], pilot: &[bool]) -> Vec<bool> {
+        let mut v = pilot.to_vec();
+        v.extend_from_slice(data);
+        v
+    }
+
+    /// Surrounds the data with `n` silent (node-absorbing) guard symbols
+    /// on each side — the real query runs before and after the node's
+    /// modulation, so the receiver's filter transients land in the guard,
+    /// not the payload.
+    fn with_guard(data: &[bool], n: usize) -> Vec<bool> {
+        let mut v = vec![false; n];
+        v.extend_from_slice(data);
+        v.extend(std::iter::repeat_n(false, n));
+        v
+    }
+
+    const GUARD: usize = 6;
+
+    #[test]
+    fn demodulates_clean_uplink() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let fs = 2e9;
+        let fc = 28e9;
+        let (f_a, f_b) = (27.6e9, 28.4e9);
+        let symbol_rate = 10e6;
+        let rxr = UplinkReceiver::milback(symbol_rate);
+        let pilot_a: Vec<bool> = UPLINK_PILOT.iter().map(|s| s.a_on).collect();
+        let pilot_b: Vec<bool> = UPLINK_PILOT.iter().map(|s| s.b_on).collect();
+        let data_a = [true, true, false, true, false, false, true, false];
+        let data_b = [false, true, true, false, true, false, false, true];
+        let full_a = with_pilot(&data_a, &pilot_a);
+        let full_b = with_pilot(&data_b, &pilot_b);
+        let tx_a = with_guard(&full_a, GUARD);
+        let tx_b = with_guard(&full_b, GUARD);
+        // Strong node signal: −50 dBm-ish vs clutter −20 dBm.
+        let rx0 = synthetic_rx(fs, fc, f_a, f_b, &tx_a, &tx_b, symbol_rate, 1e-5, 1e-2);
+        let rx1 = synthetic_rx(fs, fc, f_b, f_a, &tx_b, &tx_a, symbol_rate, 1e-5, 1e-2);
+        let n = full_a.len();
+        let t0 = GUARD as f64 / symbol_rate;
+        let (symbols, stats) = rxr.demodulate(&rx0, &rx1, f_a, f_b, t0, n, &mut rng);
+        assert_eq!(symbols.len(), n);
+        for (k, s) in symbols.iter().enumerate() {
+            assert_eq!(s.a_on, full_a[k], "branch A symbol {k}");
+            assert_eq!(s.b_on, full_b[k], "branch B symbol {k}");
+        }
+        assert!(stats.snr > 10.0, "snr {}", stats.snr);
+    }
+
+    #[test]
+    fn dc_clutter_does_not_break_decisions() {
+        // Clutter 60 dB above the node signal.
+        let mut rng = StdRng::seed_from_u64(7);
+        let fs = 2e9;
+        let fc = 28e9;
+        let (f_a, f_b) = (27.6e9, 28.4e9);
+        let symbol_rate = 10e6;
+        let rxr = UplinkReceiver::milback(symbol_rate);
+        let pilot_a: Vec<bool> = UPLINK_PILOT.iter().map(|s| s.a_on).collect();
+        let data_a = [true, false, false, true];
+        let full_a = with_pilot(&data_a, &pilot_a);
+        let full_b = vec![false; full_a.len()];
+        let tx_a = with_guard(&full_a, GUARD);
+        let tx_b = with_guard(&full_b, GUARD);
+        let rx0 = synthetic_rx(fs, fc, f_a, f_b, &tx_a, &tx_b, symbol_rate, 1e-5, 10.0);
+        let rx1 = synthetic_rx(fs, fc, f_b, f_a, &tx_b, &tx_a, symbol_rate, 1e-5, 10.0);
+        let t0 = GUARD as f64 / symbol_rate;
+        let (symbols, _) = rxr.demodulate(&rx0, &rx1, f_a, f_b, t0, full_a.len(), &mut rng);
+        let got_a: Vec<bool> = symbols.iter().map(|s| s.a_on).collect();
+        assert_eq!(got_a, full_a);
+    }
+
+    #[test]
+    fn ook_ber_shape() {
+        assert!(ook_ber(0.0) == 0.5);
+        assert!(ook_ber(40.0) < 1e-4);
+        assert!(ook_ber(10.0) > ook_ber(20.0));
+    }
+
+    #[test]
+    fn noise_power_scales_with_symbol_rate() {
+        let a = UplinkReceiver::milback(10e6).noise_power();
+        let b = UplinkReceiver::milback(40e6).noise_power();
+        assert!((b / a - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pilot_fixes_projection_sign() {
+        // All-ones data would be sign-ambiguous without the pilot.
+        let mut rng = StdRng::seed_from_u64(3);
+        let fs = 2e9;
+        let fc = 28e9;
+        let (f_a, f_b) = (27.7e9, 28.3e9);
+        let symbol_rate = 10e6;
+        let rxr = UplinkReceiver::milback(symbol_rate);
+        let pilot_a: Vec<bool> = UPLINK_PILOT.iter().map(|s| s.a_on).collect();
+        let data_a = [true, true, true, true, false, true, true, true];
+        let full_a = with_pilot(&data_a, &pilot_a);
+        let full_b = vec![false; full_a.len()];
+        let tx_a = with_guard(&full_a, GUARD);
+        let tx_b = with_guard(&full_b, GUARD);
+        let rx0 = synthetic_rx(fs, fc, f_a, f_b, &tx_a, &tx_b, symbol_rate, 1e-5, 1e-3);
+        let rx1 = synthetic_rx(fs, fc, f_b, f_a, &tx_b, &tx_a, symbol_rate, 1e-5, 1e-3);
+        let t0 = GUARD as f64 / symbol_rate;
+        let (symbols, _) = rxr.demodulate(&rx0, &rx1, f_a, f_b, t0, full_a.len(), &mut rng);
+        let got_a: Vec<bool> = symbols.iter().map(|s| s.a_on).collect();
+        assert_eq!(got_a, full_a);
+    }
+}
+

@@ -1,0 +1,14 @@
+//! # milback-baseline
+//!
+//! Comparator systems for the paper's Table 1 and §9.6:
+//!
+//! * [`vanatta`] — the Van Atta retroreflective array all prior mmWave
+//!   backscatter tags are built on (and why it cannot do downlink),
+//! * [`systems`] — mmTag, Millimetro, OmniScatter and MilBack as rows of
+//!   the capability/efficiency comparison.
+
+pub mod systems;
+pub mod vanatta;
+
+pub use systems::{table1_systems, BackscatterSystem, Capabilities, MilBackSystem, Millimetro, MmTag, OmniScatter};
+pub use vanatta::VanAttaArray;

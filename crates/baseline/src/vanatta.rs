@@ -1,0 +1,116 @@
+//! Van Atta retroreflective array model.
+//!
+//! All prior mmWave backscatter systems (mmTag, Millimetro, OmniScatter)
+//! build their tags on Van Atta arrays: antenna pairs cross-connected by
+//! equal-length transmission lines, so an incident wavefront is re-emitted
+//! with conjugated phase — back toward the source — at *any* incidence
+//! angle within the element pattern (paper §4, reference \[44\]).
+//!
+//! The paper's key architectural point is that a Van Atta has **no signal
+//! port**: the trace lengths are tuned and cannot host a tap to a local
+//! receiver, so these designs cannot do downlink. The model reflects that:
+//! it exposes only a monostatic retro-reflection gain, no receive path.
+
+use milback_rf::antenna::{dbi_to_linear, linear_to_dbi, Antenna, PatchElement};
+use milback_rf::geometry::wrap_angle;
+
+/// A Van Atta retroreflective array.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VanAttaArray {
+    /// Number of antenna elements (must be even — elements are paired).
+    pub n_elements: usize,
+    /// Element pattern.
+    pub element: PatchElement,
+    /// Ohmic/line losses, dB (≤ 0).
+    pub loss_db: f64,
+}
+
+impl VanAttaArray {
+    /// An 8-element Van Atta comparable to mmTag's tag.
+    pub fn mmtag() -> Self {
+        Self {
+            n_elements: 8,
+            element: PatchElement::default(),
+            loss_db: -2.0,
+        }
+    }
+
+    /// Creates an array, validating the pairing constraint.
+    pub fn new(n_elements: usize, element: PatchElement, loss_db: f64) -> Self {
+        assert!(n_elements >= 2 && n_elements.is_multiple_of(2), "elements must be paired");
+        Self {
+            n_elements,
+            element,
+            loss_db,
+        }
+    }
+
+    /// Monostatic retro-reflection gain (linear, one-way equivalent):
+    /// the effective antenna gain with which the array captures *and*
+    /// re-emits toward the source at incidence `theta`.
+    ///
+    /// Because phase conjugation aligns the re-emission with the arrival
+    /// direction, the full array gain `N·Ge(θ)` is available at any θ
+    /// within the element pattern — no frequency/orientation tuning, which
+    /// is exactly why these tags localize well but cannot select carriers.
+    pub fn retro_gain(&self, theta: f64, f: f64) -> f64 {
+        let t = wrap_angle(theta);
+        dbi_to_linear(self.loss_db) * self.n_elements as f64 * self.element.gain(t, f)
+    }
+
+    /// Retro-reflection gain in dBi.
+    pub fn retro_gain_dbi(&self, theta: f64, f: f64) -> f64 {
+        linear_to_dbi(self.retro_gain(theta, f))
+    }
+
+    /// Whether the structure offers a signal port for a local receiver.
+    /// Always `false` — the defining limitation the paper's FSA removes.
+    pub fn has_signal_port(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use milback_rf::geometry::deg_to_rad;
+
+    #[test]
+    fn retro_gain_flat_over_wide_angles() {
+        // Unlike the FSA, the Van Atta keeps its gain over a wide angular
+        // range at a fixed frequency.
+        let va = VanAttaArray::mmtag();
+        let g0 = va.retro_gain_dbi(0.0, 28e9);
+        let g30 = va.retro_gain_dbi(deg_to_rad(30.0), 28e9);
+        assert!(g0 - g30 < 2.0, "g0 {g0}, g30 {g30}");
+    }
+
+    #[test]
+    fn gain_scales_with_elements() {
+        let small = VanAttaArray::new(4, PatchElement::default(), 0.0);
+        let big = VanAttaArray::new(16, PatchElement::default(), 0.0);
+        let ratio = big.retro_gain(0.0, 28e9) / small.retro_gain(0.0, 28e9);
+        assert!((ratio - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_signal_port() {
+        assert!(!VanAttaArray::mmtag().has_signal_port());
+    }
+
+    #[test]
+    fn frequency_independent_pointing() {
+        // The retro gain at a fixed angle barely changes across the band —
+        // contrast with the FSA whose gain-vs-frequency *is* the scan.
+        let va = VanAttaArray::mmtag();
+        let g_lo = va.retro_gain_dbi(deg_to_rad(15.0), 26.5e9);
+        let g_hi = va.retro_gain_dbi(deg_to_rad(15.0), 29.5e9);
+        assert!((g_lo - g_hi).abs() < 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "paired")]
+    fn rejects_odd_element_count() {
+        VanAttaArray::new(5, PatchElement::default(), 0.0);
+    }
+}

@@ -1,0 +1,21 @@
+//! Ablation: orientation-assisted carrier selection vs a blind AP — the
+//! "OA" in OAQFM.
+
+use milback::ablations::ablation_orientation_assist;
+use milback_bench::{emit, f, Table};
+
+fn main() {
+    let rows = ablation_orientation_assist(9102);
+    let mut table = Table::new(&["orientation_deg", "assisted_sinr_db", "fixed_tone_sinr_db"]);
+    for r in &rows {
+        table.row(&[
+            f(r.orientation_deg, 0),
+            f(r.assisted_sinr_db, 2),
+            f(r.fixed_sinr_db, 2),
+        ]);
+    }
+    emit("Ablation: orientation-assisted tone selection", &table);
+    println!("A blind AP (tones fixed for one orientation) loses the node's");
+    println!("~9° beam within a few degrees of rotation; orientation sensing");
+    println!("keeps the link at full SINR across the FSA's scan range.");
+}

@@ -1,0 +1,44 @@
+//! Ablation: FMCW dechirp vs matched-filter (pulse-compression) ranging —
+//! same captures, two estimators.
+
+use milback::{Fidelity, Network};
+use milback_ap::pulse_compression::PulseCompressionRanger;
+use milback_bench::{emit, f, Table};
+use milback_dsp::stats;
+use milback_rf::geometry::{deg_to_rad, Pose};
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let mut master = rand::rngs::StdRng::seed_from_u64(9107);
+    let trials = 10;
+    let mut table = Table::new(&["distance_m", "dechirp_mean_cm", "matched_mean_cm"]);
+    for d in [2.0, 4.0, 6.0] {
+        let mut errs_de = Vec::new();
+        let mut errs_mf = Vec::new();
+        for _ in 0..trials {
+            let seed: u64 = master.gen();
+            let phi = deg_to_rad(master.gen_range(-10.0..10.0));
+            let pose = Pose::facing_ap(d, phi, 0.0);
+            let mut net = Network::new(pose, Fidelity::Fast, seed);
+            let (tx, captures) = net.field2_captures();
+            // Dechirp pipeline.
+            if let Some(fix) = net.localizer().process(&tx, &captures) {
+                errs_de.push((fix.range - d).abs() * 100.0);
+            }
+            // Matched filter on antenna 0.
+            let ant0: Vec<_> = captures.iter().map(|p| p[0].clone()).collect();
+            let ranger = PulseCompressionRanger::new(tx);
+            if let Some(r) = ranger.process(&ant0) {
+                errs_mf.push((r - d).abs() * 100.0);
+            }
+        }
+        table.row(&[
+            f(d, 0),
+            f(stats::mean(&errs_de), 2),
+            f(stats::mean(&errs_mf), 2),
+        ]);
+    }
+    emit("Ablation: dechirp vs matched-filter ranging", &table);
+    println!("Both reach the same c/2B-limited accuracy; FMCW dechirp wins in");
+    println!("hardware because the beat signal needs only a MHz-class ADC.");
+}

@@ -1,0 +1,17 @@
+//! Ablation: range-FFT window choice under clutter.
+
+use milback::ablations::ablation_window;
+use milback_bench::{emit, f, Table};
+
+fn main() {
+    let rows = ablation_window(10, 9104);
+    let mut table = Table::new(&["window", "detections", "mean_err_cm"]);
+    for r in &rows {
+        table.row(&[
+            format!("{:?}", r.window),
+            format!("{}/{}", r.detections, r.trials),
+            f(r.mean_err_cm, 2),
+        ]);
+    }
+    emit("Ablation: range-FFT window (node at 5 m)", &table);
+}

@@ -1,0 +1,53 @@
+//! Deployment planning: uplink coverage map of the default indoor scene —
+//! per grid cell, the best rate the link budget supports.
+
+use milback::survey::coverage_map;
+use milback::ApParams;
+use milback_bench::{emit, f, Table};
+use milback_node::node::BackscatterNode;
+use milback_rf::channel::Scene;
+use milback_rf::geometry::Pose;
+
+fn main() {
+    let scene = Scene::milback_indoor();
+    let node = BackscatterNode::milback(Pose::facing_ap(2.0, 0.0, 0.0));
+    let ap = ApParams::milback();
+    let cells = coverage_map(&scene, &node, &ap, 10.0, 6.0, 1.0);
+
+    let mut table = Table::new(&["x_m", "y_m", "uplink_snr_db_10mbps", "best_rate_mbps"]);
+    for c in &cells {
+        table.row(&[
+            f(c.position.x, 1),
+            f(c.position.y, 1),
+            f(c.uplink_snr_db, 1),
+            c.best_rate
+                .map(|r| f(r / 1e6, 0))
+                .unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    emit("Coverage map: uplink rate per cell (10 m × 6 m room)", &table);
+
+    // ASCII map: rows are y, columns are x, symbol = rate class.
+    println!("Rate map (4=40M, 2=20M, 1=10M, 5=5M, ·=no link), AP at left center:");
+    let mut y = 3.0f64;
+    while y >= -3.0 {
+        let mut line = String::from("  ");
+        let mut x = 1.0f64;
+        while x <= 10.0 {
+            let cell = cells
+                .iter()
+                .find(|c| (c.position.x - x).abs() < 0.01 && (c.position.y - y).abs() < 0.01);
+            line.push(match cell.and_then(|c| c.best_rate) {
+                Some(r) if r >= 40e6 => '4',
+                Some(r) if r >= 20e6 => '2',
+                Some(r) if r >= 10e6 => '1',
+                Some(_) => '5',
+                None => '·',
+            });
+            line.push(' ');
+            x += 1.0;
+        }
+        println!("{line}");
+        y -= 1.0;
+    }
+}

@@ -1,0 +1,56 @@
+//! Demonstrates the paper's Figure 5 — node-side orientation sensing —
+//! at signal level: the node's detector output during one triangular
+//! chirp for three orientations, showing the peak separation shrink as
+//! the alignment frequency approaches the sweep apex.
+
+use milback::{Fidelity, Network};
+use milback_bench::{line_chart, Series};
+use milback_rf::geometry::{deg_to_rad, Pose};
+
+fn main() {
+    println!("Figure 5 concept: detector output vs time, one chart per orientation");
+    for (label, odeg) in [
+        ("orientation −20°", -20.0),
+        ("orientation 0°", 0.0),
+        ("orientation +14°", 14.0),
+    ] {
+        let pose = Pose::facing_ap(2.0, 0.0, deg_to_rad(-odeg));
+        let mut net = Network::new(pose, Fidelity::Fast, 501);
+        // Average a few chirps for a clean display trace (the detector
+        // noise is σ ≈ 2.4 mV per sample; the estimator itself works from
+        // single chirps).
+        let (mut cap_a, mut cap_b) = net.field1_node_captures();
+        for _ in 0..7 {
+            let (a, b) = net.field1_node_captures();
+            for (acc, v) in cap_a.iter_mut().zip(&a) {
+                *acc += v;
+            }
+            for (acc, v) in cap_b.iter_mut().zip(&b) {
+                *acc += v;
+            }
+        }
+        for v in cap_a.iter_mut().chain(cap_b.iter_mut()) {
+            *v /= 8.0;
+        }
+        let to_series = |cap: &[f64], name: &str| {
+            Series::new(
+                name,
+                cap.iter().enumerate().map(|(i, v)| (i as f64, v * 1e3)).collect(),
+            )
+        };
+        println!("-- {label} --");
+        println!(
+            "{}",
+            line_chart(
+                &[to_series(&cap_a, "port A (mV)"), to_series(&cap_b, "port B (mV)")],
+                72,
+                10
+            )
+        );
+    }
+    println!("x axis: MCU ADC sample (1 MHz) over the 45 µs triangular chirp.");
+    println!("Each port shows two power peaks, mirrored around the sweep apex");
+    println!("(sample ~22); their separation encodes the beam-alignment");
+    println!("frequency — what §5.2(b) measures. At 0° both ports align at");
+    println!("the same frequency, so the peak pairs coincide (OOK fallback).");
+}

@@ -1,0 +1,29 @@
+//! Regenerates Figure 12a: ranging accuracy (mean and 90th-percentile
+//! error) versus node distance, 20 trials per distance.
+
+use milback::experiments::fig12a_ranging;
+use milback_bench::{emit, f, Table};
+
+fn main() {
+    let rows = fig12a_ranging(20, 1201);
+    let mut table = Table::new(&["distance_m", "mean_err_cm", "p90_err_cm", "fixes"]);
+    for r in &rows {
+        table.row(&[
+            f(r.distance_m, 0),
+            f(r.mean_cm, 2),
+            f(r.p90_cm, 2),
+            format!("{}/20", r.n),
+        ]);
+    }
+    emit("Figure 12a: Ranging accuracy vs distance", &table);
+    let mean = milback_bench::Series::new(
+        "mean error (cm)",
+        rows.iter().map(|r| (r.distance_m, r.mean_cm)).collect(),
+    );
+    let p90 = milback_bench::Series::new(
+        "p90 error (cm)",
+        rows.iter().map(|r| (r.distance_m, r.p90_cm)).collect(),
+    );
+    println!("{}", milback_bench::line_chart(&[mean, p90], 60, 12));
+    println!("Paper reference: mean < 5 cm at 5 m, < 12 cm at 8 m.");
+}

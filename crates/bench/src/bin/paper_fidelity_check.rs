@@ -1,0 +1,54 @@
+//! Runs the headline experiments at **Paper fidelity** — the paper's exact
+//! 18 µs / 45 µs chirps at 4 GS/s — as a cross-check that nothing in the
+//! Fast preset (used everywhere for speed) changes the conclusions.
+//! Slower than the other binaries (~a minute).
+
+use milback::{Fidelity, Network};
+use milback_rf::geometry::{deg_to_rad, rad_to_deg, Pose};
+
+fn main() {
+    println!("Paper-fidelity cross-check (18 µs / 45 µs chirps, 4 GS/s)");
+    println!("=========================================================");
+
+    for d in [2.0, 5.0, 8.0] {
+        let pose = Pose::facing_ap(d, 0.0, 0.0);
+        let mut net = Network::new(pose, Fidelity::Paper, 8001);
+        match net.localize() {
+            Some(fix) => println!(
+                "localize @{d} m: range {:.3} m (err {:.1} cm), angle {:?}",
+                fix.range,
+                (fix.range - d).abs() * 100.0,
+                fix.angle.map(rad_to_deg)
+            ),
+            None => println!("localize @{d} m: NOT FOUND"),
+        }
+    }
+
+    let pose = Pose::facing_ap(2.0, 0.0, deg_to_rad(-8.0));
+    let mut net = Network::new(pose, Fidelity::Paper, 8002);
+    let true_inc = rad_to_deg(net.true_orientation());
+    if let Some(o) = net.sense_orientation_at_ap() {
+        println!("AP orientation: est {:.2}° (true {true_inc:.2}°)", rad_to_deg(o));
+    }
+    if let Some(o) = net.sense_orientation_at_node() {
+        println!("node orientation: est {:.2}° (true {true_inc:.2}°)", rad_to_deg(o));
+    }
+
+    let pose = Pose::facing_ap(3.0, 0.0, deg_to_rad(12.0));
+    let mut net = Network::new(pose, Fidelity::Paper, 8003);
+    if let Some(dl) = net.downlink(&[0xAD; 16], 1e6, true) {
+        println!(
+            "downlink @3 m: SINR {:.1} dB, {} bit errors",
+            10.0 * dl.sinr.log10(),
+            dl.bit_errors
+        );
+    }
+    let mut net = Network::new(pose, Fidelity::Paper, 8004);
+    if let Some(ul) = net.uplink(&[0xDA; 16], 5e6, true) {
+        println!(
+            "uplink  @3 m: SNR {:.1} dB, {} bit errors",
+            10.0 * ul.snr.log10(),
+            ul.bit_errors
+        );
+    }
+}

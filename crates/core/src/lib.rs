@@ -1,0 +1,55 @@
+//! # milback
+//!
+//! End-to-end simulation of the MilBack mmWave backscatter network —
+//! the paper's primary contribution, assembled from the substrate crates
+//! (`milback-dsp`, `milback-rf`, `milback-hw`, `milback-node`,
+//! `milback-ap`, `milback-proto`):
+//!
+//! * [`network`] — the single-node [`Network`]: localization (§5.1) and
+//!   orientation sensing at both ends (§5.2),
+//! * [`link`] — OAQFM downlink and backscatter uplink (§6),
+//! * [`protocol`] — the full packet exchange (§7): mode signalling,
+//!   preamble, payload,
+//! * [`multinode`] — SDM multi-node deployments with a polling MAC,
+//! * [`dense_link`] — multi-amplitude "dense OAQFM" (§9.4 extension),
+//! * [`adaptation`] — rate fallback and stop-and-wait ARQ delivery,
+//! * [`tracking`] — Kalman tracking over per-packet fixes,
+//! * [`velocity`] — slow-time Doppler radial-velocity measurement,
+//! * [`survey`] — analytic coverage maps for deployment planning,
+//! * [`experiments`] — drivers regenerating every paper figure/table,
+//! * [`ablations`] — what breaks when each design choice is removed,
+//! * [`config`] — fidelity presets and calibrated AP parameters.
+//!
+//! ```no_run
+//! use milback::{Fidelity, Network};
+//! use milback_rf::geometry::{deg_to_rad, Pose};
+//!
+//! let pose = Pose::facing_ap(3.0, 0.0, deg_to_rad(12.0));
+//! let mut net = Network::new(pose, Fidelity::Fast, 42);
+//! let fix = net.localize().expect("node not found");
+//! assert!((fix.range - 3.0).abs() < 0.2);
+//! ```
+
+pub mod ablations;
+pub mod adaptation;
+pub mod config;
+pub mod dense_link;
+pub mod experiments;
+pub mod link;
+pub mod multinode;
+pub mod network;
+pub mod protocol;
+pub mod survey;
+pub mod tracking;
+pub mod velocity;
+
+pub use adaptation::AdaptiveReport;
+pub use config::{ApParams, Fidelity};
+pub use dense_link::DenseDownlinkReport;
+pub use link::{DownlinkReport, UplinkReport};
+pub use multinode::{MultiNetwork, SlotResult};
+pub use network::Network;
+pub use protocol::PacketOutcome;
+pub use survey::{coverage_map, CoverageCell};
+pub use tracking::{NodeTracker, TrackEstimate};
+pub use velocity::VelocityResult;

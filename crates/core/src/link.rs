@@ -1,0 +1,435 @@
+//! End-to-end communication over the simulated channel: OAQFM downlink
+//! (paper §6.1–6.2) and backscatter uplink (§6.3), including carrier
+//! selection from the sensed orientation.
+
+use crate::network::Network;
+use milback_ap::tone_select::{select_tones, ToneSelection};
+use milback_ap::uplink::{UplinkReceiver, UPLINK_PILOT};
+use milback_ap::waveform;
+use milback_dsp::signal::Signal;
+use milback_node::demod::{demodulate_oaqfm, demodulate_ook, EnvelopeSlicer};
+use milback_node::modulator::modulate_uplink;
+use milback_proto::bits::{bit_errors, bits_to_symbols, symbols_to_bits, OaqfmSymbol};
+use milback_proto::frame::{decode_frame, encode_frame, FrameError};
+use milback_rf::channel::{NodeInterface, TxComponent};
+use milback_rf::fsa::Port;
+
+/// Minimum tone separation before falling back to single-carrier OOK:
+/// the two envelope-detector branches stop being separable when the tones
+/// approach the detector's video bandwidth.
+pub const MIN_TONE_SEPARATION: f64 = 100e6;
+
+/// Guard symbols (query running, node silent) before the pilot, so the
+/// receiver's filter transients settle outside the payload.
+pub const GUARD_SYMBOLS: usize = 6;
+
+/// Outcome of a downlink transfer.
+#[derive(Debug, Clone)]
+pub struct DownlinkReport {
+    /// The carrier plan the AP chose.
+    pub tones: ToneSelection,
+    /// Decoded payload (if the CRC passed).
+    pub payload: Result<Vec<u8>, FrameError>,
+    /// Raw bit errors against the transmitted frame bits.
+    pub bit_errors: usize,
+    /// Total frame bits.
+    pub total_bits: usize,
+    /// Measured SINR of the weaker detector branch, linear power ratio.
+    pub sinr: f64,
+    /// Effective decision SNR after per-symbol integration, with the
+    /// cross-port interference subtracted from the decision margin —
+    /// the quantity BER actually depends on (linear).
+    pub decision_snr: f64,
+}
+
+/// Outcome of an uplink transfer.
+#[derive(Debug, Clone)]
+pub struct UplinkReport {
+    /// The carrier plan the AP chose.
+    pub tones: ToneSelection,
+    /// Decoded payload (if the CRC passed).
+    pub payload: Result<Vec<u8>, FrameError>,
+    /// Raw bit errors against the transmitted frame bits.
+    pub bit_errors: usize,
+    /// Total frame bits.
+    pub total_bits: usize,
+    /// Measured SNR of the decision variable (min across branches).
+    pub snr: f64,
+}
+
+/// Measured SINR of a downlink detector branch: wanted level step squared
+/// over (interference + noise) variance, from the known components. This
+/// is the paper's Fig. 14 quantity — SINR at the detector output, before
+/// symbol integration.
+fn branch_sinr(v_signal: f64, v_interference: f64, noise_rms: f64) -> f64 {
+    v_signal * v_signal / (v_interference * v_interference + noise_rms * noise_rms)
+}
+
+/// Decision SNR of a branch: per-symbol integration averages the white
+/// detector noise down by `video_bw/symbol_rate`, while the (symbol-
+/// synchronous) cross-port interference subtracts from the decision
+/// margin instead.
+fn branch_decision_snr(
+    v_signal: f64,
+    v_interference: f64,
+    noise_rms: f64,
+    integration_gain: f64,
+) -> f64 {
+    let margin = (v_signal - v_interference).max(0.0);
+    let sigma2 = noise_rms * noise_rms / integration_gain.max(1.0);
+    margin * margin / sigma2
+}
+
+impl Network {
+    /// Renders a pair of per-tone downlink components to both FSA ports,
+    /// including the cross-tone leakage each port receives from the other
+    /// tone's side lobes. Returns `(at_port_a, at_port_b)`.
+    pub(crate) fn render_tones_to_ports(
+        &self,
+        comp_a: &TxComponent,
+        comp_b: &TxComponent,
+    ) -> (Signal, Signal) {
+        let mut at_a = self
+            .scene
+            .to_node_port(comp_a, &self.node.pose, &self.node.fsa, Port::A);
+        at_a.add(&self.scene.to_node_port(comp_b, &self.node.pose, &self.node.fsa, Port::A));
+        let mut at_b = self
+            .scene
+            .to_node_port(comp_b, &self.node.pose, &self.node.fsa, Port::B);
+        at_b.add(&self.scene.to_node_port(comp_a, &self.node.pose, &self.node.fsa, Port::B));
+        (at_a, at_b)
+    }
+
+    /// Chooses OAQFM carriers for the node's current (AP-estimated)
+    /// orientation. Uses the true orientation when `use_truth` — handy in
+    /// microbenchmarks — otherwise runs AP-side orientation sensing first.
+    pub fn plan_tones(&mut self, use_truth: bool) -> Option<ToneSelection> {
+        let orientation = if use_truth {
+            self.true_orientation()
+        } else {
+            self.sense_orientation_at_ap()?
+        };
+        select_tones(&self.node.fsa, orientation, MIN_TONE_SEPARATION)
+    }
+
+    /// Runs a full downlink transfer of `payload` at `symbol_rate`
+    /// symbols/s. `use_truth` short-circuits orientation sensing (for
+    /// microbenchmarks); the end-to-end path senses first.
+    pub fn downlink(
+        &mut self,
+        payload: &[u8],
+        symbol_rate: f64,
+        use_truth: bool,
+    ) -> Option<DownlinkReport> {
+        let tones = self.plan_tones(use_truth)?;
+        let frame = encode_frame(payload);
+        match tones {
+            ToneSelection::Dual { f_a, f_b } => {
+                Some(self.downlink_dual(payload, &frame, f_a, f_b, symbol_rate, tones))
+            }
+            ToneSelection::Single { f } => {
+                Some(self.downlink_ook(payload, &frame, f, symbol_rate, tones))
+            }
+        }
+    }
+
+    fn downlink_dual(
+        &mut self,
+        payload: &[u8],
+        frame: &[OaqfmSymbol],
+        f_a: f64,
+        f_b: f64,
+        symbol_rate: f64,
+        tones: ToneSelection,
+    ) -> DownlinkReport {
+        // Pilot + frame, so the node's threshold sees both levels early.
+        let mut symbols: Vec<OaqfmSymbol> = UPLINK_PILOT.to_vec();
+        symbols.extend_from_slice(frame);
+
+        // Simulation bandwidth needs to cover both tones comfortably; the
+        // waveform is generated per tone so each FSA port sees its own
+        // frequency-dependent gain.
+        let fs = self.downlink_fs(f_a, f_b);
+        let fc = 0.5 * (f_a + f_b);
+        let mut tx = self.ap.tx;
+        tx.fs = fs;
+        let n_symbols = symbols.len();
+        let bits_a: Vec<bool> = symbols.iter().map(|s| s.a_on).collect();
+        let bits_b: Vec<bool> = symbols.iter().map(|s| s.b_on).collect();
+        // Each tone at half the total power (√2 amplitude split).
+        let mut wave_a = waveform::ook_waveform(&tx, fc, f_a, &bits_a, symbol_rate);
+        let mut wave_b = waveform::ook_waveform(&tx, fc, f_b, &bits_b, symbol_rate);
+        wave_a.scale(1.0 / 2f64.sqrt());
+        wave_b.scale(1.0 / 2f64.sqrt());
+        let comp_a = TxComponent::tone(wave_a, f_a);
+        let comp_b = TxComponent::tone(wave_b, f_b);
+
+        // Signal at each FSA port = wanted tone + cross-tone leakage.
+        let (at_a, at_b) = self.render_tones_to_ports(&comp_a, &comp_b);
+
+        // SINR bookkeeping from the known components (steady-state levels).
+        let inc = self.node.pose.incidence_from(&self.scene.tx_pos);
+        let p_tx_tone = self.ap.tx.amplitude().powi(2) / 2.0;
+        let chain = self.node_chain_gain();
+        let g = |port: Port, f: f64| {
+            self.scene.tone_gain_to_port(&self.node.pose, &self.node.fsa, port, f) * chain
+        };
+        let _ = inc;
+        let v = |p: f64| self.node.detector.ideal_output(p);
+        let noise = self.node.detector.output_noise_rms();
+        let sinr_a = branch_sinr(
+            v(p_tx_tone * g(Port::A, f_a)),
+            v(p_tx_tone * g(Port::A, f_b)),
+            noise,
+        );
+        let sinr_b = branch_sinr(
+            v(p_tx_tone * g(Port::B, f_b)),
+            v(p_tx_tone * g(Port::B, f_a)),
+            noise,
+        );
+        let integration = self.node.detector.video_bandwidth / symbol_rate;
+        let dec_a = branch_decision_snr(
+            v(p_tx_tone * g(Port::A, f_a)),
+            v(p_tx_tone * g(Port::A, f_b)),
+            noise,
+            integration,
+        );
+        let dec_b = branch_decision_snr(
+            v(p_tx_tone * g(Port::B, f_b)),
+            v(p_tx_tone * g(Port::B, f_a)),
+            noise,
+            integration,
+        );
+
+        // Node receive + demodulate.
+        let det_a = self.node_video(&at_a);
+        let det_b = self.node_video(&at_b);
+        let slicer = EnvelopeSlicer::new(fs, symbol_rate);
+        let got = demodulate_oaqfm(&slicer, &det_a, &det_b, 0.0, n_symbols);
+        let got_frame = &got[UPLINK_PILOT.len()..];
+
+        let sent_bits = symbols_to_bits(frame);
+        let got_bits = symbols_to_bits(got_frame);
+        let errors = bit_errors(&sent_bits, &got_bits);
+        DownlinkReport {
+            tones,
+            payload: decode_frame(got_frame, payload.len()),
+            bit_errors: errors,
+            total_bits: sent_bits.len(),
+            sinr: sinr_a.min(sinr_b),
+            decision_snr: dec_a.min(dec_b),
+        }
+    }
+
+    fn downlink_ook(
+        &mut self,
+        payload: &[u8],
+        frame: &[OaqfmSymbol],
+        f: f64,
+        symbol_rate: f64,
+        tones: ToneSelection,
+    ) -> DownlinkReport {
+        // OOK fallback: 1 bit per symbol on a single carrier.
+        let frame_bits = symbols_to_bits(frame);
+        let mut bits = vec![true, false, true, false]; // pilot
+        bits.extend_from_slice(&frame_bits);
+
+        let fs = 16.0 * symbol_rate;
+        let mut tx = self.ap.tx;
+        tx.fs = fs;
+        let wave = waveform::ook_waveform(&tx, f, f, &bits, symbol_rate);
+        let comp = TxComponent::tone(wave, f);
+        let at_a = self
+            .scene
+            .to_node_port(&comp, &self.node.pose, &self.node.fsa, Port::A);
+        let at_b = self
+            .scene
+            .to_node_port(&comp, &self.node.pose, &self.node.fsa, Port::B);
+
+        let p_tx = self.ap.tx.amplitude().powi(2);
+        let chain = self.node_chain_gain();
+        let g_a = self.scene.tone_gain_to_port(&self.node.pose, &self.node.fsa, Port::A, f);
+        let v_sig = self.node.detector.ideal_output(p_tx * g_a * chain);
+        let noise = self.node.detector.output_noise_rms();
+        let sinr = branch_sinr(v_sig, 0.0, noise);
+        let integration = self.node.detector.video_bandwidth / symbol_rate;
+        let decision_snr = branch_decision_snr(v_sig, 0.0, noise, integration);
+
+        let det_a = self.node_video(&at_a);
+        let det_b = self.node_video(&at_b);
+        let slicer = EnvelopeSlicer::new(fs, symbol_rate);
+        let got_bits_all = demodulate_ook(&slicer, &det_a, &det_b, 0.0, bits.len());
+        let got_bits = &got_bits_all[4..];
+        let errors = bit_errors(&frame_bits, got_bits);
+        let got_frame = bits_to_symbols(got_bits);
+        DownlinkReport {
+            tones,
+            payload: decode_frame(&got_frame, payload.len()),
+            bit_errors: errors,
+            total_bits: frame_bits.len(),
+            sinr,
+            decision_snr,
+        }
+    }
+
+    /// Runs a full uplink transfer of `payload` at `symbol_rate`
+    /// symbols/s.
+    pub fn uplink(
+        &mut self,
+        payload: &[u8],
+        symbol_rate: f64,
+        use_truth: bool,
+    ) -> Option<UplinkReport> {
+        let tones = self.plan_tones(use_truth)?;
+        let (f_a, f_b) = match tones {
+            ToneSelection::Dual { f_a, f_b } => (f_a, f_b),
+            // Normal incidence: both ports reflect the same tone; the AP
+            // still decodes two branches but they carry the same bit —
+            // handled by using the same frequency on both branches.
+            ToneSelection::Single { f } => (f, f),
+        };
+
+        let frame = encode_frame(payload);
+        let mut symbols: Vec<OaqfmSymbol> = UPLINK_PILOT.to_vec();
+        symbols.extend_from_slice(&frame);
+        let n_symbols = symbols.len();
+
+        // Query waveform: guard before and after the modulated payload.
+        let fs = self.downlink_fs(f_a, f_b);
+        let fc = 0.5 * (f_a + f_b);
+        let t0 = GUARD_SYMBOLS as f64 / symbol_rate;
+        let total_t = (n_symbols + 2 * GUARD_SYMBOLS) as f64 / symbol_rate;
+        let mut tx = self.ap.tx;
+        tx.fs = fs;
+        let n = (total_t * fs).round() as usize;
+        let amp = tx.amplitude() / 2f64.sqrt();
+        // Each query tone is rendered as its own channel component so the
+        // node's FSA gain is evaluated at that tone's frequency (the whole
+        // point of OAQFM: each tone talks to one port's beam).
+        let tone_a = Signal::tone(fs, fc, f_a - fc, amp, n);
+        let tone_b = Signal::tone(fs, fc, f_b - fc, amp, n);
+        let comp_a = TxComponent::tone(tone_a, f_a);
+        let comp_b = TxComponent::tone(tone_b, f_b);
+
+        // The node modulates its ports per symbol.
+        let (sched_a, sched_b) = modulate_uplink(&self.node.switch, &symbols, t0, symbol_rate)
+            .expect("symbol rate exceeds switch capability");
+        let (rx0, rx1) = {
+            let gamma = self.node.gamma_schedule(&sched_a, &sched_b);
+            let node_if = NodeInterface {
+                pose: self.node.pose,
+                fsa: &self.node.fsa,
+                gamma: &gamma,
+            };
+            let mut rx0 = self.scene.monostatic_rx(&comp_a, &node_if, 0);
+            rx0.add(&self.scene.monostatic_rx(&comp_b, &node_if, 0));
+            let mut rx1 = self.scene.monostatic_rx(&comp_a, &node_if, 1);
+            rx1.add(&self.scene.monostatic_rx(&comp_b, &node_if, 1));
+            (rx0, rx1)
+        };
+
+        let mut receiver = UplinkReceiver::milback(symbol_rate);
+        // Uplink noise figure: the LNA's own 3 dB (the node's reflected
+        // signal is the weak one; the scope contribution is lumped into
+        // the node's implementation loss).
+        receiver.lna.nf_db = 3.0;
+        let mut rng = self.fork_rng();
+        let (got, stats) = receiver.demodulate(&rx0, &rx1, f_a, f_b, t0, n_symbols, &mut rng);
+        let got_frame = &got[UPLINK_PILOT.len()..];
+
+        let sent_bits = symbols_to_bits(&frame);
+        let got_bits = symbols_to_bits(got_frame);
+        let errors = bit_errors(&sent_bits, &got_bits);
+        Some(UplinkReport {
+            tones,
+            payload: decode_frame(got_frame, payload.len()),
+            bit_errors: errors,
+            total_bits: sent_bits.len(),
+            snr: stats.snr,
+        })
+    }
+
+    /// Simulation sample rate covering two tones `f_a`/`f_b` around their
+    /// midpoint with margin.
+    fn downlink_fs(&self, f_a: f64, f_b: f64) -> f64 {
+        let span = (f_a - f_b).abs();
+        (2.5 * span).max(200e6)
+    }
+
+    /// Power gain of the node's receive chain after the FSA port (switch
+    /// through-loss × one-way implementation loss).
+    fn node_chain_gain(&self) -> f64 {
+        self.node.switch.through_gain() * 10f64.powf(-self.node.impl_loss_db / 10.0)
+    }
+
+    /// Renders one port's video-rate detector output for a signal at the
+    /// port.
+    fn node_video(&mut self, at_port: &Signal) -> Vec<f64> {
+        let mut rng = self.fork_rng();
+        self.node.receive_port_video(at_port, &mut rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Fidelity;
+    use milback_rf::geometry::{deg_to_rad, Pose};
+
+    #[test]
+    fn downlink_clean_at_2m() {
+        let pose = Pose::facing_ap(2.0, 0.0, deg_to_rad(12.0));
+        let mut net = Network::new(pose, Fidelity::Fast, 11);
+        let payload: Vec<u8> = (0..16).collect();
+        let report = net.downlink(&payload, 1e6, true).expect("no tones");
+        assert!(matches!(report.tones, ToneSelection::Dual { .. }));
+        assert_eq!(report.bit_errors, 0, "sinr {}", report.sinr);
+        assert_eq!(report.payload.as_deref().unwrap(), &payload[..]);
+        assert!(report.sinr > 10.0, "sinr {}", report.sinr);
+    }
+
+    #[test]
+    fn downlink_ook_fallback_at_normal_incidence() {
+        let pose = Pose::facing_ap(2.0, 0.0, 0.0);
+        let mut net = Network::new(pose, Fidelity::Fast, 12);
+        let payload = vec![0xA5; 8];
+        let report = net.downlink(&payload, 1e6, true).expect("no tones");
+        assert!(matches!(report.tones, ToneSelection::Single { .. }));
+        assert_eq!(report.bit_errors, 0);
+        assert_eq!(report.payload.as_deref().unwrap(), &payload[..]);
+    }
+
+    #[test]
+    fn uplink_clean_at_2m() {
+        let pose = Pose::facing_ap(2.0, 0.0, deg_to_rad(12.0));
+        let mut net = Network::new(pose, Fidelity::Fast, 13);
+        let payload: Vec<u8> = (0..8).map(|i| i * 17).collect();
+        let report = net.uplink(&payload, 5e6, true).expect("no tones");
+        assert_eq!(report.bit_errors, 0, "snr {}", report.snr);
+        assert_eq!(report.payload.as_deref().unwrap(), &payload[..]);
+        assert!(report.snr > 10.0, "snr {}", report.snr);
+    }
+
+    #[test]
+    fn downlink_with_sensed_orientation() {
+        // The full paper pipeline: sense orientation, pick tones, send.
+        // 3–4° orientation error must not break communication (§9.3).
+        let pose = Pose::facing_ap(2.0, 0.0, deg_to_rad(10.0));
+        let mut net = Network::new(pose, Fidelity::Fast, 14);
+        let payload = vec![0x5A; 8];
+        let report = net.downlink(&payload, 1e6, false).expect("no tones");
+        assert_eq!(report.bit_errors, 0, "sinr {}", report.sinr);
+    }
+
+    #[test]
+    fn uplink_snr_drops_with_distance() {
+        let mut snrs = Vec::new();
+        for d in [2.0, 4.0, 6.0] {
+            let pose = Pose::facing_ap(d, 0.0, deg_to_rad(12.0));
+            let mut net = Network::new(pose, Fidelity::Fast, 15);
+            let report = net.uplink(&[0x33; 4], 5e6, true).expect("no tones");
+            snrs.push(report.snr);
+        }
+        assert!(snrs[0] > snrs[1] && snrs[1] > snrs[2], "{snrs:?}");
+    }
+}

@@ -1,0 +1,339 @@
+//! Multi-node MilBack deployments (paper §7, last paragraph): one AP
+//! serving several nodes by space-division multiplexing. The AP steers
+//! its beams at one node per slot; the other nodes are physically present
+//! in the channel (their residual reflections and mirror returns are
+//! rendered), parked with both ports absorptive per the protocol.
+
+use crate::config::{ApParams, Fidelity};
+use crate::link::{UplinkReport, GUARD_SYMBOLS};
+use crate::network::Network;
+use milback_ap::ranging::LocalizationResult;
+use milback_ap::tone_select::{select_tones, ToneSelection};
+use milback_ap::uplink::{UplinkReceiver, UPLINK_PILOT};
+use milback_dsp::num::Cpx;
+use milback_dsp::signal::Signal;
+use milback_node::modulator::modulate_uplink;
+use milback_node::node::BackscatterNode;
+use milback_proto::bits::{bit_errors, symbols_to_bits, OaqfmSymbol};
+use milback_proto::frame::{decode_frame, encode_frame};
+use milback_proto::mac::{NodeId, PollSchedule};
+use milback_proto::packet::LinkMode;
+use milback_rf::channel::{NodeInterface, Scene, TxComponent};
+use milback_rf::geometry::Pose;
+use milback_hw::switch::{SwitchSchedule, SwitchState};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deployment of one AP and several backscatter nodes.
+#[derive(Debug, Clone)]
+pub struct MultiNetwork {
+    /// The shared propagation scene.
+    pub scene: Scene,
+    /// All nodes, indexed by [`NodeId`].
+    pub nodes: Vec<BackscatterNode>,
+    /// AP parameters.
+    pub ap: ApParams,
+    /// Waveform fidelity preset.
+    pub fidelity: Fidelity,
+    rng: StdRng,
+}
+
+/// Result of serving one node in a poll round.
+#[derive(Debug, Clone)]
+pub struct SlotResult {
+    /// Which node was served.
+    pub node: NodeId,
+    /// Slot direction.
+    pub mode: LinkMode,
+    /// Localization fix obtained during the slot's preamble.
+    pub fix: Option<LocalizationResult>,
+    /// Uplink report (uplink slots).
+    pub uplink: Option<UplinkReport>,
+    /// Downlink report (downlink slots).
+    pub downlink: Option<crate::link::DownlinkReport>,
+}
+
+impl MultiNetwork {
+    /// Builds a deployment in the paper's indoor scene.
+    pub fn new(poses: Vec<Pose>, fidelity: Fidelity, seed: u64) -> Self {
+        assert!(!poses.is_empty(), "need at least one node");
+        let scene = Scene::milback_indoor();
+        Self {
+            scene,
+            nodes: poses.into_iter().map(BackscatterNode::milback).collect(),
+            ap: ApParams::milback(),
+            fidelity,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// A single-node view of this deployment for node `id`, sharing the
+    /// scene and AP parameters — used to reuse the single-node pipelines
+    /// where other nodes' contributions are negligible.
+    fn single_view(&mut self, id: NodeId) -> Network {
+        let mut scene = self.scene.clone();
+        scene.steer_towards(&self.nodes[id].pose.position);
+        Network::from_parts(
+            scene,
+            self.nodes[id].clone(),
+            self.ap,
+            self.fidelity,
+            self.rng.gen(),
+        )
+    }
+
+    /// Localizes node `id` with the AP steered at it, rendering **all**
+    /// nodes into the capture: the target runs its localization
+    /// modulation, the others are parked absorptive (their residual
+    /// reflections are still present).
+    pub fn localize_node(&mut self, id: NodeId) -> Option<LocalizationResult> {
+        assert!(id < self.nodes.len(), "node id out of range");
+        let mut scene = self.scene.clone();
+        scene.steer_towards(&self.nodes[id].pose.position);
+
+        let mut cfg = self.fidelity.sawtooth();
+        cfg.amplitude = self.ap.tx.amplitude();
+        let tx = cfg.sawtooth();
+        let profile = milback_rf::channel::FreqProfile::Sawtooth(cfg);
+        let mod_freq = self.fidelity.localization_mod_freq();
+        let noise_p =
+            milback_dsp::noise::thermal_noise_power(tx.fs, self.ap.capture_nf_db);
+
+        let mut captures = Vec::with_capacity(5);
+        for i in 0..5 {
+            let t_off = i as f64 * cfg.duration;
+            let comp = TxComponent {
+                signal: tx.clone(),
+                profile,
+            };
+            // Build per-node gamma closures: target modulates, rest park.
+            let sched_on = SwitchSchedule::SquareWave {
+                freq_hz: mod_freq,
+                first: SwitchState::Reflective,
+            };
+            let sched_off = SwitchSchedule::Constant(SwitchState::Absorptive);
+            let mut pair = Vec::with_capacity(2);
+            for ant in 0..2 {
+                // NodeInterface borrows the closures, so assemble per
+                // antenna render.
+                let gammas: Vec<Box<dyn Fn(f64) -> [Cpx; 2]>> = self
+                    .nodes
+                    .iter()
+                    .enumerate()
+                    .map(|(k, node)| {
+                        let switch = node.switch;
+                        let two_way = 10f64.powf(-2.0 * node.impl_loss_db / 20.0);
+                        let a = if k == id { sched_on.clone() } else { sched_off.clone() };
+                        let b = sched_off.clone();
+                        Box::new(move |t: f64| {
+                            [
+                                switch.gamma(a.state_at(t_off + t)) * two_way,
+                                switch.gamma(b.state_at(t_off + t)) * two_way,
+                            ]
+                        }) as Box<dyn Fn(f64) -> [Cpx; 2]>
+                    })
+                    .collect();
+                let ifaces: Vec<NodeInterface<'_>> = self
+                    .nodes
+                    .iter()
+                    .zip(&gammas)
+                    .map(|(node, g)| NodeInterface {
+                        pose: node.pose,
+                        fsa: &node.fsa,
+                        gamma: g.as_ref(),
+                    })
+                    .collect();
+                let mut rx = scene.monostatic_rx_multi(&comp, &ifaces, ant);
+                milback_dsp::noise::add_awgn(&mut rx, noise_p, &mut self.rng);
+                pair.push(rx);
+            }
+            captures.push([pair[0].clone(), pair[1].clone()]);
+        }
+
+        let mut loc_cfg = self.fidelity.sawtooth();
+        loc_cfg.amplitude = self.ap.tx.amplitude();
+        let localizer =
+            milback_ap::ranging::Localizer::new(milback_ap::dechirp::RangeProcessor::new(loc_cfg, 2));
+        localizer.process(&tx, &captures)
+    }
+
+    /// Runs an uplink slot for node `id` with every node rendered:
+    /// the target modulates its frame, the others stay absorptive.
+    pub fn uplink_from(
+        &mut self,
+        id: NodeId,
+        payload: &[u8],
+        symbol_rate: f64,
+    ) -> Option<UplinkReport> {
+        assert!(id < self.nodes.len(), "node id out of range");
+        let mut scene = self.scene.clone();
+        scene.steer_towards(&self.nodes[id].pose.position);
+
+        let inc = self.nodes[id].pose.incidence_from(&scene.tx_pos);
+        let tones = select_tones(&self.nodes[id].fsa, inc, crate::link::MIN_TONE_SEPARATION)?;
+        let (f_a, f_b) = match tones {
+            ToneSelection::Dual { f_a, f_b } => (f_a, f_b),
+            ToneSelection::Single { f } => (f, f),
+        };
+
+        let frame = encode_frame(payload);
+        let mut symbols: Vec<OaqfmSymbol> = UPLINK_PILOT.to_vec();
+        symbols.extend_from_slice(&frame);
+        let n_symbols = symbols.len();
+        let t0 = GUARD_SYMBOLS as f64 / symbol_rate;
+        let total_t = (n_symbols + 2 * GUARD_SYMBOLS) as f64 / symbol_rate;
+
+        let fs = (2.5 * (f_a - f_b).abs()).max(200e6);
+        let fc = 0.5 * (f_a + f_b);
+        let n = (total_t * fs).round() as usize;
+        let amp = self.ap.tx.amplitude() / 2f64.sqrt();
+        let comp_a = TxComponent::tone(Signal::tone(fs, fc, f_a - fc, amp, n), f_a);
+        let comp_b = TxComponent::tone(Signal::tone(fs, fc, f_b - fc, amp, n), f_b);
+
+        let (sched_a, sched_b) =
+            modulate_uplink(&self.nodes[id].switch, &symbols, t0, symbol_rate)
+                .expect("symbol rate exceeds switch capability");
+        let parked = SwitchSchedule::Constant(SwitchState::Absorptive);
+
+        let gammas: Vec<Box<dyn Fn(f64) -> [Cpx; 2]>> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(k, node)| {
+                let switch = node.switch;
+                let two_way = 10f64.powf(-2.0 * node.impl_loss_db / 20.0);
+                let (a, b) = if k == id {
+                    (sched_a.clone(), sched_b.clone())
+                } else {
+                    (parked.clone(), parked.clone())
+                };
+                Box::new(move |t: f64| {
+                    [
+                        switch.gamma(a.state_at(t)) * two_way,
+                        switch.gamma(b.state_at(t)) * two_way,
+                    ]
+                }) as Box<dyn Fn(f64) -> [Cpx; 2]>
+            })
+            .collect();
+        let ifaces: Vec<NodeInterface<'_>> = self
+            .nodes
+            .iter()
+            .zip(&gammas)
+            .map(|(node, g)| NodeInterface {
+                pose: node.pose,
+                fsa: &node.fsa,
+                gamma: g.as_ref(),
+            })
+            .collect();
+        let mut rx0 = scene.monostatic_rx_multi(&comp_a, &ifaces, 0);
+        rx0.add(&scene.monostatic_rx_multi(&comp_b, &ifaces, 0));
+        let mut rx1 = scene.monostatic_rx_multi(&comp_a, &ifaces, 1);
+        rx1.add(&scene.monostatic_rx_multi(&comp_b, &ifaces, 1));
+        drop(ifaces);
+
+        let mut receiver = UplinkReceiver::milback(symbol_rate);
+        receiver.lna.nf_db = 3.0;
+        let mut rng = StdRng::seed_from_u64(self.rng.gen());
+        let (got, stats) = receiver.demodulate(&rx0, &rx1, f_a, f_b, t0, n_symbols, &mut rng);
+        let got_frame = &got[UPLINK_PILOT.len()..];
+        let sent_bits = symbols_to_bits(&frame);
+        let got_bits = symbols_to_bits(got_frame);
+        Some(UplinkReport {
+            tones,
+            payload: decode_frame(got_frame, payload.len()),
+            bit_errors: bit_errors(&sent_bits, &got_bits),
+            total_bits: sent_bits.len(),
+            snr: stats.snr,
+        })
+    }
+
+    /// Runs one full round of a polling schedule: per slot, steer at the
+    /// node, localize it, then run the slot's payload direction. Downlink
+    /// slots reuse the single-node pipeline (other nodes are absorptive
+    /// and do not affect a one-way link).
+    pub fn run_round(
+        &mut self,
+        schedule: &PollSchedule,
+        payloads: &[Vec<u8>],
+        symbol_rate: f64,
+    ) -> Vec<SlotResult> {
+        let mut results = Vec::with_capacity(schedule.len());
+        for slot in schedule.slots() {
+            let fix = self.localize_node(slot.node);
+            let payload = &payloads[slot.node % payloads.len()];
+            let (uplink, downlink) = match slot.mode {
+                LinkMode::Uplink => (self.uplink_from(slot.node, payload, symbol_rate), None),
+                LinkMode::Downlink => {
+                    // One-way: other nodes don't reflect into the target
+                    // node's detectors; the single-node view is exact.
+                    let mut view = self.single_view(slot.node);
+                    (None, view.downlink(payload, 1e6, true))
+                }
+            };
+            results.push(SlotResult {
+                node: slot.node,
+                mode: slot.mode,
+                fix,
+                uplink,
+                downlink,
+            });
+        }
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use milback_rf::geometry::deg_to_rad;
+
+    fn three_nodes() -> Vec<Pose> {
+        vec![
+            Pose::facing_ap(2.0, deg_to_rad(-20.0), deg_to_rad(10.0)),
+            Pose::facing_ap(3.5, 0.0, deg_to_rad(-12.0)),
+            Pose::facing_ap(5.0, deg_to_rad(25.0), deg_to_rad(15.0)),
+        ]
+    }
+
+    #[test]
+    fn localizes_each_node_individually() {
+        let mut net = MultiNetwork::new(three_nodes(), Fidelity::Fast, 61);
+        let truths = [2.0, 3.5, 5.0];
+        for (id, truth) in truths.iter().enumerate() {
+            let fix = net.localize_node(id).unwrap_or_else(|| panic!("node {id} lost"));
+            assert!(
+                (fix.range - truth).abs() < 0.2,
+                "node {id}: {} vs {truth}",
+                fix.range
+            );
+        }
+    }
+
+    #[test]
+    fn uplink_per_node_with_others_present() {
+        let mut net = MultiNetwork::new(three_nodes(), Fidelity::Fast, 62);
+        for id in 0..3 {
+            let payload = vec![id as u8 * 31 + 1; 8];
+            let r = net
+                .uplink_from(id, &payload, 5e6)
+                .unwrap_or_else(|| panic!("node {id} no uplink"));
+            assert_eq!(r.bit_errors, 0, "node {id} snr {}", r.snr);
+            assert_eq!(r.payload.as_deref().unwrap(), &payload[..]);
+        }
+    }
+
+    #[test]
+    fn full_polling_round() {
+        let mut net = MultiNetwork::new(three_nodes(), Fidelity::Fast, 63);
+        let schedule = PollSchedule::round_robin_uplink(3);
+        let payloads: Vec<Vec<u8>> = (0..3).map(|k| vec![k as u8; 8]).collect();
+        let results = net.run_round(&schedule, &payloads, 5e6);
+        assert_eq!(results.len(), 3);
+        for (k, r) in results.iter().enumerate() {
+            assert_eq!(r.node, k);
+            assert!(r.fix.is_some(), "node {k} not localized in round");
+            let ul = r.uplink.as_ref().unwrap_or_else(|| panic!("node {k} no uplink"));
+            assert_eq!(ul.payload.as_deref().unwrap(), &payloads[k][..]);
+        }
+    }
+}

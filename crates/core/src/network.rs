@@ -1,0 +1,356 @@
+//! The end-to-end MilBack network: one AP, one channel scene, one node.
+//!
+//! `Network` owns the scene, the node and the AP parameters, and runs the
+//! paper's procedures signal-by-signal: Field-2 localization (§5.1),
+//! orientation sensing at the AP (§5.2a) and at the node (§5.2b). The
+//! communication procedures live in [`crate::link`].
+
+use crate::config::{ApParams, Fidelity};
+use milback_ap::dechirp::RangeProcessor;
+use milback_ap::orientation::ApOrientationEstimator;
+use milback_ap::ranging::{LocalizationResult, Localizer};
+use milback_dsp::noise::{add_awgn, thermal_noise_power};
+use milback_dsp::num::Cpx;
+use milback_dsp::signal::Signal;
+use milback_node::node::BackscatterNode;
+use milback_node::orientation::NodeOrientationEstimator;
+use milback_rf::channel::{FreqProfile, NodeInterface, Scene, TxComponent};
+use milback_rf::fsa::Port;
+use milback_rf::geometry::Pose;
+use milback_hw::switch::{SwitchSchedule, SwitchState};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A complete single-node MilBack deployment.
+#[derive(Debug, Clone)]
+pub struct Network {
+    /// The propagation scene (clutter, antennas, self-interference).
+    pub scene: Scene,
+    /// The backscatter node.
+    pub node: BackscatterNode,
+    /// AP transmit/capture parameters.
+    pub ap: ApParams,
+    /// Waveform fidelity preset.
+    pub fidelity: Fidelity,
+    rng: StdRng,
+}
+
+impl Network {
+    /// Builds a network with the node at `pose` in the paper's indoor
+    /// scene, with the AP's beams steered at the node (the paper steers
+    /// mechanically).
+    pub fn new(pose: Pose, fidelity: Fidelity, seed: u64) -> Self {
+        let mut scene = Scene::milback_indoor();
+        scene.steer_towards(&pose.position);
+        Self {
+            scene,
+            node: BackscatterNode::milback(pose),
+            ap: ApParams::milback(),
+            fidelity,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Assembles a network from explicit parts (used by the multi-node
+    /// deployment to create per-slot single-node views).
+    pub fn from_parts(
+        scene: Scene,
+        node: BackscatterNode,
+        ap: ApParams,
+        fidelity: Fidelity,
+        seed: u64,
+    ) -> Self {
+        Self {
+            scene,
+            node,
+            ap,
+            fidelity,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Builds a clutter-free network (for microbenchmarks).
+    pub fn free_space(pose: Pose, fidelity: Fidelity, seed: u64) -> Self {
+        let mut scene = Scene::free_space();
+        scene.steer_towards(&pose.position);
+        Self {
+            scene,
+            node: BackscatterNode::milback(pose),
+            ap: ApParams::milback(),
+            fidelity,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Moves the node (and re-steers the AP).
+    pub fn set_node_pose(&mut self, pose: Pose) {
+        self.node.pose = pose;
+        self.scene.steer_towards(&pose.position);
+    }
+
+    /// The node's true incidence angle (ground-truth orientation).
+    pub fn true_orientation(&self) -> f64 {
+        self.node.pose.incidence_from(&self.scene.tx_pos)
+    }
+
+    /// The node's true range from the AP TX antenna.
+    pub fn true_range(&self) -> f64 {
+        self.scene.tx_pos.distance_to(&self.node.pose.position)
+    }
+
+    /// The node's true azimuth as seen from the AP.
+    pub fn true_angle(&self) -> f64 {
+        self.scene.tx_pos.bearing_to(&self.node.pose.position)
+    }
+
+    /// Access to the seeded RNG (experiments thread all randomness through
+    /// here so runs are reproducible).
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    // ------------------------------------------------------------------
+    // Field 2: localization + AP-side orientation
+    // ------------------------------------------------------------------
+
+    /// Renders the AP's captures of the five Field-2 chirps at both RX
+    /// antennas, with the node running its localization modulation.
+    ///
+    /// Returns `(tx_reference, captures)` where `captures[i]` holds the
+    /// two antennas' captures of chirp `i`, already including capture
+    /// noise and trigger jitter.
+    pub fn field2_captures(&mut self) -> (Signal, Vec<[Signal; 2]>) {
+        self.field2_captures_n(5)
+    }
+
+    /// Like [`Self::field2_captures`] with a configurable chirp count
+    /// (for the chirp-count ablation; the paper uses five).
+    pub fn field2_captures_n(&mut self, n_chirps: usize) -> (Signal, Vec<[Signal; 2]>) {
+        assert!(n_chirps >= 2, "need at least two chirps");
+        let cfg = self.fidelity.sawtooth();
+        let mut chirp_cfg = cfg;
+        chirp_cfg.amplitude = self.ap.tx.amplitude();
+        let tx = chirp_cfg.sawtooth();
+        let profile = FreqProfile::Sawtooth(chirp_cfg);
+
+        let mod_freq = self.fidelity.localization_mod_freq();
+        let schedule_a = SwitchSchedule::SquareWave {
+            freq_hz: mod_freq,
+            first: SwitchState::Reflective,
+        };
+        let schedule_b = SwitchSchedule::Constant(SwitchState::Absorptive);
+
+        let noise_p = thermal_noise_power(tx.fs, self.ap.capture_nf_db);
+        let mut captures = Vec::with_capacity(n_chirps);
+        // Backscatter passes the node's implementation loss twice.
+        let two_way_loss = 10f64.powf(-2.0 * self.node.impl_loss_db / 20.0);
+        for i in 0..n_chirps {
+            let t_off = i as f64 * chirp_cfg.duration;
+            let switch = self.node.switch;
+            let gamma = |t: f64| -> [Cpx; 2] {
+                [
+                    switch.gamma(schedule_a.state_at(t_off + t)) * two_way_loss,
+                    switch.gamma(schedule_b.state_at(t_off + t)) * two_way_loss,
+                ]
+            };
+            let node_if = NodeInterface {
+                pose: self.node.pose,
+                fsa: &self.node.fsa,
+                gamma: &gamma,
+            };
+            let comp = TxComponent {
+                signal: tx.clone(),
+                profile,
+            };
+            // Common trigger jitter for both antennas of this chirp. The
+            // TX and RX share the synthesizer, so jitter shifts only the
+            // sampling window (an envelope delay) — it does NOT rotate the
+            // carrier, which is what keeps background subtraction coherent
+            // chirp-to-chirp in the real system too.
+            let jitter = milback_dsp::noise::gaussian(&mut self.rng).abs() * self.ap.jitter_rms;
+            let mut pair = Vec::with_capacity(2);
+            for ant in 0..2 {
+                let mut rx = self.scene.monostatic_rx(&comp, &node_if, ant);
+                if jitter > 0.0 {
+                    rx = rx.delayed(jitter);
+                }
+                add_awgn(&mut rx, noise_p, &mut self.rng);
+                pair.push(rx);
+            }
+            captures.push([pair[0].clone(), pair[1].clone()]);
+        }
+        (tx, captures)
+    }
+
+    /// Runs the full §5.1 localization: Field-2 capture → dechirp →
+    /// background subtraction → range + angle.
+    pub fn localize(&mut self) -> Option<LocalizationResult> {
+        let (tx, captures) = self.field2_captures();
+        let localizer = self.localizer();
+        localizer.process(&tx, &captures)
+    }
+
+    /// The localizer matching this network's fidelity.
+    pub fn localizer(&self) -> Localizer {
+        let mut cfg = self.fidelity.sawtooth();
+        cfg.amplitude = self.ap.tx.amplitude();
+        Localizer::new(RangeProcessor::new(cfg, 2))
+    }
+
+    /// Runs §5.2(a): AP-side orientation sensing — the paper's FFT →
+    /// background subtraction → gate → IFFT flow. Returns the estimated
+    /// incidence angle (radians).
+    pub fn sense_orientation_at_ap(&mut self) -> Option<f64> {
+        let (tx, captures) = self.field2_captures();
+        let localizer = self.localizer();
+        let (d0, d1) = localizer.profile_diffs(&tx, &captures);
+        // Locate the node's range bin from the combined detection
+        // spectrum, exactly as localization does.
+        let det0 = milback_ap::background::detection_spectrum(&d0);
+        let det1 = milback_ap::background::detection_spectrum(&d1);
+        let det: Vec<f64> = det0.iter().zip(&det1).map(|(a, b)| a + b).collect();
+        let node_bin = localizer.find_node_bin(&det, tx.fs)?;
+        // Use the difference pair with the most node energy.
+        let best = (0..d0.len())
+            .max_by(|&i, &j| {
+                let e = |k: usize| -> f64 {
+                    let lo = node_bin.saturating_sub(2);
+                    let hi = (node_bin + 3).min(d0[k].len());
+                    d0[k][lo..hi].iter().map(|c| c.norm_sq()).sum()
+                };
+                e(i).partial_cmp(&e(j)).unwrap()
+            })?;
+        let est = ApOrientationEstimator::new(self.fidelity.sawtooth());
+        // Gate half-width: the beam bump's spectral spread is a few tens
+        // of bins at these chirp lengths.
+        let half = (localizer.proc.fft_len / 100).max(16);
+        est.estimate_gated(
+            &d0[best],
+            node_bin,
+            half,
+            tx.fs,
+            tx.len(),
+            &self.node.fsa,
+            Port::A,
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Field 1: node-side orientation
+    // ------------------------------------------------------------------
+
+    /// Renders the node's ADC captures of one Field-1 triangular chirp at
+    /// both ports (both ports absorptive/listening).
+    pub fn field1_node_captures(&mut self) -> (Vec<f64>, Vec<f64>) {
+        let mut cfg = self.fidelity.triangular();
+        cfg.amplitude = self.ap.tx.amplitude();
+        let tx = cfg.triangular();
+        let profile = FreqProfile::Triangular(cfg);
+        let comp = TxComponent {
+            signal: tx,
+            profile,
+        };
+        let at_a = self
+            .scene
+            .to_node_port(&comp, &self.node.pose, &self.node.fsa, Port::A);
+        let at_b = self
+            .scene
+            .to_node_port(&comp, &self.node.pose, &self.node.fsa, Port::B);
+        let cap_a = self.node.receive_port(&at_a, &mut self.rng);
+        let cap_b = self.node.receive_port(&at_b, &mut self.rng);
+        (cap_a, cap_b)
+    }
+
+    /// Runs §5.2(b): the node estimates its own orientation from the
+    /// triangular chirp's peak separation.
+    pub fn sense_orientation_at_node(&mut self) -> Option<f64> {
+        let (cap_a, cap_b) = self.field1_node_captures();
+        let mut est = NodeOrientationEstimator::milback();
+        est.chirp = self.fidelity.triangular();
+        est.sample_rate = self.node.adc.sample_rate;
+        est.estimate(&self.node.fsa, &cap_a, &cap_b)
+    }
+
+    /// Convenience for experiments: a fresh sub-RNG seeded from the main
+    /// one.
+    pub fn fork_rng(&mut self) -> StdRng {
+        StdRng::seed_from_u64(self.rng.gen())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use milback_rf::geometry::{deg_to_rad, rad_to_deg};
+
+    #[test]
+    fn localizes_node_in_clutter() {
+        let pose = Pose::facing_ap(3.0, 0.0, 0.0);
+        let mut net = Network::new(pose, Fidelity::Fast, 1);
+        let fix = net.localize().expect("localization failed");
+        assert!(
+            (fix.range - 3.0).abs() < 0.15,
+            "range {} vs true 3.0",
+            fix.range
+        );
+        let angle = fix.angle.expect("no angle");
+        assert!(rad_to_deg(angle).abs() < 3.0, "angle {}°", rad_to_deg(angle));
+    }
+
+    #[test]
+    fn localizes_off_boresight_node() {
+        let phi = deg_to_rad(10.0);
+        let pose = Pose::facing_ap(2.0, phi, 0.0);
+        let mut net = Network::new(pose, Fidelity::Fast, 2);
+        let fix = net.localize().expect("localization failed");
+        assert!((fix.range - 2.0).abs() < 0.15, "range {}", fix.range);
+        let angle = fix.angle.expect("no angle");
+        assert!(
+            (rad_to_deg(angle) - 10.0).abs() < 3.0,
+            "angle {}° vs true 10°",
+            rad_to_deg(angle)
+        );
+    }
+
+    #[test]
+    fn ap_senses_node_orientation() {
+        for deg in [-15.0, 10.0] {
+            let pose = Pose::facing_ap(2.0, 0.0, deg_to_rad(deg));
+            let mut net = Network::new(pose, Fidelity::Fast, 3);
+            let est = net.sense_orientation_at_ap().expect("no estimate");
+            // True incidence is −ψ for a node rotated by ψ.
+            let true_inc = net.true_orientation();
+            let err = rad_to_deg(est - true_inc).abs();
+            assert!(err < 4.0, "ψ={deg}°: err {err}°");
+        }
+    }
+
+    #[test]
+    fn node_senses_own_orientation() {
+        for deg in [-15.0, 0.0, 12.0] {
+            let pose = Pose::facing_ap(2.0, 0.0, deg_to_rad(deg));
+            let mut net = Network::new(pose, Fidelity::Fast, 4);
+            let est = net.sense_orientation_at_node().expect("no estimate");
+            let true_inc = net.true_orientation();
+            let err = rad_to_deg(est - true_inc).abs();
+            assert!(err < 4.0, "ψ={deg}°: err {err}°");
+        }
+    }
+
+    #[test]
+    fn ground_truth_helpers() {
+        let pose = Pose::facing_ap(4.0, deg_to_rad(20.0), deg_to_rad(5.0));
+        let net = Network::new(pose, Fidelity::Fast, 5);
+        assert!((net.true_range() - 4.0).abs() < 1e-9);
+        assert!((rad_to_deg(net.true_angle()) - 20.0).abs() < 1e-9);
+        assert!((rad_to_deg(net.true_orientation()) + 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_with_same_seed() {
+        let pose = Pose::facing_ap(2.5, 0.0, 0.0);
+        let a = Network::new(pose, Fidelity::Fast, 7).localize();
+        let b = Network::new(pose, Fidelity::Fast, 7).localize();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,271 @@
+//! Node tracking: a constant-velocity Kalman filter over the AP's
+//! per-packet localization fixes.
+//!
+//! The paper's motivating applications (VR/AR headsets, §1) move; every
+//! packet's Field 2 yields a (range, angle) fix "for free", and this
+//! module turns that stream into a smoothed trajectory. The filter runs
+//! in Cartesian coordinates with a measurement covariance derived from
+//! the polar fix accuracy (range error ≈ cm, angle error ≈ degrees, so
+//! the cross-range uncertainty grows with distance).
+
+use milback_ap::ranging::LocalizationResult;
+use milback_rf::geometry::Point;
+
+/// A 2-D point estimate with uncertainty (diagonal covariance).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrackEstimate {
+    /// Estimated position.
+    pub position: Point,
+    /// Estimated velocity, m/s.
+    pub velocity: (f64, f64),
+    /// Position standard deviations (x, y), meters.
+    pub sigma: (f64, f64),
+}
+
+/// Constant-velocity Kalman tracker over localization fixes.
+///
+/// State: `[x, vx, y, vy]`. The x and y axes are filtered independently
+/// (the measurement covariance is rotated into the axes per update using
+/// its diagonal approximation), which keeps the filter free of matrix
+/// inversion beyond 2×2.
+#[derive(Debug, Clone)]
+pub struct NodeTracker {
+    /// Range measurement standard deviation, meters.
+    pub sigma_range: f64,
+    /// Angle measurement standard deviation, radians.
+    pub sigma_angle: f64,
+    /// Process (acceleration) noise density, m/s².
+    pub accel_noise: f64,
+    state: Option<AxisPair>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Axis {
+    // State [pos, vel] and covariance [[p00, p01], [p01, p11]].
+    x: [f64; 2],
+    p: [f64; 3],
+}
+
+#[derive(Debug, Clone, Copy)]
+struct AxisPair {
+    ax: Axis,
+    ay: Axis,
+}
+
+impl NodeTracker {
+    /// A tracker matched to this reproduction's fix accuracy: ~4 cm range
+    /// σ, ~1° angle σ, gentle motion.
+    pub fn milback() -> Self {
+        Self {
+            sigma_range: 0.04,
+            sigma_angle: 1f64.to_radians(),
+            accel_noise: 2.0,
+            state: None,
+        }
+    }
+
+    /// Resets the track.
+    pub fn reset(&mut self) {
+        self.state = None;
+    }
+
+    /// Whether the tracker has been initialized by a fix.
+    pub fn is_initialized(&self) -> bool {
+        self.state.is_some()
+    }
+
+    /// Converts a polar fix to a Cartesian measurement with per-axis
+    /// standard deviations (diagonal approximation of the rotated polar
+    /// covariance).
+    fn measurement(&self, fix: &LocalizationResult) -> Option<(Point, f64, f64)> {
+        let angle = fix.angle?;
+        let p = Point::from_polar(fix.range, angle);
+        let sr = self.sigma_range;
+        let sc = self.sigma_angle * fix.range; // cross-range
+        let (sin, cos) = angle.sin_cos();
+        // Rotate the (range, cross-range) ellipse into x/y and keep the
+        // diagonal.
+        let sx = ((sr * cos).powi(2) + (sc * sin).powi(2)).sqrt();
+        let sy = ((sr * sin).powi(2) + (sc * cos).powi(2)).sqrt();
+        Some((p, sx, sy))
+    }
+
+    /// Feeds one fix taken `dt` seconds after the previous one. Returns
+    /// the updated estimate, or `None` if the fix carried no angle and
+    /// the track is uninitialized.
+    pub fn update(&mut self, fix: &LocalizationResult, dt: f64) -> Option<TrackEstimate> {
+        assert!(dt > 0.0, "dt must be positive");
+        let (z, sx, sy) = self.measurement(fix)?;
+        let state = match &mut self.state {
+            None => {
+                self.state = Some(AxisPair {
+                    ax: Axis::init(z.x, sx),
+                    ay: Axis::init(z.y, sy),
+                });
+                self.state.as_mut().unwrap()
+            }
+            Some(s) => {
+                s.ax.predict(dt, self.accel_noise);
+                s.ay.predict(dt, self.accel_noise);
+                s.ax.correct(z.x, sx);
+                s.ay.correct(z.y, sy);
+                s
+            }
+        };
+        Some(TrackEstimate {
+            position: Point::new(state.ax.x[0], state.ay.x[0]),
+            velocity: (state.ax.x[1], state.ay.x[1]),
+            sigma: (state.ax.p[0].sqrt(), state.ay.p[0].sqrt()),
+        })
+    }
+
+    /// Predicts the position `dt` seconds ahead of the last update
+    /// without consuming a measurement.
+    pub fn predict_ahead(&self, dt: f64) -> Option<Point> {
+        let s = self.state.as_ref()?;
+        Some(Point::new(
+            s.ax.x[0] + s.ax.x[1] * dt,
+            s.ay.x[0] + s.ay.x[1] * dt,
+        ))
+    }
+}
+
+impl Axis {
+    fn init(pos: f64, sigma: f64) -> Self {
+        Self {
+            x: [pos, 0.0],
+            // Large initial velocity uncertainty.
+            p: [sigma * sigma, 0.0, 25.0],
+        }
+    }
+
+    fn predict(&mut self, dt: f64, accel: f64) {
+        // x ← F·x with F = [[1, dt], [0, 1]].
+        self.x[0] += self.x[1] * dt;
+        // P ← F·P·Fᵀ + Q (white-acceleration Q).
+        let [p00, p01, p11] = self.p;
+        let q = accel * accel;
+        let dt2 = dt * dt;
+        self.p = [
+            p00 + 2.0 * dt * p01 + dt2 * p11 + q * dt2 * dt2 / 4.0,
+            p01 + dt * p11 + q * dt2 * dt / 2.0,
+            p11 + q * dt2,
+        ];
+    }
+
+    fn correct(&mut self, z: f64, sigma: f64) {
+        let r = sigma * sigma;
+        let [p00, p01, p11] = self.p;
+        let s = p00 + r;
+        let k0 = p00 / s;
+        let k1 = p01 / s;
+        let innov = z - self.x[0];
+        self.x[0] += k0 * innov;
+        self.x[1] += k1 * innov;
+        self.p = [
+            (1.0 - k0) * p00,
+            (1.0 - k0) * p01,
+            p11 - k1 * p01,
+        ];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fix(x: f64, y: f64) -> LocalizationResult {
+        let r = (x * x + y * y).sqrt();
+        LocalizationResult {
+            range: r,
+            angle: Some(y.atan2(x)),
+            peak_power: 1.0,
+        }
+    }
+
+    #[test]
+    fn initializes_on_first_fix() {
+        let mut t = NodeTracker::milback();
+        assert!(!t.is_initialized());
+        let e = t.update(&fix(3.0, 0.5), 0.1).unwrap();
+        assert!(t.is_initialized());
+        assert!((e.position.x - 3.0).abs() < 1e-9);
+        assert!((e.position.y - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn smooths_noisy_measurements() {
+        let mut t = NodeTracker::milback();
+        // Static node at (4, 1); alternate measurements ±6 cm in x.
+        let mut errs_raw = 0.0;
+        let mut errs_flt = 0.0;
+        for k in 0..40 {
+            let dx = if k % 2 == 0 { 0.06 } else { -0.06 };
+            let e = t.update(&fix(4.0 + dx, 1.0), 0.1).unwrap();
+            if k >= 10 {
+                errs_raw += dx.abs();
+                errs_flt += (e.position.x - 4.0).abs();
+            }
+        }
+        assert!(
+            errs_flt < errs_raw / 2.0,
+            "filter {errs_flt} vs raw {errs_raw}"
+        );
+    }
+
+    #[test]
+    fn tracks_constant_velocity() {
+        let mut t = NodeTracker::milback();
+        // Node moving +0.5 m/s in x from (2, 0.5).
+        let mut last = None;
+        for k in 0..60 {
+            let x = 2.0 + 0.5 * (k as f64 * 0.1);
+            last = t.update(&fix(x, 0.5), 0.1);
+        }
+        let e = last.unwrap();
+        assert!((e.velocity.0 - 0.5).abs() < 0.1, "vx {}", e.velocity.0);
+        assert!(e.velocity.1.abs() < 0.1, "vy {}", e.velocity.1);
+        // Prediction extrapolates along the motion.
+        let ahead = t.predict_ahead(1.0).unwrap();
+        assert!((ahead.x - (e.position.x + 0.5)).abs() < 0.1);
+    }
+
+    #[test]
+    fn angleless_fix_before_init_returns_none() {
+        let mut t = NodeTracker::milback();
+        let f = LocalizationResult {
+            range: 2.0,
+            angle: None,
+            peak_power: 1.0,
+        };
+        assert!(t.update(&f, 0.1).is_none());
+        assert!(!t.is_initialized());
+        assert!(t.predict_ahead(0.5).is_none());
+    }
+
+    #[test]
+    fn cross_range_uncertainty_grows_with_distance() {
+        let t = NodeTracker::milback();
+        let (_, _, sy_near) = t.measurement(&fix(2.0, 0.0)).unwrap();
+        let (_, _, sy_far) = t.measurement(&fix(8.0, 0.0)).unwrap();
+        assert!((sy_far / sy_near - 4.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn reset_clears_track() {
+        let mut t = NodeTracker::milback();
+        t.update(&fix(1.0, 0.0), 0.1);
+        t.reset();
+        assert!(!t.is_initialized());
+    }
+
+    #[test]
+    fn covariance_stays_positive() {
+        let mut t = NodeTracker::milback();
+        for k in 0..200 {
+            let e = t.update(&fix(3.0 + 0.01 * k as f64, 1.0), 0.05).unwrap();
+            assert!(e.sigma.0 > 0.0 && e.sigma.0.is_finite());
+            assert!(e.sigma.1 > 0.0 && e.sigma.1.is_finite());
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! Fast Fourier transforms.
+//!
+//! Provides an iterative radix-2 Cooley-Tukey FFT for power-of-two sizes and
+//! a Bluestein (chirp-z) fallback for arbitrary sizes, so callers never have
+//! to care about the length of their capture buffers. The AP's range
+//! processing, background subtraction and spectrum analysis are all built on
+//! this module.
+//!
+//! Conventions: `fft` computes the unnormalized forward DFT
+//! `X[k] = Σ_n x[n]·exp(-j2πkn/N)`; `ifft` applies the `1/N` factor, so
+//! `ifft(fft(x)) == x`.
+
+use crate::num::{Cpx, ZERO};
+use std::f64::consts::PI;
+
+/// Returns true when `n` is a power of two (and non-zero).
+#[inline]
+pub fn is_pow2(n: usize) -> bool {
+    n != 0 && n & (n - 1) == 0
+}
+
+/// Next power of two ≥ `n`.
+#[inline]
+pub fn next_pow2(n: usize) -> usize {
+    n.next_power_of_two()
+}
+
+/// In-place forward FFT for power-of-two lengths.
+///
+/// # Panics
+/// Panics if `data.len()` is not a power of two.
+pub fn fft_pow2_in_place(data: &mut [Cpx]) {
+    assert!(
+        is_pow2(data.len()),
+        "fft_pow2_in_place requires power-of-two length, got {}",
+        data.len()
+    );
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 0..n - 1 {
+        if i < j {
+            data.swap(i, j);
+        }
+        let mut m = n >> 1;
+        while m >= 1 && j & m != 0 {
+            j ^= m;
+            m >>= 1;
+        }
+        j |= m;
+    }
+    // Danielson-Lanczos butterflies.
+    let mut len = 2;
+    while len <= n {
+        let ang = -2.0 * PI / len as f64;
+        let wlen = Cpx::cis(ang);
+        let half = len / 2;
+        let mut i = 0;
+        while i < n {
+            let mut w = Cpx::new(1.0, 0.0);
+            for k in 0..half {
+                let u = data[i + k];
+                let v = data[i + k + half] * w;
+                data[i + k] = u + v;
+                data[i + k + half] = u - v;
+                w *= wlen;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// Forward FFT of arbitrary length. Power-of-two inputs take the radix-2
+/// path; other lengths use the Bluestein chirp-z algorithm.
+pub fn fft(input: &[Cpx]) -> Vec<Cpx> {
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if is_pow2(n) {
+        let mut v = input.to_vec();
+        fft_pow2_in_place(&mut v);
+        v
+    } else {
+        bluestein(input, false)
+    }
+}
+
+/// Inverse FFT of arbitrary length, normalized by `1/N` so that
+/// `ifft(fft(x)) == x`.
+pub fn ifft(input: &[Cpx]) -> Vec<Cpx> {
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut out = if is_pow2(n) {
+        // Conjugate trick: IDFT(x) = conj(DFT(conj(x))) / N.
+        let mut v: Vec<Cpx> = input.iter().map(|c| c.conj()).collect();
+        fft_pow2_in_place(&mut v);
+        for c in v.iter_mut() {
+            *c = c.conj();
+        }
+        v
+    } else {
+        bluestein(input, true)
+    };
+    let inv_n = 1.0 / n as f64;
+    for c in out.iter_mut() {
+        *c *= inv_n;
+    }
+    out
+}
+
+/// Bluestein chirp-z transform: expresses an arbitrary-length DFT as a
+/// convolution, evaluated with power-of-two FFTs.
+fn bluestein(input: &[Cpx], inverse: bool) -> Vec<Cpx> {
+    let n = input.len();
+    let sign = if inverse { 1.0 } else { -1.0 };
+    // Chirp factors c[k] = exp(sign * jπ k² / n). Using k² mod 2n keeps the
+    // phase argument bounded for large k.
+    let chirp: Vec<Cpx> = (0..n)
+        .map(|k| {
+            let k2 = (k as u128 * k as u128) % (2 * n as u128);
+            Cpx::cis(sign * PI * k2 as f64 / n as f64)
+        })
+        .collect();
+
+    let m = next_pow2(2 * n - 1);
+    let mut a = vec![ZERO; m];
+    let mut b = vec![ZERO; m];
+    for k in 0..n {
+        a[k] = input[k] * chirp[k];
+    }
+    b[0] = chirp[0].conj();
+    for k in 1..n {
+        let c = chirp[k].conj();
+        b[k] = c;
+        b[m - k] = c;
+    }
+    fft_pow2_in_place(&mut a);
+    fft_pow2_in_place(&mut b);
+    for k in 0..m {
+        a[k] *= b[k];
+    }
+    // Inverse FFT of the product (conjugate trick + 1/m).
+    for c in a.iter_mut() {
+        *c = c.conj();
+    }
+    fft_pow2_in_place(&mut a);
+    let inv_m = 1.0 / m as f64;
+    (0..n).map(|k| a[k].conj() * inv_m * chirp[k]).collect()
+}
+
+/// Frequency (Hz) of each FFT bin for a transform of length `n` at sample
+/// rate `fs`, in natural FFT order: `[0, fs/n, …, fs/2, -fs/2+fs/n, …, -fs/n]`.
+pub fn fft_freqs(n: usize, fs: f64) -> Vec<f64> {
+    let step = fs / n as f64;
+    (0..n)
+        .map(|k| {
+            if k <= (n - 1) / 2 {
+                k as f64 * step
+            } else {
+                (k as f64 - n as f64) * step
+            }
+        })
+        .collect()
+}
+
+/// Reorders an FFT output so that the zero-frequency bin is centered
+/// (matches `fftshift` in NumPy/MATLAB).
+pub fn fft_shift<T: Copy>(data: &[T]) -> Vec<T> {
+    let n = data.len();
+    let half = n.div_ceil(2);
+    let mut out = Vec::with_capacity(n);
+    out.extend_from_slice(&data[half..]);
+    out.extend_from_slice(&data[..half]);
+    out
+}
+
+/// Power spectrum `|X[k]|²` of a signal (no window, no normalization).
+pub fn power_spectrum(input: &[Cpx]) -> Vec<f64> {
+    fft(input).iter().map(|c| c.norm_sq()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::num::J;
+
+    /// Naive O(N²) DFT used as the reference implementation.
+    fn dft(input: &[Cpx]) -> Vec<Cpx> {
+        let n = input.len();
+        (0..n)
+            .map(|k| {
+                (0..n)
+                    .map(|t| input[t] * Cpx::cis(-2.0 * PI * (k * t) as f64 / n as f64))
+                    .sum()
+            })
+            .collect()
+    }
+
+    fn assert_close(a: &[Cpx], b: &[Cpx], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!(
+                (*x - *y).abs() < tol,
+                "mismatch: {x:?} vs {y:?} (tol {tol})"
+            );
+        }
+    }
+
+    fn ramp(n: usize) -> Vec<Cpx> {
+        (0..n)
+            .map(|i| Cpx::new(i as f64 * 0.37 - 1.0, (i as f64 * 0.11).sin()))
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_dft_pow2() {
+        for n in [1usize, 2, 4, 8, 64, 256] {
+            let x = ramp(n);
+            assert_close(&fft(&x), &dft(&x), 1e-8 * n as f64);
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft_non_pow2() {
+        for n in [3usize, 5, 6, 7, 12, 100, 257] {
+            let x = ramp(n);
+            assert_close(&fft(&x), &dft(&x), 1e-7 * n as f64);
+        }
+    }
+
+    #[test]
+    fn round_trip_identity() {
+        for n in [1usize, 2, 8, 15, 64, 100] {
+            let x = ramp(n);
+            assert_close(&ifft(&fft(&x)), &x, 1e-9 * n as f64);
+        }
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let mut x = vec![ZERO; 32];
+        x[0] = Cpx::new(1.0, 0.0);
+        let y = fft(&x);
+        for c in y {
+            assert!((c - Cpx::new(1.0, 0.0)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_in_one_bin() {
+        let n = 128;
+        let k0 = 17;
+        let x: Vec<Cpx> = (0..n)
+            .map(|t| Cpx::cis(2.0 * PI * (k0 * t) as f64 / n as f64))
+            .collect();
+        let y = fft(&x);
+        for (k, c) in y.iter().enumerate() {
+            if k == k0 {
+                assert!((c.abs() - n as f64).abs() < 1e-8);
+            } else {
+                assert!(c.abs() < 1e-7, "leakage at bin {k}: {}", c.abs());
+            }
+        }
+    }
+
+    #[test]
+    fn parseval_theorem() {
+        let x = ramp(200);
+        let y = fft(&x);
+        let time_energy: f64 = x.iter().map(|c| c.norm_sq()).sum();
+        let freq_energy: f64 = y.iter().map(|c| c.norm_sq()).sum::<f64>() / x.len() as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-8 * time_energy);
+    }
+
+    #[test]
+    fn linearity() {
+        let a = ramp(96);
+        let b: Vec<Cpx> = ramp(96).iter().map(|c| *c * J + Cpx::new(0.5, 0.0)).collect();
+        let sum: Vec<Cpx> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
+        let fa = fft(&a);
+        let fb = fft(&b);
+        let fsum = fft(&sum);
+        let expect: Vec<Cpx> = fa.iter().zip(&fb).map(|(x, y)| *x + *y).collect();
+        assert_close(&fsum, &expect, 1e-8);
+    }
+
+    #[test]
+    fn fft_freqs_layout() {
+        let f = fft_freqs(8, 800.0);
+        assert_eq!(f, vec![0.0, 100.0, 200.0, 300.0, -400.0, -300.0, -200.0, -100.0]);
+        let f = fft_freqs(5, 500.0);
+        assert_eq!(f, vec![0.0, 100.0, 200.0, -200.0, -100.0]);
+    }
+
+    #[test]
+    fn fft_shift_centers_dc() {
+        let shifted = fft_shift(&[0, 1, 2, 3, -4, -3, -2, -1]);
+        assert_eq!(shifted, vec![-4, -3, -2, -1, 0, 1, 2, 3]);
+        let odd = fft_shift(&[0, 1, 2, -2, -1]);
+        assert_eq!(odd, vec![-2, -1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(fft(&[]).is_empty());
+        assert!(ifft(&[]).is_empty());
+    }
+
+    #[test]
+    fn power_spectrum_of_tone() {
+        let n = 64;
+        let x: Vec<Cpx> = (0..n).map(|t| Cpx::cis(2.0 * PI * 5.0 * t as f64 / n as f64)).collect();
+        let p = power_spectrum(&x);
+        let peak = p.iter().cloned().fold(f64::MIN, f64::max);
+        assert!((peak - (n * n) as f64).abs() < 1e-6);
+        assert_eq!(p.iter().position(|v| *v == peak), Some(5));
+    }
+}

@@ -1,0 +1,113 @@
+//! Goertzel algorithm: single-bin DFT evaluation.
+//!
+//! When only one or two frequencies matter — e.g. the AP probing the
+//! power at the two OAQFM tone offsets, or test code checking a mixer
+//! output — the Goertzel recurrence computes one DFT bin in O(N) with a
+//! two-tap state, far cheaper than a full FFT and the standard choice on
+//! small MCUs.
+
+use crate::num::Cpx;
+
+/// Computes the DFT of `input` at the single frequency `f` Hz for sample
+/// rate `fs` (not restricted to integer bins): returns the complex
+/// correlation `Σ x[n]·e^{-j2πfn/fs}`.
+pub fn goertzel(input: &[Cpx], f: f64, fs: f64) -> Cpx {
+    assert!(fs > 0.0, "sample rate must be positive");
+    let w = 2.0 * std::f64::consts::PI * f / fs;
+    // Complex-input Goertzel: run the real recurrence on I and Q.
+    let coeff = 2.0 * w.cos();
+    let mut s1_re = 0.0;
+    let mut s2_re = 0.0;
+    let mut s1_im = 0.0;
+    let mut s2_im = 0.0;
+    for c in input {
+        let s0_re = c.re + coeff * s1_re - s2_re;
+        s2_re = s1_re;
+        s1_re = s0_re;
+        let s0_im = c.im + coeff * s1_im - s2_im;
+        s2_im = s1_im;
+        s1_im = s0_im;
+    }
+    // Finalize: X = s1 − s2·e^{-jw}, then compensate the phase reference
+    // to match Σ x[n]e^{-jwn}.
+    let e = Cpx::cis(-w);
+    let x = Cpx::new(s1_re, s1_im) - Cpx::new(s2_re, s2_im) * e;
+    let n = input.len() as f64;
+    x * Cpx::cis(-w * (n - 1.0))
+}
+
+/// Power of `input` at frequency `f`: `|goertzel|² / N²` — the mean-square
+/// amplitude of a tone at `f` (a unit-amplitude tone yields 1.0).
+pub fn tone_power(input: &[Cpx], f: f64, fs: f64) -> f64 {
+    if input.is_empty() {
+        return 0.0;
+    }
+    let x = goertzel(input, f, fs);
+    x.norm_sq() / (input.len() as f64).powi(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft::fft;
+    use crate::signal::Signal;
+
+    #[test]
+    fn matches_fft_bin() {
+        let fs = 1e6;
+        let n = 256;
+        let sig = Signal::tone(fs, 0.0, 31e3, 1.3, n);
+        let spec = fft(&sig.samples);
+        for k in [3usize, 8, 31, 100] {
+            let f = k as f64 * fs / n as f64;
+            let g = goertzel(&sig.samples, f, fs);
+            assert!(
+                (g - spec[k]).abs() < 1e-6 * (spec[k].abs() + 1.0),
+                "bin {k}: {g:?} vs {:?}",
+                spec[k]
+            );
+        }
+    }
+
+    #[test]
+    fn tone_power_of_unit_tone_is_one() {
+        let fs = 1e6;
+        let sig = Signal::tone(fs, 0.0, 125e3, 1.0, 512);
+        let p = tone_power(&sig.samples, 125e3, fs);
+        assert!((p - 1.0).abs() < 1e-9, "{p}");
+    }
+
+    #[test]
+    fn off_frequency_power_is_small() {
+        let fs = 1e6;
+        let sig = Signal::tone(fs, 0.0, 125e3, 1.0, 512);
+        // A bin-aligned distant frequency sees essentially nothing.
+        let p = tone_power(&sig.samples, 250e3, fs);
+        assert!(p < 1e-20, "{p}");
+    }
+
+    #[test]
+    fn non_integer_bin_frequencies_work() {
+        let fs = 1e6;
+        let f = 123_456.7;
+        let sig = Signal::tone(fs, 0.0, f, 2.0, 1000);
+        let p = tone_power(&sig.samples, f, fs);
+        assert!((p - 4.0).abs() < 1e-6, "{p}");
+    }
+
+    #[test]
+    fn two_tone_separation() {
+        let fs = 1e6;
+        let mut sig = Signal::tone(fs, 0.0, 100e3, 1.0, 1000);
+        sig.add(&Signal::tone(fs, 0.0, 300e3, 0.5, 1000));
+        let p1 = tone_power(&sig.samples, 100e3, fs);
+        let p2 = tone_power(&sig.samples, 300e3, fs);
+        assert!((p1 - 1.0).abs() < 1e-6);
+        assert!((p2 - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(tone_power(&[], 1e3, 1e6), 0.0);
+    }
+}

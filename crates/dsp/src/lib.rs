@@ -1,0 +1,36 @@
+//! # milback-dsp
+//!
+//! Digital-signal-processing substrate for the MilBack mmWave backscatter
+//! reproduction. Everything here is pure, deterministic, and independent of
+//! the RF/hardware layers:
+//!
+//! * [`num`] — complex arithmetic ([`num::Cpx`]),
+//! * [`fft`] — radix-2 + Bluestein FFT, spectra and bin-frequency helpers,
+//! * [`window`] — spectral windows and their gain/ENBW figures,
+//! * [`signal`] — the complex-baseband [`signal::Signal`] container,
+//! * [`chirp`] — FMCW sawtooth / triangular chirps and two-tone queries,
+//! * [`filter`] — FIR, biquad and one-pole filters,
+//! * [`noise`] — seeded Gaussian noise and thermal-noise arithmetic,
+//! * [`detect`] — peak detection with sub-sample refinement,
+//! * [`stats`] — means, percentiles and CDFs for experiment reporting,
+//! * [`resample`] — decimation and rate conversion (MCU ADC bridging),
+//! * [`xcorr`] — FFT cross-correlation and matched filtering,
+//! * [`goertzel`] — single-bin DFT for cheap tone-power probes,
+//! * [`stft`] — short-time Fourier transform (spectrograms).
+
+pub mod chirp;
+pub mod detect;
+pub mod fft;
+pub mod filter;
+pub mod goertzel;
+pub mod noise;
+pub mod num;
+pub mod resample;
+pub mod signal;
+pub mod stats;
+pub mod stft;
+pub mod window;
+pub mod xcorr;
+
+pub use num::Cpx;
+pub use signal::Signal;

@@ -1,0 +1,135 @@
+//! Rate conversion: decimation with anti-alias filtering and arbitrary-time
+//! sampling.
+//!
+//! The node's MCU samples the envelope-detector outputs at 1 MHz while the
+//! RF-level simulation runs at GS/s rates; this module bridges the two.
+
+use crate::filter::Fir;
+use crate::num::Cpx;
+use crate::signal::Signal;
+
+/// Decimates a complex signal by integer factor `m` after an anti-alias
+/// low-pass at 80% of the new Nyquist frequency.
+pub fn decimate(sig: &Signal, m: usize) -> Signal {
+    assert!(m >= 1, "decimation factor must be >= 1");
+    if m == 1 {
+        return sig.clone();
+    }
+    let new_fs = sig.fs / m as f64;
+    let fir = Fir::lowpass(0.4 * new_fs, sig.fs, 63);
+    let filtered = fir.apply(&sig.samples);
+    let samples: Vec<Cpx> = filtered.iter().step_by(m).copied().collect();
+    Signal::new(new_fs, sig.fc, samples)
+}
+
+/// Decimates a real-valued sequence by integer factor `m` with a moving
+/// average of length `m` as the anti-alias filter (the natural model of an
+/// ADC that integrates over its sample period).
+pub fn decimate_real_avg(input: &[f64], m: usize) -> Vec<f64> {
+    assert!(m >= 1, "decimation factor must be >= 1");
+    if m == 1 {
+        return input.to_vec();
+    }
+    input
+        .chunks(m)
+        .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+        .collect()
+}
+
+/// Samples a real sequence (at rate `fs`) at arbitrary time `t` seconds by
+/// linear interpolation. Returns 0 outside the sequence.
+pub fn sample_at(input: &[f64], fs: f64, t: f64) -> f64 {
+    if input.is_empty() || t < 0.0 {
+        return 0.0;
+    }
+    let x = t * fs;
+    let i = x.floor() as usize;
+    if i + 1 >= input.len() {
+        return if i < input.len() { input[i] } else { 0.0 };
+    }
+    let frac = x - i as f64;
+    input[i] * (1.0 - frac) + input[i + 1] * frac
+}
+
+/// Resamples a real sequence from rate `fs_in` to rate `fs_out` by linear
+/// interpolation (no anti-alias filter — intended for upsampling or for
+/// already-smooth envelopes).
+pub fn resample_linear(input: &[f64], fs_in: f64, fs_out: f64) -> Vec<f64> {
+    assert!(fs_in > 0.0 && fs_out > 0.0, "rates must be positive");
+    if input.is_empty() {
+        return Vec::new();
+    }
+    let duration = input.len() as f64 / fs_in;
+    let n_out = (duration * fs_out).floor() as usize;
+    (0..n_out)
+        .map(|i| sample_at(input, fs_in, i as f64 / fs_out))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decimate_keeps_low_frequency_tone() {
+        let fs = 1e6;
+        let s = Signal::tone(fs, 0.0, 5e3, 1.0, 8000);
+        let d = decimate(&s, 10);
+        assert_eq!(d.fs, 1e5);
+        assert_eq!(d.len(), 800);
+        // Power preserved for an in-band tone (away from filter edges).
+        let p: f64 = d.samples[100..700].iter().map(|c| c.norm_sq()).sum::<f64>() / 600.0;
+        assert!((p - 1.0).abs() < 0.05, "power {p}");
+    }
+
+    #[test]
+    fn decimate_suppresses_aliasing_tone() {
+        let fs = 1e6;
+        // 90 kHz tone would alias to 10 kHz after /10 decimation (Nyquist 50 kHz).
+        let s = Signal::tone(fs, 0.0, 90e3, 1.0, 8000);
+        let d = decimate(&s, 10);
+        let p: f64 = d.samples[100..700].iter().map(|c| c.norm_sq()).sum::<f64>() / 600.0;
+        assert!(p < 0.02, "aliased power {p}");
+    }
+
+    #[test]
+    fn decimate_by_one_is_identity() {
+        let s = Signal::tone(1e6, 0.0, 1e3, 1.0, 100);
+        assert_eq!(decimate(&s, 1), s);
+    }
+
+    #[test]
+    fn decimate_real_averages_blocks() {
+        let v = [1.0, 3.0, 5.0, 7.0, 9.0];
+        assert_eq!(decimate_real_avg(&v, 2), vec![2.0, 6.0, 9.0]);
+        assert_eq!(decimate_real_avg(&v, 1), v.to_vec());
+    }
+
+    #[test]
+    fn sample_at_interpolates() {
+        let v = [0.0, 10.0, 20.0];
+        assert_eq!(sample_at(&v, 1.0, 0.5), 5.0);
+        assert_eq!(sample_at(&v, 1.0, 1.0), 10.0);
+        assert_eq!(sample_at(&v, 1.0, 2.0), 20.0);
+        assert_eq!(sample_at(&v, 1.0, 5.0), 0.0);
+        assert_eq!(sample_at(&v, 1.0, -1.0), 0.0);
+        assert_eq!(sample_at(&[], 1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn resample_linear_preserves_ramp() {
+        let v: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let out = resample_linear(&v, 100.0, 200.0);
+        assert_eq!(out.len(), 200);
+        // At output index 50 (t = 0.25 s) the ramp value is 25.
+        assert!((out[50] - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resample_downsamples_too() {
+        let v: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let out = resample_linear(&v, 100.0, 50.0);
+        assert_eq!(out.len(), 50);
+        assert!((out[10] - 20.0).abs() < 1e-9);
+    }
+}

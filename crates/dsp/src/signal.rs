@@ -1,0 +1,329 @@
+//! Complex-baseband signal container.
+//!
+//! All RF waveforms in MilBack — FMCW chirps, OAQFM tones, backscattered
+//! reflections — are represented as [`Signal`]: a vector of complex samples
+//! at sample rate `fs`, understood as the complex envelope of a real RF
+//! signal centered at carrier frequency `fc`. A baseband tone at offset `Δf`
+//! therefore represents RF energy at `fc + Δf`.
+//!
+//! The representation covers `fc − fs/2 .. fc + fs/2`, so a 3 GHz-wide FMCW
+//! sweep needs `fs ≥ 3 GHz`. Chirps in MilBack are tens of microseconds, so
+//! buffers stay in the 10⁴–10⁵ sample range — cheap to process.
+
+use crate::num::{Cpx, ZERO};
+
+/// A complex-baseband waveform: samples at rate `fs`, relative to RF carrier
+/// `fc`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Signal {
+    /// Sample rate in Hz.
+    pub fs: f64,
+    /// RF carrier (center) frequency in Hz that the baseband is relative to.
+    pub fc: f64,
+    /// Complex envelope samples.
+    pub samples: Vec<Cpx>,
+}
+
+impl Signal {
+    /// Creates a signal from raw samples.
+    pub fn new(fs: f64, fc: f64, samples: Vec<Cpx>) -> Self {
+        assert!(fs > 0.0, "sample rate must be positive");
+        Self { fs, fc, samples }
+    }
+
+    /// An all-zero signal of `n` samples.
+    pub fn zeros(fs: f64, fc: f64, n: usize) -> Self {
+        Self::new(fs, fc, vec![ZERO; n])
+    }
+
+    /// A constant-amplitude complex tone at baseband offset `f_off` Hz
+    /// (RF frequency `fc + f_off`), amplitude `amp`, `n` samples.
+    pub fn tone(fs: f64, fc: f64, f_off: f64, amp: f64, n: usize) -> Self {
+        let w = 2.0 * std::f64::consts::PI * f_off / fs;
+        let samples = (0..n).map(|t| Cpx::from_polar(amp, w * t as f64)).collect();
+        Self::new(fs, fc, samples)
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when the signal holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Duration in seconds.
+    pub fn duration(&self) -> f64 {
+        self.len() as f64 / self.fs
+    }
+
+    /// Time of sample `i` in seconds.
+    pub fn time_of(&self, i: usize) -> f64 {
+        i as f64 / self.fs
+    }
+
+    /// Mean power of the envelope: `mean(|x|²)`. With the convention that
+    /// the envelope is in volts across 1 Ω, this is watts.
+    pub fn power(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|c| c.norm_sq()).sum::<f64>() / self.len() as f64
+    }
+
+    /// Total energy: `Σ|x|² / fs` (power × duration).
+    pub fn energy(&self) -> f64 {
+        self.samples.iter().map(|c| c.norm_sq()).sum::<f64>() / self.fs
+    }
+
+    /// Scales every sample by a real factor.
+    pub fn scale(&mut self, k: f64) {
+        for c in self.samples.iter_mut() {
+            *c *= k;
+        }
+    }
+
+    /// Multiplies every sample by a complex factor (e.g. a channel phase).
+    pub fn rotate(&mut self, phasor: Cpx) {
+        for c in self.samples.iter_mut() {
+            *c *= phasor;
+        }
+    }
+
+    /// Scales the signal power by `gain_db` decibels (amplitude by
+    /// `gain_db/20`).
+    pub fn scale_db(&mut self, gain_db: f64) {
+        self.scale(10f64.powf(gain_db / 20.0));
+    }
+
+    /// Adds another signal sample-wise. The two signals must share `fs` and
+    /// `fc`; the shorter one is treated as zero-padded.
+    pub fn add(&mut self, other: &Signal) {
+        assert_eq!(self.fs, other.fs, "sample-rate mismatch in Signal::add");
+        assert_eq!(self.fc, other.fc, "carrier mismatch in Signal::add");
+        if other.len() > self.len() {
+            self.samples.resize(other.len(), ZERO);
+        }
+        for (a, b) in self.samples.iter_mut().zip(&other.samples) {
+            *a += *b;
+        }
+    }
+
+    /// Point-wise product with the conjugate of `other` — the dechirp /
+    /// correlation primitive (`x · y*`). Truncates to the shorter length.
+    pub fn conj_multiply(&self, other: &Signal) -> Signal {
+        assert_eq!(self.fs, other.fs, "sample-rate mismatch in conj_multiply");
+        let n = self.len().min(other.len());
+        let samples = (0..n).map(|i| self.samples[i] * other.samples[i].conj()).collect();
+        Signal::new(self.fs, self.fc, samples)
+    }
+
+    /// Point-wise product (mixer): `x · y`. Truncates to the shorter length.
+    pub fn multiply(&self, other: &Signal) -> Signal {
+        assert_eq!(self.fs, other.fs, "sample-rate mismatch in multiply");
+        let n = self.len().min(other.len());
+        let samples = (0..n).map(|i| self.samples[i] * other.samples[i]).collect();
+        Signal::new(self.fs, self.fc, samples)
+    }
+
+    /// Extracts samples `[start, start+n)`, clamped to the signal length.
+    pub fn segment(&self, start: usize, n: usize) -> Signal {
+        let s = start.min(self.len());
+        let e = (start + n).min(self.len());
+        Signal::new(self.fs, self.fc, self.samples[s..e].to_vec())
+    }
+
+    /// Delays the signal by `tau` seconds using linear interpolation,
+    /// zero-filling the beginning. The output has the same length — samples
+    /// pushed past the end are dropped. This models propagation delay of the
+    /// *envelope*; the accompanying carrier phase rotation
+    /// `exp(-j2π·fc·tau)` must be applied separately (the channel does it).
+    pub fn delayed(&self, tau: f64) -> Signal {
+        assert!(tau >= 0.0, "delay must be non-negative");
+        let shift = tau * self.fs;
+        let whole = shift.floor() as usize;
+        let frac = shift - shift.floor();
+        let n = self.len();
+        let mut out = vec![ZERO; n];
+        for (i, slot) in out.iter_mut().enumerate() {
+            if i < whole {
+                continue;
+            }
+            let j = i - whole;
+            // Linearly interpolate between samples j-1 and j, offset by frac.
+            let a = if j == 0 { ZERO } else { self.samples[j - 1] };
+            let b = self.samples[j];
+            *slot = a * frac + b * (1.0 - frac);
+        }
+        Signal::new(self.fs, self.fc, out)
+    }
+
+    /// Shifts the baseband spectrum by `f_shift` Hz (multiplies by a complex
+    /// exponential). Used to re-center a signal on a different carrier.
+    pub fn freq_shift(&mut self, f_shift: f64) {
+        let w = 2.0 * std::f64::consts::PI * f_shift / self.fs;
+        for (t, c) in self.samples.iter_mut().enumerate() {
+            *c *= Cpx::cis(w * t as f64);
+        }
+    }
+
+    /// Concatenates another signal after this one (same `fs`/`fc`).
+    pub fn append(&mut self, other: &Signal) {
+        assert_eq!(self.fs, other.fs, "sample-rate mismatch in append");
+        assert_eq!(self.fc, other.fc, "carrier mismatch in append");
+        self.samples.extend_from_slice(&other.samples);
+    }
+
+    /// The envelope magnitude `|x[n]|` of every sample.
+    pub fn magnitude(&self) -> Vec<f64> {
+        self.samples.iter().map(|c| c.abs()).collect()
+    }
+
+    /// Instantaneous power `|x[n]|²` of every sample.
+    pub fn inst_power(&self) -> Vec<f64> {
+        self.samples.iter().map(|c| c.norm_sq()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tone_has_unit_power() {
+        let s = Signal::tone(1e6, 28e9, 1e3, 1.0, 1000);
+        assert!((s.power() - 1.0).abs() < 1e-12);
+        assert!((s.duration() - 1e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn tone_frequency_is_correct() {
+        let fs = 1e6;
+        let f = 12_000.0;
+        let s = Signal::tone(fs, 0.0, f, 1.0, 4096);
+        let spec = crate::fft::power_spectrum(&s.samples);
+        let peak_bin = spec
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        let freqs = crate::fft::fft_freqs(4096, fs);
+        assert!((freqs[peak_bin] - f).abs() < fs / 4096.0);
+    }
+
+    #[test]
+    fn scale_db_changes_power() {
+        let mut s = Signal::tone(1e6, 0.0, 0.0, 1.0, 100);
+        s.scale_db(-20.0);
+        assert!((s.power() - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_pads_shorter_signal() {
+        let mut a = Signal::zeros(1e6, 0.0, 5);
+        let b = Signal::tone(1e6, 0.0, 0.0, 1.0, 10);
+        a.add(&b);
+        assert_eq!(a.len(), 10);
+        assert!((a.samples[7].re - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn integer_delay_shifts_samples() {
+        let fs = 1e6;
+        let mut s = Signal::zeros(fs, 0.0, 10);
+        s.samples[0] = Cpx::new(1.0, 0.0);
+        let d = s.delayed(3.0 / fs);
+        assert!(d.samples[3].abs() > 0.99);
+        assert!(d.samples[0].abs() < 1e-12);
+        assert_eq!(d.len(), 10);
+    }
+
+    #[test]
+    fn fractional_delay_interpolates() {
+        let fs = 1e6;
+        // A linear ramp delays exactly under linear interpolation.
+        let samples: Vec<Cpx> = (0..10).map(|i| Cpx::new(i as f64, 0.0)).collect();
+        let s = Signal::new(fs, 0.0, samples);
+        let d = s.delayed(0.5 / fs);
+        // d[i] should be i - 0.5 for i >= 1.
+        for i in 1..10 {
+            assert!((d.samples[i].re - (i as f64 - 0.5)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn conj_multiply_of_tone_gives_dc() {
+        let s = Signal::tone(1e6, 0.0, 5e3, 2.0, 256);
+        let p = s.conj_multiply(&s);
+        for c in &p.samples {
+            assert!((c.re - 4.0).abs() < 1e-9);
+            assert!(c.im.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn mixer_multiply_sums_frequencies() {
+        let fs = 1e6;
+        let a = Signal::tone(fs, 0.0, 3e3, 1.0, 4096);
+        let b = Signal::tone(fs, 0.0, 4e3, 1.0, 4096);
+        let m = a.multiply(&b);
+        let spec = crate::fft::power_spectrum(&m.samples);
+        let peak_bin = spec
+            .iter()
+            .enumerate()
+            .max_by(|x, y| x.1.partial_cmp(y.1).unwrap())
+            .unwrap()
+            .0;
+        let freqs = crate::fft::fft_freqs(4096, fs);
+        assert!((freqs[peak_bin] - 7e3).abs() < fs / 4096.0);
+    }
+
+    #[test]
+    fn freq_shift_moves_tone() {
+        let fs = 1e6;
+        let mut s = Signal::tone(fs, 0.0, 1e4, 1.0, 4096);
+        s.freq_shift(2e4);
+        let spec = crate::fft::power_spectrum(&s.samples);
+        let peak_bin = spec
+            .iter()
+            .enumerate()
+            .max_by(|x, y| x.1.partial_cmp(y.1).unwrap())
+            .unwrap()
+            .0;
+        let freqs = crate::fft::fft_freqs(4096, fs);
+        assert!((freqs[peak_bin] - 3e4).abs() < fs / 4096.0);
+    }
+
+    #[test]
+    fn segment_clamps() {
+        let s = Signal::tone(1e6, 0.0, 0.0, 1.0, 10);
+        assert_eq!(s.segment(8, 10).len(), 2);
+        assert_eq!(s.segment(20, 10).len(), 0);
+        assert_eq!(s.segment(2, 3).len(), 3);
+    }
+
+    #[test]
+    fn append_concatenates() {
+        let mut a = Signal::tone(1e6, 0.0, 0.0, 1.0, 4);
+        let b = Signal::zeros(1e6, 0.0, 6);
+        a.append(&b);
+        assert_eq!(a.len(), 10);
+    }
+
+    #[test]
+    fn energy_is_power_times_duration() {
+        let s = Signal::tone(2e6, 0.0, 1e3, 3.0, 2000);
+        assert!((s.energy() - s.power() * s.duration()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample-rate mismatch")]
+    fn add_rejects_rate_mismatch() {
+        let mut a = Signal::zeros(1e6, 0.0, 4);
+        let b = Signal::zeros(2e6, 0.0, 4);
+        a.add(&b);
+    }
+}

@@ -1,0 +1,182 @@
+//! Descriptive statistics used when reporting experiment results.
+//!
+//! The paper reports mean error, 90th-percentile error, medians and CDFs
+//! (Figs. 12, 13); this module computes them the same way.
+
+/// Arithmetic mean. Returns 0 for an empty slice.
+pub fn mean(data: &[f64]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    data.iter().sum::<f64>() / data.len() as f64
+}
+
+/// Population variance. Returns 0 for slices shorter than 2.
+pub fn variance(data: &[f64]) -> f64 {
+    if data.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(data);
+    data.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / data.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(data: &[f64]) -> f64 {
+    variance(data).sqrt()
+}
+
+/// Root-mean-square of the data.
+pub fn rms(data: &[f64]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    (data.iter().map(|x| x * x).sum::<f64>() / data.len() as f64).sqrt()
+}
+
+/// `p`-th percentile (0 ≤ p ≤ 100) with linear interpolation between order
+/// statistics (the "linear" / type-7 method used by NumPy's default).
+pub fn percentile(data: &[f64], p: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&p), "percentile out of range");
+    if data.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (n - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Median (50th percentile).
+pub fn median(data: &[f64]) -> f64 {
+    percentile(data, 50.0)
+}
+
+/// Empirical CDF evaluated at each sorted data point: returns
+/// `(value, P(X ≤ value))` pairs, suitable for plotting Fig. 12b-style
+/// curves.
+pub fn empirical_cdf(data: &[f64]) -> Vec<(f64, f64)> {
+    let mut sorted: Vec<f64> = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = sorted.len();
+    sorted
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| (v, (i + 1) as f64 / n as f64))
+        .collect()
+}
+
+/// Mean absolute value — the "mean error" statistic of Figs. 12a/13.
+pub fn mean_abs(data: &[f64]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    data.iter().map(|x| x.abs()).sum::<f64>() / data.len() as f64
+}
+
+/// Summary of a batch of error measurements, in the shape the paper reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorSummary {
+    /// Mean of |error|.
+    pub mean_abs: f64,
+    /// 90th percentile of |error|.
+    pub p90_abs: f64,
+    /// Median of |error|.
+    pub median_abs: f64,
+    /// Population variance of the signed errors.
+    pub variance: f64,
+    /// Number of trials.
+    pub n: usize,
+}
+
+impl ErrorSummary {
+    /// Summarizes a batch of signed errors.
+    pub fn from_errors(errors: &[f64]) -> Self {
+        let abs: Vec<f64> = errors.iter().map(|e| e.abs()).collect();
+        Self {
+            mean_abs: mean(&abs),
+            p90_abs: percentile(&abs, 90.0),
+            median_abs: median(&abs),
+            variance: variance(errors),
+            n: errors.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        let d = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&d), 5.0);
+        assert_eq!(variance(&d), 4.0);
+        assert_eq!(std_dev(&d), 2.0);
+    }
+
+    #[test]
+    fn empty_slices() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(rms(&[]), 0.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(mean_abs(&[]), 0.0);
+        assert!(empirical_cdf(&[]).is_empty());
+    }
+
+    #[test]
+    fn percentile_interpolation() {
+        let d = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&d, 0.0), 1.0);
+        assert_eq!(percentile(&d, 100.0), 4.0);
+        assert_eq!(percentile(&d, 50.0), 2.5);
+        assert!((percentile(&d, 90.0) - 3.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 2.5);
+        assert_eq!(median(&[7.0]), 7.0);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let d = [0.5, 0.1, 0.9, 0.3];
+        let cdf = empirical_cdf(&d);
+        assert_eq!(cdf.len(), 4);
+        assert_eq!(cdf.last().unwrap().1, 1.0);
+        for w in cdf.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn rms_of_constant() {
+        assert!((rms(&[-2.0, 2.0, -2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_summary() {
+        let errors = [-1.0, 1.0, -1.0, 1.0, 3.0];
+        let s = ErrorSummary::from_errors(&errors);
+        assert!((s.mean_abs - 1.4).abs() < 1e-12);
+        assert_eq!(s.median_abs, 1.0);
+        assert_eq!(s.n, 5);
+        assert!(s.p90_abs > 1.0 && s.p90_abs <= 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile out of range")]
+    fn percentile_rejects_out_of_range() {
+        percentile(&[1.0], 101.0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Short-time Fourier transform (spectrogram).
+//!
+//! Used by the concept-figure demos (the paper's Fig. 2 FMCW illustration)
+//! and generally handy for inspecting chirps and modulated waveforms.
+
+use crate::fft::fft;
+use crate::num::Cpx;
+use crate::window::{apply_window, Window};
+
+/// STFT configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StftConfig {
+    /// Samples per analysis frame.
+    pub frame_len: usize,
+    /// Samples between frame starts (≤ frame_len).
+    pub hop: usize,
+    /// Analysis window.
+    pub window: Window,
+}
+
+impl StftConfig {
+    /// A config with 50% overlap and a Hann window.
+    pub fn new(frame_len: usize) -> Self {
+        assert!(frame_len >= 4, "frame too short");
+        Self {
+            frame_len,
+            hop: frame_len / 2,
+            window: Window::Hann,
+        }
+    }
+}
+
+/// A computed spectrogram.
+#[derive(Debug, Clone)]
+pub struct Spectrogram {
+    /// Power per frame per frequency bin: `frames × frame_len`.
+    pub power: Vec<Vec<f64>>,
+    /// Start time (seconds) of each frame.
+    pub frame_times: Vec<f64>,
+    /// Frequency (Hz) of each bin, in natural FFT order.
+    pub bin_freqs: Vec<f64>,
+}
+
+impl Spectrogram {
+    /// The dominant (highest-power) frequency of each frame.
+    pub fn peak_track(&self) -> Vec<f64> {
+        self.power
+            .iter()
+            .map(|frame| {
+                let k = crate::detect::argmax(frame).unwrap_or(0);
+                self.bin_freqs[k]
+            })
+            .collect()
+    }
+}
+
+/// Computes the spectrogram of a complex-baseband signal at rate `fs`.
+pub fn stft(samples: &[Cpx], fs: f64, cfg: StftConfig) -> Spectrogram {
+    assert!(cfg.hop >= 1 && cfg.hop <= cfg.frame_len, "bad hop");
+    let bin_freqs = crate::fft::fft_freqs(cfg.frame_len, fs);
+    let mut power = Vec::new();
+    let mut frame_times = Vec::new();
+    let mut start = 0usize;
+    while start + cfg.frame_len <= samples.len() {
+        let mut frame = samples[start..start + cfg.frame_len].to_vec();
+        apply_window(&mut frame, cfg.window);
+        let spec = fft(&frame);
+        power.push(spec.iter().map(|c| c.norm_sq()).collect());
+        frame_times.push(start as f64 / fs);
+        start += cfg.hop;
+    }
+    Spectrogram {
+        power,
+        frame_times,
+        bin_freqs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chirp::ChirpConfig;
+    use crate::signal::Signal;
+
+    #[test]
+    fn tone_tracks_flat() {
+        let fs = 1e6;
+        let s = Signal::tone(fs, 0.0, 120e3, 1.0, 4096);
+        let sg = stft(&s.samples, fs, StftConfig::new(256));
+        for f in sg.peak_track() {
+            assert!((f - 120e3).abs() <= fs / 256.0, "{f}");
+        }
+    }
+
+    #[test]
+    fn chirp_track_is_monotone_ramp() {
+        let cfg = ChirpConfig {
+            f_start: 26.5e9,
+            f_stop: 29.5e9,
+            duration: 4e-6,
+            fs: 3.2e9,
+            amplitude: 1.0,
+        };
+        let s = cfg.sawtooth();
+        let sg = stft(&s.samples, s.fs, StftConfig::new(512));
+        let track = sg.peak_track();
+        // The baseband sweep goes −B/2 → +B/2; allow edge frames slack.
+        let inner = &track[1..track.len() - 1];
+        for w in inner.windows(2) {
+            assert!(w[1] >= w[0] - 20e6, "non-monotone: {} → {}", w[0], w[1]);
+        }
+        assert!(inner[0] < -1e9);
+        assert!(inner[inner.len() - 1] > 1e9);
+    }
+
+    #[test]
+    fn frame_timing() {
+        let fs = 1e6;
+        let s = Signal::tone(fs, 0.0, 0.0, 1.0, 1024);
+        let sg = stft(&s.samples, fs, StftConfig::new(256));
+        assert_eq!(sg.frame_times.len(), sg.power.len());
+        assert!((sg.frame_times[1] - 128e-6).abs() < 1e-12);
+        assert_eq!(sg.power[0].len(), 256);
+    }
+
+    #[test]
+    fn short_signal_yields_no_frames() {
+        let sg = stft(&[Cpx::new(1.0, 0.0); 10], 1e6, StftConfig::new(256));
+        assert!(sg.power.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "bad hop")]
+    fn rejects_oversized_hop() {
+        let mut cfg = StftConfig::new(64);
+        cfg.hop = 128;
+        stft(&[Cpx::new(1.0, 0.0); 256], 1e6, cfg);
+    }
+}

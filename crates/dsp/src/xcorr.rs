@@ -1,0 +1,171 @@
+//! Cross-correlation and matched filtering via FFT.
+//!
+//! The AP's standard range processing is FMCW dechirp (cheap, hardware-
+//! friendly). Matched filtering (pulse compression) is the classical
+//! alternative: correlate the capture against the transmitted chirp and
+//! read delays off the correlation peaks. It is provided both as an
+//! ablation reference for the ranging pipeline and as a general DSP
+//! utility.
+
+use crate::fft::{fft, ifft, next_pow2};
+use crate::num::{Cpx, ZERO};
+
+/// Full linear cross-correlation `r[k] = Σ_n x[n+k]·y*[n]` for lags
+/// `k ∈ [-(len(y)-1), len(x)-1]`, computed via FFT. Returns the lag
+/// values alongside.
+pub fn xcorr(x: &[Cpx], y: &[Cpx]) -> (Vec<i64>, Vec<Cpx>) {
+    if x.is_empty() || y.is_empty() {
+        return (Vec::new(), Vec::new());
+    }
+    let n_out = x.len() + y.len() - 1;
+    let m = next_pow2(n_out);
+    let mut fx = x.to_vec();
+    fx.resize(m, ZERO);
+    // Time-reversed conjugate of y gives correlation via convolution.
+    let mut fy: Vec<Cpx> = y.iter().rev().map(|c| c.conj()).collect();
+    fy.resize(m, ZERO);
+    let sx = fft(&fx);
+    let sy = fft(&fy);
+    let prod: Vec<Cpx> = sx.iter().zip(&sy).map(|(a, b)| *a * *b).collect();
+    let full = ifft(&prod);
+    let lags: Vec<i64> = (0..n_out as i64).map(|i| i - (y.len() as i64 - 1)).collect();
+    (lags, full[..n_out].to_vec())
+}
+
+/// Matched filter: correlates `rx` against the known `template` and
+/// returns `|r[k]|²` for non-negative lags only (delays), normalized by
+/// the template energy so a perfect echo of amplitude `a` peaks at
+/// `a²·E_template`.
+pub fn matched_filter(rx: &[Cpx], template: &[Cpx]) -> Vec<f64> {
+    let (lags, r) = xcorr(rx, template);
+    let e: f64 = template.iter().map(|c| c.norm_sq()).sum();
+    if e == 0.0 {
+        return vec![0.0; rx.len()];
+    }
+    lags.iter()
+        .zip(&r)
+        .filter(|(l, _)| **l >= 0)
+        .map(|(_, c)| c.norm_sq() / e)
+        .collect()
+}
+
+/// Normalized correlation coefficient between two equal-length signals:
+/// `|<x, y>| / (‖x‖·‖y‖)` ∈ [0, 1].
+pub fn correlation_coefficient(x: &[Cpx], y: &[Cpx]) -> f64 {
+    assert_eq!(x.len(), y.len(), "length mismatch");
+    let dot: Cpx = x.iter().zip(y).map(|(a, b)| *a * b.conj()).sum();
+    let ex: f64 = x.iter().map(|c| c.norm_sq()).sum();
+    let ey: f64 = y.iter().map(|c| c.norm_sq()).sum();
+    if ex == 0.0 || ey == 0.0 {
+        return 0.0;
+    }
+    dot.abs() / (ex * ey).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_xcorr(x: &[Cpx], y: &[Cpx]) -> Vec<Cpx> {
+        let n_out = x.len() + y.len() - 1;
+        (0..n_out)
+            .map(|i| {
+                let k = i as i64 - (y.len() as i64 - 1);
+                let mut acc = ZERO;
+                for (n, yv) in y.iter().enumerate() {
+                    let xi = n as i64 + k;
+                    if xi >= 0 && (xi as usize) < x.len() {
+                        acc += x[xi as usize] * yv.conj();
+                    }
+                }
+                acc
+            })
+            .collect()
+    }
+
+    fn ramp(n: usize, f: f64) -> Vec<Cpx> {
+        (0..n).map(|i| Cpx::cis(i as f64 * f) * (1.0 + 0.1 * i as f64)).collect()
+    }
+
+    #[test]
+    fn matches_naive_correlation() {
+        let x = ramp(37, 0.3);
+        let y = ramp(12, 0.7);
+        let (lags, r) = xcorr(&x, &y);
+        let expect = naive_xcorr(&x, &y);
+        assert_eq!(lags.len(), expect.len());
+        assert_eq!(lags[0], -11);
+        assert_eq!(*lags.last().unwrap(), 36);
+        for (a, b) in r.iter().zip(&expect) {
+            assert!((*a - *b).abs() < 1e-8, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn autocorrelation_peaks_at_zero_lag() {
+        let x = ramp(64, 0.9);
+        let (lags, r) = xcorr(&x, &x);
+        let peak = r
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(lags[peak], 0);
+    }
+
+    #[test]
+    fn matched_filter_finds_delayed_echo() {
+        let template = ramp(128, 0.45);
+        let delay = 40;
+        let mut rx = vec![ZERO; 512];
+        for (i, &c) in template.iter().enumerate() {
+            rx[delay + i] = c * 0.5;
+        }
+        let mf = matched_filter(&rx, &template);
+        let peak = mf
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        assert_eq!(peak.0, delay);
+        // Amplitude 0.5 echo peaks at 0.25·E.
+        let e: f64 = template.iter().map(|c| c.norm_sq()).sum();
+        assert!((peak.1 / (0.25 * e) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chirp_compression_gain() {
+        // A chirp's autocorrelation is far narrower than the chirp — the
+        // whole point of pulse compression.
+        let chirp: Vec<Cpx> = (0..512)
+            .map(|i| {
+                let t = i as f64 / 512.0;
+                Cpx::cis(2.0 * std::f64::consts::PI * (200.0 * t * t))
+            })
+            .collect();
+        let mf = matched_filter(&chirp, &chirp);
+        let peak = mf.iter().cloned().fold(f64::MIN, f64::max);
+        // −3 dB width of the compressed pulse.
+        let above: usize = mf.iter().filter(|v| **v > peak / 2.0).count();
+        assert!(above < 10, "compressed width {above} samples");
+    }
+
+    #[test]
+    fn correlation_coefficient_properties() {
+        let x = ramp(50, 0.2);
+        assert!((correlation_coefficient(&x, &x) - 1.0).abs() < 1e-12);
+        let y: Vec<Cpx> = x.iter().map(|c| *c * Cpx::cis(1.0) * 3.0).collect();
+        assert!((correlation_coefficient(&x, &y) - 1.0).abs() < 1e-12);
+        let z = ramp(50, 2.9);
+        assert!(correlation_coefficient(&x, &z) < 0.5);
+        assert_eq!(correlation_coefficient(&x, &vec![ZERO; 50]), 0.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let (l, r) = xcorr(&[], &[Cpx::new(1.0, 0.0)]);
+        assert!(l.is_empty() && r.is_empty());
+        assert_eq!(matched_filter(&[ZERO; 4], &[ZERO; 2]), vec![0.0; 4]);
+    }
+}

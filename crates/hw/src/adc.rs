@@ -1,0 +1,114 @@
+//! MCU ADC model (MSP430-class).
+//!
+//! The node's microcontroller samples the two envelope-detector outputs —
+//! at 1 MHz for orientation sensing (paper §9.3) and at the symbol rate
+//! for downlink data. The model captures sample-rate conversion,
+//! quantization and clipping.
+
+use milback_dsp::resample::sample_at;
+
+/// A successive-approximation ADC as found on a low-power MCU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Adc {
+    /// Sample rate, Hz.
+    pub sample_rate: f64,
+    /// Resolution in bits.
+    pub bits: u32,
+    /// Full-scale input voltage (inputs are clipped to `[0, v_ref]`).
+    pub v_ref: f64,
+}
+
+impl Adc {
+    /// The MSP430FR6989-class 12-bit ADC sampling at 1 MHz used for
+    /// node-side orientation sensing.
+    pub fn msp430() -> Self {
+        Self {
+            sample_rate: 1e6,
+            bits: 12,
+            v_ref: 2.5,
+        }
+    }
+
+    /// Number of quantization levels.
+    pub fn levels(&self) -> u64 {
+        1u64 << self.bits
+    }
+
+    /// Quantization step size, volts.
+    pub fn lsb(&self) -> f64 {
+        self.v_ref / self.levels() as f64
+    }
+
+    /// Quantizes a single voltage to the nearest code's voltage, clipping
+    /// to the input range.
+    pub fn quantize(&self, v: f64) -> f64 {
+        let clipped = v.clamp(0.0, self.v_ref);
+        let code = (clipped / self.lsb()).round().min((self.levels() - 1) as f64);
+        code * self.lsb()
+    }
+
+    /// Samples an analog waveform given at rate `fs_in`, producing
+    /// quantized samples at the ADC's own rate.
+    pub fn capture(&self, analog: &[f64], fs_in: f64) -> Vec<f64> {
+        assert!(fs_in > 0.0, "input rate must be positive");
+        if analog.is_empty() {
+            return Vec::new();
+        }
+        let duration = analog.len() as f64 / fs_in;
+        let n = (duration * self.sample_rate).floor() as usize;
+        (0..n)
+            .map(|i| self.quantize(sample_at(analog, fs_in, i as f64 / self.sample_rate)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_and_lsb() {
+        let adc = Adc::msp430();
+        assert_eq!(adc.levels(), 4096);
+        assert!((adc.lsb() - 2.5 / 4096.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn quantize_rounds_and_clips() {
+        let adc = Adc::msp430();
+        assert_eq!(adc.quantize(-1.0), 0.0);
+        assert_eq!(adc.quantize(5.0), (adc.levels() - 1) as f64 * adc.lsb());
+        let v = 1.2345;
+        let q = adc.quantize(v);
+        assert!((q - v).abs() <= adc.lsb() / 2.0 + 1e-15);
+    }
+
+    #[test]
+    fn capture_rate_conversion() {
+        let adc = Adc::msp430();
+        // 10 ms of a 100 MHz-sampled ramp → 10_000 ADC samples.
+        let fs_in = 100e6;
+        let n_in = (0.01 * fs_in) as usize;
+        let analog: Vec<f64> = (0..n_in).map(|i| i as f64 / n_in as f64 * 2.0).collect();
+        let out = adc.capture(&analog, fs_in);
+        assert_eq!(out.len(), 10_000);
+        // Mid-capture value ≈ 1.0 V.
+        assert!((out[5000] - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn capture_empty() {
+        let adc = Adc::msp430();
+        assert!(adc.capture(&[], 1e6).is_empty());
+    }
+
+    #[test]
+    fn quantization_error_bounded_by_half_lsb() {
+        let adc = Adc::msp430();
+        for i in 0..1000 {
+            let v = i as f64 * 0.0025;
+            let q = adc.quantize(v);
+            assert!((q - v).abs() <= adc.lsb() / 2.0 + 1e-12, "v={v}");
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Battery and duty-cycle modeling for MilBack nodes.
+//!
+//! The paper's pitch is devices "with limited energy sources" (§1); this
+//! module turns the §9.6 power model into deployment-level answers: how
+//! long does a node last on a given cell under a given duty cycle?
+
+use crate::power::{NodeMode, PowerModel};
+
+/// A primary battery (or charged capacity).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Battery {
+    /// Usable capacity, joules.
+    pub capacity_j: f64,
+    /// Self-discharge per year as a fraction of remaining capacity
+    /// (coin cells: ~1%/year).
+    pub self_discharge_per_year: f64,
+    /// Maximum continuous discharge the chemistry supports, watts.
+    pub max_power_w: f64,
+}
+
+impl Battery {
+    /// A CR2032 coin cell: 225 mAh × 3 V ≈ 2430 J, ~1%/yr self-discharge,
+    /// a few mA of continuous drain (≈ 45 mW at 3 V with derating).
+    pub fn cr2032() -> Self {
+        Self {
+            capacity_j: 2430.0,
+            self_discharge_per_year: 0.01,
+            max_power_w: 0.045,
+        }
+    }
+
+    /// Two AAA alkaline cells: ≈ 1000 mAh × 3 V ≈ 10.8 kJ.
+    pub fn aaa_pair() -> Self {
+        Self {
+            capacity_j: 10_800.0,
+            self_discharge_per_year: 0.03,
+            max_power_w: 0.5,
+        }
+    }
+}
+
+/// A repeating node activity pattern.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DutyCycle {
+    /// Period between activity bursts, seconds.
+    pub period_s: f64,
+    /// Time spent in localization/preamble per burst, seconds.
+    pub localization_s: f64,
+    /// Time receiving downlink per burst, seconds.
+    pub downlink_s: f64,
+    /// Time transmitting uplink per burst, seconds.
+    pub uplink_s: f64,
+    /// Uplink bit rate during the uplink time, bits/s.
+    pub uplink_rate: f64,
+    /// Sleep power between bursts, watts (switch + detector leakage).
+    pub sleep_w: f64,
+}
+
+impl DutyCycle {
+    /// A once-per-second telemetry pattern: one packet's preamble, a short
+    /// command, a 256-byte report at 10 Mbps.
+    pub fn telemetry_1hz() -> Self {
+        Self {
+            period_s: 1.0,
+            localization_s: 225e-6,
+            downlink_s: 140e-6,
+            uplink_s: 206e-6,
+            uplink_rate: 10e6,
+            sleep_w: 2e-6,
+        }
+    }
+
+    /// Energy per period, joules, under a power model.
+    pub fn energy_per_period(&self, model: &PowerModel) -> f64 {
+        let active_s = self.localization_s + self.downlink_s + self.uplink_s;
+        assert!(
+            active_s <= self.period_s,
+            "duty cycle busier than its period"
+        );
+        let e_loc = model.power_mw(NodeMode::Localization) * 1e-3 * self.localization_s;
+        let e_dl = model.power_mw(NodeMode::Downlink) * 1e-3 * self.downlink_s;
+        let e_ul = model.power_mw(NodeMode::Uplink {
+            bit_rate: self.uplink_rate,
+        }) * 1e-3
+            * self.uplink_s;
+        let e_sleep = self.sleep_w * (self.period_s - active_s);
+        e_loc + e_dl + e_ul + e_sleep
+    }
+
+    /// Average power, watts.
+    pub fn average_power(&self, model: &PowerModel) -> f64 {
+        self.energy_per_period(model) / self.period_s
+    }
+
+    /// Peak power demanded from the battery, watts.
+    pub fn peak_power(&self, model: &PowerModel) -> f64 {
+        model.power_mw(NodeMode::Uplink {
+            bit_rate: self.uplink_rate,
+        }) * 1e-3
+    }
+}
+
+/// Battery life under a duty cycle, accounting for self-discharge.
+/// Returns years, or `None` if the battery cannot source the peak power
+/// at all.
+pub fn battery_life_years(
+    battery: &Battery,
+    duty: &DutyCycle,
+    model: &PowerModel,
+) -> Option<f64> {
+    if duty.peak_power(model) > battery.max_power_w {
+        return None;
+    }
+    let p_avg = duty.average_power(model);
+    let seconds_per_year = 3600.0 * 24.0 * 365.25;
+    let drain_per_year = p_avg * seconds_per_year;
+    let self_per_year = battery.capacity_j * battery.self_discharge_per_year;
+    Some(battery.capacity_j / (drain_per_year + self_per_year))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn telemetry_lasts_years_on_coin_cell() {
+        let life = battery_life_years(
+            &Battery::cr2032(),
+            &DutyCycle::telemetry_1hz(),
+            &PowerModel::milback(),
+        )
+        .expect("peak power exceeded");
+        // With ~µJ bursts the life is self-discharge limited: decades of
+        // radio budget, which is the whole point of backscatter.
+        assert!(life > 5.0, "{life} years");
+    }
+
+    #[test]
+    fn continuous_uplink_exceeds_coin_cell_peak_when_fast() {
+        let mut duty = DutyCycle::telemetry_1hz();
+        duty.uplink_rate = 160e6; // switch at full tilt: ~75 mW peak
+        let life = battery_life_years(&Battery::cr2032(), &duty, &PowerModel::milback());
+        assert!(life.is_none(), "coin cell cannot source 160 Mbps switching");
+        // AAA pair can.
+        let life = battery_life_years(&Battery::aaa_pair(), &duty, &PowerModel::milback());
+        assert!(life.is_some());
+    }
+
+    #[test]
+    fn denser_duty_cycle_drains_faster() {
+        let model = PowerModel::milback();
+        let slow = DutyCycle::telemetry_1hz();
+        let mut fast = slow;
+        fast.period_s = 0.1;
+        let l_slow = battery_life_years(&Battery::aaa_pair(), &slow, &model).unwrap();
+        let l_fast = battery_life_years(&Battery::aaa_pair(), &fast, &model).unwrap();
+        assert!(l_fast < l_slow);
+    }
+
+    #[test]
+    fn average_power_includes_sleep() {
+        let model = PowerModel::milback();
+        let duty = DutyCycle::telemetry_1hz();
+        let avg = duty.average_power(&model);
+        // Bursts are ~570 µs of ~20 mW ≈ 11 µW average, plus 2 µW sleep.
+        assert!(avg > 2e-6 && avg < 50e-6, "{avg} W");
+    }
+
+    #[test]
+    #[should_panic(expected = "busier than its period")]
+    fn over_full_duty_cycle_rejected() {
+        let mut duty = DutyCycle::telemetry_1hz();
+        duty.uplink_s = 2.0;
+        duty.energy_per_period(&PowerModel::milback());
+    }
+}

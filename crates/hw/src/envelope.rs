@@ -1,0 +1,218 @@
+//! Envelope (power) detector model (ADL6010-class).
+//!
+//! The envelope detector is the node's entire receive chain: it converts
+//! the mmWave signal captured by an FSA port directly to a baseband
+//! voltage, with no mixer or oscillator (paper §4, §6.2). The ADL6010 is a
+//! *linear-in-voltage* detector: `V_out ≈ slope · |v_in|`.
+//!
+//! Two non-idealities matter to MilBack and are modeled here:
+//!
+//! * finite video bandwidth (rise/fall time) — this is what limits the
+//!   downlink to 36 Mbps (paper §9.4);
+//! * output noise — together with the received power this sets the
+//!   downlink SINR of Figure 14.
+
+use milback_dsp::filter::OnePole;
+use milback_dsp::noise::add_real_noise;
+use milback_dsp::signal::Signal;
+use rand::Rng;
+
+/// An envelope detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnvelopeDetector {
+    /// Voltage conversion slope, V out per V of RF envelope in.
+    pub slope: f64,
+    /// Video (output) bandwidth, Hz — sets the rise/fall time.
+    pub video_bandwidth: f64,
+    /// Output-referred noise density, V/√Hz.
+    pub noise_density: f64,
+    /// Input impedance, ohms (matched to the FSA port).
+    pub input_impedance: f64,
+    /// Static power draw, mW.
+    pub power_mw: f64,
+}
+
+impl EnvelopeDetector {
+    /// The ADL6010-class detector of the MilBack prototype.
+    ///
+    /// A 36 Mbps OOK stream needs ≈ 36 MHz of video bandwidth; the paper
+    /// says the detector's rise/fall time is exactly what caps the rate
+    /// there, so the model uses 36 MHz.
+    pub fn adl6010() -> Self {
+        Self {
+            slope: 2.1,
+            video_bandwidth: 36e6,
+            noise_density: 60e-9,
+            input_impedance: 50.0,
+            power_mw: 8.0,
+        }
+    }
+
+    /// 10–90% rise time implied by the video bandwidth: `t_r ≈ 0.35/BW`.
+    pub fn rise_time(&self) -> f64 {
+        0.35 / self.video_bandwidth
+    }
+
+    /// RMS output noise over the full video bandwidth, volts.
+    pub fn output_noise_rms(&self) -> f64 {
+        self.noise_density * self.video_bandwidth.sqrt()
+    }
+
+    /// Ideal (noiseless, infinite-bandwidth) output voltage for an RF
+    /// input power `p_in` watts: `slope · √(p·R)`.
+    pub fn ideal_output(&self, p_in: f64) -> f64 {
+        self.slope * (p_in.max(0.0) * self.input_impedance).sqrt()
+    }
+
+    /// Detects a complex-baseband RF signal: envelope → slope → video
+    /// low-pass → additive output noise. Returns the output voltage at the
+    /// signal's sample rate.
+    ///
+    /// The input samples are interpreted as volts across the detector's
+    /// input impedance, so instantaneous input power is `|x|²/R`.
+    pub fn detect<R: Rng + ?Sized>(&self, input: &Signal, rng: &mut R) -> Vec<f64> {
+        let mut lp = OnePole::new(self.video_bandwidth, input.fs);
+        let mut out: Vec<f64> = input
+            .samples
+            .iter()
+            .map(|c| lp.step(self.slope * c.abs()))
+            .collect();
+        // Noise within the video bandwidth, as seen at the output sample
+        // rate: the density integrates to σ² = e_n²·BW regardless of fs.
+        add_real_noise(&mut out, self.output_noise_rms(), rng);
+        out
+    }
+
+    /// Detects without noise (for calibration / unit tests).
+    pub fn detect_clean(&self, input: &Signal) -> Vec<f64> {
+        let mut lp = OnePole::new(self.video_bandwidth, input.fs);
+        input
+            .samples
+            .iter()
+            .map(|c| lp.step(self.slope * c.abs()))
+            .collect()
+    }
+
+    /// Output SNR (linear power ratio) for an RF input of power `p_in`
+    /// watts: `(slope·√(p·R))² / σ_n²`.
+    pub fn output_snr(&self, p_in: f64) -> f64 {
+        let v = self.ideal_output(p_in);
+        let n = self.output_noise_rms();
+        (v * v) / (n * n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ideal_output_scales_with_sqrt_power() {
+        let det = EnvelopeDetector::adl6010();
+        let v1 = det.ideal_output(1e-6);
+        let v4 = det.ideal_output(4e-6);
+        assert!((v4 / v1 - 2.0).abs() < 1e-12);
+        assert_eq!(det.ideal_output(-1.0), 0.0);
+    }
+
+    #[test]
+    fn detect_clean_settles_to_ideal() {
+        let det = EnvelopeDetector::adl6010();
+        let fs = 1e9;
+        let p_in = 1e-6; // −30 dBm
+        let amp = (p_in * det.input_impedance).sqrt();
+        let sig = Signal::tone(fs, 28e9, 0.0, amp, 2000);
+        let out = det.detect_clean(&sig);
+        let expected = det.ideal_output(p_in);
+        assert!(
+            (out[1999] - expected).abs() < 1e-3 * expected,
+            "settled {} vs {}",
+            out[1999],
+            expected
+        );
+    }
+
+    #[test]
+    fn rise_time_matches_bandwidth() {
+        let det = EnvelopeDetector::adl6010();
+        assert!((det.rise_time() - 0.35 / 36e6).abs() < 1e-15);
+        // ≈ 9.7 ns.
+        assert!(det.rise_time() < 10e-9);
+    }
+
+    #[test]
+    fn video_bandwidth_limits_fast_ook() {
+        let det = EnvelopeDetector::adl6010();
+        let fs = 2e9;
+        let amp = 1e-3;
+        // 200 Mbps OOK: 10 ns bits — far beyond the 36 MHz video BW.
+        let fast_bit = (fs / 200e6) as usize;
+        let mut samples = Vec::new();
+        for k in 0..40 {
+            let on = k % 2 == 0;
+            for _ in 0..fast_bit {
+                samples.push(milback_dsp::num::Cpx::new(if on { amp } else { 0.0 }, 0.0));
+            }
+        }
+        let sig = Signal::new(fs, 28e9, samples);
+        let out = det.detect_clean(&sig);
+        // The output cannot track: swing collapses toward the mean.
+        let late = &out[out.len() / 2..];
+        let max = late.iter().cloned().fold(f64::MIN, f64::max);
+        let min = late.iter().cloned().fold(f64::MAX, f64::min);
+        let full = det.ideal_output(amp * amp / det.input_impedance);
+        assert!(
+            (max - min) < 0.6 * full,
+            "swing {} vs full {}",
+            max - min,
+            full
+        );
+
+        // 10 Mbps OOK: 100 ns bits — comfortably within the video BW.
+        let slow_bit = (fs / 10e6) as usize;
+        let mut samples = Vec::new();
+        for k in 0..10 {
+            let on = k % 2 == 0;
+            for _ in 0..slow_bit {
+                samples.push(milback_dsp::num::Cpx::new(if on { amp } else { 0.0 }, 0.0));
+            }
+        }
+        let sig = Signal::new(fs, 28e9, samples);
+        let out = det.detect_clean(&sig);
+        let late = &out[out.len() / 2..];
+        let max = late.iter().cloned().fold(f64::MIN, f64::max);
+        let min = late.iter().cloned().fold(f64::MAX, f64::min);
+        assert!((max - min) > 0.9 * full, "slow swing {}", max - min);
+    }
+
+    #[test]
+    fn output_snr_increases_with_power() {
+        let det = EnvelopeDetector::adl6010();
+        let s1 = det.output_snr(1e-9);
+        let s2 = det.output_snr(1e-7);
+        assert!((s2 / s1 - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn noisy_detection_statistics() {
+        let det = EnvelopeDetector::adl6010();
+        let mut rng = StdRng::seed_from_u64(9);
+        let fs = 1e9;
+        let sig = Signal::zeros(fs, 28e9, 100_000);
+        let out = det.detect(&sig, &mut rng);
+        let rms = (out.iter().map(|v| v * v).sum::<f64>() / out.len() as f64).sqrt();
+        let expected = det.output_noise_rms();
+        assert!((rms / expected - 1.0).abs() < 0.05, "rms {rms} vs {expected}");
+    }
+
+    #[test]
+    fn detection_is_deterministic_with_seed() {
+        let det = EnvelopeDetector::adl6010();
+        let sig = Signal::tone(1e9, 28e9, 0.0, 1e-3, 100);
+        let a = det.detect(&sig, &mut StdRng::seed_from_u64(1));
+        let b = det.detect(&sig, &mut StdRng::seed_from_u64(1));
+        assert_eq!(a, b);
+    }
+}

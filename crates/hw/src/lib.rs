@@ -1,0 +1,27 @@
+//! # milback-hw
+//!
+//! Hardware-component models for the MilBack node:
+//!
+//! * [`switch`] — SPDT RF switch (reflective/absorptive throw, toggle-rate
+//!   limit, switching energy) and time-stamped switch schedules,
+//! * [`envelope`] — the ADL6010-class envelope detector (slope, video
+//!   bandwidth, output noise),
+//! * [`adc`] — the MCU's SAR ADC (rate conversion, quantization),
+//! * [`battery`] — battery/duty-cycle lifetime modeling,
+//! * [`harvest`] — RF energy-harvesting feasibility,
+//! * [`power`] — node power/energy accounting reproducing the paper's
+//!   18 mW / 32 mW / nJ-per-bit numbers.
+
+pub mod adc;
+pub mod battery;
+pub mod envelope;
+pub mod harvest;
+pub mod power;
+pub mod switch;
+
+pub use adc::Adc;
+pub use battery::{battery_life_years, Battery, DutyCycle};
+pub use harvest::{harvest_budget, HarvestBudget, Rectifier};
+pub use envelope::EnvelopeDetector;
+pub use power::{NodeMode, PowerModel};
+pub use switch::{SpdtSwitch, SwitchSchedule, SwitchState};

@@ -1,0 +1,292 @@
+//! Downlink OAQFM demodulation at the node (paper §6.1–6.2).
+//!
+//! Each FSA port receives (at most) one of the two OAQFM tones; the
+//! envelope detector converts presence/absence of that tone into a
+//! high/low voltage. The MCU integrates the detector output over each
+//! symbol period and compares against a threshold — no mixer, no
+//! oscillator, no carrier synchronization.
+//!
+//! When the node is normal to the AP (`f_A == f_B`), both ports see the
+//! same tone and the link falls back to single-carrier OOK at one bit per
+//! symbol (paper §6.2 last paragraph).
+
+use milback_proto::bits::OaqfmSymbol;
+
+/// Per-symbol energy integrator + threshold slicer for one detector
+/// output.
+#[derive(Debug, Clone, Copy)]
+pub struct EnvelopeSlicer {
+    /// Sample rate of the detector/comparator samples, Hz.
+    pub sample_rate: f64,
+    /// Symbol rate, symbols/s.
+    pub symbol_rate: f64,
+    /// Fraction of the symbol period to skip at the start (detector
+    /// settling), 0–0.5.
+    pub guard: f64,
+}
+
+impl EnvelopeSlicer {
+    /// A slicer with a 25% settling guard.
+    pub fn new(sample_rate: f64, symbol_rate: f64) -> Self {
+        assert!(sample_rate >= 2.0 * symbol_rate, "need ≥2 samples per symbol");
+        Self {
+            sample_rate,
+            symbol_rate,
+            guard: 0.25,
+        }
+    }
+
+    /// Samples per symbol.
+    pub fn samples_per_symbol(&self) -> f64 {
+        self.sample_rate / self.symbol_rate
+    }
+
+    /// Integrates the detector output over each of `n_symbols` symbol
+    /// periods starting at `t0` seconds, skipping the settling guard.
+    pub fn symbol_levels(&self, detector: &[f64], t0: f64, n_symbols: usize) -> Vec<f64> {
+        let sps = self.samples_per_symbol();
+        let mut levels = Vec::with_capacity(n_symbols);
+        for k in 0..n_symbols {
+            let start = ((t0 * self.sample_rate) + (k as f64 + self.guard) * sps) as usize;
+            let end = (((t0 * self.sample_rate) + (k as f64 + 1.0) * sps) as usize)
+                .min(detector.len());
+            if start >= end {
+                levels.push(0.0);
+                continue;
+            }
+            let sum: f64 = detector[start..end].iter().sum();
+            levels.push(sum / (end - start) as f64);
+        }
+        levels
+    }
+
+    /// Picks a decision threshold from the observed levels: the midpoint
+    /// of the min and max symbol levels. Works because every payload
+    /// contains both on and off symbols (CRC trailer randomizes content).
+    pub fn threshold(levels: &[f64]) -> f64 {
+        let max = levels.iter().cloned().fold(f64::MIN, f64::max);
+        let min = levels.iter().cloned().fold(f64::MAX, f64::min);
+        (max + min) / 2.0
+    }
+
+    /// Slices levels into on/off decisions with the given threshold.
+    pub fn slice(levels: &[f64], threshold: f64) -> Vec<bool> {
+        levels.iter().map(|v| *v > threshold).collect()
+    }
+}
+
+/// Demodulates the two detector outputs into OAQFM symbols.
+///
+/// `det_a` / `det_b` are the port-A / port-B detector (or comparator)
+/// sample streams; `t0` is the payload start time within them.
+pub fn demodulate_oaqfm(
+    slicer: &EnvelopeSlicer,
+    det_a: &[f64],
+    det_b: &[f64],
+    t0: f64,
+    n_symbols: usize,
+) -> Vec<OaqfmSymbol> {
+    let la = slicer.symbol_levels(det_a, t0, n_symbols);
+    let lb = slicer.symbol_levels(det_b, t0, n_symbols);
+    let ta = EnvelopeSlicer::threshold(&la);
+    let tb = EnvelopeSlicer::threshold(&lb);
+    let ba = EnvelopeSlicer::slice(&la, ta);
+    let bb = EnvelopeSlicer::slice(&lb, tb);
+    ba.into_iter()
+        .zip(bb)
+        .map(|(a_on, b_on)| OaqfmSymbol { a_on, b_on })
+        .collect()
+}
+
+/// Demodulates dense (multi-amplitude) OAQFM: per-symbol levels on each
+/// detector are normalized by a full-scale reference learned from the
+/// pilot, then sliced to the nearest constellation level.
+///
+/// `pilot_symbols` symbols at the start must alternate full-scale/off on
+/// both tones (the dense pilot), providing the per-port full-scale
+/// voltage and zero offset.
+pub fn demodulate_dense(
+    slicer: &EnvelopeSlicer,
+    det_a: &[f64],
+    det_b: &[f64],
+    t0: f64,
+    n_symbols: usize,
+    constellation: milback_proto::dense::DenseConstellation,
+    pilot_symbols: usize,
+) -> Vec<milback_proto::dense::DenseSymbol> {
+    assert!(pilot_symbols >= 2, "dense demod needs a pilot");
+    let la = slicer.symbol_levels(det_a, t0, n_symbols);
+    let lb = slicer.symbol_levels(det_b, t0, n_symbols);
+    // Full-scale / zero references from the pilot (max/min over the
+    // pilot region — it alternates full and off).
+    let reference = |levels: &[f64]| -> (f64, f64) {
+        let pilot = &levels[..pilot_symbols.min(levels.len())];
+        let hi = pilot.iter().cloned().fold(f64::MIN, f64::max);
+        let lo = pilot.iter().cloned().fold(f64::MAX, f64::min);
+        (lo, (hi - lo).max(1e-12))
+    };
+    let (za, fa) = reference(&la);
+    let (zb, fb) = reference(&lb);
+    la.iter()
+        .zip(&lb)
+        .map(|(a, b)| milback_proto::dense::DenseSymbol {
+            a_level: constellation.slice((a - za) / fa),
+            b_level: constellation.slice((b - zb) / fb),
+        })
+        .collect()
+}
+
+/// Demodulates single-carrier OOK (the normal-incidence fallback): both
+/// detectors see the same tone, so their sum is sliced at one bit per
+/// symbol.
+pub fn demodulate_ook(
+    slicer: &EnvelopeSlicer,
+    det_a: &[f64],
+    det_b: &[f64],
+    t0: f64,
+    n_bits: usize,
+) -> Vec<bool> {
+    let combined: Vec<f64> = det_a
+        .iter()
+        .zip(det_b)
+        .map(|(a, b)| a + b)
+        .collect();
+    let levels = slicer.symbol_levels(&combined, t0, n_bits);
+    let thr = EnvelopeSlicer::threshold(&levels);
+    EnvelopeSlicer::slice(&levels, thr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a detector stream: `high` volts during on-symbols, `low`
+    /// during off, `sps` samples per symbol.
+    fn stream(pattern: &[bool], sps: usize, high: f64, low: f64) -> Vec<f64> {
+        pattern
+            .iter()
+            .flat_map(|&on| std::iter::repeat_n(if on { high } else { low }, sps))
+            .collect()
+    }
+
+    #[test]
+    fn levels_integrate_per_symbol() {
+        let slicer = EnvelopeSlicer::new(10e6, 1e6);
+        let det = stream(&[true, false, true], 10, 1.0, 0.0);
+        let levels = slicer.symbol_levels(&det, 0.0, 3);
+        assert!(levels[0] > 0.9);
+        assert!(levels[1] < 0.1);
+        assert!(levels[2] > 0.9);
+    }
+
+    #[test]
+    fn threshold_is_midpoint() {
+        assert_eq!(EnvelopeSlicer::threshold(&[0.0, 1.0, 0.2]), 0.5);
+    }
+
+    #[test]
+    fn oaqfm_demod_round_trip() {
+        let slicer = EnvelopeSlicer::new(20e6, 1e6);
+        let symbols = [
+            OaqfmSymbol { a_on: false, b_on: false },
+            OaqfmSymbol { a_on: false, b_on: true },
+            OaqfmSymbol { a_on: true, b_on: false },
+            OaqfmSymbol { a_on: true, b_on: true },
+        ];
+        let pat_a: Vec<bool> = symbols.iter().map(|s| s.a_on).collect();
+        let pat_b: Vec<bool> = symbols.iter().map(|s| s.b_on).collect();
+        let det_a = stream(&pat_a, 20, 0.8, 0.05);
+        let det_b = stream(&pat_b, 20, 0.6, 0.02);
+        let got = demodulate_oaqfm(&slicer, &det_a, &det_b, 0.0, 4);
+        assert_eq!(got, symbols);
+    }
+
+    #[test]
+    fn demod_with_offset_start() {
+        let slicer = EnvelopeSlicer::new(10e6, 1e6);
+        // 5 leading off-symbols of junk, then the payload.
+        let pat = [false, false, false, false, false, true, false, true];
+        let det = stream(&pat, 10, 1.0, 0.0);
+        let levels = slicer.symbol_levels(&det, 5e-6, 3);
+        assert!(levels[0] > 0.9);
+        assert!(levels[1] < 0.1);
+        assert!(levels[2] > 0.9);
+    }
+
+    #[test]
+    fn dense_demod_round_trip() {
+        use milback_proto::dense::{DenseConstellation, DenseSymbol};
+        let c = DenseConstellation::new(4);
+        let slicer = EnvelopeSlicer::new(20e6, 1e6);
+        // Pilot: full/off/full/off, then data levels.
+        let syms = [
+            DenseSymbol { a_level: 3, b_level: 3 },
+            DenseSymbol { a_level: 0, b_level: 0 },
+            DenseSymbol { a_level: 3, b_level: 3 },
+            DenseSymbol { a_level: 0, b_level: 0 },
+            DenseSymbol { a_level: 1, b_level: 2 },
+            DenseSymbol { a_level: 2, b_level: 0 },
+            DenseSymbol { a_level: 0, b_level: 3 },
+            DenseSymbol { a_level: 3, b_level: 1 },
+        ];
+        let mk = |pick: fn(&DenseSymbol) -> u8, scale: f64| -> Vec<f64> {
+            syms.iter()
+                .flat_map(|s| {
+                    std::iter::repeat_n(scale * c.amplitude(pick(s)) + 0.003, 20)
+                })
+                .collect()
+        };
+        let det_a = mk(|s| s.a_level, 0.8);
+        let det_b = mk(|s| s.b_level, 0.5);
+        let got = demodulate_dense(&slicer, &det_a, &det_b, 0.0, syms.len(), c, 4);
+        assert_eq!(got, syms.to_vec());
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a pilot")]
+    fn dense_demod_requires_pilot() {
+        let c = milback_proto::dense::DenseConstellation::new(4);
+        let slicer = EnvelopeSlicer::new(10e6, 1e6);
+        demodulate_dense(&slicer, &[0.0; 10], &[0.0; 10], 0.0, 1, c, 0);
+    }
+
+    #[test]
+    fn ook_fallback() {
+        let slicer = EnvelopeSlicer::new(10e6, 1e6);
+        let bits = [true, false, true, true, false];
+        // Both detectors see the same tone at half strength.
+        let det_a = stream(&bits, 10, 0.3, 0.01);
+        let det_b = stream(&bits, 10, 0.3, 0.01);
+        let got = demodulate_ook(&slicer, &det_a, &det_b, 0.0, 5);
+        assert_eq!(got, bits.to_vec());
+    }
+
+    #[test]
+    fn guard_skips_settling_edge() {
+        let slicer = EnvelopeSlicer::new(10e6, 1e6);
+        // First 2 samples of each symbol are corrupted by settling.
+        let mut det = stream(&[true, false], 10, 1.0, 0.0);
+        det[0] = 0.0;
+        det[1] = 0.0;
+        det[10] = 1.0;
+        det[11] = 1.0;
+        let levels = slicer.symbol_levels(&det, 0.0, 2);
+        assert!(levels[0] > 0.9, "guard failed: {levels:?}");
+        assert!(levels[1] < 0.1, "guard failed: {levels:?}");
+    }
+
+    #[test]
+    fn out_of_range_symbols_are_zero() {
+        let slicer = EnvelopeSlicer::new(10e6, 1e6);
+        let det = stream(&[true], 10, 1.0, 0.0);
+        let levels = slicer.symbol_levels(&det, 0.0, 3);
+        assert_eq!(levels[1], 0.0);
+        assert_eq!(levels[2], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "2 samples per symbol")]
+    fn rejects_undersampled_slicer() {
+        EnvelopeSlicer::new(1e6, 1e6);
+    }
+}

@@ -1,0 +1,317 @@
+//! The node's MCU firmware as an explicit state machine.
+//!
+//! The MSP430 on the prototype runs a small event loop: sleep until RF
+//! energy appears, count Field-1 chirps while sampling the detectors,
+//! estimate orientation, drive the localization modulation through
+//! Field 2, then either stream switch states (uplink) or slice detector
+//! samples (downlink) for the payload. This module is that program,
+//! written against the same hardware models the simulation uses — so the
+//! protocol logic the paper describes in §7 exists as *runnable node-side
+//! code*, not only as orchestration in the simulator.
+
+use crate::mode_detect::ModeDetector;
+use crate::orientation::NodeOrientationEstimator;
+use milback_hw::switch::{SwitchSchedule, SwitchState};
+use milback_proto::packet::{LinkMode, PacketConfig};
+use milback_rf::fsa::DualPortFsa;
+
+/// Firmware states, in packet order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FirmwareState {
+    /// Waiting for RF energy (both ports absorptive, detectors armed).
+    Sleep,
+    /// Capturing Field 1: counting chirps + buffering for orientation.
+    Field1,
+    /// Driving the localization modulation during Field 2.
+    Field2,
+    /// Receiving a downlink payload.
+    PayloadDownlink,
+    /// Modulating an uplink payload.
+    PayloadUplink,
+    /// Packet finished; results latched, returning to sleep.
+    Done,
+}
+
+/// Everything the firmware learned during one packet.
+#[derive(Debug, Clone, Default)]
+pub struct FirmwareReport {
+    /// The link mode decoded from Field 1.
+    pub mode: Option<LinkMode>,
+    /// Own-orientation estimate, radians.
+    pub orientation: Option<f64>,
+    /// Whether the node participated in the payload phase.
+    pub payload_ran: bool,
+}
+
+/// The node firmware.
+#[derive(Debug, Clone)]
+pub struct Firmware {
+    /// Packet timing shared with the AP.
+    pub packet: PacketConfig,
+    /// Wake threshold on the summed detector outputs, volts.
+    pub wake_threshold: f64,
+    /// Per-sample detector noise (for the mode detector's floor), volts.
+    pub noise_sigma: f64,
+    state: FirmwareState,
+    field1_buf_a: Vec<f64>,
+    field1_buf_b: Vec<f64>,
+    report: FirmwareReport,
+}
+
+impl Firmware {
+    /// Boots the firmware with the given shared packet configuration.
+    pub fn new(packet: PacketConfig, wake_threshold: f64, noise_sigma: f64) -> Self {
+        Self {
+            packet,
+            wake_threshold,
+            noise_sigma,
+            state: FirmwareState::Sleep,
+            field1_buf_a: Vec::new(),
+            field1_buf_b: Vec::new(),
+            report: FirmwareReport::default(),
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> FirmwareState {
+        self.state
+    }
+
+    /// The latched report of the last completed packet.
+    pub fn report(&self) -> &FirmwareReport {
+        &self.report
+    }
+
+    /// Expected number of ADC samples in Field 1 at `adc_rate` Hz.
+    fn field1_samples(&self, adc_rate: f64) -> usize {
+        (3.0 * self.packet.field1_chirp.duration * adc_rate) as usize
+    }
+
+    /// Feeds one pair of ADC samples (port A, port B) taken at `adc_rate`.
+    /// Drives Sleep → Field1 → Field2 transitions. Call once per ADC tick
+    /// while listening.
+    pub fn on_adc_sample(&mut self, a: f64, b: f64, adc_rate: f64, fsa: &DualPortFsa) {
+        match self.state {
+            FirmwareState::Sleep if a + b > self.wake_threshold => {
+                // Energy: Field 1 has begun. Start buffering (the first
+                // sample belongs to the capture).
+                self.state = FirmwareState::Field1;
+                self.report = FirmwareReport::default();
+                self.field1_buf_a.clear();
+                self.field1_buf_b.clear();
+                self.field1_buf_a.push(a);
+                self.field1_buf_b.push(b);
+            }
+            FirmwareState::Sleep => {}
+            FirmwareState::Field1 => {
+                self.field1_buf_a.push(a);
+                self.field1_buf_b.push(b);
+                if self.field1_buf_a.len() >= self.field1_samples(adc_rate) {
+                    self.finish_field1(adc_rate, fsa);
+                }
+            }
+            // In the remaining states the MCU is not sampling the ADC for
+            // control (Field 2 drives switches; payload has its own path).
+            _ => {}
+        }
+    }
+
+    /// Processes the buffered Field-1 capture: mode detection + own
+    /// orientation, then advances to Field 2.
+    fn finish_field1(&mut self, adc_rate: f64, fsa: &DualPortFsa) {
+        let combined: Vec<f64> = self
+            .field1_buf_a
+            .iter()
+            .zip(&self.field1_buf_b)
+            .map(|(x, y)| x + y)
+            .collect();
+        let det = ModeDetector {
+            slot_duration: self.packet.field1_chirp.duration,
+            sample_rate: adc_rate,
+        };
+        self.report.mode = det.detect_with_floor(&combined, 0.0, self.noise_sigma);
+
+        // Orientation from the first chirp slot (both ports).
+        let n_slot = (self.packet.field1_chirp.duration * adc_rate) as usize;
+        let mut est = NodeOrientationEstimator::milback();
+        est.chirp = self.packet.field1_chirp;
+        est.sample_rate = adc_rate;
+        self.report.orientation = est.estimate(
+            fsa,
+            &self.field1_buf_a[..n_slot.min(self.field1_buf_a.len())],
+            &self.field1_buf_b[..n_slot.min(self.field1_buf_b.len())],
+        );
+        self.state = FirmwareState::Field2;
+    }
+
+    /// The switch schedules to drive during Field 2 (port A toggling for
+    /// background subtraction, port B absorptive).
+    pub fn field2_schedules(&self) -> (SwitchSchedule, SwitchSchedule) {
+        let freq = 1.0 / (4.0 * self.packet.field2_chirp.duration);
+        (
+            SwitchSchedule::SquareWave {
+                freq_hz: freq,
+                first: SwitchState::Reflective,
+            },
+            SwitchSchedule::Constant(SwitchState::Absorptive),
+        )
+    }
+
+    /// Signals that Field 2 has elapsed; advances into the payload phase
+    /// matching the decoded mode (or straight to Done if mode detection
+    /// failed — the node must not modulate on a packet it did not parse).
+    pub fn on_field2_complete(&mut self) {
+        assert_eq!(self.state, FirmwareState::Field2, "not in Field 2");
+        self.state = match self.report.mode {
+            Some(LinkMode::Uplink) => FirmwareState::PayloadUplink,
+            Some(LinkMode::Downlink) => FirmwareState::PayloadDownlink,
+            None => FirmwareState::Done,
+        };
+    }
+
+    /// Signals that the payload phase has elapsed; latches the report.
+    pub fn on_payload_complete(&mut self) {
+        assert!(
+            matches!(
+                self.state,
+                FirmwareState::PayloadUplink | FirmwareState::PayloadDownlink
+            ),
+            "not in a payload state"
+        );
+        self.report.payload_ran = true;
+        self.state = FirmwareState::Done;
+    }
+
+    /// Returns to sleep, ready for the next packet (the report stays
+    /// latched until the next wake).
+    pub fn to_sleep(&mut self) {
+        self.state = FirmwareState::Sleep;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use milback_rf::fsa::Port;
+
+    fn pkt() -> PacketConfig {
+        PacketConfig::milback()
+    }
+
+    /// Synthesizes Field-1 ADC samples for a given slot pattern with the
+    /// node at orientation `orient` (bumps placed via the FSA scan law).
+    fn field1_capture(
+        fsa: &DualPortFsa,
+        pattern: [bool; 3],
+        orient: f64,
+        adc_rate: f64,
+    ) -> (Vec<f64>, Vec<f64>) {
+        let cfg = pkt().field1_chirp;
+        let n_slot = (cfg.duration * adc_rate) as usize;
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for on in pattern {
+            for i in 0..n_slot {
+                if !on {
+                    a.push(0.0);
+                    b.push(0.0);
+                    continue;
+                }
+                let t = i as f64 / adc_rate;
+                let bump = |port: Port| -> f64 {
+                    let f_star = fsa.frequency_for_angle(port, orient).unwrap();
+                    let (t1, t2) = cfg.triangular_crossings(f_star).unwrap();
+                    let w = 2e-6;
+                    0.002
+                        + 0.3
+                            * ((-((t - t1) / w).powi(2)).exp()
+                                + (-((t - t2) / w).powi(2)).exp())
+                };
+                a.push(bump(Port::A));
+                b.push(bump(Port::B));
+            }
+        }
+        (a, b)
+    }
+
+    #[test]
+    fn full_uplink_packet_walkthrough() {
+        let fsa = DualPortFsa::milback();
+        let adc = 1e6;
+        let mut fw = Firmware::new(pkt(), 0.003, 0.001);
+        assert_eq!(fw.state(), FirmwareState::Sleep);
+
+        let orient = 0.15; // ~8.6°
+        let (a, b) = field1_capture(&fsa, [true, true, true], orient, adc);
+        for (&x, &y) in a.iter().zip(&b) {
+            fw.on_adc_sample(x, y, adc, &fsa);
+        }
+        assert_eq!(fw.state(), FirmwareState::Field2);
+        assert_eq!(fw.report().mode, Some(LinkMode::Uplink));
+        let est = fw.report().orientation.expect("no orientation");
+        assert!((est - orient).abs() < 0.03, "est {est}");
+
+        let (sa, sb) = fw.field2_schedules();
+        assert!(sa.transitions_in(1.0) > 0);
+        assert_eq!(sb.transitions_in(1.0), 0);
+
+        fw.on_field2_complete();
+        assert_eq!(fw.state(), FirmwareState::PayloadUplink);
+        fw.on_payload_complete();
+        assert_eq!(fw.state(), FirmwareState::Done);
+        assert!(fw.report().payload_ran);
+        fw.to_sleep();
+        assert_eq!(fw.state(), FirmwareState::Sleep);
+    }
+
+    #[test]
+    fn downlink_pattern_routes_to_downlink_state() {
+        let fsa = DualPortFsa::milback();
+        let adc = 1e6;
+        let mut fw = Firmware::new(pkt(), 0.003, 0.001);
+        let (a, b) = field1_capture(&fsa, [true, false, true], 0.1, adc);
+        for (&x, &y) in a.iter().zip(&b) {
+            fw.on_adc_sample(x, y, adc, &fsa);
+        }
+        assert_eq!(fw.report().mode, Some(LinkMode::Downlink));
+        fw.on_field2_complete();
+        assert_eq!(fw.state(), FirmwareState::PayloadDownlink);
+    }
+
+    #[test]
+    fn failed_mode_detection_skips_payload() {
+        let fsa = DualPortFsa::milback();
+        let adc = 1e6;
+        // Noise sigma 0.002: the mode detector's 5σ/√N floor sits above
+        // the spurious energy below, so no mode can be decoded.
+        let mut fw = Firmware::new(pkt(), 0.0004, 0.002);
+        // A transient spike wakes the MCU but the rest is sub-floor noise.
+        let n = fw.field1_samples(adc) + 1;
+        for i in 0..n {
+            let v = if i == 0 { 0.001 } else { 0.0002 * ((i as f64) * 0.1).sin() };
+            fw.on_adc_sample(v, v, adc, &fsa);
+        }
+        assert_eq!(fw.state(), FirmwareState::Field2);
+        assert_eq!(fw.report().mode, None);
+        fw.on_field2_complete();
+        assert_eq!(fw.state(), FirmwareState::Done);
+        assert!(!fw.report().payload_ran);
+    }
+
+    #[test]
+    fn stays_asleep_below_threshold() {
+        let fsa = DualPortFsa::milback();
+        let mut fw = Firmware::new(pkt(), 0.05, 0.001);
+        for _ in 0..1000 {
+            fw.on_adc_sample(0.01, 0.01, 1e6, &fsa);
+        }
+        assert_eq!(fw.state(), FirmwareState::Sleep);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in Field 2")]
+    fn field2_complete_requires_field2() {
+        let mut fw = Firmware::new(pkt(), 0.01, 0.001);
+        fw.on_field2_complete();
+    }
+}

@@ -1,0 +1,29 @@
+//! # milback-node
+//!
+//! The MilBack backscatter node:
+//!
+//! * [`node`] — the node itself: dual-port FSA + switches + envelope
+//!   detectors + ADC, and the channel-facing `Γ(t)` schedules,
+//! * [`orientation`] — node-side orientation sensing from triangular-chirp
+//!   peak separation (paper §5.2(b)),
+//! * [`demod`] — downlink OAQFM / fallback-OOK demodulation (§6.1–6.2),
+//! * [`modulator`] — uplink OAQFM switch-schedule modulation (§6.3),
+//! * [`mode_detect`] — Field-1 chirp counting → uplink/downlink (§7),
+//! * [`firmware`] — the node MCU's packet state machine,
+//! * [`timing`] — pilot-based symbol-timing recovery.
+
+pub mod demod;
+pub mod firmware;
+pub mod mode_detect;
+pub mod modulator;
+pub mod node;
+pub mod orientation;
+pub mod timing;
+
+pub use demod::{demodulate_oaqfm, demodulate_ook, EnvelopeSlicer};
+pub use firmware::{Firmware, FirmwareReport, FirmwareState};
+pub use mode_detect::ModeDetector;
+pub use modulator::{max_uplink_bit_rate, modulate_uplink, ModulationError};
+pub use node::BackscatterNode;
+pub use orientation::NodeOrientationEstimator;
+pub use timing::TimingRecovery;

@@ -1,0 +1,164 @@
+//! Symbol-timing recovery for the downlink demodulator.
+//!
+//! The simulation elsewhere hands the demodulator the exact payload start
+//! time; a real node only knows "energy appeared". This module recovers
+//! the symbol boundary by sliding a known pilot pattern over the detector
+//! stream and maximizing the correlation of per-symbol integrals — the
+//! MCU-friendly equivalent of early/late gate timing.
+
+use crate::demod::EnvelopeSlicer;
+
+/// Timing estimator for a known on/off pilot at the payload start.
+#[derive(Debug, Clone)]
+pub struct TimingRecovery {
+    /// The pilot's on/off pattern per symbol.
+    pub pilot: Vec<bool>,
+    /// Number of candidate offsets tested per symbol period.
+    pub steps_per_symbol: usize,
+}
+
+impl TimingRecovery {
+    /// Builds a recovery for a pilot pattern with 16 trial offsets per
+    /// symbol.
+    pub fn new(pilot: Vec<bool>) -> Self {
+        assert!(pilot.len() >= 2, "pilot too short for timing");
+        assert!(
+            pilot.iter().any(|b| *b) && pilot.iter().any(|b| !*b),
+            "pilot must contain both on and off symbols"
+        );
+        Self {
+            pilot,
+            steps_per_symbol: 16,
+        }
+    }
+
+    /// Correlation metric of the pilot at offset `t0`: Σ ±level, with
+    /// `+` for expected-on symbols and `−` for expected-off. Uses a
+    /// guard-free integration window — the demodulator's settling guard
+    /// would flatten the metric into a plateau and bias the peak.
+    fn metric(&self, slicer: &EnvelopeSlicer, detector: &[f64], t0: f64) -> f64 {
+        let mut sharp = *slicer;
+        sharp.guard = 0.0;
+        let levels = sharp.symbol_levels(detector, t0, self.pilot.len());
+        self.pilot
+            .iter()
+            .zip(&levels)
+            .map(|(&on, &l)| if on { l } else { -l })
+            .sum()
+    }
+
+    /// Searches `[0, search_window)` seconds for the pilot start, at
+    /// `steps_per_symbol` resolution. Returns the best-aligned `t0`.
+    pub fn acquire(
+        &self,
+        slicer: &EnvelopeSlicer,
+        detector: &[f64],
+        search_window: f64,
+    ) -> Option<f64> {
+        assert!(search_window > 0.0, "search window must be positive");
+        let step = 1.0 / (slicer.symbol_rate * self.steps_per_symbol as f64);
+        let n_steps = (search_window / step).ceil() as usize;
+        let mut best = None;
+        let mut best_metric = f64::MIN;
+        for k in 0..=n_steps {
+            let t0 = k as f64 * step;
+            let m = self.metric(slicer, detector, t0);
+            if m > best_metric {
+                best_metric = m;
+                best = Some(t0);
+            }
+        }
+        // Reject a windowless / silent stream: the best metric must be
+        // positive (on-symbols actually brighter than off-symbols).
+        if best_metric <= 0.0 {
+            return None;
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a detector stream: `offset_samples` of noise floor, then the
+    /// pattern at `sps` samples/symbol.
+    fn stream(pattern: &[bool], offset_samples: usize, sps: usize) -> Vec<f64> {
+        let mut v = vec![0.01; offset_samples];
+        for &on in pattern {
+            for _ in 0..sps {
+                v.push(if on { 0.5 } else { 0.01 });
+            }
+        }
+        v.extend(std::iter::repeat_n(0.01, 4 * sps));
+        v
+    }
+
+    const PILOT: [bool; 4] = [true, false, true, false];
+
+    #[test]
+    fn acquires_exact_offset() {
+        let sps = 20;
+        let fs = 20e6;
+        let slicer = EnvelopeSlicer::new(fs, 1e6);
+        let tr = TimingRecovery::new(PILOT.to_vec());
+        for offset in [0usize, 7, 33, 55] {
+            let mut pattern = PILOT.to_vec();
+            pattern.extend([true, true, false, true]); // payload
+            let det = stream(&pattern, offset, sps);
+            let t0 = tr.acquire(&slicer, &det, 5e-6).expect("no acquisition");
+            let err_samples = (t0 * fs - offset as f64).abs();
+            assert!(err_samples <= 2.0, "offset {offset}: err {err_samples}");
+        }
+    }
+
+    #[test]
+    fn acquired_timing_decodes_payload() {
+        use crate::demod::demodulate_ook;
+        let sps = 20;
+        let fs = 20e6;
+        let slicer = EnvelopeSlicer::new(fs, 1e6);
+        let tr = TimingRecovery::new(PILOT.to_vec());
+        let payload = [true, true, false, true, false, false, true, false];
+        let mut pattern = PILOT.to_vec();
+        pattern.extend_from_slice(&payload);
+        let det = stream(&pattern, 41, sps);
+        let t0 = tr.acquire(&slicer, &det, 5e-6).unwrap();
+        let t_payload = t0 + PILOT.len() as f64 / 1e6;
+        let half = vec![0.0; det.len()];
+        let bits = demodulate_ook(&slicer, &det, &half, t_payload, payload.len());
+        assert_eq!(bits, payload.to_vec());
+    }
+
+    #[test]
+    fn silent_stream_yields_none() {
+        let slicer = EnvelopeSlicer::new(20e6, 1e6);
+        let tr = TimingRecovery::new(PILOT.to_vec());
+        let det = vec![0.0; 4000];
+        assert!(tr.acquire(&slicer, &det, 5e-6).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "both on and off")]
+    fn rejects_all_on_pilot() {
+        TimingRecovery::new(vec![true, true]);
+    }
+
+    #[test]
+    fn noisy_acquisition_within_a_sample_or_two() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let sps = 20;
+        let fs = 20e6;
+        let slicer = EnvelopeSlicer::new(fs, 1e6);
+        let tr = TimingRecovery::new(PILOT.to_vec());
+        let mut pattern = PILOT.to_vec();
+        pattern.extend([false, true, true, false]);
+        let mut det = stream(&pattern, 23, sps);
+        let mut rng = StdRng::seed_from_u64(3);
+        milback_dsp::noise::add_real_noise(&mut det, 0.03, &mut rng);
+        let t0 = tr.acquire(&slicer, &det, 5e-6).unwrap();
+        let err = (t0 * fs - 23.0).abs();
+        assert!(err <= 3.0, "err {err} samples");
+    }
+}

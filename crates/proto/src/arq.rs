@@ -1,0 +1,253 @@
+//! Stop-and-wait ARQ on top of the CRC-protected frames.
+//!
+//! The paper's payload layer detects corruption (our CRC) but does not
+//! specify recovery. This module adds the minimal reliable-delivery layer
+//! a deployment needs: 1-bit sequence numbers, acknowledgements and
+//! bounded retransmission — stop-and-wait, because the MilBack medium is
+//! half-duplex by construction (the AP owns the query signal).
+
+/// 1-bit sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeqBit {
+    /// Sequence 0.
+    Zero,
+    /// Sequence 1.
+    One,
+}
+
+impl SeqBit {
+    /// The alternate sequence value.
+    pub fn toggled(self) -> Self {
+        match self {
+            SeqBit::Zero => SeqBit::One,
+            SeqBit::One => SeqBit::Zero,
+        }
+    }
+
+    /// Header byte encoding of this sequence bit.
+    fn to_byte(self) -> u8 {
+        match self {
+            SeqBit::Zero => 0xA0,
+            SeqBit::One => 0xA1,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<Self> {
+        match b {
+            0xA0 => Some(SeqBit::Zero),
+            0xA1 => Some(SeqBit::One),
+            _ => None,
+        }
+    }
+}
+
+/// Prepends the ARQ header (sequence bit) to a payload; the result is
+/// what gets framed and transmitted.
+pub fn with_header(seq: SeqBit, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 1);
+    out.push(seq.to_byte());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Splits a received (CRC-valid) frame into its ARQ header and payload.
+/// Returns `None` for an unrecognized header.
+pub fn parse_header(frame: &[u8]) -> Option<(SeqBit, &[u8])> {
+    let (&head, rest) = frame.split_first()?;
+    Some((SeqBit::from_byte(head)?, rest))
+}
+
+/// Sender-side stop-and-wait state machine.
+#[derive(Debug, Clone)]
+pub struct ArqSender {
+    seq: SeqBit,
+    /// Maximum transmissions per payload (1 original + retries).
+    pub max_attempts: usize,
+    attempts: usize,
+    in_flight: Option<Vec<u8>>,
+}
+
+/// What the sender should do next.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SenderAction {
+    /// Transmit this frame (header already attached).
+    Transmit(Vec<u8>),
+    /// The in-flight payload was delivered; ready for the next one.
+    Delivered,
+    /// Retry budget exhausted; the payload is dropped.
+    GiveUp,
+}
+
+impl Default for ArqSender {
+    fn default() -> Self {
+        Self::new(4)
+    }
+}
+
+impl ArqSender {
+    /// Creates a sender allowing `max_attempts` transmissions per payload.
+    pub fn new(max_attempts: usize) -> Self {
+        assert!(max_attempts >= 1, "need at least one attempt");
+        Self {
+            seq: SeqBit::Zero,
+            max_attempts,
+            attempts: 0,
+            in_flight: None,
+        }
+    }
+
+    /// Whether the sender is idle (no payload awaiting acknowledgement).
+    pub fn is_idle(&self) -> bool {
+        self.in_flight.is_none()
+    }
+
+    /// Queues a payload; returns the first frame to transmit.
+    ///
+    /// # Panics
+    /// Panics if a payload is already in flight.
+    pub fn send(&mut self, payload: &[u8]) -> Vec<u8> {
+        assert!(self.is_idle(), "previous payload still in flight");
+        let frame = with_header(self.seq, payload);
+        self.in_flight = Some(frame.clone());
+        self.attempts = 1;
+        frame
+    }
+
+    /// Processes the outcome of the last transmission: `acked_seq` is the
+    /// sequence bit the receiver acknowledged (`None` = no/garbled ACK).
+    pub fn on_ack(&mut self, acked_seq: Option<SeqBit>) -> SenderAction {
+        let Some(frame) = &self.in_flight else {
+            return SenderAction::Delivered;
+        };
+        if acked_seq == Some(self.seq) {
+            self.in_flight = None;
+            self.seq = self.seq.toggled();
+            return SenderAction::Delivered;
+        }
+        if self.attempts >= self.max_attempts {
+            self.in_flight = None;
+            self.seq = self.seq.toggled();
+            return SenderAction::GiveUp;
+        }
+        self.attempts += 1;
+        SenderAction::Transmit(frame.clone())
+    }
+}
+
+/// Receiver-side stop-and-wait state: filters duplicates and produces the
+/// ACK to return.
+#[derive(Debug, Clone, Default)]
+pub struct ArqReceiver {
+    last_accepted: Option<SeqBit>,
+}
+
+impl ArqReceiver {
+    /// Creates a fresh receiver.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Processes a CRC-valid incoming frame. Returns `(ack, payload)`:
+    /// `ack` is the sequence bit to acknowledge, and `payload` is `Some`
+    /// only for first-time (non-duplicate) deliveries.
+    pub fn on_frame<'a>(&mut self, frame: &'a [u8]) -> Option<(SeqBit, Option<&'a [u8]>)> {
+        let (seq, payload) = parse_header(frame)?;
+        if self.last_accepted == Some(seq) {
+            // Duplicate: re-ACK, do not deliver again.
+            return Some((seq, None));
+        }
+        self.last_accepted = Some(seq);
+        Some((seq, Some(payload)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_round_trip() {
+        let framed = with_header(SeqBit::One, b"abc");
+        let (seq, payload) = parse_header(&framed).unwrap();
+        assert_eq!(seq, SeqBit::One);
+        assert_eq!(payload, b"abc");
+        assert!(parse_header(&[0x55, 1, 2]).is_none());
+        assert!(parse_header(&[]).is_none());
+    }
+
+    #[test]
+    fn clean_delivery_advances_sequence() {
+        let mut tx = ArqSender::new(3);
+        let mut rx = ArqReceiver::new();
+        for round in 0..4u8 {
+            let frame = tx.send(&[round]);
+            let (ack, delivered) = rx.on_frame(&frame).unwrap();
+            assert_eq!(delivered, Some(&[round][..]), "round {round}");
+            assert_eq!(tx.on_ack(Some(ack)), SenderAction::Delivered);
+            assert!(tx.is_idle());
+        }
+    }
+
+    #[test]
+    fn lost_frame_is_retransmitted() {
+        let mut tx = ArqSender::new(3);
+        let mut rx = ArqReceiver::new();
+        let frame = tx.send(b"data");
+        // Frame lost: no ACK.
+        let action = tx.on_ack(None);
+        let SenderAction::Transmit(retry) = action else {
+            panic!("expected retransmission, got {action:?}");
+        };
+        assert_eq!(retry, frame);
+        // Retry arrives.
+        let (ack, delivered) = rx.on_frame(&retry).unwrap();
+        assert_eq!(delivered, Some(&b"data"[..]));
+        assert_eq!(tx.on_ack(Some(ack)), SenderAction::Delivered);
+    }
+
+    #[test]
+    fn lost_ack_causes_duplicate_which_is_filtered() {
+        let mut tx = ArqSender::new(3);
+        let mut rx = ArqReceiver::new();
+        let frame = tx.send(b"once");
+        // Frame arrives, ACK lost.
+        let (_ack, delivered) = rx.on_frame(&frame).unwrap();
+        assert_eq!(delivered, Some(&b"once"[..]));
+        let SenderAction::Transmit(retry) = tx.on_ack(None) else {
+            panic!("expected retry");
+        };
+        // Duplicate arrives: re-ACKed but NOT delivered twice.
+        let (ack2, delivered2) = rx.on_frame(&retry).unwrap();
+        assert_eq!(delivered2, None, "duplicate delivered");
+        assert_eq!(tx.on_ack(Some(ack2)), SenderAction::Delivered);
+    }
+
+    #[test]
+    fn gives_up_after_max_attempts() {
+        let mut tx = ArqSender::new(2);
+        let _ = tx.send(b"x");
+        assert!(matches!(tx.on_ack(None), SenderAction::Transmit(_)));
+        assert_eq!(tx.on_ack(None), SenderAction::GiveUp);
+        assert!(tx.is_idle());
+        // Sequence still advances so the next payload isn't mistaken for a
+        // duplicate of the dropped one.
+        let next = tx.send(b"y");
+        assert_eq!(parse_header(&next).unwrap().0, SeqBit::One);
+    }
+
+    #[test]
+    fn wrong_seq_ack_is_ignored() {
+        let mut tx = ArqSender::new(3);
+        let _ = tx.send(b"x");
+        // ACK for the other sequence: treated as no ACK.
+        assert!(matches!(tx.on_ack(Some(SeqBit::One)), SenderAction::Transmit(_)));
+    }
+
+    #[test]
+    #[should_panic(expected = "still in flight")]
+    fn cannot_send_while_in_flight() {
+        let mut tx = ArqSender::new(3);
+        let _ = tx.send(b"a");
+        let _ = tx.send(b"b");
+    }
+}

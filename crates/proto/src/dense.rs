@@ -1,0 +1,226 @@
+//! Dense OAQFM: multi-amplitude constellations (paper §9.4's proposed
+//! extension — "define denser OAQFM modulation schemes, where each symbol
+//! represents more bits by considering different amplitudes for each tone
+//! of OAQFM").
+//!
+//! With `L` amplitude levels per tone (level 0 = off), each tone carries
+//! `log2(L)` bits and a symbol carries `2·log2(L)`. Standard OAQFM is the
+//! `L = 2` special case.
+
+/// A dense OAQFM symbol: one amplitude level per tone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DenseSymbol {
+    /// Level index on the `f_A` tone, `0..levels`.
+    pub a_level: u8,
+    /// Level index on the `f_B` tone, `0..levels`.
+    pub b_level: u8,
+}
+
+/// A dense OAQFM constellation with `levels` amplitude steps per tone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DenseConstellation {
+    /// Amplitude levels per tone (must be a power of two ≥ 2).
+    pub levels: u8,
+}
+
+impl DenseConstellation {
+    /// Creates a constellation. `levels` must be a power of two in 2..=16.
+    pub fn new(levels: u8) -> Self {
+        assert!(
+            levels.is_power_of_two() && (2..=16).contains(&levels),
+            "levels must be a power of two in 2..=16, got {levels}"
+        );
+        Self { levels }
+    }
+
+    /// Classic OAQFM: on/off per tone.
+    pub fn classic() -> Self {
+        Self::new(2)
+    }
+
+    /// Bits carried per tone: `log2(levels)`.
+    pub fn bits_per_tone(&self) -> usize {
+        self.levels.trailing_zeros() as usize
+    }
+
+    /// Bits carried per symbol (two tones).
+    pub fn bits_per_symbol(&self) -> usize {
+        2 * self.bits_per_tone()
+    }
+
+    /// Normalized amplitude of level `l`: evenly spaced in voltage,
+    /// `l / (levels−1)`, so the top level is full scale and level 0 is
+    /// off (the tag can only reflect, attenuate or absorb — negative
+    /// amplitudes are not available to a backscatter node).
+    pub fn amplitude(&self, level: u8) -> f64 {
+        assert!(level < self.levels, "level {level} out of range");
+        level as f64 / (self.levels - 1) as f64
+    }
+
+    /// Maps a bit group (LSB-first order within the group) to a level.
+    /// The bit group is interpreted as a Gray codeword, so adjacent
+    /// amplitude levels differ in exactly one bit.
+    pub fn bits_to_level(&self, bits: &[bool]) -> u8 {
+        assert_eq!(bits.len(), self.bits_per_tone(), "bit-group size mismatch");
+        let mut gray = 0u8;
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                gray |= 1 << i;
+            }
+        }
+        // Gray → binary: fold the shifted prefix XORs.
+        let mut level = gray;
+        let mut mask = gray >> 1;
+        while mask != 0 {
+            level ^= mask;
+            mask >>= 1;
+        }
+        level % self.levels
+    }
+
+    /// Inverse of [`Self::bits_to_level`].
+    pub fn level_to_bits(&self, level: u8) -> Vec<bool> {
+        assert!(level < self.levels, "level {level} out of range");
+        let gray = level ^ (level >> 1);
+        (0..self.bits_per_tone()).map(|i| (gray >> i) & 1 == 1).collect()
+    }
+
+    /// Encodes a bit stream into dense symbols. Trailing bits are padded
+    /// with zeros to fill the last symbol.
+    pub fn encode(&self, bits: &[bool]) -> Vec<DenseSymbol> {
+        let bpt = self.bits_per_tone();
+        let bps = self.bits_per_symbol();
+        let n_symbols = bits.len().div_ceil(bps);
+        let mut padded = bits.to_vec();
+        padded.resize(n_symbols * bps, false);
+        padded
+            .chunks(bps)
+            .map(|chunk| DenseSymbol {
+                a_level: self.bits_to_level(&chunk[..bpt]),
+                b_level: self.bits_to_level(&chunk[bpt..]),
+            })
+            .collect()
+    }
+
+    /// Decodes dense symbols back to bits.
+    pub fn decode(&self, symbols: &[DenseSymbol]) -> Vec<bool> {
+        let mut bits = Vec::with_capacity(symbols.len() * self.bits_per_symbol());
+        for s in symbols {
+            bits.extend(self.level_to_bits(s.a_level));
+            bits.extend(self.level_to_bits(s.b_level));
+        }
+        bits
+    }
+
+    /// Slices a measured (normalized, 0..1) amplitude to the nearest
+    /// level.
+    pub fn slice(&self, normalized: f64) -> u8 {
+        let l = (normalized * (self.levels - 1) as f64).round();
+        l.clamp(0.0, (self.levels - 1) as f64) as u8
+    }
+
+    /// Minimum normalized distance between adjacent decision levels —
+    /// the noise margin shrinks as `1/(levels−1)`, which is the SNR cost
+    /// of density.
+    pub fn level_spacing(&self) -> f64 {
+        1.0 / (self.levels - 1) as f64
+    }
+
+    /// Extra SNR (dB) needed relative to classic OAQFM for the same
+    /// symbol error behaviour: the decision margin shrinks from 1 to
+    /// `1/(levels−1)`, costing `20·log10(levels−1)` dB.
+    pub fn snr_penalty_db(&self) -> f64 {
+        20.0 * ((self.levels - 1) as f64).log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_is_two_levels() {
+        let c = DenseConstellation::classic();
+        assert_eq!(c.bits_per_symbol(), 2);
+        assert_eq!(c.amplitude(0), 0.0);
+        assert_eq!(c.amplitude(1), 1.0);
+        assert_eq!(c.snr_penalty_db(), 0.0);
+    }
+
+    #[test]
+    fn four_level_doubles_bits() {
+        let c = DenseConstellation::new(4);
+        assert_eq!(c.bits_per_symbol(), 4);
+        assert_eq!(c.amplitude(3), 1.0);
+        assert!((c.amplitude(1) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((c.snr_penalty_db() - 9.54).abs() < 0.01);
+    }
+
+    #[test]
+    fn gray_coding_adjacent_levels_differ_one_bit() {
+        for levels in [2u8, 4, 8, 16] {
+            let c = DenseConstellation::new(levels);
+            for l in 0..levels - 1 {
+                let a = c.level_to_bits(l);
+                let b = c.level_to_bits(l + 1);
+                let diff = a.iter().zip(&b).filter(|(x, y)| x != y).count();
+                assert_eq!(diff, 1, "levels {l}/{} differ by {diff} bits", l + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn bits_level_round_trip() {
+        for levels in [2u8, 4, 8, 16] {
+            let c = DenseConstellation::new(levels);
+            for l in 0..levels {
+                let bits = c.level_to_bits(l);
+                assert_eq!(c.bits_to_level(&bits), l, "levels={levels} l={l}");
+            }
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let c = DenseConstellation::new(4);
+        let bits: Vec<bool> = (0..64).map(|i| (i * 7) % 3 == 0).collect();
+        let symbols = c.encode(&bits);
+        assert_eq!(symbols.len(), 16);
+        let back = c.decode(&symbols);
+        assert_eq!(&back[..64], &bits[..]);
+    }
+
+    #[test]
+    fn padding_fills_last_symbol() {
+        let c = DenseConstellation::new(4);
+        let bits = [true, false, true]; // 3 bits, symbol carries 4
+        let symbols = c.encode(&bits);
+        assert_eq!(symbols.len(), 1);
+        let back = c.decode(&symbols);
+        assert_eq!(&back[..3], &bits[..]);
+        assert!(!back[3]);
+    }
+
+    #[test]
+    fn slicing_nearest_level() {
+        let c = DenseConstellation::new(4);
+        assert_eq!(c.slice(0.0), 0);
+        assert_eq!(c.slice(0.3), 1);
+        assert_eq!(c.slice(0.7), 2);
+        assert_eq!(c.slice(1.0), 3);
+        assert_eq!(c.slice(1.4), 3); // clamped
+        assert_eq!(c.slice(-0.2), 0);
+    }
+
+    #[test]
+    fn spacing_shrinks_with_levels() {
+        assert_eq!(DenseConstellation::new(2).level_spacing(), 1.0);
+        assert!((DenseConstellation::new(8).level_spacing() - 1.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        DenseConstellation::new(3);
+    }
+}

@@ -1,0 +1,31 @@
+//! # milback-proto
+//!
+//! Link-layer protocol for MilBack (paper §7):
+//!
+//! * [`arq`] — stop-and-wait reliable delivery over the CRC frames,
+//! * [`bits`] — bit utilities and the OAQFM symbol alphabet,
+//! * [`crc`] — CRC-16/CCITT-FALSE frame protection,
+//! * [`dense`] — multi-amplitude "dense OAQFM" constellations (§9.4),
+//! * [`fec`] — Hamming(7,4) forward error correction,
+//! * [`frame`] — payload ↔ symbol-stream framing,
+//! * [`mac`] — a polling MAC for multi-node deployments,
+//! * [`multiframe`] — fragmentation/reassembly for large messages,
+//! * [`packet`] — packet structure and preamble timing (Field 1 mode
+//!   signalling, Field 2 localization chirps, payload).
+
+pub mod arq;
+pub mod bits;
+pub mod crc;
+pub mod dense;
+pub mod fec;
+pub mod frame;
+pub mod mac;
+pub mod multiframe;
+pub mod packet;
+
+pub use arq::{ArqReceiver, ArqSender, SenderAction, SeqBit};
+pub use bits::OaqfmSymbol;
+pub use dense::{DenseConstellation, DenseSymbol};
+pub use frame::{decode_frame, encode_frame, FrameError};
+pub use mac::{NodeId, PollSchedule, PollSlot};
+pub use packet::{LinkMode, Packet, PacketConfig};

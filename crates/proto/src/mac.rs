@@ -1,0 +1,171 @@
+//! A simple polling MAC for multi-node MilBack networks (paper §7 closes
+//! with SDM multi-node support; someone still has to decide *when* each
+//! node is served — this module is that scheduler).
+//!
+//! The AP owns the medium: it steers its beams at one node at a time and
+//! runs a full packet (preamble + payload) with it. Nodes never contend;
+//! a node knows it is being addressed because the AP's beams (and the
+//! preamble chirps) are pointed at it, and all other nodes see only
+//! side-lobe energy below their detection floor.
+
+use crate::packet::{LinkMode, PacketConfig};
+
+/// Identifies a node within a MAC schedule.
+pub type NodeId = usize;
+
+/// One entry of a polling schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PollSlot {
+    /// Which node is served.
+    pub node: NodeId,
+    /// Payload direction for this slot.
+    pub mode: LinkMode,
+}
+
+/// A static round-robin polling schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PollSchedule {
+    slots: Vec<PollSlot>,
+}
+
+impl PollSchedule {
+    /// Builds a schedule from explicit slots.
+    pub fn new(slots: Vec<PollSlot>) -> Self {
+        assert!(!slots.is_empty(), "schedule needs at least one slot");
+        Self { slots }
+    }
+
+    /// Round-robin uplink polling of `n_nodes` nodes (the common telemetry
+    /// pattern: every node reports once per round).
+    pub fn round_robin_uplink(n_nodes: usize) -> Self {
+        assert!(n_nodes > 0, "need at least one node");
+        Self::new(
+            (0..n_nodes)
+                .map(|node| PollSlot {
+                    node,
+                    mode: LinkMode::Uplink,
+                })
+                .collect(),
+        )
+    }
+
+    /// A command-and-report round: downlink then uplink per node.
+    pub fn command_and_report(n_nodes: usize) -> Self {
+        assert!(n_nodes > 0, "need at least one node");
+        let mut slots = Vec::with_capacity(2 * n_nodes);
+        for node in 0..n_nodes {
+            slots.push(PollSlot {
+                node,
+                mode: LinkMode::Downlink,
+            });
+            slots.push(PollSlot {
+                node,
+                mode: LinkMode::Uplink,
+            });
+        }
+        Self::new(slots)
+    }
+
+    /// The slots of one round, in order.
+    pub fn slots(&self) -> &[PollSlot] {
+        &self.slots
+    }
+
+    /// Number of slots per round.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the schedule is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The slot served at absolute slot index `k` (wraps around rounds).
+    pub fn slot_at(&self, k: usize) -> PollSlot {
+        self.slots[k % self.slots.len()]
+    }
+
+    /// Duration of one full round given the packet configuration plus a
+    /// per-slot beam-steering overhead, seconds.
+    pub fn round_duration(&self, pkt: &PacketConfig, steering_overhead: f64) -> f64 {
+        self.slots.len() as f64 * (pkt.total_duration() + steering_overhead)
+    }
+
+    /// Per-node uplink throughput under this schedule, bits/s: the raw
+    /// payload bits a node moves per round divided by the round duration.
+    pub fn per_node_uplink_throughput(
+        &self,
+        node: NodeId,
+        pkt: &PacketConfig,
+        steering_overhead: f64,
+    ) -> f64 {
+        let uplink_slots = self
+            .slots
+            .iter()
+            .filter(|s| s.node == node && s.mode == LinkMode::Uplink)
+            .count();
+        let bits = (uplink_slots * pkt.payload_bytes * 8) as f64;
+        bits / self.round_duration(pkt, steering_overhead)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_covers_every_node_once() {
+        let s = PollSchedule::round_robin_uplink(4);
+        assert_eq!(s.len(), 4);
+        for (k, slot) in s.slots().iter().enumerate() {
+            assert_eq!(slot.node, k);
+            assert_eq!(slot.mode, LinkMode::Uplink);
+        }
+    }
+
+    #[test]
+    fn command_and_report_alternates() {
+        let s = PollSchedule::command_and_report(2);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.slot_at(0), PollSlot { node: 0, mode: LinkMode::Downlink });
+        assert_eq!(s.slot_at(1), PollSlot { node: 0, mode: LinkMode::Uplink });
+        assert_eq!(s.slot_at(2), PollSlot { node: 1, mode: LinkMode::Downlink });
+        assert_eq!(s.slot_at(3), PollSlot { node: 1, mode: LinkMode::Uplink });
+    }
+
+    #[test]
+    fn slot_indexing_wraps() {
+        let s = PollSchedule::round_robin_uplink(3);
+        assert_eq!(s.slot_at(7).node, 1);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn round_duration_scales_with_nodes() {
+        let pkt = PacketConfig::milback();
+        let s2 = PollSchedule::round_robin_uplink(2);
+        let s6 = PollSchedule::round_robin_uplink(6);
+        let d2 = s2.round_duration(&pkt, 1e-3);
+        let d6 = s6.round_duration(&pkt, 1e-3);
+        assert!((d6 / d2 - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_splits_across_nodes() {
+        let pkt = PacketConfig::milback();
+        let s1 = PollSchedule::round_robin_uplink(1);
+        let s4 = PollSchedule::round_robin_uplink(4);
+        let t1 = s1.per_node_uplink_throughput(0, &pkt, 0.0);
+        let t4 = s4.per_node_uplink_throughput(0, &pkt, 0.0);
+        assert!((t1 / t4 - 4.0).abs() < 1e-9);
+        // A node absent from the schedule moves nothing.
+        assert_eq!(s4.per_node_uplink_throughput(9, &pkt, 0.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn empty_schedule_rejected() {
+        PollSchedule::new(vec![]);
+    }
+}

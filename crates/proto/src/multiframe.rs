@@ -1,0 +1,198 @@
+//! Fragmentation and reassembly: application messages larger than the
+//! fixed packet payload (paper §7: "the length of the payload is
+//! predefined") are split across packets and stitched back together.
+//!
+//! Fragment header (2 bytes): `index` and `total` (1-based count), so a
+//! message spans at most 255 fragments. The CRC framing underneath
+//! guarantees per-fragment integrity; reassembly tracks completeness.
+
+/// Per-fragment header size, bytes.
+pub const FRAGMENT_HEADER: usize = 2;
+
+/// Splits a message into fragments that each fit `payload_bytes` (the
+/// network's fixed payload size), prepending `[index, total]` headers.
+///
+/// # Panics
+/// Panics if the message needs more than 255 fragments or the payload
+/// size cannot fit any data.
+pub fn fragment(message: &[u8], payload_bytes: usize) -> Vec<Vec<u8>> {
+    assert!(
+        payload_bytes > FRAGMENT_HEADER,
+        "payload too small for a fragment header"
+    );
+    let chunk = payload_bytes - FRAGMENT_HEADER;
+    let total = message.len().div_ceil(chunk).max(1);
+    assert!(total <= 255, "message needs {total} fragments (max 255)");
+    (0..total)
+        .map(|i| {
+            let lo = i * chunk;
+            let hi = ((i + 1) * chunk).min(message.len());
+            let mut frag = Vec::with_capacity(payload_bytes);
+            frag.push((i + 1) as u8);
+            frag.push(total as u8);
+            frag.extend_from_slice(&message[lo..hi]);
+            frag
+        })
+        .collect()
+}
+
+/// Reassembly state for one in-flight message.
+#[derive(Debug, Clone, Default)]
+pub struct Reassembler {
+    total: Option<u8>,
+    parts: Vec<Option<Vec<u8>>>,
+}
+
+/// Errors surfaced while reassembling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReassemblyError {
+    /// Fragment header malformed (index 0, total 0, or index > total).
+    BadHeader,
+    /// Fragment claims a different total than earlier fragments.
+    TotalMismatch,
+}
+
+impl Reassembler {
+    /// Creates an empty reassembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one received (already CRC-verified) fragment. Returns the
+    /// full message once every fragment has arrived. Duplicate fragments
+    /// are idempotent.
+    pub fn feed(&mut self, fragment: &[u8]) -> Result<Option<Vec<u8>>, ReassemblyError> {
+        if fragment.len() < FRAGMENT_HEADER {
+            return Err(ReassemblyError::BadHeader);
+        }
+        let index = fragment[0];
+        let total = fragment[1];
+        if index == 0 || total == 0 || index > total {
+            return Err(ReassemblyError::BadHeader);
+        }
+        match self.total {
+            None => {
+                self.total = Some(total);
+                self.parts = vec![None; total as usize];
+            }
+            Some(t) if t != total => return Err(ReassemblyError::TotalMismatch),
+            Some(_) => {}
+        }
+        self.parts[(index - 1) as usize] = Some(fragment[FRAGMENT_HEADER..].to_vec());
+
+        if self.parts.iter().all(|p| p.is_some()) {
+            let mut out = Vec::new();
+            for p in self.parts.drain(..) {
+                out.extend(p.unwrap());
+            }
+            self.total = None;
+            Ok(Some(out))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Fragments received so far for the current message.
+    pub fn received(&self) -> usize {
+        self.parts.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// Resets any partial state (e.g. on a timeout).
+    pub fn reset(&mut self) {
+        self.total = None;
+        self.parts.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fragment_and_reassemble() {
+        let message: Vec<u8> = (0..100).collect();
+        let frags = fragment(&message, 32);
+        assert_eq!(frags.len(), 4); // 100 / 30 → 4 fragments
+        for f in &frags {
+            assert!(f.len() <= 32);
+        }
+        let mut r = Reassembler::new();
+        for (i, f) in frags.iter().enumerate() {
+            let out = r.feed(f).unwrap();
+            if i + 1 < frags.len() {
+                assert!(out.is_none(), "completed early at {i}");
+            } else {
+                assert_eq!(out.unwrap(), message);
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_order_and_duplicates() {
+        let message = b"the quick brown fox jumps over the lazy dog".to_vec();
+        let frags = fragment(&message, 12);
+        let mut r = Reassembler::new();
+        // Feed reversed with a duplicate in the middle.
+        let mut order: Vec<&Vec<u8>> = frags.iter().rev().collect();
+        order.insert(2, &frags[0]);
+        let mut done = None;
+        for f in order {
+            if let Some(m) = r.feed(f).unwrap() {
+                done = Some(m);
+            }
+        }
+        assert_eq!(done.unwrap(), message);
+    }
+
+    #[test]
+    fn empty_message_is_one_fragment() {
+        let frags = fragment(&[], 16);
+        assert_eq!(frags.len(), 1);
+        let mut r = Reassembler::new();
+        assert_eq!(r.feed(&frags[0]).unwrap().unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn header_validation() {
+        let mut r = Reassembler::new();
+        assert_eq!(r.feed(&[0x01]), Err(ReassemblyError::BadHeader));
+        assert_eq!(r.feed(&[0, 3, 1]), Err(ReassemblyError::BadHeader));
+        assert_eq!(r.feed(&[4, 3, 1]), Err(ReassemblyError::BadHeader));
+        assert_eq!(r.feed(&[1, 0, 1]), Err(ReassemblyError::BadHeader));
+    }
+
+    #[test]
+    fn total_mismatch_detected() {
+        let mut r = Reassembler::new();
+        assert!(r.feed(&[1, 3, 9]).unwrap().is_none());
+        assert_eq!(r.feed(&[2, 4, 9]), Err(ReassemblyError::TotalMismatch));
+        // Still consistent afterwards.
+        assert!(r.feed(&[2, 3, 9]).unwrap().is_none());
+        assert_eq!(r.received(), 2);
+        r.reset();
+        assert_eq!(r.received(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "max 255")]
+    fn too_many_fragments_rejected() {
+        let huge = vec![0u8; 30 * 256 + 1];
+        fragment(&huge, 32);
+    }
+
+    #[test]
+    fn back_to_back_messages_reuse_reassembler() {
+        let mut r = Reassembler::new();
+        for round in 0..3u8 {
+            let msg = vec![round; 50];
+            let frags = fragment(&msg, 32);
+            let mut out = None;
+            for f in &frags {
+                if let Some(m) = r.feed(f).unwrap() {
+                    out = Some(m);
+                }
+            }
+            assert_eq!(out.unwrap(), msg);
+        }
+    }
+}

@@ -1,0 +1,723 @@
+//! The over-the-air channel: scene composition of node backscatter, static
+//! clutter, the node's structural mirror reflection, and AP
+//! self-interference.
+//!
+//! This module replaces the paper's physical indoor environment ("tables,
+//! chairs, and shelves", §9). It is deliberately a *discrete-ray* model:
+//! every path contributes a delayed, phase-rotated, amplitude-scaled copy of
+//! the transmitted complex envelope. That is exactly the structure the
+//! paper's algorithms are designed against — background subtraction removes
+//! the static rays, the FMCW dechirp maps delays to beat frequencies, and
+//! the two RX antennas see the geometric phase difference used for AoA.
+//!
+//! Noise is *not* added here; receivers (AP front-end, node envelope
+//! detectors) inject their own thermal noise so that noise bandwidths match
+//! each receiver's detection filter.
+
+use crate::antenna::{Antenna, Horn};
+use crate::fsa::{DualPortFsa, Port};
+use crate::geometry::{Point, Pose, SPEED_OF_LIGHT};
+use crate::propagation::{backscatter_rx_power, fspl, one_way_rx_power, radar_rx_power};
+use milback_dsp::chirp::ChirpConfig;
+use milback_dsp::noise::db_to_ratio;
+use milback_dsp::num::Cpx;
+use milback_dsp::signal::Signal;
+use std::f64::consts::PI;
+
+/// Instantaneous-frequency profile of a transmitted waveform. The FSA's
+/// beam direction depends on instantaneous frequency, so the channel must
+/// know *what* RF frequency is being emitted at every instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FreqProfile {
+    /// A fixed-frequency tone at the given RF frequency (Hz).
+    Constant(f64),
+    /// A sawtooth FMCW chirp.
+    Sawtooth(ChirpConfig),
+    /// A triangular FMCW chirp.
+    Triangular(ChirpConfig),
+}
+
+impl FreqProfile {
+    /// Instantaneous RF frequency at waveform-local time `t` (seconds).
+    pub fn freq_at(&self, t: f64) -> f64 {
+        match self {
+            FreqProfile::Constant(f) => *f,
+            FreqProfile::Sawtooth(cfg) => cfg.sawtooth_freq_at(t),
+            FreqProfile::Triangular(cfg) => cfg.triangular_freq_at(t),
+        }
+    }
+}
+
+/// A transmitted waveform plus its instantaneous-frequency profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TxComponent {
+    /// The complex-baseband waveform (its `fc` is the reference carrier).
+    pub signal: Signal,
+    /// Frequency profile matching the waveform.
+    pub profile: FreqProfile,
+}
+
+impl TxComponent {
+    /// A constant tone component at RF frequency `f_rf`.
+    pub fn tone(signal: Signal, f_rf: f64) -> Self {
+        Self {
+            signal,
+            profile: FreqProfile::Constant(f_rf),
+        }
+    }
+
+    /// RF frequency range swept by this component.
+    pub fn freq_range(&self) -> (f64, f64) {
+        match self.profile {
+            FreqProfile::Constant(f) => (f, f),
+            FreqProfile::Sawtooth(c) | FreqProfile::Triangular(c) => (c.f_start, c.f_stop),
+        }
+    }
+}
+
+/// Precomputed frequency→value lookup table over a component's swept
+/// band. FSA gains are evaluated per output sample; evaluating the
+/// 12-element array factor millions of times dominates the simulation, so
+/// the channel tabulates each needed gain curve once per render and
+/// linearly interpolates.
+struct FreqLut {
+    f_lo: f64,
+    step: f64,
+    values: Vec<f64>,
+}
+
+impl FreqLut {
+    const POINTS: usize = 2048;
+
+    fn build(f_lo: f64, f_hi: f64, mut eval: impl FnMut(f64) -> f64) -> Self {
+        if f_hi <= f_lo {
+            return Self {
+                f_lo,
+                step: 1.0,
+                values: vec![eval(f_lo)],
+            };
+        }
+        let step = (f_hi - f_lo) / (Self::POINTS - 1) as f64;
+        let values = (0..Self::POINTS).map(|i| eval(f_lo + i as f64 * step)).collect();
+        Self { f_lo, step, values }
+    }
+
+    #[inline]
+    fn get(&self, f: f64) -> f64 {
+        if self.values.len() == 1 {
+            return self.values[0];
+        }
+        let x = ((f - self.f_lo) / self.step).clamp(0.0, (self.values.len() - 1) as f64);
+        let i = x.floor() as usize;
+        if i + 1 >= self.values.len() {
+            return self.values[self.values.len() - 1];
+        }
+        let frac = x - i as f64;
+        self.values[i] * (1.0 - frac) + self.values[i + 1] * frac
+    }
+}
+
+/// A static clutter reflector (wall, desk, shelf…).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Reflector {
+    /// Position in the plane.
+    pub position: Point,
+    /// Radar cross-section in m².
+    pub rcs: f64,
+}
+
+/// The node's structural (ground-plane) mirror reflection — the
+/// interference source behind the orientation-error bump of Figure 13b.
+///
+/// The mirror return is strongest near specular incidence and, crucially,
+/// couples weakly to the switch state, so background subtraction cannot
+/// remove it completely (paper §9.3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MirrorReflection {
+    /// Peak RCS at the specular angle, m².
+    pub peak_rcs: f64,
+    /// Incidence angle of the specular peak, radians.
+    pub center: f64,
+    /// Gaussian angular width of the specular lobe, radians.
+    pub width: f64,
+    /// Fraction of the mirror amplitude modulated by the node's switching
+    /// (0 = perfectly static → fully removed by subtraction).
+    pub switch_coupling: f64,
+    /// Extra one-way depth of the effective specular point behind the FSA
+    /// aperture, meters (millimetres). Re-mounting or rotating the node
+    /// changes this, which randomizes the mirror's carrier phase relative
+    /// to the antenna-mode return — the reason the paper's Fig. 13b error
+    /// bump has high variance rather than a fixed bias.
+    pub depth_offset: f64,
+}
+
+impl MirrorReflection {
+    /// The MilBack prototype's mirror reflection, calibrated to reproduce
+    /// the Fig. 13b error bump between −6° and −2°.
+    pub fn milback() -> Self {
+        Self {
+            peak_rcs: 6.5e-3,
+            center: (-4f64).to_radians(),
+            width: 1.8f64.to_radians(),
+            switch_coupling: 0.23,
+            depth_offset: 0.0,
+        }
+    }
+
+    /// Effective RCS at incidence `inc` radians.
+    pub fn rcs_at(&self, inc: f64) -> f64 {
+        let x = (inc - self.center) / self.width;
+        self.peak_rcs * (-x * x).exp()
+    }
+}
+
+/// Reflection coefficients of the node's two FSA ports at node-local time
+/// `t`: `[Γ_A, Γ_B]` as complex voltage ratios.
+pub type GammaSchedule<'a> = dyn Fn(f64) -> [Cpx; 2] + 'a;
+
+/// The node as seen by the channel: where it is, how it is oriented, which
+/// FSA it carries, and how its port reflection coefficients evolve in time.
+pub struct NodeInterface<'a> {
+    /// Node pose.
+    pub pose: Pose,
+    /// The node's dual-port FSA.
+    pub fsa: &'a DualPortFsa,
+    /// Port reflection coefficients over time.
+    pub gamma: &'a GammaSchedule<'a>,
+}
+
+/// The complete propagation scene.
+#[derive(Debug, Clone)]
+pub struct Scene {
+    /// AP transmit antenna position.
+    pub tx_pos: Point,
+    /// AP receive antenna positions (two, for phase-difference AoA).
+    pub rx_pos: [Point; 2],
+    /// Transmit antenna pattern.
+    pub tx_antenna: Horn,
+    /// Receive antenna pattern (both RX antennas identical).
+    pub rx_antenna: Horn,
+    /// Azimuth the AP's beams are steered toward, radians.
+    pub steer: f64,
+    /// Static clutter reflectors.
+    pub clutter: Vec<Reflector>,
+    /// TX→RX leakage (self-interference) in dB (negative). `None` disables.
+    pub self_interference_db: Option<f64>,
+    /// The node's structural mirror reflection. `None` disables.
+    pub mirror: Option<MirrorReflection>,
+}
+
+impl Scene {
+    /// An empty free-space scene with the MilBack AP antenna arrangement:
+    /// TX at the origin, two RX antennas spaced λ/2 at 28 GHz on the y
+    /// axis, beams steered along +x.
+    pub fn free_space() -> Self {
+        let half_lambda = SPEED_OF_LIGHT / 28e9 / 2.0;
+        Self {
+            tx_pos: Point::origin(),
+            rx_pos: [
+                Point::new(0.0, half_lambda / 2.0),
+                Point::new(0.0, -half_lambda / 2.0),
+            ],
+            tx_antenna: Horn::milback_ap(),
+            rx_antenna: Horn::milback_ap(),
+            steer: 0.0,
+            clutter: Vec::new(),
+            self_interference_db: None,
+            mirror: None,
+        }
+    }
+
+    /// The paper's indoor evaluation scene: a handful of strong static
+    /// reflectors (walls, desk, shelf), −45 dB self-interference and the
+    /// node mirror reflection enabled.
+    pub fn milback_indoor() -> Self {
+        let mut s = Self::free_space();
+        s.clutter = vec![
+            Reflector { position: Point::new(6.0, 2.0), rcs: 0.8 },   // side wall
+            Reflector { position: Point::new(9.0, -1.5), rcs: 1.5 },  // back wall
+            Reflector { position: Point::new(2.5, -1.0), rcs: 0.15 }, // desk
+            Reflector { position: Point::new(4.0, 1.8), rcs: 0.25 },  // shelf
+        ];
+        s.self_interference_db = Some(-45.0);
+        s.mirror = Some(MirrorReflection::milback());
+        s
+    }
+
+    /// Steers the AP's TX/RX beams toward a target point.
+    pub fn steer_towards(&mut self, target: &Point) {
+        self.steer = self.tx_pos.bearing_to(target);
+    }
+
+    /// AP TX antenna gain toward `target` given current steering.
+    fn tx_gain_towards(&self, target: &Point, f: f64) -> f64 {
+        let bearing = self.tx_pos.bearing_to(target);
+        self.tx_antenna.gain(bearing - self.steer, f)
+    }
+
+    /// AP RX antenna gain from `target` given current steering.
+    fn rx_gain_from(&self, rx_idx: usize, target: &Point, f: f64) -> f64 {
+        let bearing = self.rx_pos[rx_idx].bearing_to(target);
+        self.rx_antenna.gain(bearing - self.steer, f)
+    }
+
+    // -----------------------------------------------------------------
+    // Wideband signal-level operations
+    // -----------------------------------------------------------------
+
+    /// The signal arriving *inside* the node at FSA port `port` (one-way,
+    /// downlink direction), including the frequency-dependent FSA beam
+    /// gain. Noiseless; the envelope detector adds its own noise.
+    pub fn to_node_port(
+        &self,
+        comp: &TxComponent,
+        pose: &Pose,
+        fsa: &DualPortFsa,
+        port: Port,
+    ) -> Signal {
+        let d = self.tx_pos.distance_to(&pose.position);
+        let tau = d / SPEED_OF_LIGHT;
+        let inc = pose.incidence_from(&self.tx_pos);
+        let fc = comp.signal.fc;
+        let g_tx = self.tx_gain_towards(&pose.position, fc);
+        let carrier_phase = Cpx::cis(-2.0 * PI * fc * tau);
+
+        let (f_lo, f_hi) = comp.freq_range();
+        let amp_lut = FreqLut::build(f_lo, f_hi, |f| {
+            one_way_rx_power(1.0, g_tx, fsa.gain(port, inc, f), d, f).sqrt()
+        });
+
+        let mut out = comp.signal.delayed(tau);
+        let fs = out.fs;
+        for (i, c) in out.samples.iter_mut().enumerate() {
+            let t_emit = i as f64 / fs - tau;
+            let f_inst = comp.profile.freq_at(t_emit.max(0.0));
+            *c *= carrier_phase * amp_lut.get(f_inst);
+        }
+        out
+    }
+
+    /// Monostatic capture at RX antenna `rx_idx`: node backscatter through
+    /// both FSA ports (weighted by the time-varying reflection
+    /// coefficients), static clutter, the node mirror reflection, and TX
+    /// self-interference. Noiseless.
+    pub fn monostatic_rx(
+        &self,
+        comp: &TxComponent,
+        node: &NodeInterface<'_>,
+        rx_idx: usize,
+    ) -> Signal {
+        self.monostatic_rx_multi(comp, std::slice::from_ref(node), rx_idx)
+    }
+
+    /// Monostatic capture with **multiple** backscatter nodes in the scene
+    /// (SDM operation, paper §7): every node's modulated return is summed,
+    /// plus the shared static paths. The channel is linear, so this is
+    /// exact.
+    pub fn monostatic_rx_multi(
+        &self,
+        comp: &TxComponent,
+        nodes: &[NodeInterface<'_>],
+        rx_idx: usize,
+    ) -> Signal {
+        assert!(rx_idx < 2, "rx_idx must be 0 or 1");
+        let fc = comp.signal.fc;
+        let fs = comp.signal.fs;
+        let n = comp.signal.len();
+        let mut acc = Signal::zeros(fs, fc, n);
+        for node in nodes {
+            self.add_node_backscatter(&mut acc, comp, node, rx_idx);
+        }
+        self.add_static_paths(&mut acc, comp, rx_idx);
+        acc
+    }
+
+    /// Adds one node's backscatter (both ports + its mirror reflection)
+    /// into `acc`.
+    fn add_node_backscatter(
+        &self,
+        acc: &mut Signal,
+        comp: &TxComponent,
+        node: &NodeInterface<'_>,
+        rx_idx: usize,
+    ) {
+        let fc = comp.signal.fc;
+        let fs = comp.signal.fs;
+        let d_tx = self.tx_pos.distance_to(&node.pose.position);
+        let d_rx = self.rx_pos[rx_idx].distance_to(&node.pose.position);
+        let tau_rt = (d_tx + d_rx) / SPEED_OF_LIGHT;
+        let inc = node.pose.incidence_from(&self.tx_pos);
+        let g_tx = self.tx_gain_towards(&node.pose.position, fc);
+        let g_rx = self.rx_gain_from(rx_idx, &node.pose.position, fc);
+        let rt_phase = Cpx::cis(-2.0 * PI * fc * tau_rt);
+
+        // --- Node backscatter through each port -------------------------
+        let (f_lo, f_hi) = comp.freq_range();
+        let port_luts: [FreqLut; 2] = [
+            FreqLut::build(f_lo, f_hi, |f| {
+                (backscatter_rx_power(1.0, g_tx, g_rx, node.fsa.gain(Port::A, inc, f), 1.0, 1.0, f)
+                    * fspl(d_tx, f)
+                    * fspl(d_rx, f)
+                    / fspl(1.0, f).powi(2))
+                .sqrt()
+            }),
+            FreqLut::build(f_lo, f_hi, |f| {
+                (backscatter_rx_power(1.0, g_tx, g_rx, node.fsa.gain(Port::B, inc, f), 1.0, 1.0, f)
+                    * fspl(d_tx, f)
+                    * fspl(d_rx, f)
+                    / fspl(1.0, f).powi(2))
+                .sqrt()
+            }),
+        ];
+        let mirror_lut = self.mirror.as_ref().map(|m| {
+            let sigma = m.rcs_at(inc);
+            // The extra 2·depth path shows up as a carrier phase rotation
+            // (the mm-scale envelope delay is far below range resolution).
+            let phase = Cpx::cis(-2.0 * PI * fc * 2.0 * m.depth_offset / SPEED_OF_LIGHT);
+            (
+                FreqLut::build(f_lo, f_hi, |f| {
+                    (radar_rx_power(1.0, g_tx, g_rx, sigma, 1.0, f)
+                        * fspl(d_tx, f)
+                        * fspl(d_rx, f)
+                        / fspl(1.0, f).powi(2))
+                    .sqrt()
+                }),
+                m.switch_coupling,
+                phase,
+            )
+        });
+
+        let delayed = comp.signal.delayed(tau_rt);
+        for (i, &s) in delayed.samples.iter().enumerate() {
+            let t = i as f64 / fs;
+            let t_emit = (t - tau_rt).max(0.0);
+            let f_inst = comp.profile.freq_at(t_emit);
+            let gammas = (node.gamma)(t);
+            let coeff =
+                gammas[0] * port_luts[0].get(f_inst) + gammas[1] * port_luts[1].get(f_inst);
+            acc.samples[i] += s * coeff * rt_phase;
+
+            // --- Mirror (structural) reflection, switch-coupled ----------
+            if let Some((lut, coupling, phase)) = &mirror_lut {
+                // Weak coupling to port A's switch state.
+                let state = 2.0 * gammas[0].abs() - 1.0;
+                let amp = lut.get(f_inst) * (1.0 + coupling * state);
+                acc.samples[i] += s * rt_phase * *phase * amp;
+            }
+        }
+    }
+
+    /// Adds the node-independent static paths (clutter + TX→RX leakage)
+    /// into `acc`.
+    fn add_static_paths(&self, acc: &mut Signal, comp: &TxComponent, rx_idx: usize) {
+        let fc = comp.signal.fc;
+        // --- Static clutter ---------------------------------------------
+        for r in &self.clutter {
+            let d1 = self.tx_pos.distance_to(&r.position);
+            let d2 = self.rx_pos[rx_idx].distance_to(&r.position);
+            let tau = (d1 + d2) / SPEED_OF_LIGHT;
+            let g_t = self.tx_gain_towards(&r.position, fc);
+            let g_r = self.rx_gain_from(rx_idx, &r.position, fc);
+            // Bistatic radar equation split across the two legs.
+            let p = radar_rx_power(1.0, g_t, g_r, r.rcs, 1.0, fc) * fspl(d1, fc) * fspl(d2, fc)
+                / fspl(1.0, fc).powi(2);
+            let coeff = Cpx::cis(-2.0 * PI * fc * tau) * p.sqrt();
+            let delayed = comp.signal.delayed(tau);
+            for (a, b) in acc.samples.iter_mut().zip(&delayed.samples) {
+                *a += *b * coeff;
+            }
+        }
+
+        // --- TX → RX self-interference ----------------------------------
+        if let Some(si_db) = self.self_interference_db {
+            let tau = 1e-9; // ~30 cm equivalent leakage path
+            let coeff = Cpx::cis(-2.0 * PI * fc * tau) * db_to_ratio(si_db).sqrt();
+            let delayed = comp.signal.delayed(tau);
+            for (a, b) in acc.samples.iter_mut().zip(&delayed.samples) {
+                *a += *b * coeff;
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Narrowband (per-tone) link-budget helpers
+    // -----------------------------------------------------------------
+
+    /// One-way power gain from the AP TX to the node's FSA `port` at RF
+    /// frequency `f` (linear ratio Pr/Pt). The downlink budget.
+    pub fn tone_gain_to_port(&self, pose: &Pose, fsa: &DualPortFsa, port: Port, f: f64) -> f64 {
+        let d = self.tx_pos.distance_to(&pose.position);
+        let inc = pose.incidence_from(&self.tx_pos);
+        let g_tx = self.tx_gain_towards(&pose.position, f);
+        one_way_rx_power(1.0, g_tx, fsa.gain(port, inc, f), d, f)
+    }
+
+    /// Two-way power gain for a tone at RF `f` reflected by the node's
+    /// `port` (fully reflective, |Γ|=1), received at RX antenna `rx_idx`.
+    /// The uplink/localization budget.
+    pub fn tone_backscatter_gain(
+        &self,
+        pose: &Pose,
+        fsa: &DualPortFsa,
+        port: Port,
+        f: f64,
+        rx_idx: usize,
+    ) -> f64 {
+        let d_tx = self.tx_pos.distance_to(&pose.position);
+        let d_rx = self.rx_pos[rx_idx].distance_to(&pose.position);
+        let inc = pose.incidence_from(&self.tx_pos);
+        let g_tx = self.tx_gain_towards(&pose.position, f);
+        let g_rx = self.rx_gain_from(rx_idx, &pose.position, f);
+        let g_node = fsa.gain(port, inc, f);
+        backscatter_rx_power(1.0, g_tx, g_rx, g_node, 1.0, 1.0, f) * fspl(d_tx, f) * fspl(d_rx, f)
+            / fspl(1.0, f).powi(2)
+    }
+
+    /// Geometric round-trip delay from TX via the node to RX `rx_idx`.
+    pub fn round_trip_delay(&self, pose: &Pose, rx_idx: usize) -> f64 {
+        (self.tx_pos.distance_to(&pose.position) + self.rx_pos[rx_idx].distance_to(&pose.position))
+            / SPEED_OF_LIGHT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::deg_to_rad;
+    use milback_dsp::noise::ratio_to_db;
+
+    fn static_gamma(reflective: bool) -> impl Fn(f64) -> [Cpx; 2] {
+        move |_t| {
+            if reflective {
+                [Cpx::new(-0.94, 0.0), Cpx::new(-0.94, 0.0)]
+            } else {
+                [Cpx::new(0.05, 0.0), Cpx::new(0.05, 0.0)]
+            }
+        }
+    }
+
+    #[test]
+    fn freq_profile_evaluation() {
+        let cfg = ChirpConfig::milback_sawtooth();
+        let p = FreqProfile::Sawtooth(cfg);
+        assert_eq!(p.freq_at(0.0), 26.5e9);
+        let p = FreqProfile::Constant(27.5e9);
+        assert_eq!(p.freq_at(1.0), 27.5e9);
+        let p = FreqProfile::Triangular(ChirpConfig::milback_triangular());
+        assert_eq!(p.freq_at(22.5e-6), 29.5e9);
+    }
+
+    #[test]
+    fn downlink_tone_gain_matches_budget() {
+        // Node at 2 m, facing the AP; tone at the port-A alignment frequency.
+        let scene = Scene::free_space();
+        let fsa = DualPortFsa::milback();
+        let pose = Pose::facing_ap(2.0, 0.0, 0.0);
+        let f = fsa.frequency_for_angle(Port::A, 0.0).unwrap();
+        let g = scene.tone_gain_to_port(&pose, &fsa, Port::A, f);
+        let g_db = ratio_to_db(g);
+        // 20 (horn) + ~12.5 (FSA) − FSPL(2m) ≈ 20 + 12.5 − 67.5 ≈ −35 dB.
+        assert!((-40.0..=-30.0).contains(&g_db), "downlink gain {g_db} dB");
+    }
+
+    #[test]
+    fn uplink_gain_is_roughly_downlink_squared_over_horn() {
+        let scene = Scene::free_space();
+        let fsa = DualPortFsa::milback();
+        let pose = Pose::facing_ap(3.0, 0.0, 0.0);
+        let f = fsa.frequency_for_angle(Port::A, 0.0).unwrap();
+        let one = scene.tone_gain_to_port(&pose, &fsa, Port::A, f);
+        let two = scene.tone_backscatter_gain(&pose, &fsa, Port::A, f, 0);
+        // Pr2/Pt = (Pr1/Pt)² × (G_rx/G_tx) here since geometry is symmetric.
+        let expect = one * one * 1.0;
+        let ratio = two / expect;
+        assert!((0.3..3.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn tone_to_aligned_port_beats_misaligned() {
+        let scene = Scene::free_space();
+        let fsa = DualPortFsa::milback();
+        // Node rotated 15°: port A aligns at one frequency, port B at another.
+        let psi = deg_to_rad(15.0);
+        let pose = Pose::facing_ap(2.0, 0.0, psi);
+        let inc = pose.incidence_from(&Point::origin());
+        let fa = fsa.frequency_for_angle(Port::A, inc).unwrap();
+        let fb = fsa.frequency_for_angle(Port::B, inc).unwrap();
+        // Tone at fa: port A receives strongly, port B weakly.
+        let ga = scene.tone_gain_to_port(&pose, &fsa, Port::A, fa);
+        let gb = scene.tone_gain_to_port(&pose, &fsa, Port::B, fa);
+        assert!(ratio_to_db(ga / gb) > 10.0, "port isolation {} dB", ratio_to_db(ga / gb));
+        // And symmetrically at fb.
+        let ga2 = scene.tone_gain_to_port(&pose, &fsa, Port::A, fb);
+        let gb2 = scene.tone_gain_to_port(&pose, &fsa, Port::B, fb);
+        assert!(ratio_to_db(gb2 / ga2) > 10.0);
+    }
+
+    #[test]
+    fn to_node_port_power_matches_tone_gain() {
+        let scene = Scene::free_space();
+        let fsa = DualPortFsa::milback();
+        let pose = Pose::facing_ap(2.0, 0.0, 0.0);
+        let f = fsa.frequency_for_angle(Port::A, 0.0).unwrap();
+        let fs = 1e8;
+        let sig = Signal::tone(fs, f, 0.0, 1.0, 2000);
+        let comp = TxComponent::tone(sig, f);
+        let rx = scene.to_node_port(&comp, &pose, &fsa, Port::A);
+        let expected = scene.tone_gain_to_port(&pose, &fsa, Port::A, f);
+        // Skip the first samples affected by the delay zero-fill.
+        let p: f64 = rx.samples[100..].iter().map(|c| c.norm_sq()).sum::<f64>()
+            / (rx.len() - 100) as f64;
+        assert!((p / expected - 1.0).abs() < 0.05, "p {p} vs {expected}");
+    }
+
+    #[test]
+    fn monostatic_reflective_vs_absorptive_contrast() {
+        let scene = Scene::free_space();
+        let fsa = DualPortFsa::milback();
+        let pose = Pose::facing_ap(2.0, 0.0, 0.0);
+        let f = fsa.frequency_for_angle(Port::A, 0.0).unwrap();
+        let fs = 1e8;
+        let sig = Signal::tone(fs, f, 0.0, 1.0, 2000);
+        let comp = TxComponent::tone(sig, f);
+        let g_refl = static_gamma(true);
+        let g_abs = static_gamma(false);
+        let node_r = NodeInterface { pose, fsa: &fsa, gamma: &g_refl };
+        let node_a = NodeInterface { pose, fsa: &fsa, gamma: &g_abs };
+        let rx_r = scene.monostatic_rx(&comp, &node_r, 0);
+        let rx_a = scene.monostatic_rx(&comp, &node_a, 0);
+        let pr: f64 = rx_r.samples[100..].iter().map(|c| c.norm_sq()).sum();
+        let pa: f64 = rx_a.samples[100..].iter().map(|c| c.norm_sq()).sum();
+        let contrast = ratio_to_db(pr / pa);
+        // |Γ| 0.94 vs 0.05 → ~25 dB power contrast (with both ports equal).
+        assert!(contrast > 20.0, "contrast {contrast} dB");
+    }
+
+    #[test]
+    fn monostatic_power_matches_budget() {
+        let scene = Scene::free_space();
+        let fsa = DualPortFsa::milback();
+        let pose = Pose::facing_ap(2.0, 0.0, 0.0);
+        let f = fsa.frequency_for_angle(Port::A, 0.0).unwrap();
+        let fs = 1e8;
+        let comp = TxComponent::tone(Signal::tone(fs, f, 0.0, 1.0, 4000), f);
+        // Only port A reflective, |Γ| = 1, port B perfectly absorbing.
+        let g = |_t: f64| [Cpx::new(-1.0, 0.0), Cpx::new(0.0, 0.0)];
+        let node = NodeInterface { pose, fsa: &fsa, gamma: &g };
+        let rx = scene.monostatic_rx(&comp, &node, 0);
+        let p: f64 = rx.samples[200..].iter().map(|c| c.norm_sq()).sum::<f64>()
+            / (rx.len() - 200) as f64;
+        let expected = scene.tone_backscatter_gain(&pose, &fsa, Port::A, f, 0);
+        assert!((p / expected - 1.0).abs() < 0.1, "p {p} vs {expected}");
+    }
+
+    #[test]
+    fn clutter_adds_static_return() {
+        let mut scene = Scene::free_space();
+        scene.clutter.push(Reflector {
+            position: Point::new(4.0, 0.0),
+            rcs: 1.0,
+        });
+        let fsa = DualPortFsa::milback();
+        // Node far off to the side so its return is negligible.
+        let pose = Pose::facing_ap(2.0, deg_to_rad(80.0), 0.0);
+        let f = 28e9;
+        let comp = TxComponent::tone(Signal::tone(1e8, f, 0.0, 1.0, 2000), f);
+        let g = static_gamma(false);
+        let node = NodeInterface { pose, fsa: &fsa, gamma: &g };
+        let rx = scene.monostatic_rx(&comp, &node, 0);
+        let p: f64 = rx.samples[100..].iter().map(|c| c.norm_sq()).sum::<f64>()
+            / (rx.len() - 100) as f64;
+        assert!(p > 1e-12, "clutter return missing: {p}");
+    }
+
+    #[test]
+    fn self_interference_dominates_when_enabled() {
+        let mut scene = Scene::free_space();
+        scene.self_interference_db = Some(-45.0);
+        let fsa = DualPortFsa::milback();
+        let pose = Pose::facing_ap(8.0, 0.0, 0.0);
+        let f = fsa.frequency_for_angle(Port::A, 0.0).unwrap();
+        let comp = TxComponent::tone(Signal::tone(1e8, f, 0.0, 1.0, 2000), f);
+        let g = static_gamma(true);
+        let node = NodeInterface { pose, fsa: &fsa, gamma: &g };
+        let rx = scene.monostatic_rx(&comp, &node, 0);
+        let p: f64 = rx.samples[100..].iter().map(|c| c.norm_sq()).sum::<f64>()
+            / (rx.len() - 100) as f64;
+        // −45 dB self-interference >> node return at 8 m (≈ −90 dB).
+        assert!(ratio_to_db(p) > -50.0, "{} dB", ratio_to_db(p));
+    }
+
+    #[test]
+    fn multi_node_capture_is_sum_of_singles() {
+        // Channel linearity: two nodes rendered together equal the sum of
+        // each rendered alone (minus one copy of the static paths).
+        let scene = Scene::free_space();
+        let fsa = DualPortFsa::milback();
+        let pose1 = Pose::facing_ap(2.0, deg_to_rad(-10.0), 0.0);
+        let pose2 = Pose::facing_ap(4.0, deg_to_rad(15.0), 0.0);
+        let f = fsa.frequency_for_angle(Port::A, 0.0).unwrap();
+        let comp = TxComponent::tone(Signal::tone(1e8, f, 0.0, 1.0, 1000), f);
+        let g1 = static_gamma(true);
+        let g2 = static_gamma(true);
+        let n1 = NodeInterface { pose: pose1, fsa: &fsa, gamma: &g1 };
+        let n2 = NodeInterface { pose: pose2, fsa: &fsa, gamma: &g2 };
+        let both = scene.monostatic_rx_multi(&comp, &[n1, n2], 0);
+        let g1 = static_gamma(true);
+        let g2 = static_gamma(true);
+        let n1 = NodeInterface { pose: pose1, fsa: &fsa, gamma: &g1 };
+        let n2 = NodeInterface { pose: pose2, fsa: &fsa, gamma: &g2 };
+        let a = scene.monostatic_rx(&comp, &n1, 0);
+        let b = scene.monostatic_rx(&comp, &n2, 0);
+        for i in 0..both.len() {
+            let want = a.samples[i] + b.samples[i]; // static paths are zero in free space
+            assert!((both.samples[i] - want).abs() < 1e-15, "sample {i}");
+        }
+    }
+
+    #[test]
+    fn steered_away_node_is_suppressed() {
+        let mut scene = Scene::free_space();
+        let fsa = DualPortFsa::milback();
+        let on_beam = Pose::facing_ap(3.0, 0.0, 0.0);
+        let off_beam = Pose::facing_ap(3.0, deg_to_rad(30.0), 0.0);
+        scene.steer_towards(&on_beam.position);
+        let f = fsa.frequency_for_angle(Port::A, 0.0).unwrap();
+        let g_on = scene.tone_backscatter_gain(&on_beam, &fsa, Port::A, f, 0);
+        let g_off = scene.tone_backscatter_gain(&off_beam, &fsa, Port::A, f, 0);
+        // Two horn passes of ≥20 dB suppression each.
+        assert!(ratio_to_db(g_on / g_off) > 35.0, "{} dB", ratio_to_db(g_on / g_off));
+    }
+
+    #[test]
+    fn mirror_rcs_peaks_at_center() {
+        let m = MirrorReflection::milback();
+        let at_center = m.rcs_at(m.center);
+        assert_eq!(at_center, m.peak_rcs);
+        assert!(m.rcs_at(m.center + deg_to_rad(10.0)) < 0.01 * m.peak_rcs);
+    }
+
+    #[test]
+    fn rx_antennas_see_phase_difference() {
+        let scene = Scene::free_space();
+        let fsa = DualPortFsa::milback();
+        // Node off boresight → path difference between the two RX antennas.
+        let phi = deg_to_rad(20.0);
+        let pose = Pose::facing_ap(3.0, phi, 0.0);
+        let f = fsa.frequency_for_angle(Port::A, 0.0).unwrap();
+        let comp = TxComponent::tone(Signal::tone(1e8, f, 0.0, 1.0, 1000), f);
+        let g = static_gamma(true);
+        let node = NodeInterface { pose, fsa: &fsa, gamma: &g };
+        let rx0 = scene.monostatic_rx(&comp, &node, 0);
+        let rx1 = scene.monostatic_rx(&comp, &node, 1);
+        let dphi = (rx0.samples[500] * rx1.samples[500].conj()).arg();
+        // Expected phase difference: 2π·d_ant·sin(φ)/λ.
+        let d_ant = scene.rx_pos[0].distance_to(&scene.rx_pos[1]);
+        let lambda = SPEED_OF_LIGHT / f;
+        let expected = 2.0 * PI * d_ant * phi.sin() / lambda;
+        assert!(
+            (dphi - expected).abs() < 0.05,
+            "measured {dphi}, expected {expected}"
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! # milback-rf
+//!
+//! RF substrate for the MilBack reproduction: everything between the AP's
+//! waveform generator and the node's envelope detectors.
+//!
+//! * [`geometry`] — the 2-D evaluation plane, poses and time-of-flight,
+//! * [`antenna`] — horn / patch / isotropic gain patterns,
+//! * [`fsa`] — the dual-port Frequency Scanning Antenna (the paper's core
+//!   passive structure),
+//! * [`propagation`] — Friis / radar-equation link budgets,
+//! * [`channel`] — the discrete-ray scene: node backscatter, clutter,
+//!   mirror reflection and self-interference,
+//! * [`frontend`] — AP front-end models (LNA, mixer, baseband BPF),
+//! * [`room`] — parametric indoor-room clutter scenes.
+
+pub mod antenna;
+pub mod channel;
+pub mod frontend;
+pub mod fsa;
+pub mod geometry;
+pub mod propagation;
+pub mod room;
+
+pub use channel::{Scene, TxComponent};
+pub use fsa::{DualPortFsa, FsaConfig, Port};
+pub use geometry::{Point, Pose};
+pub use room::Room;

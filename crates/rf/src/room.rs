@@ -1,0 +1,151 @@
+//! Indoor room scene builder: turns a rectangular room description into
+//! the discrete clutter reflectors the channel consumes.
+//!
+//! The paper evaluates "in an indoor environment, with the presence of
+//! objects such as tables, chairs, and shelves" (§9). This module builds
+//! such environments parametrically — walls sampled as lines of point
+//! scatterers plus furniture blobs — so robustness tests can sweep room
+//! geometries instead of hand-placing reflectors.
+
+use crate::channel::{Reflector, Scene};
+use crate::geometry::Point;
+use rand::Rng;
+
+/// A rectangular room with the AP on the left wall, looking in +x.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Room {
+    /// Room depth along the AP's boresight (+x), meters.
+    pub depth: f64,
+    /// Room width (y spans `−width/2 … +width/2`), meters.
+    pub width: f64,
+    /// RCS per wall scatter point, m².
+    pub wall_rcs: f64,
+    /// Spacing between wall scatter points, meters.
+    pub wall_spacing: f64,
+}
+
+impl Room {
+    /// A typical office bay: 10 m deep, 6 m wide.
+    pub fn office() -> Self {
+        Self {
+            depth: 10.0,
+            width: 6.0,
+            wall_rcs: 0.3,
+            wall_spacing: 1.0,
+        }
+    }
+
+    /// Samples the three visible walls (back, left, right) into point
+    /// scatterers.
+    pub fn wall_reflectors(&self) -> Vec<Reflector> {
+        let mut out = Vec::new();
+        let half_w = self.width / 2.0;
+        // Back wall at x = depth.
+        let mut y = -half_w;
+        while y <= half_w {
+            out.push(Reflector {
+                position: Point::new(self.depth, y),
+                rcs: self.wall_rcs,
+            });
+            y += self.wall_spacing;
+        }
+        // Side walls at y = ±half_w (skip the AP's immediate vicinity).
+        let mut x = 1.0;
+        while x < self.depth {
+            out.push(Reflector {
+                position: Point::new(x, half_w),
+                rcs: self.wall_rcs,
+            });
+            out.push(Reflector {
+                position: Point::new(x, -half_w),
+                rcs: self.wall_rcs,
+            });
+            x += self.wall_spacing;
+        }
+        out
+    }
+
+    /// Adds `n` pieces of "furniture": random point scatterers inside the
+    /// room with RCS drawn from a desk/chair-like range.
+    pub fn furniture_reflectors<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<Reflector> {
+        let half_w = self.width / 2.0;
+        (0..n)
+            .map(|_| Reflector {
+                position: Point::new(
+                    rng.gen_range(1.0..self.depth - 0.5),
+                    rng.gen_range(-half_w + 0.5..half_w - 0.5),
+                ),
+                rcs: rng.gen_range(0.05..0.5),
+            })
+            .collect()
+    }
+
+    /// Builds a complete scene: the MilBack AP antenna arrangement with
+    /// this room's walls plus `n_furniture` random scatterers,
+    /// self-interference and the node mirror model enabled.
+    pub fn build_scene<R: Rng + ?Sized>(&self, n_furniture: usize, rng: &mut R) -> Scene {
+        let mut scene = Scene::milback_indoor();
+        scene.clutter = self.wall_reflectors();
+        scene
+            .clutter
+            .extend(self.furniture_reflectors(n_furniture, rng));
+        scene
+    }
+
+    /// Whether a point lies inside the room.
+    pub fn contains(&self, p: &Point) -> bool {
+        p.x >= 0.0 && p.x <= self.depth && p.y.abs() <= self.width / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn walls_cover_three_sides() {
+        let room = Room::office();
+        let walls = room.wall_reflectors();
+        assert!(walls.iter().any(|r| r.position.x == 10.0)); // back
+        assert!(walls.iter().any(|r| r.position.y == 3.0)); // left
+        assert!(walls.iter().any(|r| r.position.y == -3.0)); // right
+        // Rough count: back ≈ 7, sides ≈ 2×9.
+        assert!(walls.len() >= 20, "{}", walls.len());
+        for r in &walls {
+            assert!(room.contains(&r.position));
+        }
+    }
+
+    #[test]
+    fn furniture_stays_inside() {
+        let room = Room::office();
+        let mut rng = StdRng::seed_from_u64(5);
+        let f = room.furniture_reflectors(20, &mut rng);
+        assert_eq!(f.len(), 20);
+        for r in &f {
+            assert!(room.contains(&r.position));
+            assert!(r.rcs > 0.0 && r.rcs < 0.5);
+        }
+    }
+
+    #[test]
+    fn scene_build_is_complete() {
+        let room = Room::office();
+        let mut rng = StdRng::seed_from_u64(6);
+        let scene = room.build_scene(5, &mut rng);
+        assert!(scene.clutter.len() > 25);
+        assert!(scene.self_interference_db.is_some());
+        assert!(scene.mirror.is_some());
+    }
+
+    #[test]
+    fn contains_checks_bounds() {
+        let room = Room::office();
+        assert!(room.contains(&Point::new(5.0, 0.0)));
+        assert!(!room.contains(&Point::new(-1.0, 0.0)));
+        assert!(!room.contains(&Point::new(5.0, 4.0)));
+        assert!(!room.contains(&Point::new(11.0, 0.0)));
+    }
+}

@@ -1,0 +1,86 @@
+//! Deployment planning: before installing a MilBack AP in a room, answer
+//! the questions an integrator actually asks — where does each rate work,
+//! how long do battery nodes last, and where can nodes run battery-free
+//! off the AP's own carrier?
+//!
+//! ```sh
+//! cargo run --release --example deployment_planning
+//! ```
+
+use milback::survey::{analytic_uplink_snr, coverage_map};
+use milback::ApParams;
+use milback_hw::battery::{battery_life_years, Battery, DutyCycle};
+use milback_hw::harvest::{harvest_budget, Rectifier};
+use milback_hw::power::PowerModel;
+use milback_node::node::BackscatterNode;
+use milback_rf::channel::Scene;
+use milback_rf::fsa::Port;
+use milback_rf::geometry::Pose;
+
+fn main() {
+    let scene = Scene::milback_indoor();
+    let node = BackscatterNode::milback(Pose::facing_ap(2.0, 0.0, 0.0));
+    let ap = ApParams::milback();
+
+    println!("MilBack deployment planner — 10 m × 6 m office bay");
+    println!("===================================================");
+
+    // 1. Rate coverage.
+    let cells = coverage_map(&scene, &node, &ap, 10.0, 6.0, 1.0);
+    let count = |pred: &dyn Fn(f64) -> bool| {
+        cells
+            .iter()
+            .filter(|c| c.best_rate.map(|r| pred(r)).unwrap_or(false))
+            .count()
+    };
+    let total = cells.len();
+    println!("rate coverage ({total} cells):");
+    println!("  ≥40 Mbps : {:3} cells", count(&|r| r >= 40e6));
+    println!("  ≥10 Mbps : {:3} cells", count(&|r| r >= 10e6));
+    println!("  any rate : {:3} cells", count(&|_| true));
+    println!();
+
+    // 2. Battery life at representative positions.
+    println!("battery life (CR2032, 1 Hz telemetry duty cycle):");
+    let model = PowerModel::milback();
+    let duty = DutyCycle::telemetry_1hz();
+    for d in [2.0, 5.0, 8.0] {
+        let pose = Pose::facing_ap(d, 0.0, 0.0);
+        let snr = analytic_uplink_snr(&scene, &node, &ap, &pose, 10e6)
+            .map(|s| 10.0 * s.log10())
+            .unwrap_or(f64::NEG_INFINITY);
+        let life = battery_life_years(&Battery::cr2032(), &duty, &model);
+        println!(
+            "  node @{d} m: uplink SNR {snr:5.1} dB, battery life {}",
+            life.map(|y| format!("{y:.0} years (self-discharge limited)"))
+                .unwrap_or_else(|| "infeasible (peak current)".into())
+        );
+    }
+    println!();
+
+    // 3. Battery-free feasibility: harvested RF vs duty-cycled draw.
+    println!("battery-free feasibility (mmWave rectenna, duty-cycled draw):");
+    let rect = Rectifier::mmwave();
+    let avg_draw = duty.average_power(&model);
+    for d in [1.0, 2.0, 3.0, 4.0, 6.0] {
+        let pose = Pose::facing_ap(d, 0.0, 0.0);
+        let mut s = scene.clone();
+        s.steer_towards(&pose.position);
+        // RF power available at the node's harvesting port.
+        let f = node.fsa.frequency_for_angle(Port::A, 0.0).unwrap();
+        let g = s.tone_gain_to_port(&pose, &node.fsa, Port::A, f);
+        let p_in = milback_dsp::noise::dbm_to_watts(ap.tx.power_dbm) * g;
+        let budget = harvest_budget(&rect, p_in, avg_draw);
+        println!(
+            "  node @{d} m: RF in {:6.1} µW → harvested {:6.1} µW vs draw {:4.1} µW → {}",
+            p_in * 1e6,
+            budget.harvested_w * 1e6,
+            avg_draw * 1e6,
+            if budget.self_sustaining() {
+                "BATTERY-FREE OK"
+            } else {
+                "needs a battery"
+            }
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! Multi-node operation by space-division multiplexing (paper §7 last
+//! paragraph): the AP steers its beams toward each node in turn and runs
+//! the full per-node procedure. Nodes outside the steered beam contribute
+//! only side-lobe energy, so the links stay isolated.
+//!
+//! ```sh
+//! cargo run --release --example multi_node_sdm
+//! ```
+
+use milback::multinode::MultiNetwork;
+use milback::{Fidelity, Network};
+use milback_proto::mac::PollSchedule;
+use milback_rf::geometry::{deg_to_rad, Pose};
+
+fn main() {
+    // Three nodes spread across the AP's field of view — ALL physically
+    // present in the channel at once; the AP steers per slot (SDM).
+    let names = ["headset  ", "wristband", "anchor   "];
+    let poses = vec![
+        Pose::facing_ap(2.5, deg_to_rad(-25.0), deg_to_rad(10.0)),
+        Pose::facing_ap(4.0, deg_to_rad(0.0), deg_to_rad(-8.0)),
+        Pose::facing_ap(6.0, deg_to_rad(30.0), deg_to_rad(15.0)),
+    ];
+    let truths = [2.5, 4.0, 6.0];
+
+    println!("MilBack SDM demo: one AP polling {} co-present nodes", poses.len());
+    let mut net = MultiNetwork::new(poses, Fidelity::Fast, 4000);
+    let schedule = PollSchedule::round_robin_uplink(3);
+    let payloads: Vec<Vec<u8>> = names
+        .iter()
+        .map(|n| format!("{}:report", n.trim()).into_bytes())
+        .collect();
+    let results = net.run_round(&schedule, &payloads, 5e6);
+
+    println!(
+        "{:<10} {:>9} {:>10} {:>10} {:>9}",
+        "node", "true_m", "est_m", "UL SNR", "UL ok"
+    );
+    for r in &results {
+        let est = r
+            .fix
+            .map(|f| format!("{:.2}", f.range))
+            .unwrap_or_else(|| "miss".into());
+        let (snr, ok) = match &r.uplink {
+            Some(u) => (
+                format!("{:.1} dB", 10.0 * u.snr.log10()),
+                if u.payload.is_ok() { "yes" } else { "crc!" },
+            ),
+            None => ("-".to_string(), "no"),
+        };
+        println!(
+            "{:<10} {:>9.2} {:>10} {:>10} {:>9}",
+            names[r.node], truths[r.node], est, snr, ok
+        );
+    }
+    // Per-node throughput under this schedule.
+    let pkt = net.fidelity.packet();
+    println!(
+        "per-node uplink throughput in this round-robin: {:.2} Mbps",
+        schedule.per_node_uplink_throughput(0, &pkt, 1e-3) / 1e6
+    );
+
+    println!();
+    println!("Isolation check: with the beam steered at the wristband (0°),");
+    println!("how much weaker is the headset's (−25°) backscatter?");
+    let wrist = Pose::facing_ap(4.0, 0.0, deg_to_rad(-8.0));
+    let head = Pose::facing_ap(2.5, deg_to_rad(-25.0), deg_to_rad(10.0));
+    let net = Network::new(wrist, Fidelity::Fast, 5000);
+    // Per-tone backscatter gains with the AP steered at the wristband.
+    let fsa = net.node.fsa;
+    let wrist_inc = wrist.incidence_from(&net.scene.tx_pos);
+    let f = fsa.frequency_for_angle(milback_rf::fsa::Port::A, wrist_inc).unwrap();
+    let g_wrist = net.scene.tone_backscatter_gain(&wrist, &fsa, milback_rf::fsa::Port::A, f, 0);
+    let g_head = net.scene.tone_backscatter_gain(&head, &fsa, milback_rf::fsa::Port::A, f, 0);
+    println!(
+        "wristband path {:.1} dB, headset path {:.1} dB → {:.1} dB of spatial isolation",
+        10.0 * g_wrist.log10(),
+        10.0 * g_head.log10(),
+        10.0 * (g_wrist / g_head).log10()
+    );
+}

@@ -1,0 +1,116 @@
+//! End-to-end integration: the complete MilBack system — localization,
+//! orientation sensing at both ends, downlink and uplink — running through
+//! the cluttered indoor channel.
+
+use milback::{Fidelity, Network};
+use milback_proto::packet::{LinkMode, Packet};
+use milback_rf::geometry::{deg_to_rad, rad_to_deg, Pose};
+
+#[test]
+fn complete_session_at_3m() {
+    let pose = Pose::facing_ap(3.0, deg_to_rad(5.0), deg_to_rad(12.0));
+    let mut net = Network::new(pose, Fidelity::Fast, 1000);
+
+    // Localization lands within 10 cm / 2° in this regime.
+    let fix = net.localize().expect("localization failed");
+    assert!((fix.range - 3.0).abs() < 0.10, "range {}", fix.range);
+    let angle = fix.angle.expect("no angle estimate");
+    assert!((rad_to_deg(angle) - 5.0).abs() < 2.0, "angle {}", rad_to_deg(angle));
+
+    // Orientation within 3° at both ends (paper §9.3 regime).
+    let true_inc = net.true_orientation();
+    let ap_est = net.sense_orientation_at_ap().expect("AP orientation failed");
+    assert!(rad_to_deg(ap_est - true_inc).abs() < 3.0);
+    let node_est = net.sense_orientation_at_node().expect("node orientation failed");
+    assert!(rad_to_deg(node_est - true_inc).abs() < 3.0);
+
+    // Error-free two-way data at this distance.
+    let dl = net.downlink(b"downlink payload!", 1e6, false).expect("no downlink");
+    assert_eq!(dl.bit_errors, 0);
+    assert_eq!(dl.payload.as_deref().unwrap(), b"downlink payload!");
+    let ul = net.uplink(b"uplink payload!!!", 5e6, false).expect("no uplink");
+    assert_eq!(ul.bit_errors, 0);
+    assert_eq!(ul.payload.as_deref().unwrap(), b"uplink payload!!!");
+}
+
+#[test]
+fn full_packet_round_trip_both_modes() {
+    let pose = Pose::facing_ap(2.5, 0.0, deg_to_rad(-10.0));
+    let mut net = Network::new(pose, Fidelity::Fast, 1001);
+
+    let down = Packet::downlink((0u8..32).collect());
+    let out = net.run_packet(&down, 1e6);
+    assert_eq!(out.mode_detected, Some(LinkMode::Downlink));
+    assert!(out.fix.is_some(), "no localization in packet");
+    assert_eq!(
+        out.downlink.expect("downlink skipped").payload.as_deref().unwrap(),
+        &(0u8..32).collect::<Vec<u8>>()[..]
+    );
+
+    let up = Packet::uplink((100u8..132).collect());
+    let out = net.run_packet(&up, 5e6);
+    assert_eq!(out.mode_detected, Some(LinkMode::Uplink));
+    assert_eq!(
+        out.uplink.expect("uplink skipped").payload.as_deref().unwrap(),
+        &(100u8..132).collect::<Vec<u8>>()[..]
+    );
+}
+
+#[test]
+fn localization_works_at_every_paper_distance() {
+    for d in 1..=8 {
+        let pose = Pose::facing_ap(d as f64, 0.0, 0.0);
+        let mut net = Network::new(pose, Fidelity::Fast, 1002 + d);
+        let fix = net.localize().unwrap_or_else(|| panic!("no fix at {d} m"));
+        assert!(
+            (fix.range - d as f64).abs() < 0.25,
+            "range {} at true {d} m",
+            fix.range
+        );
+    }
+}
+
+#[test]
+fn uplink_outranges_40mbps_with_10mbps() {
+    // Fig 15 shape: at 8 m the 10 Mbps link is comfortably better than
+    // the 40 Mbps link.
+    let pose = Pose::facing_ap(8.0, 0.0, deg_to_rad(15.0));
+    let mut net = Network::new(pose, Fidelity::Fast, 1003);
+    let slow = net.uplink(&[0x55; 16], 5e6, true).expect("no uplink");
+    let mut net = Network::new(pose, Fidelity::Fast, 1003);
+    let fast = net.uplink(&[0x55; 16], 20e6, true).expect("no uplink");
+    assert!(
+        slow.snr > 2.0 * fast.snr,
+        "10 Mbps SNR {} vs 40 Mbps {}",
+        slow.snr,
+        fast.snr
+    );
+}
+
+#[test]
+fn deterministic_runs() {
+    let pose = Pose::facing_ap(3.0, 0.0, deg_to_rad(8.0));
+    let run = || {
+        let mut net = Network::new(pose, Fidelity::Fast, 12345);
+        let fix = net.localize();
+        let ul = net.uplink(&[9, 9, 9], 5e6, true).map(|r| (r.bit_errors, r.snr.to_bits()));
+        (fix, ul)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn energy_accounting_consistent_with_paper() {
+    use milback_hw::power::{NodeMode, PowerModel};
+    let p = PowerModel::milback();
+    assert!((p.power_mw(NodeMode::Downlink) - 18.0).abs() < 0.5);
+    assert!((p.power_mw(NodeMode::Uplink { bit_rate: 40e6 }) - 32.0).abs() < 1.0);
+    // MilBack strictly dominates mmTag on energy while adding downlink.
+    use milback_baseline::{BackscatterSystem, MilBackSystem, MmTag};
+    assert!(
+        MilBackSystem.uplink_energy_nj_per_bit().unwrap()
+            < MmTag::default().uplink_energy_nj_per_bit().unwrap()
+    );
+    assert!(MilBackSystem.capabilities().downlink);
+    assert!(!MmTag::default().capabilities().downlink);
+}

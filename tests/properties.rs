@@ -1,0 +1,123 @@
+//! Property-based integration tests (proptest): invariants that must hold
+//! for arbitrary payloads, geometries and orientations.
+
+use milback::{Fidelity, Network};
+use milback_proto::bits::{bits_to_bytes, bits_to_symbols, bytes_to_bits, symbols_to_bits};
+use milback_proto::frame::{decode_frame, encode_frame};
+use milback_rf::fsa::{DualPortFsa, Port};
+use milback_rf::geometry::{deg_to_rad, Pose};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Frame encode→decode is the identity for any payload.
+    #[test]
+    fn frame_round_trip(payload in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let symbols = encode_frame(&payload);
+        let decoded = decode_frame(&symbols, payload.len()).unwrap();
+        prop_assert_eq!(decoded, payload);
+    }
+
+    /// Bit/byte/symbol conversions are mutually inverse.
+    #[test]
+    fn bit_conversions_invertible(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let bits = bytes_to_bits(&bytes);
+        prop_assert_eq!(bits_to_bytes(&bits), bytes);
+        let symbols = bits_to_symbols(&bits);
+        prop_assert_eq!(symbols_to_bits(&symbols), bits);
+    }
+
+    /// Any single corrupted symbol makes the CRC fail.
+    #[test]
+    fn single_symbol_corruption_detected(
+        payload in proptest::collection::vec(any::<u8>(), 1..32),
+        idx in 0usize..1000,
+        flip_a in any::<bool>(),
+    ) {
+        let mut symbols = encode_frame(&payload);
+        let k = idx % symbols.len();
+        if flip_a {
+            symbols[k].a_on = !symbols[k].a_on;
+        } else {
+            symbols[k].b_on = !symbols[k].b_on;
+        }
+        prop_assert!(decode_frame(&symbols, payload.len()).is_err());
+    }
+
+    /// The FSA scan law and its inverse agree at any in-range orientation.
+    #[test]
+    fn fsa_scan_law_invertible(deg in -29.0f64..29.0) {
+        let fsa = DualPortFsa::milback();
+        for port in Port::BOTH {
+            let theta = deg_to_rad(deg);
+            if let Some(f) = fsa.frequency_for_angle(port, theta) {
+                let back = fsa.beam_angle(port, f).unwrap();
+                prop_assert!((back - theta).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// The two OAQFM tones are always mirror images around the normal
+    /// frequency and stay ordered with orientation.
+    #[test]
+    fn oaqfm_tone_symmetry(deg in -25.0f64..25.0) {
+        let fsa = DualPortFsa::milback();
+        let theta = deg_to_rad(deg);
+        let fa = fsa.frequency_for_angle(Port::A, theta).unwrap();
+        let fb = fsa.frequency_for_angle(Port::B, theta).unwrap();
+        let f0 = fsa.normal_frequency();
+        // Product symmetry: 1/fa + 1/fb == 2/f0 (harmonic mirror).
+        let lhs = 1.0 / fa + 1.0 / fb;
+        prop_assert!((lhs - 2.0 / f0).abs() < 1e-18, "lhs {} vs {}", lhs, 2.0 / f0);
+        if deg > 0.5 {
+            prop_assert!(fa > fb);
+        } else if deg < -0.5 {
+            prop_assert!(fb > fa);
+        }
+    }
+}
+
+proptest! {
+    // End-to-end cases are expensive; keep the case count low.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Uplink delivers arbitrary payloads intact at short range.
+    #[test]
+    fn uplink_delivers_any_payload(
+        payload in proptest::collection::vec(any::<u8>(), 1..24),
+        seed in 0u64..1000,
+    ) {
+        let pose = Pose::facing_ap(2.0, 0.0, deg_to_rad(12.0));
+        let mut net = Network::new(pose, Fidelity::Fast, seed);
+        let report = net.uplink(&payload, 5e6, true).expect("no uplink");
+        prop_assert_eq!(report.bit_errors, 0);
+        prop_assert_eq!(report.payload.as_deref().unwrap(), &payload[..]);
+    }
+
+    /// Downlink delivers arbitrary payloads intact at short range.
+    #[test]
+    fn downlink_delivers_any_payload(
+        payload in proptest::collection::vec(any::<u8>(), 1..24),
+        seed in 0u64..1000,
+    ) {
+        let pose = Pose::facing_ap(2.0, 0.0, deg_to_rad(12.0));
+        let mut net = Network::new(pose, Fidelity::Fast, seed);
+        let report = net.downlink(&payload, 1e6, true).expect("no downlink");
+        prop_assert_eq!(report.bit_errors, 0);
+        prop_assert_eq!(report.payload.as_deref().unwrap(), &payload[..]);
+    }
+
+    /// Localization error is bounded at any geometry in the core region.
+    #[test]
+    fn localization_bounded_error(
+        d in 1.5f64..6.0,
+        phi_deg in -15.0f64..15.0,
+        seed in 0u64..1000,
+    ) {
+        let pose = Pose::facing_ap(d, deg_to_rad(phi_deg), 0.0);
+        let mut net = Network::new(pose, Fidelity::Fast, seed);
+        let fix = net.localize().expect("no fix");
+        prop_assert!((fix.range - d).abs() < 0.3, "range {} vs {}", fix.range, d);
+    }
+}

@@ -1,0 +1,173 @@
+//! Failure-injection and edge-case integration tests: the claims the
+//! paper makes about degraded conditions, plus conditions the system must
+//! fail *gracefully* under.
+
+use milback::{Fidelity, Network};
+use milback_ap::tone_select::{select_tones, ToneSelection};
+use milback_rf::channel::Reflector;
+use milback_rf::geometry::{deg_to_rad, Point, Pose};
+
+/// Paper §9.3: "3-4 degree error in estimating the node's orientation
+/// will not impact on the performance of communication" — communicate
+/// with deliberately wrong carrier frequencies.
+#[test]
+fn orientation_error_tolerated_by_downlink() {
+    let true_psi = 12.0;
+    let pose = Pose::facing_ap(2.0, 0.0, deg_to_rad(true_psi));
+    for err_deg in [-4.0, -2.0, 2.0, 4.0] {
+        let net = Network::new(pose, Fidelity::Fast, (2000 + err_deg as i64) as u64);
+        // Pick tones from a *wrong* orientation estimate.
+        let wrong = net.true_orientation() + deg_to_rad(err_deg);
+        let tones = select_tones(&net.node.fsa, wrong, 100e6).expect("no tones");
+        let ToneSelection::Dual { f_a, f_b } = tones else {
+            panic!("expected dual tones")
+        };
+        // Reuse the internal path by asking for a downlink with truth and
+        // then verifying the wrong-tone link budget is still workable:
+        // the node's beamwidth (~10°) covers a 4° pointing error.
+        let g_right = net.scene.tone_gain_to_port(
+            &net.node.pose,
+            &net.node.fsa,
+            milback_rf::fsa::Port::A,
+            net.node.fsa.frequency_for_angle(milback_rf::fsa::Port::A, net.true_orientation()).unwrap(),
+        );
+        let g_wrong = net
+            .scene
+            .tone_gain_to_port(&net.node.pose, &net.node.fsa, milback_rf::fsa::Port::A, f_a);
+        let loss_db = 10.0 * (g_right / g_wrong).log10();
+        assert!(
+            loss_db < 3.5,
+            "{err_deg}° orientation error costs {loss_db:.1} dB — beam too narrow"
+        );
+        let _ = f_b;
+    }
+}
+
+/// End-to-end check of the same claim: the full pipeline (sensed
+/// orientation, which carries its own error) still delivers error-free
+/// frames.
+#[test]
+fn sensed_orientation_pipeline_delivers() {
+    for seed in 0..5 {
+        let pose = Pose::facing_ap(2.0, 0.0, deg_to_rad(10.0));
+        let mut net = Network::new(pose, Fidelity::Fast, 2100 + seed);
+        let dl = net.downlink(&[0xAB; 16], 1e6, false).expect("no downlink");
+        assert_eq!(dl.bit_errors, 0, "seed {seed}");
+    }
+}
+
+/// Normal incidence: OAQFM degenerates to OOK and still works (paper
+/// §6.2 last paragraph).
+#[test]
+fn normal_incidence_ook_fallback_works() {
+    let pose = Pose::facing_ap(2.0, 0.0, 0.0);
+    let mut net = Network::new(pose, Fidelity::Fast, 2200);
+    let dl = net.downlink(&[0x3C; 12], 1e6, true).expect("no downlink");
+    assert!(matches!(dl.tones, ToneSelection::Single { .. }));
+    assert_eq!(dl.bit_errors, 0);
+    assert_eq!(dl.payload.as_deref().unwrap(), &[0x3C; 12]);
+}
+
+/// A node rotated beyond the FSA's scan range cannot be served — the
+/// system reports that instead of garbage.
+#[test]
+fn out_of_scan_range_returns_none() {
+    let pose = Pose::facing_ap(2.0, 0.0, deg_to_rad(50.0));
+    let mut net = Network::new(pose, Fidelity::Fast, 2300);
+    assert!(net.plan_tones(true).is_none());
+    assert!(net.downlink(&[1], 1e6, true).is_none());
+    assert!(net.uplink(&[1], 5e6, true).is_none());
+}
+
+/// Extra-heavy clutter: localization still finds the node because the
+/// clutter is static and subtracts out.
+#[test]
+fn survives_clutter_pileup() {
+    let pose = Pose::facing_ap(3.0, 0.0, 0.0);
+    let mut net = Network::new(pose, Fidelity::Fast, 2400);
+    // A wall of extra reflectors, some near the node's range.
+    for k in 0..10 {
+        net.scene.clutter.push(Reflector {
+            position: Point::new(2.0 + 0.5 * k as f64, 1.0 + 0.2 * k as f64),
+            rcs: 0.5,
+        });
+    }
+    let fix = net.localize().expect("node lost in clutter");
+    assert!((fix.range - 3.0).abs() < 0.15, "range {}", fix.range);
+}
+
+/// A node that is absent (absorptive the whole time) must not produce a
+/// localization fix — background subtraction leaves nothing.
+#[test]
+fn absent_node_yields_no_fix() {
+    let pose = Pose::facing_ap(3.0, 0.0, 0.0);
+    let mut net = Network::new(pose, Fidelity::Fast, 2500);
+    // Kill the node's reflection entirely: infinite implementation loss.
+    net.node.impl_loss_db = 200.0;
+    assert!(net.localize().is_none(), "phantom node detected");
+}
+
+/// Uplink symbol rates beyond the switch's capability are rejected up
+/// front (§9.5's 160 Mbps cap), not silently mangled.
+#[test]
+#[should_panic(expected = "exceeds switch capability")]
+fn uplink_beyond_switch_rate_panics() {
+    let pose = Pose::facing_ap(2.0, 0.0, deg_to_rad(10.0));
+    let mut net = Network::new(pose, Fidelity::Fast, 2600);
+    let _ = net.uplink(&[1, 2], 100e6, true);
+}
+
+/// The frame layer detects corruption: a link pushed far beyond its range
+/// yields either a CRC error or no link at all — never silently wrong
+/// bytes.
+#[test]
+fn corruption_is_detected_not_silent() {
+    let pose = Pose::facing_ap(14.0, 0.0, deg_to_rad(15.0));
+    let mut net = Network::new(pose, Fidelity::Fast, 2700);
+    if let Some(ul) = net.uplink(&[0xEE; 16], 20e6, true) {
+        if ul.bit_errors > 0 {
+            assert!(ul.payload.is_err(), "CRC passed corrupted payload");
+        }
+    }
+}
+
+/// Parametric rooms: localization keeps working across generated indoor
+/// environments (walls + random furniture), not just the hand-built
+/// default scene.
+#[test]
+fn localization_across_generated_rooms() {
+    use milback_rf::room::Room;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let room = Room::office();
+    let mut found = 0;
+    let total = 6;
+    for k in 0..total {
+        let mut rng = StdRng::seed_from_u64(2800 + k);
+        let scene = room.build_scene(8, &mut rng);
+        let pose = Pose::facing_ap(3.0 + 0.5 * k as f64, 0.0, 0.0);
+        let mut net = Network::new(pose, Fidelity::Fast, 2900 + k);
+        net.scene = scene;
+        net.scene.steer_towards(&pose.position);
+        if let Some(fix) = net.localize() {
+            if (fix.range - net.true_range()).abs() < 0.25 {
+                found += 1;
+            }
+        }
+    }
+    assert!(found >= total - 1, "only {found}/{total} rooms localized");
+}
+
+/// Rate adaptation never accepts a rate it then fails at.
+#[test]
+fn adaptive_rate_is_self_consistent() {
+    for d in [2.0, 5.0, 8.0] {
+        let pose = Pose::facing_ap(d, 0.0, deg_to_rad(15.0));
+        let mut net = Network::new(pose, Fidelity::Fast, 3000 + d as u64);
+        if let Some(r) = net.uplink_adaptive(&[0x77; 12]) {
+            assert_eq!(r.report.bit_errors, 0, "accepted rate errored at {d} m");
+            assert!(r.report.payload.is_ok());
+        }
+    }
+}
