@@ -65,7 +65,13 @@ impl AoaEstimator {
 
     /// Estimates the angle averaging the phase over a few bins around the
     /// peak, weighted by magnitude — more robust at low SNR.
-    pub fn estimate_windowed(&self, spec0: &[Cpx], spec1: &[Cpx], peak: usize, half: usize) -> Option<f64> {
+    pub fn estimate_windowed(
+        &self,
+        spec0: &[Cpx],
+        spec1: &[Cpx],
+        peak: usize,
+        half: usize,
+    ) -> Option<f64> {
         let lo = peak.saturating_sub(half);
         let hi = (peak + half + 1).min(spec0.len()).min(spec1.len());
         if lo >= hi {
@@ -125,7 +131,9 @@ mod tests {
     #[test]
     fn zero_bin_is_none() {
         let est = AoaEstimator::milback();
-        assert!(est.estimate(Cpx::new(0.0, 0.0), Cpx::new(1.0, 0.0)).is_none());
+        assert!(est
+            .estimate(Cpx::new(0.0, 0.0), Cpx::new(1.0, 0.0))
+            .is_none());
     }
 
     #[test]

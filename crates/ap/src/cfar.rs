@@ -75,7 +75,9 @@ mod tests {
     use super::*;
 
     fn noise_with_peaks(peaks: &[(usize, f64)]) -> Vec<f64> {
-        let mut v: Vec<f64> = (0..256).map(|i| 1.0 + 0.1 * ((i as f64) * 0.7).sin()).collect();
+        let mut v: Vec<f64> = (0..256)
+            .map(|i| 1.0 + 0.1 * ((i as f64) * 0.7).sin())
+            .collect();
         for &(i, p) in peaks {
             v[i] = p;
         }
@@ -106,9 +108,7 @@ mod tests {
         // is large only relative to the *low* floor must not fire inside
         // the high region.
         let det = CfarDetector::range_profile();
-        let mut power: Vec<f64> = (0..256)
-            .map(|i| if i < 128 { 1.0 } else { 20.0 })
-            .collect();
+        let mut power: Vec<f64> = (0..256).map(|i| if i < 128 { 1.0 } else { 20.0 }).collect();
         power[60] = 30.0; // 30× local floor → detect
         power[200] = 600.0; // 30× local floor → detect
         power[190] = 40.0; // only 2× local floor → no detection

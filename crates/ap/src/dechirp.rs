@@ -7,8 +7,8 @@
 //! `c·τ/2`.
 
 use milback_dsp::chirp::ChirpConfig;
-use milback_dsp::fft::fft;
 use milback_dsp::num::Cpx;
+use milback_dsp::plan::with_plan;
 use milback_dsp::signal::Signal;
 use milback_dsp::window::{apply_window, Window};
 use milback_rf::geometry::SPEED_OF_LIGHT;
@@ -44,11 +44,16 @@ impl RangeProcessor {
     }
 
     /// Windowed, zero-padded complex range spectrum of a dechirped chirp.
+    ///
+    /// `fft_len` is a power of two by construction, so this runs through
+    /// the cached in-place plan for that size — the twiddle/bit-reversal
+    /// tables are built once per thread and amortized across every chirp.
     pub fn range_spectrum(&self, dechirped: &Signal) -> Vec<Cpx> {
         let mut buf = dechirped.samples.clone();
         apply_window(&mut buf, self.window);
         buf.resize(self.fft_len, milback_dsp::num::ZERO);
-        fft(&buf)
+        with_plan(self.fft_len, |p| p.forward_in_place(&mut buf));
+        buf
     }
 
     /// Complex range profile: the range spectrum re-indexed so that bin
@@ -99,7 +104,7 @@ impl RangeProcessor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use milback_dsp::detect::{parabolic_refine, argmax};
+    use milback_dsp::detect::{argmax, parabolic_refine};
 
     /// A fast test chirp: full 3 GHz bandwidth, short duration.
     fn test_chirp() -> ChirpConfig {
@@ -122,7 +127,11 @@ mod tests {
         let mut rx = tx.delayed(tau);
         rx.rotate(Cpx::cis(-2.0 * std::f64::consts::PI * tx.fc * tau));
         let de = proc.dechirp(&rx, &tx);
-        let spec: Vec<f64> = proc.range_profile(&de).iter().map(|c| c.norm_sq()).collect();
+        let spec: Vec<f64> = proc
+            .range_profile(&de)
+            .iter()
+            .map(|c| c.norm_sq())
+            .collect();
         // Only search the positive-delay half.
         let half = &spec[..spec.len() / 2];
         let peak = argmax(half).unwrap();
@@ -134,10 +143,7 @@ mod tests {
     fn range_recovery_across_distances() {
         for d in [0.5, 1.0, 2.0, 4.0, 8.0] {
             let est = estimate_range(d);
-            assert!(
-                (est - d).abs() < 0.02,
-                "true {d} m, estimated {est} m"
-            );
+            assert!((est - d).abs() < 0.02, "true {d} m, estimated {est} m");
         }
     }
 
@@ -160,7 +166,11 @@ mod tests {
             rx.add(&echo);
         }
         let de = proc.dechirp(&rx, &tx);
-        let spec: Vec<f64> = proc.range_profile(&de).iter().map(|c| c.norm_sq()).collect();
+        let spec: Vec<f64> = proc
+            .range_profile(&de)
+            .iter()
+            .map(|c| c.norm_sq())
+            .collect();
         let half = &spec[..spec.len() / 2];
         let peaks = milback_dsp::detect::find_peaks(half, half[argmax(half).unwrap()] * 0.2, 4);
         assert!(peaks.len() >= 2, "expected 2 peaks, got {}", peaks.len());

@@ -9,8 +9,9 @@
 //! headset).
 
 use milback_dsp::detect::{argmax, parabolic_refine};
-use milback_dsp::fft::{fft, fft_freqs};
+use milback_dsp::fft::fft_freqs;
 use milback_dsp::num::Cpx;
+use milback_dsp::plan::with_plan;
 use milback_dsp::window::{apply_window, Window};
 use milback_rf::geometry::SPEED_OF_LIGHT;
 
@@ -28,7 +29,10 @@ pub struct DopplerProcessor {
 impl DopplerProcessor {
     /// Builds a processor.
     pub fn new(fc: f64, chirp_interval: f64) -> Self {
-        assert!(fc > 0.0 && chirp_interval > 0.0, "invalid Doppler parameters");
+        assert!(
+            fc > 0.0 && chirp_interval > 0.0,
+            "invalid Doppler parameters"
+        );
         Self {
             fc,
             chirp_interval,
@@ -56,10 +60,7 @@ impl DopplerProcessor {
         if slow_time.len() < 4 {
             return None;
         }
-        let acc: Cpx = slow_time
-            .windows(2)
-            .map(|w| w[1] * w[0].conj())
-            .sum();
+        let acc: Cpx = slow_time.windows(2).map(|w| w[1] * w[0].conj()).sum();
         if acc.abs() == 0.0 {
             return None;
         }
@@ -77,11 +78,11 @@ impl DopplerProcessor {
         apply_window(&mut buf, Window::Hann);
         let n_fft = (buf.len() * self.pad).next_power_of_two().max(8);
         buf.resize(n_fft, milback_dsp::num::ZERO);
-        let spec = fft(&buf);
+        with_plan(n_fft, |p| p.forward_in_place(&mut buf));
         let prf = 1.0 / self.chirp_interval;
         fft_freqs(n_fft, prf)
             .into_iter()
-            .zip(spec.iter().map(|c| c.norm_sq()))
+            .zip(buf.iter().map(|c| c.norm_sq()))
             .map(|(f, p)| (-f * SPEED_OF_LIGHT / self.fc / 2.0, p))
             .collect()
     }
@@ -135,10 +136,7 @@ mod tests {
         for v_true in [-2.0, -0.5, 0.7, 1.5] {
             let st = slow_time_for(v_true, 28e9, 20e-6, 64);
             let v = p.estimate(&st).unwrap();
-            assert!(
-                (v - v_true).abs() < 0.15,
-                "true {v_true}, est {v}"
-            );
+            assert!((v - v_true).abs() < 0.15, "true {v_true}, est {v}");
         }
     }
 

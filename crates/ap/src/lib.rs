@@ -31,11 +31,11 @@ pub mod waveform;
 
 pub use aoa::AoaEstimator;
 pub use cfar::CfarDetector;
-pub use doppler::DopplerProcessor;
-pub use range_doppler::{RangeDopplerMap, RangeDopplerProcessor};
 pub use dechirp::RangeProcessor;
+pub use doppler::DopplerProcessor;
 pub use orientation::ApOrientationEstimator;
 pub use pulse_compression::PulseCompressionRanger;
+pub use range_doppler::{RangeDopplerMap, RangeDopplerProcessor};
 pub use ranging::{LocalizationResult, Localizer};
 pub use tone_select::{select_tones, ToneSelection};
 pub use uplink::{ook_ber, UplinkReceiver, UplinkStats, UPLINK_PILOT};

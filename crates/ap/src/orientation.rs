@@ -58,12 +58,7 @@ impl ApOrientationEstimator {
 
     /// Full estimate: peak frequency → orientation via the FSA scan law of
     /// the toggling port.
-    pub fn estimate(
-        &self,
-        diff: &Signal,
-        fsa: &DualPortFsa,
-        toggling_port: Port,
-    ) -> Option<f64> {
+    pub fn estimate(&self, diff: &Signal, fsa: &DualPortFsa, toggling_port: Port) -> Option<f64> {
         let f_star = self.peak_frequency(diff)?;
         fsa.beam_angle(toggling_port, f_star)
     }

@@ -66,7 +66,9 @@ impl PulseCompressionRanger {
             }
         }
         let lo = self.range_to_lag(self.min_range).max(1);
-        let hi = self.range_to_lag(self.max_range).min(det.len().saturating_sub(1));
+        let hi = self
+            .range_to_lag(self.max_range)
+            .min(det.len().saturating_sub(1));
         if lo >= hi {
             return None;
         }

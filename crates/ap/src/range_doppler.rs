@@ -8,8 +8,9 @@
 
 use crate::dechirp::RangeProcessor;
 use crate::doppler::DopplerProcessor;
-use milback_dsp::fft::{fft, fft_freqs};
+use milback_dsp::fft::fft_freqs;
 use milback_dsp::num::{Cpx, ZERO};
+use milback_dsp::plan::with_plan;
 use milback_dsp::signal::Signal;
 use milback_dsp::window::{apply_window, Window};
 use milback_rf::geometry::SPEED_OF_LIGHT;
@@ -110,14 +111,19 @@ impl RangeDopplerProcessor {
             .map(|k| self.range.bin_to_range(k as f64, fs))
             .collect();
 
+        // One cached plan and one reused buffer serve every range row.
         let mut power = Vec::with_capacity(n_rows);
-        for row in 0..n_rows {
-            let mut slow: Vec<Cpx> = profiles.iter().map(|p| p[row]).collect();
-            apply_window(&mut slow, Window::Hann);
-            slow.resize(n_dopp, ZERO);
-            let spec = fft(&slow);
-            power.push(spec.iter().map(|c| c.norm_sq()).collect());
-        }
+        with_plan(n_dopp, |plan| {
+            let mut slow = vec![ZERO; n_dopp];
+            for row in 0..n_rows {
+                slow.clear();
+                slow.extend(profiles.iter().map(|p| p[row]));
+                apply_window(&mut slow[..n_chirps], Window::Hann);
+                slow.resize(n_dopp, ZERO);
+                plan.forward_in_place(&mut slow);
+                power.push(slow.iter().map(|c| c.norm_sq()).collect());
+            }
+        });
         Some(RangeDopplerMap {
             power,
             ranges,
@@ -154,10 +160,7 @@ mod tests {
         let mut caps = Vec::new();
         for i in 0..n {
             let mut rx = Signal::zeros(tx.fs, tx.fc, tx.len());
-            for (d, amp) in [
-                (d_static, 1.0),
-                (d_mover0 + v * i as f64 * interval, 0.3),
-            ] {
+            for (d, amp) in [(d_static, 1.0), (d_mover0 + v * i as f64 * interval, 0.3)] {
                 let tau = 2.0 * d / SPEED_OF_LIGHT;
                 let mut e = tx.delayed(tau);
                 e.rotate(Cpx::from_polar(amp, -2.0 * PI * tx.fc * tau));

@@ -88,8 +88,10 @@ impl Localizer {
             .iter()
             .map(|pair| {
                 [
-                    self.proc.range_profile(&self.proc.dechirp(&pair[0], tx_ref)),
-                    self.proc.range_profile(&self.proc.dechirp(&pair[1], tx_ref)),
+                    self.proc
+                        .range_profile(&self.proc.dechirp(&pair[0], tx_ref)),
+                    self.proc
+                        .range_profile(&self.proc.dechirp(&pair[1], tx_ref)),
                 ]
             })
             .collect();
@@ -257,7 +259,11 @@ mod tests {
         let (tx, caps) = synthetic_captures(0.2, 0.0, 9.0, 0.001);
         let loc = Localizer::new(RangeProcessor::new(test_chirp(), 2));
         if let Some(r) = loc.process(&tx, &caps) {
-            assert!(r.range >= 0.5, "reported range inside excluded region: {}", r.range);
+            assert!(
+                r.range >= 0.5,
+                "reported range inside excluded region: {}",
+                r.range
+            );
         }
     }
 }

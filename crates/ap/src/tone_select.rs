@@ -54,7 +54,9 @@ pub fn select_tones(
         return None;
     }
     if (f_a - f_b).abs() < min_separation {
-        Some(ToneSelection::Single { f: (f_a + f_b) / 2.0 })
+        Some(ToneSelection::Single {
+            f: (f_a + f_b) / 2.0,
+        })
     } else {
         Some(ToneSelection::Dual { f_a, f_b })
     }
@@ -117,8 +119,7 @@ mod tests {
         let fsa = DualPortFsa::milback();
         let s1 = select_tones(&fsa, deg_to_rad(10.0), 50e6).unwrap();
         let s2 = select_tones(&fsa, deg_to_rad(20.0), 50e6).unwrap();
-        if let (ToneSelection::Dual { f_a: a1, .. }, ToneSelection::Dual { f_a: a2, .. }) =
-            (s1, s2)
+        if let (ToneSelection::Dual { f_a: a1, .. }, ToneSelection::Dual { f_a: a2, .. }) = (s1, s2)
         {
             assert!(a2 > a1, "port-A tone should increase with orientation");
         } else {

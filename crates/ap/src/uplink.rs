@@ -26,10 +26,22 @@ use rand::Rng;
 /// Known pilot prefix for uplink payloads: both ports alternate
 /// reflect/absorb, giving each branch the pattern `1,0,1,0`.
 pub const UPLINK_PILOT: [OaqfmSymbol; 4] = [
-    OaqfmSymbol { a_on: true, b_on: true },
-    OaqfmSymbol { a_on: false, b_on: false },
-    OaqfmSymbol { a_on: true, b_on: true },
-    OaqfmSymbol { a_on: false, b_on: false },
+    OaqfmSymbol {
+        a_on: true,
+        b_on: true,
+    },
+    OaqfmSymbol {
+        a_on: false,
+        b_on: false,
+    },
+    OaqfmSymbol {
+        a_on: true,
+        b_on: true,
+    },
+    OaqfmSymbol {
+        a_on: false,
+        b_on: false,
+    },
 ];
 
 /// Link statistics from an uplink demodulation.
@@ -95,12 +107,7 @@ impl UplinkReceiver {
     /// One branch of the Figure-7 chain: antenna capture → LNA (adds
     /// thermal noise) → mix with the tone at `f_tone` → decimate → DC
     /// block. Returns the complex baseband decision stream and its rate.
-    pub fn branch<R: Rng + ?Sized>(
-        &self,
-        rx: &Signal,
-        f_tone: f64,
-        rng: &mut R,
-    ) -> Signal {
+    pub fn branch<R: Rng + ?Sized>(&self, rx: &Signal, f_tone: f64, rng: &mut R) -> Signal {
         let mut sig = rx.clone();
         let capture_bw = sig.fs;
         // LNA noise over the full capture bandwidth; decimation later
@@ -410,4 +417,3 @@ mod tests {
         assert_eq!(got_a, full_a);
     }
 }
-

@@ -137,7 +137,10 @@ pub fn ask_waveform(
     let n = amplitudes.len() * sps;
     let mut samples = vec![ZERO; n];
     for (k, &a) in amplitudes.iter().enumerate() {
-        assert!((0.0..=1.0 + 1e-9).contains(&a), "amplitude {a} out of [0,1]");
+        assert!(
+            (0.0..=1.0 + 1e-9).contains(&a),
+            "amplitude {a} out of [0,1]"
+        );
         if a > 0.0 {
             for i in 0..sps {
                 let t = (k * sps + i) as f64;
@@ -249,16 +252,33 @@ mod tests {
     fn oaqfm_symbol_keying() {
         let tx = small_tx();
         let syms = [
-            OaqfmSymbol { a_on: false, b_on: false },
-            OaqfmSymbol { a_on: true, b_on: true },
-            OaqfmSymbol { a_on: true, b_on: false },
+            OaqfmSymbol {
+                a_on: false,
+                b_on: false,
+            },
+            OaqfmSymbol {
+                a_on: true,
+                b_on: true,
+            },
+            OaqfmSymbol {
+                a_on: true,
+                b_on: false,
+            },
         ];
         let w = oaqfm_waveform(&tx, 28e9, 27.5e9, 28.5e9, &syms, 1e6);
         let sps = (tx.fs / 1e6) as usize;
         let p0: f64 = w.samples[..sps].iter().map(|c| c.norm_sq()).sum();
         assert_eq!(p0, 0.0);
-        let p1: f64 = w.samples[sps..2 * sps].iter().map(|c| c.norm_sq()).sum::<f64>() / sps as f64;
-        let p2: f64 = w.samples[2 * sps..].iter().map(|c| c.norm_sq()).sum::<f64>() / sps as f64;
+        let p1: f64 = w.samples[sps..2 * sps]
+            .iter()
+            .map(|c| c.norm_sq())
+            .sum::<f64>()
+            / sps as f64;
+        let p2: f64 = w.samples[2 * sps..]
+            .iter()
+            .map(|c| c.norm_sq())
+            .sum::<f64>()
+            / sps as f64;
         // Symbol 11 carries both tones → twice the power of symbol 10.
         assert!((p1 / p2 - 2.0).abs() < 0.05, "p1/p2 {}", p1 / p2);
     }

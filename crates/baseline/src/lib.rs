@@ -10,5 +10,7 @@
 pub mod systems;
 pub mod vanatta;
 
-pub use systems::{table1_systems, BackscatterSystem, Capabilities, MilBackSystem, Millimetro, MmTag, OmniScatter};
+pub use systems::{
+    table1_systems, BackscatterSystem, Capabilities, MilBackSystem, Millimetro, MmTag, OmniScatter,
+};
 pub use vanatta::VanAttaArray;

@@ -203,27 +203,49 @@ mod tests {
     fn table1_matches_paper() {
         let systems = table1_systems();
         assert_eq!(systems.len(), 4);
-        let rows: Vec<(&str, Capabilities)> =
-            systems.iter().map(|s| (s.name(), s.capabilities())).collect();
+        let rows: Vec<(&str, Capabilities)> = systems
+            .iter()
+            .map(|s| (s.name(), s.capabilities()))
+            .collect();
         // mmTag: uplink only.
         assert_eq!(
             rows[0].1,
-            Capabilities { uplink: true, downlink: false, localization: false, orientation: false }
+            Capabilities {
+                uplink: true,
+                downlink: false,
+                localization: false,
+                orientation: false
+            }
         );
         // Millimetro: localization only.
         assert_eq!(
             rows[1].1,
-            Capabilities { uplink: false, downlink: false, localization: true, orientation: false }
+            Capabilities {
+                uplink: false,
+                downlink: false,
+                localization: true,
+                orientation: false
+            }
         );
         // OmniScatter: uplink + localization.
         assert_eq!(
             rows[2].1,
-            Capabilities { uplink: true, downlink: false, localization: true, orientation: false }
+            Capabilities {
+                uplink: true,
+                downlink: false,
+                localization: true,
+                orientation: false
+            }
         );
         // MilBack: everything.
         assert_eq!(
             rows[3].1,
-            Capabilities { uplink: true, downlink: true, localization: true, orientation: true }
+            Capabilities {
+                uplink: true,
+                downlink: true,
+                localization: true,
+                orientation: true
+            }
         );
     }
 

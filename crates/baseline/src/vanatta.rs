@@ -37,7 +37,10 @@ impl VanAttaArray {
 
     /// Creates an array, validating the pairing constraint.
     pub fn new(n_elements: usize, element: PatchElement, loss_db: f64) -> Self {
-        assert!(n_elements >= 2 && n_elements.is_multiple_of(2), "elements must be paired");
+        assert!(
+            n_elements >= 2 && n_elements.is_multiple_of(2),
+            "elements must be paired"
+        );
         Self {
             n_elements,
             element,

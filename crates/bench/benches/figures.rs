@@ -110,7 +110,9 @@ fn bench_extensions(c: &mut Criterion) {
 }
 
 fn bench_tables(c: &mut Criterion) {
-    c.bench_function("table1_features", |b| b.iter(|| black_box(experiments::table1())));
+    c.bench_function("table1_features", |b| {
+        b.iter(|| black_box(experiments::table1()))
+    });
     c.bench_function("table_power", |b| {
         b.iter(|| black_box(experiments::power_table()))
     });
@@ -118,9 +120,7 @@ fn bench_tables(c: &mut Criterion) {
 
 fn bench_kernels(c: &mut Criterion) {
     let mut g = c.benchmark_group("dsp_kernels");
-    let x: Vec<Cpx> = (0..8192)
-        .map(|i| Cpx::cis(i as f64 * 0.37))
-        .collect();
+    let x: Vec<Cpx> = (0..8192).map(|i| Cpx::cis(i as f64 * 0.37)).collect();
     g.bench_function("fft_8192", |b| b.iter(|| black_box(fft(&x))));
 
     let fsa = DualPortFsa::milback();
@@ -135,7 +135,9 @@ fn bench_kernels(c: &mut Criterion) {
         fs: 3.2e9,
         amplitude: 1.0,
     };
-    g.bench_function("chirp_synthesis_6400", |b| b.iter(|| black_box(cfg.sawtooth())));
+    g.bench_function("chirp_synthesis_6400", |b| {
+        b.iter(|| black_box(cfg.sawtooth()))
+    });
 
     let template: Vec<Cpx> = (0..2048).map(|i| Cpx::cis(i as f64 * 0.21)).collect();
     let rx: Vec<Cpx> = (0..8192).map(|i| Cpx::cis(i as f64 * 0.13)).collect();

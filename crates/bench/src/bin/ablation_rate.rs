@@ -10,8 +10,17 @@ fn main() {
     for r in &rows {
         table.row(&[
             f(r.bit_rate_mbps, 0),
-            if r.supported { "yes" } else { "NO (switch cap)" }.to_string(),
-            if r.supported { f(r.snr_db, 2) } else { "-".into() },
+            if r.supported {
+                "yes"
+            } else {
+                "NO (switch cap)"
+            }
+            .to_string(),
+            if r.supported {
+                f(r.snr_db, 2)
+            } else {
+                "-".into()
+            },
             format!("{}", r.bit_errors),
         ]);
     }

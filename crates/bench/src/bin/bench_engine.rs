@@ -1,0 +1,123 @@
+//! Batch-engine and FFT-plan benchmark: times the workspace's two new
+//! performance layers and writes the result to `BENCH_1.json`.
+//!
+//! Three measurements on a representative localization workload (the
+//! Fig. 12a trial — dechirp, five range FFTs, background subtraction,
+//! peak search):
+//!
+//! 1. `serial` — one worker thread (the historical execution model),
+//! 2. `parallel` — the batch engine at the machine's thread count,
+//! 3. planned vs unplanned FFT — the cached-plan transform against a
+//!    rebuild-tables-every-call transform of the same 8192-point range
+//!    FFT (the dominant kernel of the trial).
+//!
+//! The engine is deterministic by construction; this binary also asserts
+//! that the parallel run's outputs equal the serial run's before timing
+//! is reported. Usage: `cargo run --release -p milback-bench --bin
+//! bench_engine [-- --out path.json]`.
+
+use milback::batch;
+use milback::{Fidelity, Network};
+use milback_dsp::num::Cpx;
+use milback_dsp::plan::{with_plan, FftPlan};
+use milback_rf::geometry::{deg_to_rad, Pose};
+use std::time::Instant;
+
+/// One Fig.-12a-style trial: localize a node at 3 m with per-trial noise.
+fn trial(t: batch::Trial) -> Option<u64> {
+    let phi = deg_to_rad((t.index as f64 % 19.0) - 9.0);
+    let pose = Pose::facing_ap(3.0, phi, 0.0);
+    let mut net = Network::new(pose, Fidelity::Fast, t.seed);
+    net.localize().map(|fix| fix.range.to_bits())
+}
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let out_path = {
+        let mut args = std::env::args().skip(1);
+        let mut path = "BENCH_1.json".to_string();
+        while let Some(a) = args.next() {
+            if a == "--out" {
+                if let Some(p) = args.next() {
+                    path = p;
+                }
+            }
+        }
+        path
+    };
+
+    let trials = 24;
+    let seed = 0xB16B_00B5;
+    let threads = batch::thread_count();
+
+    // Warm each thread's plan cache so the engine comparison measures
+    // scheduling, not first-use table construction.
+    let _ = batch::run_trials_with_threads(threads.max(2), seed, threads, trial);
+
+    println!("batch engine: {trials} localization trials, {threads} worker thread(s)");
+    let t0 = Instant::now();
+    let serial = batch::run_trials_with_threads(trials, seed, 1, trial);
+    let serial_s = t0.elapsed().as_secs_f64();
+    println!("  serial   (1 thread): {serial_s:.3} s");
+
+    let t0 = Instant::now();
+    let parallel = batch::run_trials_with_threads(trials, seed, threads, trial);
+    let parallel_s = t0.elapsed().as_secs_f64();
+    println!("  parallel ({threads} threads): {parallel_s:.3} s");
+
+    assert_eq!(serial, parallel, "batch engine lost determinism");
+    let engine_speedup = serial_s / parallel_s;
+    println!("  speedup: {engine_speedup:.2}x (deterministic: outputs identical)");
+
+    // FFT-plan comparison: the 8192-point range FFT. "Unplanned" rebuilds
+    // the twiddle/bit-reversal tables per call — exactly what the
+    // pre-plan-cache implementation did on every transform.
+    let n = 8192;
+    let reps = 200;
+    let input: Vec<Cpx> = (0..n)
+        .map(|i| Cpx::cis(i as f64 * 0.37) * (1.0 + (i as f64 * 0.01).sin()))
+        .collect();
+
+    let reference = FftPlan::new(n).forward(&input);
+
+    let t0 = Instant::now();
+    let mut unplanned_out = Vec::new();
+    for _ in 0..reps {
+        unplanned_out = FftPlan::new(n).forward(&input);
+    }
+    let unplanned_s = t0.elapsed().as_secs_f64() / reps as f64;
+
+    let t0 = Instant::now();
+    let mut planned_out = Vec::new();
+    for _ in 0..reps {
+        planned_out = with_plan(n, |p| p.forward(&input));
+    }
+    let planned_s = t0.elapsed().as_secs_f64() / reps as f64;
+
+    let bitwise = unplanned_out == planned_out && planned_out == reference;
+    assert!(bitwise, "planned and unplanned FFT disagree");
+    let fft_speedup = unplanned_s / planned_s;
+    println!("fft plan ({n}-point, {reps} reps):");
+    println!("  unplanned: {:.1} µs/fft", unplanned_s * 1e6);
+    println!("  planned:   {:.1} µs/fft", planned_s * 1e6);
+    println!("  speedup: {fft_speedup:.2}x (bitwise identical: {bitwise})");
+
+    let json = format!(
+        "{{\n  \"bench\": \"BENCH_1\",\n  \"description\": \"Batch-engine (serial vs parallel) and FFT-plan (unplanned vs cached) timings on a Fig. 12a localization workload\",\n  \"host_threads\": {threads},\n  \"engine\": {{\n    \"workload\": \"localization trial, node at 3 m, Fidelity::Fast\",\n    \"trials\": {trials},\n    \"serial_s\": {},\n    \"parallel_s\": {},\n    \"speedup\": {},\n    \"deterministic\": true\n  }},\n  \"fft_plan\": {{\n    \"size\": {n},\n    \"reps\": {reps},\n    \"unplanned_us_per_fft\": {},\n    \"planned_us_per_fft\": {},\n    \"speedup\": {},\n    \"bitwise_identical\": {bitwise}\n  }}\n}}\n",
+        json_f(serial_s),
+        json_f(parallel_s),
+        json_f(engine_speedup),
+        json_f(unplanned_s * 1e6),
+        json_f(planned_s * 1e6),
+        json_f(fft_speedup),
+    );
+    std::fs::write(&out_path, &json).expect("failed to write benchmark JSON");
+    println!("wrote {out_path}");
+}

@@ -25,7 +25,10 @@ fn main() {
                 .unwrap_or_else(|| "-".into()),
         ]);
     }
-    emit("Coverage map: uplink rate per cell (10 m × 6 m room)", &table);
+    emit(
+        "Coverage map: uplink rate per cell (10 m × 6 m room)",
+        &table,
+    );
 
     // ASCII map: rows are y, columns are x, symbol = rate class.
     println!("Rate map (4=40M, 2=20M, 1=10M, 5=5M, ·=no link), AP at left center:");

@@ -41,7 +41,14 @@ fn main() {
     println!("Figure 2 concept: transmitted (●) and received (○) chirps");
     println!(
         "{}",
-        line_chart(&[track(&sg_tx, "TX chirp (GHz)"), track(&sg_rx, "RX echo (GHz)")], 64, 14)
+        line_chart(
+            &[
+                track(&sg_tx, "TX chirp (GHz)"),
+                track(&sg_rx, "RX echo (GHz)")
+            ],
+            64,
+            14
+        )
     );
 
     // The frequency difference is constant over the overlap — that is Δf.
@@ -55,7 +62,10 @@ fn main() {
         .collect();
     let df_mean = milback_dsp::stats::mean(&df);
     let tof = df_mean / cfg.slope();
-    println!("measured Δf ≈ {:.2} MHz (constant across the sweep)", df_mean / 1e6);
+    println!(
+        "measured Δf ≈ {:.2} MHz (constant across the sweep)",
+        df_mean / 1e6
+    );
     println!(
         "ToF = Δf/slope = {:.2} ns → distance {:.2} m (truth {d} m)",
         tof * 1e9,

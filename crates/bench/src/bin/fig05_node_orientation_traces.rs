@@ -35,14 +35,20 @@ fn main() {
         let to_series = |cap: &[f64], name: &str| {
             Series::new(
                 name,
-                cap.iter().enumerate().map(|(i, v)| (i as f64, v * 1e3)).collect(),
+                cap.iter()
+                    .enumerate()
+                    .map(|(i, v)| (i as f64, v * 1e3))
+                    .collect(),
             )
         };
         println!("-- {label} --");
         println!(
             "{}",
             line_chart(
-                &[to_series(&cap_a, "port A (mV)"), to_series(&cap_b, "port B (mV)")],
+                &[
+                    to_series(&cap_a, "port A (mV)"),
+                    to_series(&cap_b, "port B (mV)")
+                ],
                 72,
                 10
             )

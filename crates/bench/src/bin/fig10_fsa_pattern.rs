@@ -31,6 +31,12 @@ fn main() {
 
     let s = fsa_summary();
     println!("Section 9.1 claims:");
-    println!("  min peak gain over band : {:.2} dBi (paper: > 10 dB)", s.min_peak_gain_dbi);
-    println!("  scan coverage (3 GHz BW): {:.1}°   (paper: > 60°)", s.coverage_deg);
+    println!(
+        "  min peak gain over band : {:.2} dBi (paper: > 10 dB)",
+        s.min_peak_gain_dbi
+    );
+    println!(
+        "  scan coverage (3 GHz BW): {:.1}°   (paper: > 60°)",
+        s.coverage_deg
+    );
 }

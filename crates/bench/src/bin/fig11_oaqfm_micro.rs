@@ -13,7 +13,11 @@ fn main() {
     println!("Symbols: {:?}", t.symbols);
     let mut table = Table::new(&["time_us", "port_a_mv", "port_b_mv"]);
     for i in 0..t.time_us.len() {
-        table.row(&[f(t.time_us[i], 3), f(t.port_a_mv[i], 3), f(t.port_b_mv[i], 3)]);
+        table.row(&[
+            f(t.time_us[i], 3),
+            f(t.port_a_mv[i], 3),
+            f(t.port_b_mv[i], 3),
+        ]);
     }
     emit("Figure 11: OAQFM microbenchmark traces", &table);
 
@@ -33,7 +37,11 @@ fn main() {
             milback_dsp::stats::mean(&sel)
         };
         let _ = k;
-        summary.row(&[label.to_string(), f(mean(&t.port_a_mv), 2), f(mean(&t.port_b_mv), 2)]);
+        summary.row(&[
+            label.to_string(),
+            f(mean(&t.port_a_mv), 2),
+            f(mean(&t.port_b_mv), 2),
+        ]);
     }
     println!("Per-symbol steady-state levels:");
     println!("{}", summary.render());

@@ -28,10 +28,16 @@ fn main() {
     let mut net = Network::new(pose, Fidelity::Paper, 8002);
     let true_inc = rad_to_deg(net.true_orientation());
     if let Some(o) = net.sense_orientation_at_ap() {
-        println!("AP orientation: est {:.2}° (true {true_inc:.2}°)", rad_to_deg(o));
+        println!(
+            "AP orientation: est {:.2}° (true {true_inc:.2}°)",
+            rad_to_deg(o)
+        );
     }
     if let Some(o) = net.sense_orientation_at_node() {
-        println!("node orientation: est {:.2}° (true {true_inc:.2}°)", rad_to_deg(o));
+        println!(
+            "node orientation: est {:.2}° (true {true_inc:.2}°)",
+            rad_to_deg(o)
+        );
     }
 
     let pose = Pose::facing_ap(3.0, 0.0, deg_to_rad(12.0));

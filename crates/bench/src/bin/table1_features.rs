@@ -27,5 +27,8 @@ fn main() {
                 .unwrap_or_else(|| "-".to_string()),
         ]);
     }
-    emit("Table 1: Comparison with state-of-the-art mmWave backscatter", &table);
+    emit(
+        "Table 1: Comparison with state-of-the-art mmWave backscatter",
+        &table,
+    );
 }

@@ -20,7 +20,10 @@ fn main() {
             None => table.row(&[f(v, 2), "-".into(), "-".into(), "-".into()]),
         }
     }
-    emit("Extension: radial velocity via slow-time Doppler (node at 3 m)", &table);
+    emit(
+        "Extension: radial velocity via slow-time Doppler (node at 3 m)",
+        &table,
+    );
     println!("Static clutter lands in the zero-Doppler bin (MTI); a walking");
     println!("node separates by motion alone — no switch modulation needed.");
 }

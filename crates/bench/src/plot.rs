@@ -28,7 +28,10 @@ const GLYPHS: [char; 6] = ['●', '○', '▲', '△', '■', '□'];
 /// annotations. Returns the multi-line string.
 pub fn line_chart(series: &[Series], width: usize, height: usize) -> String {
     assert!(width >= 16 && height >= 4, "chart too small");
-    let pts: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let pts: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
     if pts.is_empty() {
         return "(no data)\n".to_string();
     }
@@ -106,7 +109,10 @@ mod tests {
 
     #[test]
     fn renders_monotone_series() {
-        let s = Series::new("snr", (1..=10).map(|i| (i as f64, 30.0 - i as f64)).collect());
+        let s = Series::new(
+            "snr",
+            (1..=10).map(|i| (i as f64, 30.0 - i as f64)).collect(),
+        );
         let chart = line_chart(&[s], 40, 10);
         assert!(chart.contains('●'));
         assert!(chart.contains("snr"));

@@ -4,6 +4,7 @@
 //! assisted carrier selection, of five-chirp trains) and quantify the
 //! §9.4/§9.5 rate limits.
 
+use crate::batch;
 use crate::config::Fidelity;
 use crate::dense_link::DenseDownlinkReport;
 use crate::network::Network;
@@ -40,53 +41,62 @@ pub struct SubtractionRow {
 /// node's reflection is much weaker than the reflection of some other
 /// objects").
 pub fn ablation_background_subtraction(trials: usize, seed: u64) -> Vec<SubtractionRow> {
+    // Randomness drawn serially up front, simulations on the batch engine.
     let mut master = StdRng::seed_from_u64(seed);
-    let mut rows = Vec::new();
-    for d in [2.0, 4.0, 6.0] {
-        let mut with_ok = 0;
-        let mut without_ok = 0;
-        for _ in 0..trials {
-            let trial_seed: u64 = master.gen();
-            let phi = deg_to_rad(master.gen_range(-10.0..10.0));
-            let pose = Pose::facing_ap(d, phi, 0.0);
-            let mut net = Network::new(pose, Fidelity::Fast, trial_seed);
+    let inputs: Vec<(f64, u64, f64)> = [2.0, 4.0, 6.0]
+        .iter()
+        .flat_map(|&d| {
+            (0..trials)
+                .map(|_| {
+                    let trial_seed: u64 = master.gen();
+                    let phi = deg_to_rad(master.gen_range(-10.0..10.0));
+                    (d, trial_seed, phi)
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let results = batch::par_map(&inputs, |&(d, trial_seed, phi), _| {
+        let pose = Pose::facing_ap(d, phi, 0.0);
+        let mut net = Network::new(pose, Fidelity::Fast, trial_seed);
 
-            // With subtraction: the standard pipeline.
-            if let Some(fix) = net.localize() {
-                if (fix.range - d).abs() < 0.25 {
-                    with_ok += 1;
-                }
-            }
+        // With subtraction: the standard pipeline.
+        let with_ok = net
+            .localize()
+            .map(|fix| (fix.range - d).abs() < 0.25)
+            .unwrap_or(false);
 
-            // Without: peak of a single chirp's raw range profile.
-            let (tx, captures) = net.field2_captures();
-            let loc = net.localizer();
-            let profile = loc
-                .proc
-                .range_profile(&loc.proc.dechirp(&captures[0][0], &tx));
-            let power: Vec<f64> = profile.iter().map(|c| c.norm_sq()).collect();
-            // Same search window as the localizer.
-            let fs = tx.fs;
-            let half = power.len() / 2;
-            let bin_lo = (0.5 / loc.proc.bin_to_range(1.0, fs)) as usize;
-            let window = &power[bin_lo..half];
-            if let Some(rel) = argmax(window) {
+        // Without: peak of a single chirp's raw range profile.
+        let (tx, captures) = net.field2_captures();
+        let loc = net.localizer();
+        let profile = loc
+            .proc
+            .range_profile(&loc.proc.dechirp(&captures[0][0], &tx));
+        let power: Vec<f64> = profile.iter().map(|c| c.norm_sq()).collect();
+        // Same search window as the localizer.
+        let fs = tx.fs;
+        let half = power.len() / 2;
+        let bin_lo = (0.5 / loc.proc.bin_to_range(1.0, fs)) as usize;
+        let window = &power[bin_lo..half];
+        let without_ok = argmax(window)
+            .map(|rel| {
                 let peak = bin_lo + rel;
                 let refined = parabolic_refine(&power[..half], peak);
                 let range = loc.proc.bin_to_range(refined, fs);
-                if (range - d).abs() < 0.25 {
-                    without_ok += 1;
-                }
-            }
-        }
-        rows.push(SubtractionRow {
+                (range - d).abs() < 0.25
+            })
+            .unwrap_or(false);
+        (with_ok, without_ok)
+    });
+    results
+        .chunks(trials.max(1))
+        .zip([2.0, 4.0, 6.0])
+        .map(|(chunk, d)| SubtractionRow {
             distance_m: d,
-            with_ok,
-            without_ok,
+            with_ok: chunk.iter().filter(|(w, _)| *w).count(),
+            without_ok: chunk.iter().filter(|(_, wo)| *wo).count(),
             trials,
-        });
-    }
-    rows
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------
@@ -107,8 +117,8 @@ pub struct AssistRow {
 /// Downlink SINR across orientations with and without orientation-aware
 /// carrier selection — the "OA" in OAQFM (paper §6.1–6.2).
 pub fn ablation_orientation_assist(seed: u64) -> Vec<AssistRow> {
-    let mut rows = Vec::new();
-    for odeg in [4.0f64, 8.0, 12.0, 16.0, 20.0] {
+    let orientations = [4.0f64, 8.0, 12.0, 16.0, 20.0];
+    batch::par_map(&orientations, |&odeg, _| {
         // ψ = −orientation so the node's incidence angle equals `odeg`.
         let pose = Pose::facing_ap(2.0, 0.0, deg_to_rad(-odeg));
         // Assisted: tones for the true orientation.
@@ -133,13 +143,12 @@ pub fn ablation_orientation_assist(seed: u64) -> Vec<AssistRow> {
                 .tone_gain_to_port(&net.node.pose, &net.node.fsa, Port::A, f_right_a);
         // Fixed-tone SINR = assisted SINR minus the beam misalignment loss.
         let fixed = assisted - ratio_to_db(g_right / g_fixed);
-        rows.push(AssistRow {
+        AssistRow {
             orientation_deg: odeg,
             assisted_sinr_db: assisted,
             fixed_sinr_db: fixed,
-        });
-    }
-    rows
+        }
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -164,30 +173,41 @@ pub struct ChirpCountRow {
 pub fn ablation_chirp_count(trials: usize, seed: u64) -> Vec<ChirpCountRow> {
     let mut master = StdRng::seed_from_u64(seed);
     let d = 5.0;
-    let mut rows = Vec::new();
-    for n_chirps in [2usize, 3, 5, 7, 9] {
-        let mut errs = Vec::new();
-        for _ in 0..trials {
-            let trial_seed: u64 = master.gen();
-            let phi = deg_to_rad(master.gen_range(-10.0..10.0));
-            let pose = Pose::facing_ap(d, phi, 0.0);
-            let mut net = Network::new(pose, Fidelity::Fast, trial_seed);
-            let (tx, captures) = net.field2_captures_n(n_chirps);
-            let loc = net.localizer();
-            if let Some(fix) = loc.process(&tx, &captures) {
-                if (fix.range - d).abs() < 0.5 {
-                    errs.push((fix.range - d).abs());
-                }
+    let chirp_counts = [2usize, 3, 5, 7, 9];
+    let inputs: Vec<(usize, u64, f64)> = chirp_counts
+        .iter()
+        .flat_map(|&n_chirps| {
+            (0..trials)
+                .map(|_| {
+                    let trial_seed: u64 = master.gen();
+                    let phi = deg_to_rad(master.gen_range(-10.0..10.0));
+                    (n_chirps, trial_seed, phi)
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let results = batch::par_map(&inputs, |&(n_chirps, trial_seed, phi), _| {
+        let pose = Pose::facing_ap(d, phi, 0.0);
+        let mut net = Network::new(pose, Fidelity::Fast, trial_seed);
+        let (tx, captures) = net.field2_captures_n(n_chirps);
+        let loc = net.localizer();
+        loc.process(&tx, &captures)
+            .map(|fix| (fix.range - d).abs())
+            .filter(|err| *err < 0.5)
+    });
+    results
+        .chunks(trials.max(1))
+        .zip(chirp_counts)
+        .map(|(chunk, n_chirps)| {
+            let errs: Vec<f64> = chunk.iter().filter_map(|e| *e).collect();
+            ChirpCountRow {
+                n_chirps,
+                detections: errs.len(),
+                mean_err_cm: stats::mean(&errs) * 100.0,
+                trials,
             }
-        }
-        rows.push(ChirpCountRow {
-            n_chirps,
-            detections: errs.len(),
-            mean_err_cm: stats::mean(&errs) * 100.0,
-            trials,
-        });
-    }
-    rows
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------
@@ -213,31 +233,42 @@ pub struct WindowRow {
 pub fn ablation_window(trials: usize, seed: u64) -> Vec<WindowRow> {
     let mut master = StdRng::seed_from_u64(seed);
     let d = 5.0;
-    let mut rows = Vec::new();
-    for window in [Window::Rect, Window::Hann, Window::Blackman] {
-        let mut errs = Vec::new();
-        for _ in 0..trials {
-            let trial_seed: u64 = master.gen();
-            let phi = deg_to_rad(master.gen_range(-10.0..10.0));
-            let pose = Pose::facing_ap(d, phi, 0.0);
-            let mut net = Network::new(pose, Fidelity::Fast, trial_seed);
-            let (tx, captures) = net.field2_captures();
-            let mut loc = net.localizer();
-            loc.proc.window = window;
-            if let Some(fix) = loc.process(&tx, &captures) {
-                if (fix.range - d).abs() < 0.5 {
-                    errs.push((fix.range - d).abs());
-                }
+    let windows = [Window::Rect, Window::Hann, Window::Blackman];
+    let inputs: Vec<(Window, u64, f64)> = windows
+        .iter()
+        .flat_map(|&window| {
+            (0..trials)
+                .map(|_| {
+                    let trial_seed: u64 = master.gen();
+                    let phi = deg_to_rad(master.gen_range(-10.0..10.0));
+                    (window, trial_seed, phi)
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let results = batch::par_map(&inputs, |&(window, trial_seed, phi), _| {
+        let pose = Pose::facing_ap(d, phi, 0.0);
+        let mut net = Network::new(pose, Fidelity::Fast, trial_seed);
+        let (tx, captures) = net.field2_captures();
+        let mut loc = net.localizer();
+        loc.proc.window = window;
+        loc.process(&tx, &captures)
+            .map(|fix| (fix.range - d).abs())
+            .filter(|err| *err < 0.5)
+    });
+    results
+        .chunks(trials.max(1))
+        .zip(windows)
+        .map(|(chunk, window)| {
+            let errs: Vec<f64> = chunk.iter().filter_map(|e| *e).collect();
+            WindowRow {
+                window,
+                detections: errs.len(),
+                mean_err_cm: stats::mean(&errs) * 100.0,
+                trials,
             }
-        }
-        rows.push(WindowRow {
-            window,
-            detections: errs.len(),
-            mean_err_cm: stats::mean(&errs) * 100.0,
-            trials,
-        });
-    }
-    rows
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------
@@ -261,31 +292,30 @@ pub struct RateRow {
 /// the switch's toggle limit.
 pub fn ablation_uplink_rate(distance_m: f64, seed: u64) -> Vec<RateRow> {
     let pose = Pose::facing_ap(distance_m, 0.0, deg_to_rad(15.0));
-    let mut rows = Vec::new();
-    for mbps in [10.0, 20.0, 40.0, 80.0, 160.0, 200.0] {
+    let rates = [10.0, 20.0, 40.0, 80.0, 160.0, 200.0];
+    batch::par_map(&rates, |&mbps, _| {
         let symbol_rate = mbps * 1e6 / 2.0;
         let net = Network::new(pose, Fidelity::Fast, seed);
         let supported = net.node.switch.supports_rate(symbol_rate);
         if !supported {
-            rows.push(RateRow {
+            return Some(RateRow {
                 bit_rate_mbps: mbps,
                 supported: false,
                 snr_db: f64::NEG_INFINITY,
                 bit_errors: 0,
             });
-            continue;
         }
         let mut net = Network::new(pose, Fidelity::Fast, seed);
-        if let Some(r) = net.uplink(&[0x6C; 16], symbol_rate, true) {
-            rows.push(RateRow {
-                bit_rate_mbps: mbps,
-                supported: true,
-                snr_db: ratio_to_db(r.snr),
-                bit_errors: r.bit_errors,
-            });
-        }
-    }
-    rows
+        net.uplink(&[0x6C; 16], symbol_rate, true).map(|r| RateRow {
+            bit_rate_mbps: mbps,
+            supported: true,
+            snr_db: ratio_to_db(r.snr),
+            bit_errors: r.bit_errors,
+        })
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 // ---------------------------------------------------------------------
@@ -308,24 +338,24 @@ pub struct DenseRow {
 /// Dense-OAQFM downlink across constellations and distances (the §9.4
 /// extension): rate doubles per level doubling, range shrinks.
 pub fn ablation_dense_oaqfm(seed: u64) -> Vec<DenseRow> {
-    let mut rows = Vec::new();
-    for levels in [2u8, 4, 8] {
+    let cells: Vec<(u8, f64)> = [2u8, 4, 8]
+        .iter()
+        .flat_map(|&levels| [2.0, 5.0, 8.0, 11.0, 14.0].map(|d| (levels, d)))
+        .collect();
+    batch::par_map(&cells, |&(levels, d), _| {
         let c = DenseConstellation::new(levels);
-        for d in [2.0, 5.0, 8.0, 11.0, 14.0] {
-            // 12°: realistic tone separation where cross-port leakage also
-            // eats into the dense margins.
-            let pose = Pose::facing_ap(d, 0.0, deg_to_rad(12.0));
-            let mut net = Network::new(pose, Fidelity::Fast, seed + levels as u64);
-            let report = net.downlink_dense(&[0x96; 16], 1e6, c, true);
-            rows.push(DenseRow {
-                levels,
-                distance_m: d,
-                bit_rate_mbps: c.bits_per_symbol() as f64,
-                report,
-            });
+        // 12°: realistic tone separation where cross-port leakage also
+        // eats into the dense margins.
+        let pose = Pose::facing_ap(d, 0.0, deg_to_rad(12.0));
+        let mut net = Network::new(pose, Fidelity::Fast, seed + levels as u64);
+        let report = net.downlink_dense(&[0x96; 16], 1e6, c, true);
+        DenseRow {
+            levels,
+            distance_m: d,
+            bit_rate_mbps: c.bits_per_symbol() as f64,
+            report,
         }
-    }
-    rows
+    })
 }
 
 #[cfg(test)]
@@ -336,13 +366,20 @@ mod tests {
     fn subtraction_is_essential() {
         let rows = ablation_background_subtraction(4, 91);
         for r in &rows {
-            assert_eq!(r.with_ok, r.trials, "subtracted pipeline failed at {} m", r.distance_m);
+            assert_eq!(
+                r.with_ok, r.trials,
+                "subtracted pipeline failed at {} m",
+                r.distance_m
+            );
         }
         // Without subtraction the raw profile locks onto clutter at least
         // somewhere.
         let total_without: usize = rows.iter().map(|r| r.without_ok).sum();
         let total_with: usize = rows.iter().map(|r| r.with_ok).sum();
-        assert!(total_without < total_with, "{total_without} vs {total_with}");
+        assert!(
+            total_without < total_with,
+            "{total_without} vs {total_with}"
+        );
     }
 
     #[test]
@@ -376,7 +413,11 @@ mod tests {
         let at200 = rows.iter().find(|r| r.bit_rate_mbps == 200.0).unwrap();
         assert!(!at200.supported);
         // SNR decreases with rate among supported rows.
-        let snr10 = rows.iter().find(|r| r.bit_rate_mbps == 10.0).unwrap().snr_db;
+        let snr10 = rows
+            .iter()
+            .find(|r| r.bit_rate_mbps == 10.0)
+            .unwrap()
+            .snr_db;
         let snr160 = at160.snr_db;
         assert!(snr10 > snr160 + 6.0, "{snr10} vs {snr160}");
     }

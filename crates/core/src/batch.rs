@@ -1,0 +1,232 @@
+//! Parallel batch-simulation engine.
+//!
+//! Every evaluation driver in this workspace has the same shape: run many
+//! independent Monte-Carlo trials (or grid cells, or parameter points) and
+//! aggregate. This module provides the one implementation of that shape —
+//! deterministic regardless of thread count — and the experiment drivers,
+//! ablations, site survey and `milback-bench` binaries all route through
+//! it.
+//!
+//! Determinism contract: every trial's RNG seed is derived *only* from the
+//! master seed and the trial's index ([`derive_seed`]), results land in
+//! index-addressed slots, and no trial observes another trial's state. A
+//! run with 16 worker threads is therefore bit-identical to a serial run —
+//! covered by `tests/end_to_end.rs` and the seed-derivation property tests.
+//!
+//! Threads come from [`std::thread::scope`] (the workspace builds offline;
+//! no external thread-pool crate). The worker count defaults to the
+//! machine's available parallelism and can be pinned with the
+//! `MILBACK_THREADS` environment variable (`MILBACK_THREADS=1` forces
+//! serial execution, useful for benchmarking the speedup itself).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// One trial's identity within a batch: its index in the batch and the
+/// RNG seed derived for it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Trial {
+    /// Index of this trial within the batch, `0..n`.
+    pub index: usize,
+    /// Deterministic per-trial seed, [`derive_seed`]`(master, index)`.
+    pub seed: u64,
+}
+
+/// Derives the RNG seed for trial `index` of a batch keyed by `master`.
+///
+/// SplitMix64-style finalizer over `master ^ index·φ` (φ = 2⁶⁴/golden
+/// ratio, odd). For a fixed master the map `index → seed` is injective:
+/// `index·φ` is a bijection mod 2⁶⁴ (φ is odd) and the finalizer is a
+/// bijection, so two distinct trial indices can never collide. The seed
+/// depends only on `(master, index)` — never on execution order — which is
+/// what makes the engine thread-count-invariant.
+pub fn derive_seed(master: u64, index: u64) -> u64 {
+    const PHI: u64 = 0x9E37_79B9_7F4A_7C15;
+    let mut z = master ^ index.wrapping_mul(PHI);
+    z = z.wrapping_add(PHI);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The number of worker threads the engine uses: `MILBACK_THREADS` when
+/// set (≥ 1), otherwise the machine's available parallelism.
+pub fn thread_count() -> usize {
+    static COUNT: OnceLock<usize> = OnceLock::new();
+    *COUNT.get_or_init(|| {
+        if let Ok(v) = std::env::var("MILBACK_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                return n.max(1);
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Parallel map preserving input order: `out[i] == f(&items[i], i)` no
+/// matter how many worker threads run. Work is distributed by an atomic
+/// cursor, so uneven per-item cost does not idle workers.
+pub fn par_map<I, T, F>(items: &[I], f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I, usize) -> T + Sync,
+{
+    par_map_with_threads(items, thread_count(), f)
+}
+
+/// [`par_map`] with an explicit worker count (`1` runs inline on the
+/// calling thread). Exists so tests can compare thread counts directly.
+pub fn par_map_with_threads<I, T, F>(items: &[I], threads: usize, f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I, usize) -> T + Sync,
+{
+    let n = items.len();
+    let threads = threads.max(1).min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items.iter().enumerate().map(|(i, it)| f(it, i)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let out = f(&items[i], i);
+                *slots[i].lock().unwrap() = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("worker skipped a slot"))
+        .collect()
+}
+
+/// Runs `n` independent trials in parallel. `f` receives each trial's
+/// [`Trial`] (index + derived seed) and results come back in index order.
+pub fn run_trials<T, F>(n: usize, master_seed: u64, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Trial) -> T + Sync,
+{
+    run_trials_with_threads(n, master_seed, thread_count(), f)
+}
+
+/// [`run_trials`] with an explicit worker count, for determinism tests
+/// and serial baselines.
+pub fn run_trials_with_threads<T, F>(n: usize, master_seed: u64, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Trial) -> T + Sync,
+{
+    let trials: Vec<Trial> = (0..n)
+        .map(|index| Trial {
+            index,
+            seed: derive_seed(master_seed, index as u64),
+        })
+        .collect();
+    par_map_with_threads(&trials, threads, |t, _| f(*t))
+}
+
+/// Sweeps `params × trials`: for each parameter point, runs
+/// `trials_per_point` trials, all scheduled on one flat parallel batch so
+/// a slow parameter point does not serialize the sweep. Trial seeds are
+/// derived from the *global* index (`param_idx · trials + trial`), so
+/// adding parameter points does not reshuffle earlier points' seeds
+/// within a run and results are again thread-count-invariant.
+pub fn sweep<P, T, F>(params: &[P], trials_per_point: usize, master_seed: u64, f: F) -> Vec<Vec<T>>
+where
+    P: Sync,
+    T: Send,
+    F: Fn(&P, Trial) -> T + Sync,
+{
+    let jobs: Vec<(usize, Trial)> = (0..params.len() * trials_per_point)
+        .map(|g| {
+            (
+                g / trials_per_point,
+                Trial {
+                    index: g % trials_per_point,
+                    seed: derive_seed(master_seed, g as u64),
+                },
+            )
+        })
+        .collect();
+    let flat = par_map(&jobs, |(pi, trial), _| f(&params[*pi], *trial));
+    let mut out: Vec<Vec<T>> = Vec::with_capacity(params.len());
+    let mut it = flat.into_iter();
+    for _ in 0..params.len() {
+        out.push(it.by_ref().take(trials_per_point).collect());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<usize> = (0..97).collect();
+        for threads in [1, 2, 7] {
+            let out = par_map_with_threads(&items, threads, |x, i| {
+                assert_eq!(*x, i);
+                x * 3
+            });
+            assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn run_trials_is_thread_count_invariant() {
+        let f = |t: Trial| (t.index, t.seed, t.seed.wrapping_mul(t.index as u64 + 1));
+        let serial = run_trials_with_threads(64, 42, 1, f);
+        for threads in [2, 3, 8] {
+            assert_eq!(run_trials_with_threads(64, 42, threads, f), serial);
+        }
+    }
+
+    #[test]
+    fn derived_seeds_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            assert!(seen.insert(derive_seed(7, i)), "collision at index {i}");
+        }
+    }
+
+    #[test]
+    fn different_masters_diverge() {
+        assert_ne!(derive_seed(1, 0), derive_seed(2, 0));
+        assert_ne!(derive_seed(1, 5), derive_seed(2, 5));
+    }
+
+    #[test]
+    fn sweep_shape_and_seeds() {
+        let params = [10.0f64, 20.0, 30.0];
+        let out = sweep(&params, 4, 9, |p, t| (*p, t.index, t.seed));
+        assert_eq!(out.len(), 3);
+        for (pi, rows) in out.iter().enumerate() {
+            assert_eq!(rows.len(), 4);
+            for (j, (p, idx, seed)) in rows.iter().enumerate() {
+                assert_eq!(*p, params[pi]);
+                assert_eq!(*idx, j);
+                assert_eq!(*seed, derive_seed(9, (pi * 4 + j) as u64));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch() {
+        let out: Vec<u64> = run_trials(0, 5, |t| t.seed);
+        assert!(out.is_empty());
+        let out = par_map(&[] as &[u8], |_, _| 0u8);
+        assert!(out.is_empty());
+    }
+}

@@ -5,7 +5,7 @@ use crate::network::Network;
 use milback_ap::tone_select::ToneSelection;
 use milback_ap::waveform::ask_waveform;
 use milback_node::demod::{demodulate_dense, EnvelopeSlicer};
-use milback_proto::bits::{bit_errors, bytes_to_bits, bits_to_bytes};
+use milback_proto::bits::{bit_errors, bits_to_bytes, bytes_to_bits};
 use milback_proto::crc::{append_crc, check_crc};
 use milback_proto::dense::{DenseConstellation, DenseSymbol};
 use milback_rf::channel::TxComponent;
@@ -57,7 +57,10 @@ impl Network {
         let mut symbols: Vec<DenseSymbol> = (0..DENSE_PILOT_SYMBOLS)
             .map(|k| {
                 let l = if k % 2 == 0 { full } else { 0 };
-                DenseSymbol { a_level: l, b_level: l }
+                DenseSymbol {
+                    a_level: l,
+                    b_level: l,
+                }
             })
             .collect();
         symbols.extend_from_slice(&data_symbols);
@@ -67,8 +70,14 @@ impl Network {
         let fc = 0.5 * (f_a + f_b);
         let mut tx = self.ap.tx;
         tx.fs = fs;
-        let amps_a: Vec<f64> = symbols.iter().map(|s| constellation.amplitude(s.a_level)).collect();
-        let amps_b: Vec<f64> = symbols.iter().map(|s| constellation.amplitude(s.b_level)).collect();
+        let amps_a: Vec<f64> = symbols
+            .iter()
+            .map(|s| constellation.amplitude(s.a_level))
+            .collect();
+        let amps_b: Vec<f64> = symbols
+            .iter()
+            .map(|s| constellation.amplitude(s.b_level))
+            .collect();
         let mut wave_a = ask_waveform(&tx, fc, f_a, &amps_a, symbol_rate);
         let mut wave_b = ask_waveform(&tx, fc, f_b, &amps_b, symbol_rate);
         wave_a.scale(1.0 / 2f64.sqrt());

@@ -2,6 +2,7 @@
 //! evaluation (§9). Each function is deterministic given its seed and
 //! returns plain row structs; the `milback-bench` binaries print them.
 
+use crate::batch;
 use crate::config::Fidelity;
 use crate::network::Network;
 use milback_ap::tone_select::ToneSelection;
@@ -120,10 +121,22 @@ pub fn fig11_oaqfm_micro(seed: u64) -> Fig11Trace {
 
     let symbol_rate = 1e6; // 1 µs symbols, as in §9.1
     let symbols = [
-        OaqfmSymbol { a_on: false, b_on: false },
-        OaqfmSymbol { a_on: false, b_on: true },
-        OaqfmSymbol { a_on: true, b_on: false },
-        OaqfmSymbol { a_on: true, b_on: true },
+        OaqfmSymbol {
+            a_on: false,
+            b_on: false,
+        },
+        OaqfmSymbol {
+            a_on: false,
+            b_on: true,
+        },
+        OaqfmSymbol {
+            a_on: true,
+            b_on: false,
+        },
+        OaqfmSymbol {
+            a_on: true,
+            b_on: true,
+        },
     ];
     let bits_a: Vec<bool> = symbols.iter().map(|s| s.a_on).collect();
     let bits_b: Vec<bool> = symbols.iter().map(|s| s.b_on).collect();
@@ -147,7 +160,10 @@ pub fn fig11_oaqfm_micro(seed: u64) -> Fig11Trace {
 
     // Decimate the traces to ~100 points per symbol for plotting.
     let step = (fs / symbol_rate / 100.0).max(1.0) as usize;
-    let time_us: Vec<f64> = (0..det_a.len()).step_by(step).map(|i| i as f64 / fs * 1e6).collect();
+    let time_us: Vec<f64> = (0..det_a.len())
+        .step_by(step)
+        .map(|i| i as f64 / fs * 1e6)
+        .collect();
     let port_a_mv: Vec<f64> = det_a.iter().step_by(step).map(|v| v * 1e3).collect();
     let port_b_mv: Vec<f64> = det_b.iter().step_by(step).map(|v| v * 1e3).collect();
 
@@ -181,28 +197,39 @@ pub struct RangingRow {
 /// repetitions each (20 in the paper), node facing the AP at a small
 /// random azimuth per trial.
 pub fn fig12a_ranging(trials: usize, seed: u64) -> Vec<RangingRow> {
-    let mut rows = Vec::new();
+    // Draw every trial's randomness up front in the serial order, then run
+    // the expensive simulations on the batch engine — results are
+    // identical to the historical serial loop at any thread count.
     let mut master = StdRng::seed_from_u64(seed);
-    for d in 1..=8 {
-        let d = d as f64;
-        let mut errs = Vec::new();
-        for _ in 0..trials {
-            let trial_seed: u64 = master.gen();
-            let phi = deg_to_rad(master.gen_range(-10.0..10.0));
-            let pose = Pose::facing_ap(d, phi, 0.0);
-            let mut net = Network::new(pose, Fidelity::Fast, trial_seed);
-            if let Some(fix) = net.localize() {
-                errs.push((fix.range - d).abs());
+    let inputs: Vec<(f64, u64, f64)> = (1..=8)
+        .flat_map(|d| {
+            (0..trials)
+                .map(|_| {
+                    let trial_seed: u64 = master.gen();
+                    let phi = deg_to_rad(master.gen_range(-10.0..10.0));
+                    (d as f64, trial_seed, phi)
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let results = batch::par_map(&inputs, |&(d, trial_seed, phi), _| {
+        let pose = Pose::facing_ap(d, phi, 0.0);
+        let mut net = Network::new(pose, Fidelity::Fast, trial_seed);
+        net.localize().map(|fix| (fix.range - d).abs())
+    });
+    results
+        .chunks(trials.max(1))
+        .zip(1..=8)
+        .map(|(chunk, d)| {
+            let errs: Vec<f64> = chunk.iter().filter_map(|e| *e).collect();
+            RangingRow {
+                distance_m: d as f64,
+                mean_cm: stats::mean(&errs) * 100.0,
+                p90_cm: stats::percentile(&errs, 90.0) * 100.0,
+                n: errs.len(),
             }
-        }
-        rows.push(RangingRow {
-            distance_m: d,
-            mean_cm: stats::mean(&errs) * 100.0,
-            p90_cm: stats::percentile(&errs, 90.0) * 100.0,
-            n: errs.len(),
-        });
-    }
-    rows
+        })
+        .collect()
 }
 
 /// Summary statistics of the Fig. 12b angle-error CDF.
@@ -220,20 +247,28 @@ pub struct AngleCdf {
 /// azimuths, as the paper pools its CDF.
 pub fn fig12b_angle_cdf(trials_per_point: usize, seed: u64) -> AngleCdf {
     let mut master = StdRng::seed_from_u64(seed);
-    let mut errs_deg = Vec::new();
-    for d in [1.0, 2.0, 3.0, 4.0, 5.0, 6.0] {
-        for _ in 0..trials_per_point {
-            let trial_seed: u64 = master.gen();
-            let phi = deg_to_rad(master.gen_range(-20.0..20.0));
-            let pose = Pose::facing_ap(d, phi, 0.0);
-            let mut net = Network::new(pose, Fidelity::Fast, trial_seed);
-            if let Some(fix) = net.localize() {
-                if let Some(a) = fix.angle {
-                    errs_deg.push(rad_to_deg(a - phi).abs());
-                }
-            }
-        }
-    }
+    let inputs: Vec<(f64, u64, f64)> = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+        .iter()
+        .flat_map(|&d| {
+            (0..trials_per_point)
+                .map(|_| {
+                    let trial_seed: u64 = master.gen();
+                    let phi = deg_to_rad(master.gen_range(-20.0..20.0));
+                    (d, trial_seed, phi)
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let errs_deg: Vec<f64> = batch::par_map(&inputs, |&(d, trial_seed, phi), _| {
+        let pose = Pose::facing_ap(d, phi, 0.0);
+        let mut net = Network::new(pose, Fidelity::Fast, trial_seed);
+        net.localize()
+            .and_then(|fix| fix.angle)
+            .map(|a| rad_to_deg(a - phi).abs())
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     AngleCdf {
         cdf: stats::empirical_cdf(&errs_deg),
         median_deg: stats::median(&errs_deg),
@@ -264,38 +299,51 @@ fn orientation_sweep(
     seed: u64,
     at_node: bool,
 ) -> Vec<OrientationRow> {
+    // Preserve the serial draw order (trial seed, then depth offset) so
+    // the parallel run reproduces the historical serial results exactly.
     let mut master = StdRng::seed_from_u64(seed);
-    let mut rows = Vec::new();
-    for &odeg in orientations_deg {
-        let mut errs = Vec::new();
-        for _ in 0..trials {
-            let trial_seed: u64 = master.gen();
-            // The node is rotated by ψ = −orientation so its incidence
-            // angle equals `odeg`.
-            let pose = Pose::facing_ap(2.0, 0.0, deg_to_rad(-odeg));
-            let mut net = Network::new(pose, Fidelity::Fast, trial_seed);
-            // Each trial re-mounts the node: the mirror's effective depth
-            // (hence its carrier phase) changes by millimetres.
-            if let Some(m) = net.scene.mirror.as_mut() {
-                m.depth_offset = master.gen_range(0.0..0.006);
-            }
-            let est = if at_node {
-                net.sense_orientation_at_node()
-            } else {
-                net.sense_orientation_at_ap()
-            };
-            if let Some(e) = est {
-                errs.push(rad_to_deg(e) - odeg);
-            }
+    let inputs: Vec<(f64, u64, f64)> = orientations_deg
+        .iter()
+        .flat_map(|&odeg| {
+            (0..trials)
+                .map(|_| {
+                    let trial_seed: u64 = master.gen();
+                    let depth_offset = master.gen_range(0.0..0.006);
+                    (odeg, trial_seed, depth_offset)
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let results = batch::par_map(&inputs, |&(odeg, trial_seed, depth_offset), _| {
+        // The node is rotated by ψ = −orientation so its incidence angle
+        // equals `odeg`.
+        let pose = Pose::facing_ap(2.0, 0.0, deg_to_rad(-odeg));
+        let mut net = Network::new(pose, Fidelity::Fast, trial_seed);
+        // Each trial re-mounts the node: the mirror's effective depth
+        // (hence its carrier phase) changes by millimetres.
+        if let Some(m) = net.scene.mirror.as_mut() {
+            m.depth_offset = depth_offset;
         }
-        rows.push(OrientationRow {
-            orientation_deg: odeg,
-            mean_err_deg: stats::mean_abs(&errs),
-            variance_deg2: stats::variance(&errs),
-            n: errs.len(),
-        });
-    }
-    rows
+        let est = if at_node {
+            net.sense_orientation_at_node()
+        } else {
+            net.sense_orientation_at_ap()
+        };
+        est.map(|e| rad_to_deg(e) - odeg)
+    });
+    results
+        .chunks(trials.max(1))
+        .zip(orientations_deg)
+        .map(|(chunk, &odeg)| {
+            let errs: Vec<f64> = chunk.iter().filter_map(|e| *e).collect();
+            OrientationRow {
+                orientation_deg: odeg,
+                mean_err_deg: stats::mean_abs(&errs),
+                variance_deg2: stats::variance(&errs),
+                n: errs.len(),
+            }
+        })
+        .collect()
 }
 
 /// Fig. 13a: orientation sensing at the node, sweep of orientations at
@@ -333,48 +381,49 @@ pub struct LinkRow {
 
 /// Fig. 14: downlink SINR vs distance (1–12 m).
 pub fn fig14_downlink(seed: u64) -> Vec<LinkRow> {
-    let mut rows = Vec::new();
-    for d in 1..=12 {
-        let d = d as f64;
+    let distances: Vec<f64> = (1..=12).map(|d| d as f64).collect();
+    batch::par_map(&distances, |&d, _| {
         let pose = Pose::facing_ap(d, 0.0, deg_to_rad(COMM_ORIENTATION_DEG));
         let mut net = Network::new(pose, Fidelity::Fast, seed + d as u64);
-        let payload: Vec<u8> = (0u8..16).map(|i| i.wrapping_mul(37).wrapping_add(d as u8)).collect();
-        if let Some(report) = net.downlink(&payload, 1e6, true) {
-            rows.push(LinkRow {
-                distance_m: d,
-                snr_db: ratio_to_db(report.sinr),
-                // BER follows the post-integration decision SNR, which is
-                // why the paper quotes BER < 1e-8 at 12 dB detector SINR.
-                ber: ook_ber(report.decision_snr),
-                measured_bit_errors: report.bit_errors,
-                total_bits: report.total_bits,
-            });
-        }
-    }
-    rows
+        let payload: Vec<u8> = (0u8..16)
+            .map(|i| i.wrapping_mul(37).wrapping_add(d as u8))
+            .collect();
+        net.downlink(&payload, 1e6, true).map(|report| LinkRow {
+            distance_m: d,
+            snr_db: ratio_to_db(report.sinr),
+            // BER follows the post-integration decision SNR, which is
+            // why the paper quotes BER < 1e-8 at 12 dB detector SINR.
+            ber: ook_ber(report.decision_snr),
+            measured_bit_errors: report.bit_errors,
+            total_bits: report.total_bits,
+        })
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Fig. 15: uplink SNR vs distance at `bit_rate` bits/s (10 Mbps for
 /// 15a, 40 Mbps for 15b; OAQFM carries 2 bits/symbol).
 pub fn fig15_uplink(bit_rate: f64, max_distance_m: usize, seed: u64) -> Vec<LinkRow> {
     let symbol_rate = bit_rate / 2.0;
-    let mut rows = Vec::new();
-    for d in 1..=max_distance_m {
-        let d = d as f64;
+    let distances: Vec<f64> = (1..=max_distance_m).map(|d| d as f64).collect();
+    batch::par_map(&distances, |&d, _| {
         let pose = Pose::facing_ap(d, 0.0, deg_to_rad(COMM_ORIENTATION_DEG));
         let mut net = Network::new(pose, Fidelity::Fast, seed + d as u64);
         let payload: Vec<u8> = (0..16).map(|i| i * 73 + d as u8).collect();
-        if let Some(report) = net.uplink(&payload, symbol_rate, true) {
-            rows.push(LinkRow {
+        net.uplink(&payload, symbol_rate, true)
+            .map(|report| LinkRow {
                 distance_m: d,
                 snr_db: ratio_to_db(report.snr),
                 ber: ook_ber(report.snr),
                 measured_bit_errors: report.bit_errors,
                 total_bits: report.total_bits,
-            });
-        }
-    }
-    rows
+            })
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 // ---------------------------------------------------------------------

@@ -18,6 +18,8 @@
 //! * [`survey`] — analytic coverage maps for deployment planning,
 //! * [`experiments`] — drivers regenerating every paper figure/table,
 //! * [`ablations`] — what breaks when each design choice is removed,
+//! * [`batch`] — the deterministic parallel batch engine the drivers
+//!   above run on,
 //! * [`config`] — fidelity presets and calibrated AP parameters.
 //!
 //! ```no_run
@@ -32,6 +34,7 @@
 
 pub mod ablations;
 pub mod adaptation;
+pub mod batch;
 pub mod config;
 pub mod dense_link;
 pub mod experiments;
@@ -44,6 +47,7 @@ pub mod tracking;
 pub mod velocity;
 
 pub use adaptation::AdaptiveReport;
+pub use batch::{derive_seed, run_trials, sweep, Trial};
 pub use config::{ApParams, Fidelity};
 pub use dense_link::DenseDownlinkReport;
 pub use link::{DownlinkReport, UplinkReport};

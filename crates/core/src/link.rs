@@ -92,11 +92,19 @@ impl Network {
         let mut at_a = self
             .scene
             .to_node_port(comp_a, &self.node.pose, &self.node.fsa, Port::A);
-        at_a.add(&self.scene.to_node_port(comp_b, &self.node.pose, &self.node.fsa, Port::A));
+        at_a.add(
+            &self
+                .scene
+                .to_node_port(comp_b, &self.node.pose, &self.node.fsa, Port::A),
+        );
         let mut at_b = self
             .scene
             .to_node_port(comp_b, &self.node.pose, &self.node.fsa, Port::B);
-        at_b.add(&self.scene.to_node_port(comp_a, &self.node.pose, &self.node.fsa, Port::B));
+        at_b.add(
+            &self
+                .scene
+                .to_node_port(comp_a, &self.node.pose, &self.node.fsa, Port::B),
+        );
         (at_a, at_b)
     }
 
@@ -172,7 +180,9 @@ impl Network {
         let p_tx_tone = self.ap.tx.amplitude().powi(2) / 2.0;
         let chain = self.node_chain_gain();
         let g = |port: Port, f: f64| {
-            self.scene.tone_gain_to_port(&self.node.pose, &self.node.fsa, port, f) * chain
+            self.scene
+                .tone_gain_to_port(&self.node.pose, &self.node.fsa, port, f)
+                * chain
         };
         let _ = inc;
         let v = |p: f64| self.node.detector.ideal_output(p);
@@ -248,7 +258,9 @@ impl Network {
 
         let p_tx = self.ap.tx.amplitude().powi(2);
         let chain = self.node_chain_gain();
-        let g_a = self.scene.tone_gain_to_port(&self.node.pose, &self.node.fsa, Port::A, f);
+        let g_a = self
+            .scene
+            .tone_gain_to_port(&self.node.pose, &self.node.fsa, Port::A, f);
         let v_sig = self.node.detector.ideal_output(p_tx * g_a * chain);
         let noise = self.node.detector.output_noise_rms();
         let sinr = branch_sinr(v_sig, 0.0, noise);

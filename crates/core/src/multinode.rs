@@ -12,6 +12,7 @@ use milback_ap::tone_select::{select_tones, ToneSelection};
 use milback_ap::uplink::{UplinkReceiver, UPLINK_PILOT};
 use milback_dsp::num::Cpx;
 use milback_dsp::signal::Signal;
+use milback_hw::switch::{SwitchSchedule, SwitchState};
 use milback_node::modulator::modulate_uplink;
 use milback_node::node::BackscatterNode;
 use milback_proto::bits::{bit_errors, symbols_to_bits, OaqfmSymbol};
@@ -20,7 +21,6 @@ use milback_proto::mac::{NodeId, PollSchedule};
 use milback_proto::packet::LinkMode;
 use milback_rf::channel::{NodeInterface, Scene, TxComponent};
 use milback_rf::geometry::Pose;
-use milback_hw::switch::{SwitchSchedule, SwitchState};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -67,19 +67,15 @@ impl MultiNetwork {
         }
     }
 
-    /// A single-node view of this deployment for node `id`, sharing the
-    /// scene and AP parameters — used to reuse the single-node pipelines
-    /// where other nodes' contributions are negligible.
-    fn single_view(&mut self, id: NodeId) -> Network {
+    /// A single-node view of this deployment for node `id` with an
+    /// explicit seed, sharing the scene and AP parameters — used to reuse
+    /// the single-node pipelines where other nodes' contributions are
+    /// negligible. `&self` so poll-round slots can build views
+    /// concurrently.
+    fn single_view_seeded(&self, id: NodeId, seed: u64) -> Network {
         let mut scene = self.scene.clone();
         scene.steer_towards(&self.nodes[id].pose.position);
-        Network::from_parts(
-            scene,
-            self.nodes[id].clone(),
-            self.ap,
-            self.fidelity,
-            self.rng.gen(),
-        )
+        Network::from_parts(scene, self.nodes[id].clone(), self.ap, self.fidelity, seed)
     }
 
     /// Localizes node `id` with the AP steered at it, rendering **all**
@@ -87,7 +83,16 @@ impl MultiNetwork {
     /// modulation, the others are parked absorptive (their residual
     /// reflections are still present).
     pub fn localize_node(&mut self, id: NodeId) -> Option<LocalizationResult> {
+        let seed = self.rng.gen();
+        self.localize_node_seeded(id, seed)
+    }
+
+    /// [`Self::localize_node`] with an explicit noise seed. Takes `&self`:
+    /// all randomness comes from the seed, so the batch engine can run
+    /// slots for different nodes concurrently with identical results.
+    pub fn localize_node_seeded(&self, id: NodeId, seed: u64) -> Option<LocalizationResult> {
         assert!(id < self.nodes.len(), "node id out of range");
+        let mut rng = StdRng::seed_from_u64(seed);
         let mut scene = self.scene.clone();
         scene.steer_towards(&self.nodes[id].pose.position);
 
@@ -96,8 +101,7 @@ impl MultiNetwork {
         let tx = cfg.sawtooth();
         let profile = milback_rf::channel::FreqProfile::Sawtooth(cfg);
         let mod_freq = self.fidelity.localization_mod_freq();
-        let noise_p =
-            milback_dsp::noise::thermal_noise_power(tx.fs, self.ap.capture_nf_db);
+        let noise_p = milback_dsp::noise::thermal_noise_power(tx.fs, self.ap.capture_nf_db);
 
         let mut captures = Vec::with_capacity(5);
         for i in 0..5 {
@@ -123,7 +127,11 @@ impl MultiNetwork {
                     .map(|(k, node)| {
                         let switch = node.switch;
                         let two_way = 10f64.powf(-2.0 * node.impl_loss_db / 20.0);
-                        let a = if k == id { sched_on.clone() } else { sched_off.clone() };
+                        let a = if k == id {
+                            sched_on.clone()
+                        } else {
+                            sched_off.clone()
+                        };
                         let b = sched_off.clone();
                         Box::new(move |t: f64| {
                             [
@@ -144,7 +152,7 @@ impl MultiNetwork {
                     })
                     .collect();
                 let mut rx = scene.monostatic_rx_multi(&comp, &ifaces, ant);
-                milback_dsp::noise::add_awgn(&mut rx, noise_p, &mut self.rng);
+                milback_dsp::noise::add_awgn(&mut rx, noise_p, &mut rng);
                 pair.push(rx);
             }
             captures.push([pair[0].clone(), pair[1].clone()]);
@@ -152,8 +160,9 @@ impl MultiNetwork {
 
         let mut loc_cfg = self.fidelity.sawtooth();
         loc_cfg.amplitude = self.ap.tx.amplitude();
-        let localizer =
-            milback_ap::ranging::Localizer::new(milback_ap::dechirp::RangeProcessor::new(loc_cfg, 2));
+        let localizer = milback_ap::ranging::Localizer::new(
+            milback_ap::dechirp::RangeProcessor::new(loc_cfg, 2),
+        );
         localizer.process(&tx, &captures)
     }
 
@@ -164,6 +173,20 @@ impl MultiNetwork {
         id: NodeId,
         payload: &[u8],
         symbol_rate: f64,
+    ) -> Option<UplinkReport> {
+        let seed = self.rng.gen();
+        self.uplink_from_seeded(id, payload, symbol_rate, seed)
+    }
+
+    /// [`Self::uplink_from`] with an explicit receiver-noise seed; `&self`
+    /// for the same concurrent-slot reason as
+    /// [`Self::localize_node_seeded`].
+    pub fn uplink_from_seeded(
+        &self,
+        id: NodeId,
+        payload: &[u8],
+        symbol_rate: f64,
+        seed: u64,
     ) -> Option<UplinkReport> {
         assert!(id < self.nodes.len(), "node id out of range");
         let mut scene = self.scene.clone();
@@ -190,9 +213,8 @@ impl MultiNetwork {
         let comp_a = TxComponent::tone(Signal::tone(fs, fc, f_a - fc, amp, n), f_a);
         let comp_b = TxComponent::tone(Signal::tone(fs, fc, f_b - fc, amp, n), f_b);
 
-        let (sched_a, sched_b) =
-            modulate_uplink(&self.nodes[id].switch, &symbols, t0, symbol_rate)
-                .expect("symbol rate exceeds switch capability");
+        let (sched_a, sched_b) = modulate_uplink(&self.nodes[id].switch, &symbols, t0, symbol_rate)
+            .expect("symbol rate exceeds switch capability");
         let parked = SwitchSchedule::Constant(SwitchState::Absorptive);
 
         let gammas: Vec<Box<dyn Fn(f64) -> [Cpx; 2]>> = self
@@ -233,7 +255,7 @@ impl MultiNetwork {
 
         let mut receiver = UplinkReceiver::milback(symbol_rate);
         receiver.lna.nf_db = 3.0;
-        let mut rng = StdRng::seed_from_u64(self.rng.gen());
+        let mut rng = StdRng::seed_from_u64(seed);
         let (got, stats) = receiver.demodulate(&rx0, &rx1, f_a, f_b, t0, n_symbols, &mut rng);
         let got_frame = &got[UPLINK_PILOT.len()..];
         let sent_bits = symbols_to_bits(&frame);
@@ -251,34 +273,45 @@ impl MultiNetwork {
     /// node, localize it, then run the slot's payload direction. Downlink
     /// slots reuse the single-node pipeline (other nodes are absorptive
     /// and do not affect a one-way link).
+    ///
+    /// Per-slot seeds are drawn from the deployment RNG serially, in slot
+    /// order, before any simulation runs; the slots themselves then
+    /// execute on the batch engine through the seeded `&self` methods, so
+    /// the round's results do not depend on the worker-thread count.
     pub fn run_round(
         &mut self,
         schedule: &PollSchedule,
         payloads: &[Vec<u8>],
         symbol_rate: f64,
     ) -> Vec<SlotResult> {
-        let mut results = Vec::with_capacity(schedule.len());
-        for slot in schedule.slots() {
-            let fix = self.localize_node(slot.node);
+        let slots: Vec<(milback_proto::mac::PollSlot, u64, u64)> = schedule
+            .slots()
+            .iter()
+            .map(|slot| (*slot, self.rng.gen(), self.rng.gen()))
+            .collect();
+        crate::batch::par_map(&slots, |&(slot, loc_seed, link_seed), _| {
+            let fix = self.localize_node_seeded(slot.node, loc_seed);
             let payload = &payloads[slot.node % payloads.len()];
             let (uplink, downlink) = match slot.mode {
-                LinkMode::Uplink => (self.uplink_from(slot.node, payload, symbol_rate), None),
+                LinkMode::Uplink => (
+                    self.uplink_from_seeded(slot.node, payload, symbol_rate, link_seed),
+                    None,
+                ),
                 LinkMode::Downlink => {
                     // One-way: other nodes don't reflect into the target
                     // node's detectors; the single-node view is exact.
-                    let mut view = self.single_view(slot.node);
+                    let mut view = self.single_view_seeded(slot.node, link_seed);
                     (None, view.downlink(payload, 1e6, true))
                 }
             };
-            results.push(SlotResult {
+            SlotResult {
                 node: slot.node,
                 mode: slot.mode,
                 fix,
                 uplink,
                 downlink,
-            });
-        }
-        results
+            }
+        })
     }
 }
 
@@ -300,7 +333,9 @@ mod tests {
         let mut net = MultiNetwork::new(three_nodes(), Fidelity::Fast, 61);
         let truths = [2.0, 3.5, 5.0];
         for (id, truth) in truths.iter().enumerate() {
-            let fix = net.localize_node(id).unwrap_or_else(|| panic!("node {id} lost"));
+            let fix = net
+                .localize_node(id)
+                .unwrap_or_else(|| panic!("node {id} lost"));
             assert!(
                 (fix.range - truth).abs() < 0.2,
                 "node {id}: {} vs {truth}",
@@ -332,7 +367,10 @@ mod tests {
         for (k, r) in results.iter().enumerate() {
             assert_eq!(r.node, k);
             assert!(r.fix.is_some(), "node {k} not localized in round");
-            let ul = r.uplink.as_ref().unwrap_or_else(|| panic!("node {k} no uplink"));
+            let ul = r
+                .uplink
+                .as_ref()
+                .unwrap_or_else(|| panic!("node {k} no uplink"));
             assert_eq!(ul.payload.as_deref().unwrap(), &payloads[k][..]);
         }
     }

@@ -12,12 +12,12 @@ use milback_ap::ranging::{LocalizationResult, Localizer};
 use milback_dsp::noise::{add_awgn, thermal_noise_power};
 use milback_dsp::num::Cpx;
 use milback_dsp::signal::Signal;
+use milback_hw::switch::{SwitchSchedule, SwitchState};
 use milback_node::node::BackscatterNode;
 use milback_node::orientation::NodeOrientationEstimator;
 use milback_rf::channel::{FreqProfile, NodeInterface, Scene, TxComponent};
 use milback_rf::fsa::Port;
 use milback_rf::geometry::Pose;
-use milback_hw::switch::{SwitchSchedule, SwitchState};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -211,15 +211,14 @@ impl Network {
         let det: Vec<f64> = det0.iter().zip(&det1).map(|(a, b)| a + b).collect();
         let node_bin = localizer.find_node_bin(&det, tx.fs)?;
         // Use the difference pair with the most node energy.
-        let best = (0..d0.len())
-            .max_by(|&i, &j| {
-                let e = |k: usize| -> f64 {
-                    let lo = node_bin.saturating_sub(2);
-                    let hi = (node_bin + 3).min(d0[k].len());
-                    d0[k][lo..hi].iter().map(|c| c.norm_sq()).sum()
-                };
-                e(i).partial_cmp(&e(j)).unwrap()
-            })?;
+        let best = (0..d0.len()).max_by(|&i, &j| {
+            let e = |k: usize| -> f64 {
+                let lo = node_bin.saturating_sub(2);
+                let hi = (node_bin + 3).min(d0[k].len());
+                d0[k][lo..hi].iter().map(|c| c.norm_sq()).sum()
+            };
+            e(i).partial_cmp(&e(j)).unwrap()
+        })?;
         let est = ApOrientationEstimator::new(self.fidelity.sawtooth());
         // Gate half-width: the beam bump's spectral spread is a few tens
         // of bins at these chirp lengths.
@@ -294,7 +293,11 @@ mod tests {
             fix.range
         );
         let angle = fix.angle.expect("no angle");
-        assert!(rad_to_deg(angle).abs() < 3.0, "angle {}°", rad_to_deg(angle));
+        assert!(
+            rad_to_deg(angle).abs() < 3.0,
+            "angle {}°",
+            rad_to_deg(angle)
+        );
     }
 
     #[test]

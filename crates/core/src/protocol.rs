@@ -50,12 +50,12 @@ impl Network {
         for slot in PacketConfig::field1_slots(mode) {
             match slot {
                 Slot::Chirp => {
-                    let at_a = self
-                        .scene
-                        .to_node_port(&comp, &self.node.pose, &self.node.fsa, Port::A);
-                    let at_b = self
-                        .scene
-                        .to_node_port(&comp, &self.node.pose, &self.node.fsa, Port::B);
+                    let at_a =
+                        self.scene
+                            .to_node_port(&comp, &self.node.pose, &self.node.fsa, Port::A);
+                    let at_b =
+                        self.scene
+                            .to_node_port(&comp, &self.node.pose, &self.node.fsa, Port::B);
                     let cap_a = self.node.receive_port(&at_a, &mut rng);
                     let cap_b = self.node.receive_port(&at_b, &mut rng);
                     combined.extend(cap_a.iter().zip(&cap_b).map(|(a, b)| a + b));
@@ -140,7 +140,10 @@ mod tests {
         let pose = Pose::facing_ap(2.0, 0.0, deg_to_rad(10.0));
         let mut net = Network::new(pose, Fidelity::Fast, 21);
         assert_eq!(net.signal_mode(LinkMode::Uplink), Some(LinkMode::Uplink));
-        assert_eq!(net.signal_mode(LinkMode::Downlink), Some(LinkMode::Downlink));
+        assert_eq!(
+            net.signal_mode(LinkMode::Downlink),
+            Some(LinkMode::Downlink)
+        );
     }
 
     #[test]

@@ -46,8 +46,12 @@ pub fn analytic_uplink_snr(
     let g = scene.tone_backscatter_gain(pose, &node.fsa, Port::A, f_a, 0);
     let two_way_loss = 10f64.powf(-2.0 * node.impl_loss_db / 10.0);
     let gamma_contrast = {
-        let r = node.switch.gamma(milback_hw::switch::SwitchState::Reflective);
-        let a = node.switch.gamma(milback_hw::switch::SwitchState::Absorptive);
+        let r = node
+            .switch
+            .gamma(milback_hw::switch::SwitchState::Reflective);
+        let a = node
+            .switch
+            .gamma(milback_hw::switch::SwitchState::Absorptive);
         (r - a).norm_sq() / 4.0 // half-swing decision amplitude, squared
     };
     let p_sig = p_tone * g * two_way_loss * gamma_contrast;
@@ -68,33 +72,36 @@ pub fn coverage_map(
     cell: f64,
 ) -> Vec<CoverageCell> {
     assert!(cell > 0.0, "cell size must be positive");
-    let mut out = Vec::new();
+    // Enumerate the grid first (row-major, the historical cell order),
+    // then evaluate the independent cells on the batch engine.
+    let mut cells = Vec::new();
     let mut x = 1.0;
     while x <= depth {
         let mut y = -width / 2.0;
         while y <= width / 2.0 {
-            let p = Point::new(x, y);
-            let bearing = p.bearing_to(&Point::origin());
-            let pose = Pose::new(p, bearing);
-            let snr10 = analytic_uplink_snr(scene, node, ap, &pose, 10e6);
-            let best_rate = crate::adaptation::UPLINK_RATES
-                .iter()
-                .copied()
-                .find(|&rate| {
-                    analytic_uplink_snr(scene, node, ap, &pose, rate)
-                        .map(|s| s >= crate::adaptation::SNR_ACCEPT)
-                        .unwrap_or(false)
-                });
-            out.push(CoverageCell {
-                position: p,
-                uplink_snr_db: snr10.map(ratio_to_db).unwrap_or(f64::NEG_INFINITY),
-                best_rate,
-            });
+            cells.push(Point::new(x, y));
             y += cell;
         }
         x += cell;
     }
-    out
+    crate::batch::par_map(&cells, |&p, _| {
+        let bearing = p.bearing_to(&Point::origin());
+        let pose = Pose::new(p, bearing);
+        let snr10 = analytic_uplink_snr(scene, node, ap, &pose, 10e6);
+        let best_rate = crate::adaptation::UPLINK_RATES
+            .iter()
+            .copied()
+            .find(|&rate| {
+                analytic_uplink_snr(scene, node, ap, &pose, rate)
+                    .map(|s| s >= crate::adaptation::SNR_ACCEPT)
+                    .unwrap_or(false)
+            });
+        CoverageCell {
+            position: p,
+            uplink_snr_db: snr10.map(ratio_to_db).unwrap_or(f64::NEG_INFINITY),
+            best_rate,
+        }
+    })
 }
 
 #[cfg(test)]
@@ -113,10 +120,10 @@ mod tests {
     #[test]
     fn snr_decreases_with_distance() {
         let (scene, node, ap) = setup();
-        let s2 = analytic_uplink_snr(&scene, &node, &ap, &Pose::facing_ap(2.0, 0.0, 0.0), 10e6)
-            .unwrap();
-        let s8 = analytic_uplink_snr(&scene, &node, &ap, &Pose::facing_ap(8.0, 0.0, 0.0), 10e6)
-            .unwrap();
+        let s2 =
+            analytic_uplink_snr(&scene, &node, &ap, &Pose::facing_ap(2.0, 0.0, 0.0), 10e6).unwrap();
+        let s8 =
+            analytic_uplink_snr(&scene, &node, &ap, &Pose::facing_ap(8.0, 0.0, 0.0), 10e6).unwrap();
         // d⁻⁴: 2 m → 8 m costs ~24 dB.
         let drop = ratio_to_db(s2 / s8);
         assert!((drop - 24.1).abs() < 1.0, "drop {drop} dB");
@@ -130,9 +137,7 @@ mod tests {
         use crate::network::Network;
         let (scene, node, ap) = setup();
         let pose = Pose::facing_ap(4.0, 0.0, deg_to_rad(15.0));
-        let analytic = ratio_to_db(
-            analytic_uplink_snr(&scene, &node, &ap, &pose, 10e6).unwrap(),
-        );
+        let analytic = ratio_to_db(analytic_uplink_snr(&scene, &node, &ap, &pose, 10e6).unwrap());
         let mut net = Network::new(pose, Fidelity::Fast, 81);
         let measured = ratio_to_db(net.uplink(&[0x5A; 12], 5e6, true).unwrap().snr);
         assert!(

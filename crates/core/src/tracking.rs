@@ -162,11 +162,7 @@ impl Axis {
         let innov = z - self.x[0];
         self.x[0] += k0 * innov;
         self.x[1] += k1 * innov;
-        self.p = [
-            (1.0 - k0) * p00,
-            (1.0 - k0) * p01,
-            p11 - k1 * p01,
-        ];
+        self.p = [(1.0 - k0) * p00, (1.0 - k0) * p01, p11 - k1 * p01];
     }
 }
 

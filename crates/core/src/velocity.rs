@@ -54,7 +54,10 @@ impl Network {
         let start_pose = self.node.pose;
         let bearing = Point::origin().bearing_to(&start_pose.position);
         let gamma = {
-            let g = self.node.switch.gamma(milback_hw::switch::SwitchState::Reflective);
+            let g = self
+                .node
+                .switch
+                .gamma(milback_hw::switch::SwitchState::Reflective);
             let loss = 10f64.powf(-2.0 * self.node.impl_loss_db / 20.0);
             move |_t: f64| [g * loss, Cpx::new(0.0, 0.0)]
         };
@@ -64,8 +67,8 @@ impl Network {
         let mut range_bin = None;
         for i in 0..n_chirps {
             // Quasi-static: the node advances radially between chirps.
-            let d = start_pose.position.distance_to(&Point::origin())
-                + v_true * i as f64 * interval;
+            let d =
+                start_pose.position.distance_to(&Point::origin()) + v_true * i as f64 * interval;
             let pose = Pose::new(Point::from_polar(d, bearing), start_pose.facing);
             let node_if = NodeInterface {
                 pose,
@@ -78,7 +81,9 @@ impl Network {
             };
             let mut rx = self.scene.monostatic_rx(&comp, &node_if, 0);
             add_awgn(&mut rx, noise_p, &mut self.rng_for_velocity());
-            let prof = localizer.proc.range_profile(&localizer.proc.dechirp(&rx, &tx));
+            let prof = localizer
+                .proc
+                .range_profile(&localizer.proc.dechirp(&rx, &tx));
             // Lock the range bin on the first chirp (motion within the
             // train stays far below the range resolution).
             let bin = *range_bin.get_or_insert_with(|| {

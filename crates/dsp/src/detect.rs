@@ -111,7 +111,9 @@ pub fn noise_floor(data: &[f64], q: f64) -> f64 {
     }
     let mut sorted: Vec<f64> = data.iter().copied().filter(|v| !v.is_nan()).collect();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let k = ((sorted.len() as f64 * q) as usize).max(1).min(sorted.len());
+    let k = ((sorted.len() as f64 * q) as usize)
+        .max(1)
+        .min(sorted.len());
     sorted[..k].iter().sum::<f64>() / k as f64
 }
 
@@ -153,7 +155,11 @@ mod tests {
         let data: Vec<f64> = (0..64)
             .map(|i| {
                 let x = (i as f64 - 20.25) * 0.7;
-                if x.abs() < 1e-12 { 1.0 } else { (x.sin() / x).powi(2) }
+                if x.abs() < 1e-12 {
+                    1.0
+                } else {
+                    (x.sin() / x).powi(2)
+                }
             })
             .collect();
         let p = strongest_peak(&data).unwrap();

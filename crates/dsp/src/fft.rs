@@ -9,9 +9,16 @@
 //! Conventions: `fft` computes the unnormalized forward DFT
 //! `X[k] = Σ_n x[n]·exp(-j2πkn/N)`; `ifft` applies the `1/N` factor, so
 //! `ifft(fft(x)) == x`.
+//!
+//! These free functions are thin wrappers over the cached plans in
+//! [`crate::plan`]: twiddle tables, bit-reversal permutations and the
+//! Bluestein chirp/filter spectra are computed once per size per thread and
+//! reused, so repeated transforms of the same length (the common case in
+//! Monte-Carlo sweeps) pay only the butterfly cost. Explicit
+//! [`crate::plan::FftPlan`] usage produces bitwise-identical results.
 
-use crate::num::{Cpx, ZERO};
-use std::f64::consts::PI;
+use crate::num::Cpx;
+use crate::plan;
 
 /// Returns true when `n` is a power of two (and non-zero).
 #[inline]
@@ -35,43 +42,7 @@ pub fn fft_pow2_in_place(data: &mut [Cpx]) {
         "fft_pow2_in_place requires power-of-two length, got {}",
         data.len()
     );
-    let n = data.len();
-    if n <= 1 {
-        return;
-    }
-    // Bit-reversal permutation.
-    let mut j = 0usize;
-    for i in 0..n - 1 {
-        if i < j {
-            data.swap(i, j);
-        }
-        let mut m = n >> 1;
-        while m >= 1 && j & m != 0 {
-            j ^= m;
-            m >>= 1;
-        }
-        j |= m;
-    }
-    // Danielson-Lanczos butterflies.
-    let mut len = 2;
-    while len <= n {
-        let ang = -2.0 * PI / len as f64;
-        let wlen = Cpx::cis(ang);
-        let half = len / 2;
-        let mut i = 0;
-        while i < n {
-            let mut w = Cpx::new(1.0, 0.0);
-            for k in 0..half {
-                let u = data[i + k];
-                let v = data[i + k + half] * w;
-                data[i + k] = u + v;
-                data[i + k + half] = u - v;
-                w *= wlen;
-            }
-            i += len;
-        }
-        len <<= 1;
-    }
+    plan::with_plan(data.len(), |p| p.forward_in_place(data));
 }
 
 /// Forward FFT of arbitrary length. Power-of-two inputs take the radix-2
@@ -82,11 +53,9 @@ pub fn fft(input: &[Cpx]) -> Vec<Cpx> {
         return Vec::new();
     }
     if is_pow2(n) {
-        let mut v = input.to_vec();
-        fft_pow2_in_place(&mut v);
-        v
+        plan::with_plan(n, |p| p.forward(input))
     } else {
-        bluestein(input, false)
+        plan::bluestein_cached(input, false)
     }
 }
 
@@ -97,62 +66,29 @@ pub fn ifft(input: &[Cpx]) -> Vec<Cpx> {
     if n == 0 {
         return Vec::new();
     }
-    let mut out = if is_pow2(n) {
-        // Conjugate trick: IDFT(x) = conj(DFT(conj(x))) / N.
-        let mut v: Vec<Cpx> = input.iter().map(|c| c.conj()).collect();
-        fft_pow2_in_place(&mut v);
-        for c in v.iter_mut() {
-            *c = c.conj();
-        }
-        v
+    if is_pow2(n) {
+        plan::with_plan(n, |p| p.inverse(input))
     } else {
-        bluestein(input, true)
-    };
-    let inv_n = 1.0 / n as f64;
-    for c in out.iter_mut() {
-        *c *= inv_n;
+        let mut out = plan::bluestein_cached(input, true);
+        let inv_n = 1.0 / n as f64;
+        for c in out.iter_mut() {
+            *c *= inv_n;
+        }
+        out
     }
-    out
 }
 
-/// Bluestein chirp-z transform: expresses an arbitrary-length DFT as a
-/// convolution, evaluated with power-of-two FFTs.
-fn bluestein(input: &[Cpx], inverse: bool) -> Vec<Cpx> {
-    let n = input.len();
-    let sign = if inverse { 1.0 } else { -1.0 };
-    // Chirp factors c[k] = exp(sign * jπ k² / n). Using k² mod 2n keeps the
-    // phase argument bounded for large k.
-    let chirp: Vec<Cpx> = (0..n)
-        .map(|k| {
-            let k2 = (k as u128 * k as u128) % (2 * n as u128);
-            Cpx::cis(sign * PI * k2 as f64 / n as f64)
-        })
-        .collect();
-
-    let m = next_pow2(2 * n - 1);
-    let mut a = vec![ZERO; m];
-    let mut b = vec![ZERO; m];
-    for k in 0..n {
-        a[k] = input[k] * chirp[k];
-    }
-    b[0] = chirp[0].conj();
-    for k in 1..n {
-        let c = chirp[k].conj();
-        b[k] = c;
-        b[m - k] = c;
-    }
-    fft_pow2_in_place(&mut a);
-    fft_pow2_in_place(&mut b);
-    for k in 0..m {
-        a[k] *= b[k];
-    }
-    // Inverse FFT of the product (conjugate trick + 1/m).
-    for c in a.iter_mut() {
-        *c = c.conj();
-    }
-    fft_pow2_in_place(&mut a);
-    let inv_m = 1.0 / m as f64;
-    (0..n).map(|k| a[k].conj() * inv_m * chirp[k]).collect()
+/// In-place inverse FFT for power-of-two lengths (normalized by `1/N`).
+///
+/// # Panics
+/// Panics if `data.len()` is not a power of two.
+pub fn ifft_pow2_in_place(data: &mut [Cpx]) {
+    assert!(
+        is_pow2(data.len()),
+        "ifft_pow2_in_place requires power-of-two length, got {}",
+        data.len()
+    );
+    plan::with_plan(data.len(), |p| p.inverse_in_place(data));
 }
 
 /// Frequency (Hz) of each FFT bin for a transform of length `n` at sample
@@ -189,7 +125,8 @@ pub fn power_spectrum(input: &[Cpx]) -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::num::J;
+    use crate::num::{J, ZERO};
+    use std::f64::consts::PI;
 
     /// Naive O(N²) DFT used as the reference implementation.
     fn dft(input: &[Cpx]) -> Vec<Cpx> {
@@ -282,7 +219,10 @@ mod tests {
     #[test]
     fn linearity() {
         let a = ramp(96);
-        let b: Vec<Cpx> = ramp(96).iter().map(|c| *c * J + Cpx::new(0.5, 0.0)).collect();
+        let b: Vec<Cpx> = ramp(96)
+            .iter()
+            .map(|c| *c * J + Cpx::new(0.5, 0.0))
+            .collect();
         let sum: Vec<Cpx> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
         let fa = fft(&a);
         let fb = fft(&b);
@@ -294,7 +234,10 @@ mod tests {
     #[test]
     fn fft_freqs_layout() {
         let f = fft_freqs(8, 800.0);
-        assert_eq!(f, vec![0.0, 100.0, 200.0, 300.0, -400.0, -300.0, -200.0, -100.0]);
+        assert_eq!(
+            f,
+            vec![0.0, 100.0, 200.0, 300.0, -400.0, -300.0, -200.0, -100.0]
+        );
         let f = fft_freqs(5, 500.0);
         assert_eq!(f, vec![0.0, 100.0, 200.0, -200.0, -100.0]);
     }
@@ -316,7 +259,9 @@ mod tests {
     #[test]
     fn power_spectrum_of_tone() {
         let n = 64;
-        let x: Vec<Cpx> = (0..n).map(|t| Cpx::cis(2.0 * PI * 5.0 * t as f64 / n as f64)).collect();
+        let x: Vec<Cpx> = (0..n)
+            .map(|t| Cpx::cis(2.0 * PI * 5.0 * t as f64 / n as f64))
+            .collect();
         let p = power_spectrum(&x);
         let peak = p.iter().cloned().fold(f64::MIN, f64::max);
         assert!((peak - (n * n) as f64).abs() < 1e-6);

@@ -90,7 +90,10 @@ impl Fir {
     /// Designs a band-pass FIR centered between `f_lo` and `f_hi` by
     /// modulating a low-pass prototype to the band center.
     pub fn bandpass(f_lo: f64, f_hi: f64, fs: f64, n_taps: usize) -> Self {
-        assert!(f_lo > 0.0 && f_hi > f_lo && f_hi < fs / 2.0, "band out of range");
+        assert!(
+            f_lo > 0.0 && f_hi > f_lo && f_hi < fs / 2.0,
+            "band out of range"
+        );
         let half_bw = (f_hi - f_lo) / 2.0;
         let center = (f_hi + f_lo) / 2.0;
         let proto = Self::lowpass(half_bw, fs, n_taps);
@@ -248,7 +251,10 @@ impl Biquad {
         let im: Vec<f64> = input.iter().map(|c| c.im).collect();
         let yr = self.apply_real(&re);
         let yi = self.apply_real(&im);
-        yr.into_iter().zip(yi).map(|(r, i)| Cpx::new(r, i)).collect()
+        yr.into_iter()
+            .zip(yi)
+            .map(|(r, i)| Cpx::new(r, i))
+            .collect()
     }
 
     /// Magnitude response at frequency `f` Hz for sample rate `fs`.
@@ -359,7 +365,11 @@ mod tests {
     fn fir_bandpass_selects_band() {
         let f = Fir::bandpass(50e3, 150e3, 1e6, 127);
         assert!(f.response_at(100e3, 1e6) > 0.9);
-        assert!(f.response_at(0.0, 1e6) < 0.05, "DC leak {}", f.response_at(0.0, 1e6));
+        assert!(
+            f.response_at(0.0, 1e6) < 0.05,
+            "DC leak {}",
+            f.response_at(0.0, 1e6)
+        );
         assert!(f.response_at(400e3, 1e6) < 0.05);
     }
 
@@ -387,7 +397,10 @@ mod tests {
         let b = Biquad::lowpass(1e3, 48e3);
         assert!((b.response_at(0.0, 48e3) - 1.0).abs() < 1e-9);
         let r = b.response_at(1e3, 48e3);
-        assert!((r - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.01, "-3dB point: {r}");
+        assert!(
+            (r - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.01,
+            "-3dB point: {r}"
+        );
         assert!(b.response_at(10e3, 48e3) < 0.02);
     }
 

@@ -16,7 +16,9 @@
 //! * [`resample`] — decimation and rate conversion (MCU ADC bridging),
 //! * [`xcorr`] — FFT cross-correlation and matched filtering,
 //! * [`goertzel`] — single-bin DFT for cheap tone-power probes,
-//! * [`stft`] — short-time Fourier transform (spectrograms).
+//! * [`stft`] — short-time Fourier transform (spectrograms),
+//! * [`plan`] — cached FFT plans (precomputed twiddles, bit-reversal
+//!   tables, Bluestein kernels) backing the [`fft`] free functions.
 
 pub mod chirp;
 pub mod detect;
@@ -25,6 +27,7 @@ pub mod filter;
 pub mod goertzel;
 pub mod noise;
 pub mod num;
+pub mod plan;
 pub mod resample;
 pub mod signal;
 pub mod stats;

@@ -1,0 +1,442 @@
+//! Precomputed FFT plans and the thread-local plan cache.
+//!
+//! The free functions in [`crate::fft`] historically recomputed twiddle
+//! factors and the bit-reversal permutation on every call and allocated a
+//! fresh output buffer each time. Every Monte-Carlo trial in the workspace
+//! runs dozens of transforms of a handful of fixed sizes (the range FFT,
+//! the slow-time Doppler FFT, the matched-filter convolution length), so
+//! the same tables were being rebuilt millions of times per sweep.
+//!
+//! An [`FftPlan`] precomputes, per power-of-two size:
+//! * the per-stage twiddle factors (`n − 1` complex values, laid out
+//!   stage-major so the butterfly loop reads them sequentially),
+//! * the bit-reversal permutation,
+//!
+//! and a [`BluesteinPlan`] additionally caches the chirp-z kernel and the
+//! forward transform of its convolution filter for arbitrary (non-power-
+//! of-two) lengths — eliminating one of the three internal FFTs and the
+//! kernel synthesis per call.
+//!
+//! [`with_plan`]/[`with_bluestein`] memoize plans in a thread-local cache
+//! keyed by size, so callers never manage plan lifetimes; the free
+//! functions in [`crate::fft`] are now thin wrappers over this module and
+//! produce bitwise-identical results to explicit plan usage.
+
+use crate::num::{Cpx, ZERO};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::f64::consts::PI;
+use std::rc::Rc;
+
+/// A reusable radix-2 FFT plan for one power-of-two length.
+#[derive(Debug, Clone)]
+pub struct FftPlan {
+    n: usize,
+    /// Stage-major twiddles: for `len = 2, 4, …, n`, the factors
+    /// `exp(-j·2π·k/len)` for `k ∈ [0, len/2)`, concatenated.
+    twiddles: Vec<Cpx>,
+    /// Bit-reversal permutation of `0..n`.
+    bitrev: Vec<u32>,
+}
+
+impl FftPlan {
+    /// Builds a plan for length `n`.
+    ///
+    /// # Panics
+    /// Panics if `n` is not a power of two.
+    pub fn new(n: usize) -> Self {
+        assert!(
+            crate::fft::is_pow2(n),
+            "FftPlan requires a power-of-two length, got {n}"
+        );
+        assert!(n <= u32::MAX as usize, "FFT length {n} too large for plan");
+        let mut twiddles = Vec::with_capacity(n.saturating_sub(1));
+        let mut len = 2;
+        while len <= n {
+            let half = len / 2;
+            for k in 0..half {
+                twiddles.push(Cpx::cis(-2.0 * PI * k as f64 / len as f64));
+            }
+            len <<= 1;
+        }
+        let bits = n.trailing_zeros();
+        let bitrev = (0..n as u32)
+            .map(|i| {
+                if bits == 0 {
+                    0
+                } else {
+                    i.reverse_bits() >> (32 - bits)
+                }
+            })
+            .collect();
+        Self {
+            n,
+            twiddles,
+            bitrev,
+        }
+    }
+
+    /// The transform length this plan was built for.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether this is the trivial length-0/1 plan.
+    pub fn is_empty(&self) -> bool {
+        self.n <= 1
+    }
+
+    /// In-place unnormalized forward DFT.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` differs from the plan length.
+    pub fn forward_in_place(&self, data: &mut [Cpx]) {
+        assert_eq!(data.len(), self.n, "buffer length != plan length");
+        let n = self.n;
+        if n <= 1 {
+            return;
+        }
+        // Bit-reversal permutation from the precomputed table.
+        for i in 0..n {
+            let j = self.bitrev[i] as usize;
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+        // Butterflies with table twiddles (stage-major layout means the
+        // inner loop walks a contiguous slice).
+        let mut len = 2;
+        let mut tw_off = 0;
+        while len <= n {
+            let half = len / 2;
+            let tw = &self.twiddles[tw_off..tw_off + half];
+            let mut i = 0;
+            while i < n {
+                for k in 0..half {
+                    let u = data[i + k];
+                    let v = data[i + k + half] * tw[k];
+                    data[i + k] = u + v;
+                    data[i + k + half] = u - v;
+                }
+                i += len;
+            }
+            tw_off += half;
+            len <<= 1;
+        }
+    }
+
+    /// In-place inverse DFT including the `1/N` normalization, via the
+    /// conjugation identity `IDFT(x) = conj(DFT(conj(x)))/N`.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` differs from the plan length.
+    pub fn inverse_in_place(&self, data: &mut [Cpx]) {
+        assert_eq!(data.len(), self.n, "buffer length != plan length");
+        if self.n == 0 {
+            return;
+        }
+        for c in data.iter_mut() {
+            *c = c.conj();
+        }
+        self.forward_in_place(data);
+        let inv_n = 1.0 / self.n as f64;
+        for c in data.iter_mut() {
+            *c = c.conj() * inv_n;
+        }
+    }
+
+    /// Out-of-place forward DFT.
+    pub fn forward(&self, input: &[Cpx]) -> Vec<Cpx> {
+        let mut out = input.to_vec();
+        self.forward_in_place(&mut out);
+        out
+    }
+
+    /// Out-of-place inverse DFT (normalized).
+    pub fn inverse(&self, input: &[Cpx]) -> Vec<Cpx> {
+        let mut out = input.to_vec();
+        self.inverse_in_place(&mut out);
+        out
+    }
+}
+
+/// A reusable Bluestein (chirp-z) plan for one arbitrary length.
+#[derive(Debug, Clone)]
+pub struct BluesteinPlan {
+    n: usize,
+    /// Padded convolution length (power of two ≥ 2n−1).
+    m: usize,
+    /// Forward-transform chirp `exp(-jπk²/n)` for `k ∈ [0, n)`.
+    chirp: Vec<Cpx>,
+    /// Precomputed forward FFT of the convolution filter built from the
+    /// conjugate chirp (forward-transform orientation).
+    filter_spec: Vec<Cpx>,
+    /// The length-`m` radix-2 plan the convolution runs on.
+    inner: Rc<FftPlan>,
+}
+
+impl BluesteinPlan {
+    /// Builds a plan for length `n` (any `n ≥ 1`), reusing `inner` for the
+    /// internal power-of-two convolution.
+    pub fn new(n: usize, inner: Rc<FftPlan>) -> Self {
+        assert!(n >= 1, "BluesteinPlan requires n >= 1");
+        let m = crate::fft::next_pow2(2 * n - 1);
+        assert_eq!(inner.len(), m, "inner plan length mismatch");
+        // Chirp factors c[k] = exp(-jπ k²/n); k² is reduced mod 2n to keep
+        // the phase argument bounded for large k.
+        let chirp: Vec<Cpx> = (0..n)
+            .map(|k| {
+                let k2 = (k as u128 * k as u128) % (2 * n as u128);
+                Cpx::cis(-PI * k2 as f64 / n as f64)
+            })
+            .collect();
+        let mut filter = vec![ZERO; m];
+        filter[0] = chirp[0].conj();
+        for k in 1..n {
+            let c = chirp[k].conj();
+            filter[k] = c;
+            filter[m - k] = c;
+        }
+        inner.forward_in_place(&mut filter);
+        Self {
+            n,
+            m,
+            chirp,
+            filter_spec: filter,
+            inner,
+        }
+    }
+
+    /// The transform length this plan was built for.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether this is the trivial length-1 plan.
+    pub fn is_empty(&self) -> bool {
+        self.n <= 1
+    }
+
+    /// Unnormalized transform with sign `-1` (forward) or `+1` (inverse
+    /// kernel; the caller applies `1/N`). `scratch` is reused between
+    /// calls to avoid the per-call allocation.
+    fn transform_with(&self, input: &[Cpx], inverse: bool, scratch: &mut Vec<Cpx>) -> Vec<Cpx> {
+        assert_eq!(input.len(), self.n, "buffer length != plan length");
+        let n = self.n;
+        let m = self.m;
+        scratch.clear();
+        scratch.resize(m, ZERO);
+        // The inverse kernel is the conjugate chirp; conjugating the
+        // cached forward chirp avoids a second table.
+        let chirp = |k: usize| {
+            if inverse {
+                self.chirp[k].conj()
+            } else {
+                self.chirp[k]
+            }
+        };
+        for k in 0..n {
+            scratch[k] = input[k] * chirp(k);
+        }
+        self.inner.forward_in_place(scratch);
+        if inverse {
+            // conv filter for the inverse kernel is the conjugate of the
+            // forward filter's *time response*, whose spectrum is the
+            // conjugate-with-reversal; recomputing from the identity
+            // FFT(conj(x))[k] = conj(FFT(x)[-k]) keeps one cached table.
+            for (k, s) in scratch.iter_mut().enumerate().take(m) {
+                *s *= self.filter_spec[(m - k) % m].conj();
+            }
+        } else {
+            for (s, f) in scratch.iter_mut().zip(&self.filter_spec) {
+                *s *= *f;
+            }
+        }
+        // Inverse FFT of the product via the conjugate trick + 1/m.
+        for c in scratch.iter_mut() {
+            *c = c.conj();
+        }
+        self.inner.forward_in_place(scratch);
+        let inv_m = 1.0 / m as f64;
+        (0..n)
+            .map(|k| scratch[k].conj() * inv_m * chirp(k))
+            .collect()
+    }
+}
+
+/// Thread-local memoized plans plus a reusable Bluestein scratch buffer.
+struct PlanCache {
+    fft: HashMap<usize, Rc<FftPlan>>,
+    bluestein: HashMap<usize, Rc<BluesteinPlan>>,
+    scratch: Vec<Cpx>,
+}
+
+thread_local! {
+    static PLAN_CACHE: RefCell<PlanCache> = RefCell::new(PlanCache {
+        fft: HashMap::new(),
+        bluestein: HashMap::new(),
+        scratch: Vec::new(),
+    });
+}
+
+fn pow2_plan(cache: &mut PlanCache, n: usize) -> Rc<FftPlan> {
+    cache
+        .fft
+        .entry(n)
+        .or_insert_with(|| Rc::new(FftPlan::new(n)))
+        .clone()
+}
+
+/// Runs `f` with the cached power-of-two plan for length `n`, creating it
+/// on first use. Plans are per-thread, so this is safe (and contention-
+/// free) under the parallel batch engine.
+///
+/// # Panics
+/// Panics if `n` is not a power of two.
+pub fn with_plan<R>(n: usize, f: impl FnOnce(&FftPlan) -> R) -> R {
+    let plan = PLAN_CACHE.with(|c| pow2_plan(&mut c.borrow_mut(), n));
+    f(&plan)
+}
+
+/// Runs `f` with the cached Bluestein plan for arbitrary length `n`.
+pub fn with_bluestein<R>(n: usize, f: impl FnOnce(&BluesteinPlan) -> R) -> R {
+    let plan = PLAN_CACHE.with(|c| {
+        let mut cache = c.borrow_mut();
+        if let Some(p) = cache.bluestein.get(&n) {
+            p.clone()
+        } else {
+            let inner = pow2_plan(&mut cache, crate::fft::next_pow2(2 * n - 1));
+            let p = Rc::new(BluesteinPlan::new(n, inner));
+            cache.bluestein.insert(n, p.clone());
+            p
+        }
+    });
+    f(&plan)
+}
+
+/// Bluestein transform through the thread-local cache, reusing the cached
+/// scratch buffer. `inverse` selects the kernel sign; normalization is the
+/// caller's business (matching [`crate::fft::fft`] conventions).
+pub(crate) fn bluestein_cached(input: &[Cpx], inverse: bool) -> Vec<Cpx> {
+    let n = input.len();
+    PLAN_CACHE.with(|c| {
+        let (plan, mut scratch) = {
+            let mut cache = c.borrow_mut();
+            let plan = if let Some(p) = cache.bluestein.get(&n) {
+                p.clone()
+            } else {
+                let inner = pow2_plan(&mut cache, crate::fft::next_pow2(2 * n - 1));
+                let p = Rc::new(BluesteinPlan::new(n, inner));
+                cache.bluestein.insert(n, p.clone());
+                p
+            };
+            // Take the scratch buffer out of the cache so the borrow ends
+            // before the transform runs (it may itself hit the cache).
+            let scratch = std::mem::take(&mut cache.scratch);
+            (plan, scratch)
+        };
+        let out = plan.transform_with(input, inverse, &mut scratch);
+        c.borrow_mut().scratch = scratch;
+        out
+    })
+}
+
+/// Number of distinct plan sizes currently cached on this thread
+/// (`(radix-2, bluestein)`), for tests and diagnostics.
+pub fn cached_plan_sizes() -> (usize, usize) {
+    PLAN_CACHE.with(|c| {
+        let cache = c.borrow();
+        (cache.fft.len(), cache.bluestein.len())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft::{fft, ifft};
+
+    fn ramp(n: usize) -> Vec<Cpx> {
+        (0..n)
+            .map(|i| Cpx::new(i as f64 * 0.37 - 1.0, (i as f64 * 0.11).sin()))
+            .collect()
+    }
+
+    #[test]
+    fn plan_matches_free_fft_bitwise_pow2() {
+        for n in [1usize, 2, 8, 64, 512] {
+            let x = ramp(n);
+            let planned = FftPlan::new(n).forward(&x);
+            assert_eq!(planned, fft(&x), "n={n}");
+        }
+    }
+
+    #[test]
+    fn plan_inverse_round_trip() {
+        for n in [2usize, 16, 128] {
+            let plan = FftPlan::new(n);
+            let x = ramp(n);
+            let y = plan.inverse(&plan.forward(&x));
+            for (a, b) in x.iter().zip(&y) {
+                assert!((*a - *b).abs() < 1e-9, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn bluestein_plan_matches_free_fft_bitwise() {
+        for n in [3usize, 5, 12, 100, 257] {
+            let x = ramp(n);
+            let via_free = fft(&x);
+            let via_plan = bluestein_cached(&x, false);
+            assert_eq!(via_free, via_plan, "n={n}");
+        }
+    }
+
+    #[test]
+    fn bluestein_inverse_matches_ifft() {
+        for n in [3usize, 7, 100] {
+            let x = ramp(n);
+            let expect = ifft(&x);
+            let mut got = bluestein_cached(&x, true);
+            let inv_n = 1.0 / n as f64;
+            for c in got.iter_mut() {
+                *c *= inv_n;
+            }
+            for (a, b) in expect.iter().zip(&got) {
+                assert!((*a - *b).abs() < 1e-9, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn cache_memoizes_by_size() {
+        // Run on a dedicated thread for a clean cache.
+        std::thread::spawn(|| {
+            let x = ramp(64);
+            let _ = fft(&x);
+            let _ = fft(&x);
+            let y = ramp(100);
+            let _ = fft(&y);
+            let (p2, blu) = cached_plan_sizes();
+            // 64 and the bluestein inner 256 for n=100.
+            assert_eq!(blu, 1);
+            assert!(p2 >= 2, "pow2 plans {p2}");
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_pow2_plan_rejected() {
+        let _ = FftPlan::new(12);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn wrong_length_rejected() {
+        let plan = FftPlan::new(8);
+        let mut buf = vec![ZERO; 4];
+        plan.forward_in_place(&mut buf);
+    }
+}

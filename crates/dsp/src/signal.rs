@@ -116,7 +116,9 @@ impl Signal {
     pub fn conj_multiply(&self, other: &Signal) -> Signal {
         assert_eq!(self.fs, other.fs, "sample-rate mismatch in conj_multiply");
         let n = self.len().min(other.len());
-        let samples = (0..n).map(|i| self.samples[i] * other.samples[i].conj()).collect();
+        let samples = (0..n)
+            .map(|i| self.samples[i] * other.samples[i].conj())
+            .collect();
         Signal::new(self.fs, self.fc, samples)
     }
 

@@ -3,8 +3,9 @@
 //! Used by the concept-figure demos (the paper's Fig. 2 FMCW illustration)
 //! and generally handy for inspecting chirps and modulated waveforms.
 
-use crate::fft::fft;
+use crate::fft::{fft, is_pow2};
 use crate::num::Cpx;
+use crate::plan::with_plan;
 use crate::window::{apply_window, Window};
 
 /// STFT configuration.
@@ -61,13 +62,29 @@ pub fn stft(samples: &[Cpx], fs: f64, cfg: StftConfig) -> Spectrogram {
     let mut power = Vec::new();
     let mut frame_times = Vec::new();
     let mut start = 0usize;
-    while start + cfg.frame_len <= samples.len() {
-        let mut frame = samples[start..start + cfg.frame_len].to_vec();
-        apply_window(&mut frame, cfg.window);
-        let spec = fft(&frame);
-        power.push(spec.iter().map(|c| c.norm_sq()).collect());
-        frame_times.push(start as f64 / fs);
-        start += cfg.hop;
+    if is_pow2(cfg.frame_len) {
+        // One cached plan and one reused frame buffer serve every hop.
+        with_plan(cfg.frame_len, |plan| {
+            let mut frame = Vec::with_capacity(cfg.frame_len);
+            while start + cfg.frame_len <= samples.len() {
+                frame.clear();
+                frame.extend_from_slice(&samples[start..start + cfg.frame_len]);
+                apply_window(&mut frame, cfg.window);
+                plan.forward_in_place(&mut frame);
+                power.push(frame.iter().map(|c| c.norm_sq()).collect());
+                frame_times.push(start as f64 / fs);
+                start += cfg.hop;
+            }
+        });
+    } else {
+        while start + cfg.frame_len <= samples.len() {
+            let mut frame = samples[start..start + cfg.frame_len].to_vec();
+            apply_window(&mut frame, cfg.window);
+            let spec = fft(&frame);
+            power.push(spec.iter().map(|c| c.norm_sq()).collect());
+            frame_times.push(start as f64 / fs);
+            start += cfg.hop;
+        }
     }
     Spectrogram {
         power,

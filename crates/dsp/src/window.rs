@@ -37,8 +37,7 @@ impl Window {
             Window::Hamming => 0.54 - 0.46 * x.cos(),
             Window::Blackman => 0.42 - 0.5 * x.cos() + 0.08 * (2.0 * x).cos(),
             Window::BlackmanHarris => {
-                0.35875 - 0.48829 * x.cos() + 0.14128 * (2.0 * x).cos()
-                    - 0.01168 * (3.0 * x).cos()
+                0.35875 - 0.48829 * x.cos() + 0.14128 * (2.0 * x).cos() - 0.01168 * (3.0 * x).cos()
             }
         }
     }
@@ -153,7 +152,10 @@ mod tests {
             Window::BlackmanHarris,
         ] {
             for v in win.generate(97) {
-                assert!((-1e-9..=1.0 + 1e-9).contains(&v), "{win:?} out of range: {v}");
+                assert!(
+                    (-1e-9..=1.0 + 1e-9).contains(&v),
+                    "{win:?} out of range: {v}"
+                );
             }
         }
     }
@@ -216,7 +218,10 @@ mod tests {
         let spec: Vec<f64> = fft(&buf).iter().map(|c| c.norm_sq()).collect();
         let peak = spec[0];
         // Skip the main lobe (≈6 window bins at this β = 48 padded bins).
-        let worst = spec[48..spec.len() / 2].iter().cloned().fold(f64::MIN, f64::max);
+        let worst = spec[48..spec.len() / 2]
+            .iter()
+            .cloned()
+            .fold(f64::MIN, f64::max);
         let rel_db = 10.0 * (worst / peak).log10();
         assert!(rel_db < -55.0, "side lobes {rel_db} dB");
     }

@@ -7,8 +7,9 @@
 //! ablation reference for the ranging pipeline and as a general DSP
 //! utility.
 
-use crate::fft::{fft, ifft, next_pow2};
+use crate::fft::next_pow2;
 use crate::num::{Cpx, ZERO};
+use crate::plan::with_plan;
 
 /// Full linear cross-correlation `r[k] = Σ_n x[n+k]·y*[n]` for lags
 /// `k ∈ [-(len(y)-1), len(x)-1]`, computed via FFT. Returns the lag
@@ -24,12 +25,19 @@ pub fn xcorr(x: &[Cpx], y: &[Cpx]) -> (Vec<i64>, Vec<Cpx>) {
     // Time-reversed conjugate of y gives correlation via convolution.
     let mut fy: Vec<Cpx> = y.iter().rev().map(|c| c.conj()).collect();
     fy.resize(m, ZERO);
-    let sx = fft(&fx);
-    let sy = fft(&fy);
-    let prod: Vec<Cpx> = sx.iter().zip(&sy).map(|(a, b)| *a * *b).collect();
-    let full = ifft(&prod);
-    let lags: Vec<i64> = (0..n_out as i64).map(|i| i - (y.len() as i64 - 1)).collect();
-    (lags, full[..n_out].to_vec())
+    // All three transforms share one cached plan for size `m`.
+    with_plan(m, |p| {
+        p.forward_in_place(&mut fx);
+        p.forward_in_place(&mut fy);
+        for (a, b) in fx.iter_mut().zip(&fy) {
+            *a *= *b;
+        }
+        p.inverse_in_place(&mut fx);
+    });
+    let lags: Vec<i64> = (0..n_out as i64)
+        .map(|i| i - (y.len() as i64 - 1))
+        .collect();
+    (lags, fx[..n_out].to_vec())
 }
 
 /// Matched filter: correlates `rx` against the known `template` and
@@ -84,7 +92,9 @@ mod tests {
     }
 
     fn ramp(n: usize, f: f64) -> Vec<Cpx> {
-        (0..n).map(|i| Cpx::cis(i as f64 * f) * (1.0 + 0.1 * i as f64)).collect()
+        (0..n)
+            .map(|i| Cpx::cis(i as f64 * f) * (1.0 + 0.1 * i as f64))
+            .collect()
     }
 
     #[test]

@@ -43,7 +43,9 @@ impl Adc {
     /// to the input range.
     pub fn quantize(&self, v: f64) -> f64 {
         let clipped = v.clamp(0.0, self.v_ref);
-        let code = (clipped / self.lsb()).round().min((self.levels() - 1) as f64);
+        let code = (clipped / self.lsb())
+            .round()
+            .min((self.levels() - 1) as f64);
         code * self.lsb()
     }
 

@@ -103,11 +103,7 @@ impl DutyCycle {
 /// Battery life under a duty cycle, accounting for self-discharge.
 /// Returns years, or `None` if the battery cannot source the peak power
 /// at all.
-pub fn battery_life_years(
-    battery: &Battery,
-    duty: &DutyCycle,
-    model: &PowerModel,
-) -> Option<f64> {
+pub fn battery_life_years(battery: &Battery, duty: &DutyCycle, model: &PowerModel) -> Option<f64> {
     if duty.peak_power(model) > battery.max_power_w {
         return None;
     }

@@ -204,7 +204,10 @@ mod tests {
         let out = det.detect(&sig, &mut rng);
         let rms = (out.iter().map(|v| v * v).sum::<f64>() / out.len() as f64).sqrt();
         let expected = det.output_noise_rms();
-        assert!((rms / expected - 1.0).abs() < 0.05, "rms {rms} vs {expected}");
+        assert!(
+            (rms / expected - 1.0).abs() < 0.05,
+            "rms {rms} vs {expected}"
+        );
     }
 
     #[test]

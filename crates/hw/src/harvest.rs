@@ -73,11 +73,7 @@ impl HarvestBudget {
 /// Evaluates the harvesting budget: `p_in` is the RF power available at
 /// the node's harvesting antenna while illuminated, `avg_consumption_w`
 /// the node's duty-cycled average draw.
-pub fn harvest_budget(
-    rectifier: &Rectifier,
-    p_in: f64,
-    avg_consumption_w: f64,
-) -> HarvestBudget {
+pub fn harvest_budget(rectifier: &Rectifier, p_in: f64, avg_consumption_w: f64) -> HarvestBudget {
     HarvestBudget {
         harvested_w: rectifier.harvested(p_in),
         consumed_w: avg_consumption_w,

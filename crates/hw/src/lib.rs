@@ -21,7 +21,7 @@ pub mod switch;
 
 pub use adc::Adc;
 pub use battery::{battery_life_years, Battery, DutyCycle};
-pub use harvest::{harvest_budget, HarvestBudget, Rectifier};
 pub use envelope::EnvelopeDetector;
+pub use harvest::{harvest_budget, HarvestBudget, Rectifier};
 pub use power::{NodeMode, PowerModel};
 pub use switch::{SpdtSwitch, SwitchSchedule, SwitchState};

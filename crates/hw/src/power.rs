@@ -135,9 +135,9 @@ mod tests {
     #[test]
     fn mcu_reported_separately() {
         let m = PowerModel::milback();
-        assert!((m.power_with_mcu_mw(NodeMode::Downlink) - m.power_mw(NodeMode::Downlink)
-            - 5.76)
-            .abs()
-            < 1e-12);
+        assert!(
+            (m.power_with_mcu_mw(NodeMode::Downlink) - m.power_mw(NodeMode::Downlink) - 5.76).abs()
+                < 1e-12
+        );
     }
 }

@@ -28,7 +28,10 @@ pub struct EnvelopeSlicer {
 impl EnvelopeSlicer {
     /// A slicer with a 25% settling guard.
     pub fn new(sample_rate: f64, symbol_rate: f64) -> Self {
-        assert!(sample_rate >= 2.0 * symbol_rate, "need ≥2 samples per symbol");
+        assert!(
+            sample_rate >= 2.0 * symbol_rate,
+            "need ≥2 samples per symbol"
+        );
         Self {
             sample_rate,
             symbol_rate,
@@ -48,8 +51,8 @@ impl EnvelopeSlicer {
         let mut levels = Vec::with_capacity(n_symbols);
         for k in 0..n_symbols {
             let start = ((t0 * self.sample_rate) + (k as f64 + self.guard) * sps) as usize;
-            let end = (((t0 * self.sample_rate) + (k as f64 + 1.0) * sps) as usize)
-                .min(detector.len());
+            let end =
+                (((t0 * self.sample_rate) + (k as f64 + 1.0) * sps) as usize).min(detector.len());
             if start >= end {
                 levels.push(0.0);
                 continue;
@@ -146,11 +149,7 @@ pub fn demodulate_ook(
     t0: f64,
     n_bits: usize,
 ) -> Vec<bool> {
-    let combined: Vec<f64> = det_a
-        .iter()
-        .zip(det_b)
-        .map(|(a, b)| a + b)
-        .collect();
+    let combined: Vec<f64> = det_a.iter().zip(det_b).map(|(a, b)| a + b).collect();
     let levels = slicer.symbol_levels(&combined, t0, n_bits);
     let thr = EnvelopeSlicer::threshold(&levels);
     EnvelopeSlicer::slice(&levels, thr)
@@ -188,10 +187,22 @@ mod tests {
     fn oaqfm_demod_round_trip() {
         let slicer = EnvelopeSlicer::new(20e6, 1e6);
         let symbols = [
-            OaqfmSymbol { a_on: false, b_on: false },
-            OaqfmSymbol { a_on: false, b_on: true },
-            OaqfmSymbol { a_on: true, b_on: false },
-            OaqfmSymbol { a_on: true, b_on: true },
+            OaqfmSymbol {
+                a_on: false,
+                b_on: false,
+            },
+            OaqfmSymbol {
+                a_on: false,
+                b_on: true,
+            },
+            OaqfmSymbol {
+                a_on: true,
+                b_on: false,
+            },
+            OaqfmSymbol {
+                a_on: true,
+                b_on: true,
+            },
         ];
         let pat_a: Vec<bool> = symbols.iter().map(|s| s.a_on).collect();
         let pat_b: Vec<bool> = symbols.iter().map(|s| s.b_on).collect();
@@ -220,20 +231,42 @@ mod tests {
         let slicer = EnvelopeSlicer::new(20e6, 1e6);
         // Pilot: full/off/full/off, then data levels.
         let syms = [
-            DenseSymbol { a_level: 3, b_level: 3 },
-            DenseSymbol { a_level: 0, b_level: 0 },
-            DenseSymbol { a_level: 3, b_level: 3 },
-            DenseSymbol { a_level: 0, b_level: 0 },
-            DenseSymbol { a_level: 1, b_level: 2 },
-            DenseSymbol { a_level: 2, b_level: 0 },
-            DenseSymbol { a_level: 0, b_level: 3 },
-            DenseSymbol { a_level: 3, b_level: 1 },
+            DenseSymbol {
+                a_level: 3,
+                b_level: 3,
+            },
+            DenseSymbol {
+                a_level: 0,
+                b_level: 0,
+            },
+            DenseSymbol {
+                a_level: 3,
+                b_level: 3,
+            },
+            DenseSymbol {
+                a_level: 0,
+                b_level: 0,
+            },
+            DenseSymbol {
+                a_level: 1,
+                b_level: 2,
+            },
+            DenseSymbol {
+                a_level: 2,
+                b_level: 0,
+            },
+            DenseSymbol {
+                a_level: 0,
+                b_level: 3,
+            },
+            DenseSymbol {
+                a_level: 3,
+                b_level: 1,
+            },
         ];
         let mk = |pick: fn(&DenseSymbol) -> u8, scale: f64| -> Vec<f64> {
             syms.iter()
-                .flat_map(|s| {
-                    std::iter::repeat_n(scale * c.amplitude(pick(s)) + 0.003, 20)
-                })
+                .flat_map(|s| std::iter::repeat_n(scale * c.amplitude(pick(s)) + 0.003, 20))
                 .collect()
         };
         let det_a = mk(|s| s.a_level, 0.8);

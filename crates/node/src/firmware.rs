@@ -223,9 +223,7 @@ mod tests {
                     let (t1, t2) = cfg.triangular_crossings(f_star).unwrap();
                     let w = 2e-6;
                     0.002
-                        + 0.3
-                            * ((-((t - t1) / w).powi(2)).exp()
-                                + (-((t - t2) / w).powi(2)).exp())
+                        + 0.3 * ((-((t - t1) / w).powi(2)).exp() + (-((t - t2) / w).powi(2)).exp())
                 };
                 a.push(bump(Port::A));
                 b.push(bump(Port::B));
@@ -288,7 +286,11 @@ mod tests {
         // A transient spike wakes the MCU but the rest is sub-floor noise.
         let n = fw.field1_samples(adc) + 1;
         for i in 0..n {
-            let v = if i == 0 { 0.001 } else { 0.0002 * ((i as f64) * 0.1).sin() };
+            let v = if i == 0 {
+                0.001
+            } else {
+                0.0002 * ((i as f64) * 0.1).sin()
+            };
             fw.on_adc_sample(v, v, adc, &fsa);
         }
         assert_eq!(fw.state(), FirmwareState::Field2);

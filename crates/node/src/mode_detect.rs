@@ -185,12 +185,18 @@ mod tests {
         for (i, v) in cap.iter_mut().enumerate() {
             *v += 0.002 * ((i as f64 * 1.7).sin());
         }
-        assert_eq!(det.detect_with_floor(&cap, 0.0, 0.002), Some(LinkMode::Uplink));
+        assert_eq!(
+            det.detect_with_floor(&cap, 0.0, 0.002),
+            Some(LinkMode::Uplink)
+        );
         let mut cap = capture([true, false, true], 0.003, 0.0);
         for (i, v) in cap.iter_mut().enumerate() {
             *v += 0.002 * ((i as f64 * 1.7).sin());
         }
-        assert_eq!(det.detect_with_floor(&cap, 0.0, 0.002), Some(LinkMode::Downlink));
+        assert_eq!(
+            det.detect_with_floor(&cap, 0.0, 0.002),
+            Some(LinkMode::Downlink)
+        );
     }
 
     #[test]

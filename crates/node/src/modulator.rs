@@ -28,7 +28,10 @@ pub enum ModulationError {
 impl std::fmt::Display for ModulationError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ModulationError::SymbolRateTooHigh { requested_hz, limit_hz } => write!(
+            ModulationError::SymbolRateTooHigh {
+                requested_hz,
+                limit_hz,
+            } => write!(
                 f,
                 "symbol rate {requested_hz} Hz exceeds switch limit {limit_hz} Hz"
             ),
@@ -65,8 +68,22 @@ pub fn modulate_uplink(
     ev_b.push((0.0, SwitchState::Absorptive));
     for (k, s) in symbols.iter().enumerate() {
         let t = t0 + k as f64 * ts;
-        ev_a.push((t, if s.a_on { SwitchState::Reflective } else { SwitchState::Absorptive }));
-        ev_b.push((t, if s.b_on { SwitchState::Reflective } else { SwitchState::Absorptive }));
+        ev_a.push((
+            t,
+            if s.a_on {
+                SwitchState::Reflective
+            } else {
+                SwitchState::Absorptive
+            },
+        ));
+        ev_b.push((
+            t,
+            if s.b_on {
+                SwitchState::Reflective
+            } else {
+                SwitchState::Absorptive
+            },
+        ));
     }
     // Park absorptive after the payload.
     let t_end = t0 + symbols.len() as f64 * ts;

@@ -106,11 +106,7 @@ impl BackscatterNode {
     /// Like [`Self::receive_port`] but keeps the detector's full video
     /// rate (no ADC) — used for payload demodulation where the MCU samples
     /// at the symbol rate via a comparator rather than the slow ADC.
-    pub fn receive_port_video<R: Rng + ?Sized>(
-        &self,
-        at_port: &Signal,
-        rng: &mut R,
-    ) -> Vec<f64> {
+    pub fn receive_port_video<R: Rng + ?Sized>(&self, at_port: &Signal, rng: &mut R) -> Vec<f64> {
         let mut sig = at_port.clone();
         sig.scale(self.switch.through_gain().sqrt() * self.impl_loss_amp());
         self.detector.detect(&sig, rng)
@@ -179,7 +175,10 @@ mod tests {
         let g = n.gamma_schedule(&a, &b);
         let [g0, _] = g(0.0);
         let [g1, _] = g(60e-6); // past the 50 µs half-period
-        assert!(g0.abs() / g1.abs() > 5.0, "square wave lost: {g0:?} vs {g1:?}");
+        assert!(
+            g0.abs() / g1.abs() > 5.0,
+            "square wave lost: {g0:?} vs {g1:?}"
+        );
     }
 
     #[test]
@@ -203,8 +202,13 @@ mod tests {
         let settled = &out[50..];
         let mean = settled.iter().sum::<f64>() / settled.len() as f64;
         let one_way = 10f64.powf(-n.impl_loss_db / 10.0);
-        let expected = n.detector.ideal_output(p_in * n.switch.through_gain() * one_way);
-        assert!((mean / expected - 1.0).abs() < 0.1, "mean {mean} vs {expected}");
+        let expected = n
+            .detector
+            .ideal_output(p_in * n.switch.through_gain() * one_way);
+        assert!(
+            (mean / expected - 1.0).abs() < 0.1,
+            "mean {mean} vs {expected}"
+        );
     }
 
     #[test]
@@ -218,7 +222,10 @@ mod tests {
         let n = BackscatterNode::milback(Pose::facing_ap(2.0, 0.0, deg_to_rad(12.0)));
         let (fa2, fb2) = n.oaqfm_tones(&ap).unwrap();
         assert!((fa2 - fb2).abs() > 100e6);
-        assert!((fa2 - fa) * (fb2 - fb) < 0.0, "tones move in opposite directions");
+        assert!(
+            (fa2 - fa) * (fb2 - fb) < 0.0,
+            "tones move in opposite directions"
+        );
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! estimates from its two ports (paper §9.3).
 
 use milback_dsp::chirp::ChirpConfig;
-use milback_dsp::detect::{parabolic_refine, find_peaks};
+use milback_dsp::detect::{find_peaks, parabolic_refine};
 use milback_dsp::filter::moving_average;
 use milback_rf::fsa::{DualPortFsa, Port};
 
@@ -84,12 +84,7 @@ impl NodeOrientationEstimator {
 
     /// Estimates the node's orientation (radians) from one port's capture
     /// of a single triangular chirp.
-    pub fn estimate_port(
-        &self,
-        fsa: &DualPortFsa,
-        port: Port,
-        capture: &[f64],
-    ) -> Option<f64> {
+    pub fn estimate_port(&self, fsa: &DualPortFsa, port: Port, capture: &[f64]) -> Option<f64> {
         let dt = self.peak_gap(capture)?;
         let f_star = self.freq_from_peak_gap(dt);
         fsa.beam_angle(port, f_star)
@@ -97,12 +92,7 @@ impl NodeOrientationEstimator {
 
     /// Estimates orientation from both ports' captures and averages, as
     /// the paper does. Falls back to a single port when the other fails.
-    pub fn estimate(
-        &self,
-        fsa: &DualPortFsa,
-        capture_a: &[f64],
-        capture_b: &[f64],
-    ) -> Option<f64> {
+    pub fn estimate(&self, fsa: &DualPortFsa, capture_a: &[f64], capture_b: &[f64]) -> Option<f64> {
         let ea = self.estimate_port(fsa, Port::A, capture_a);
         let eb = self.estimate_port(fsa, Port::B, capture_b);
         match (ea, eb) {

@@ -240,7 +240,10 @@ mod tests {
         let mut tx = ArqSender::new(3);
         let _ = tx.send(b"x");
         // ACK for the other sequence: treated as no ACK.
-        assert!(matches!(tx.on_ack(Some(SeqBit::One)), SenderAction::Transmit(_)));
+        assert!(matches!(
+            tx.on_ack(Some(SeqBit::One)),
+            SenderAction::Transmit(_)
+        ));
     }
 
     #[test]

@@ -23,10 +23,22 @@ pub struct OaqfmSymbol {
 impl OaqfmSymbol {
     /// All four symbols in bit order 00, 01, 10, 11.
     pub const ALL: [OaqfmSymbol; 4] = [
-        OaqfmSymbol { a_on: false, b_on: false },
-        OaqfmSymbol { a_on: false, b_on: true },
-        OaqfmSymbol { a_on: true, b_on: false },
-        OaqfmSymbol { a_on: true, b_on: true },
+        OaqfmSymbol {
+            a_on: false,
+            b_on: false,
+        },
+        OaqfmSymbol {
+            a_on: false,
+            b_on: true,
+        },
+        OaqfmSymbol {
+            a_on: true,
+            b_on: false,
+        },
+        OaqfmSymbol {
+            a_on: true,
+            b_on: true,
+        },
     ];
 
     /// Maps a bit pair `(first, second)` to a symbol.
@@ -62,7 +74,10 @@ pub fn bytes_to_bits(bytes: &[u8]) -> Vec<bool> {
 /// Packs bits back to bytes (MSB first). The bit count must be a multiple
 /// of 8.
 pub fn bits_to_bytes(bits: &[bool]) -> Vec<u8> {
-    assert!(bits.len().is_multiple_of(8), "bit count must be a multiple of 8");
+    assert!(
+        bits.len().is_multiple_of(8),
+        "bit count must be a multiple of 8"
+    );
     bits.chunks(8)
         .map(|chunk| {
             chunk

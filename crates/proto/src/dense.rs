@@ -82,7 +82,9 @@ impl DenseConstellation {
     pub fn level_to_bits(&self, level: u8) -> Vec<bool> {
         assert!(level < self.levels, "level {level} out of range");
         let gray = level ^ (level >> 1);
-        (0..self.bits_per_tone()).map(|i| (gray >> i) & 1 == 1).collect()
+        (0..self.bits_per_tone())
+            .map(|i| (gray >> i) & 1 == 1)
+            .collect()
     }
 
     /// Encodes a bit stream into dense symbols. Trailing bits are padded

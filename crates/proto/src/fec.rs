@@ -50,7 +50,10 @@ pub fn encode(bits: &[bool]) -> Vec<bool> {
 /// Decodes a Hamming(7,4) stream, returning `(bits, blocks_corrected)`.
 /// The input length must be a multiple of 7.
 pub fn decode(coded: &[bool]) -> (Vec<bool>, usize) {
-    assert!(coded.len().is_multiple_of(7), "coded length must be a multiple of 7");
+    assert!(
+        coded.len().is_multiple_of(7),
+        "coded length must be a multiple of 7"
+    );
     let mut out = Vec::with_capacity(coded.len() / 7 * 4);
     let mut corrected = 0;
     for chunk in coded.chunks(7) {

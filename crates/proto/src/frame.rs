@@ -25,7 +25,10 @@ impl std::fmt::Display for FrameError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             FrameError::LengthMismatch { expected, got } => {
-                write!(f, "frame length mismatch: expected {expected} symbols, got {got}")
+                write!(
+                    f,
+                    "frame length mismatch: expected {expected} symbols, got {got}"
+                )
             }
             FrameError::CrcMismatch => write!(f, "frame CRC mismatch"),
         }
@@ -49,10 +52,7 @@ pub fn encode_frame(payload: &[u8]) -> Vec<OaqfmSymbol> {
 
 /// Decodes an OAQFM symbol stream back into payload bytes, verifying
 /// length and CRC.
-pub fn decode_frame(
-    symbols: &[OaqfmSymbol],
-    payload_bytes: usize,
-) -> Result<Vec<u8>, FrameError> {
+pub fn decode_frame(symbols: &[OaqfmSymbol], payload_bytes: usize) -> Result<Vec<u8>, FrameError> {
     let expected = frame_symbols(payload_bytes);
     if symbols.len() != expected {
         return Err(FrameError::LengthMismatch {
@@ -106,7 +106,10 @@ mod tests {
     fn error_display() {
         let e = FrameError::CrcMismatch;
         assert!(e.to_string().contains("CRC"));
-        let e = FrameError::LengthMismatch { expected: 10, got: 4 };
+        let e = FrameError::LengthMismatch {
+            expected: 10,
+            got: 4,
+        };
         assert!(e.to_string().contains("10"));
     }
 

@@ -128,10 +128,34 @@ mod tests {
     fn command_and_report_alternates() {
         let s = PollSchedule::command_and_report(2);
         assert_eq!(s.len(), 4);
-        assert_eq!(s.slot_at(0), PollSlot { node: 0, mode: LinkMode::Downlink });
-        assert_eq!(s.slot_at(1), PollSlot { node: 0, mode: LinkMode::Uplink });
-        assert_eq!(s.slot_at(2), PollSlot { node: 1, mode: LinkMode::Downlink });
-        assert_eq!(s.slot_at(3), PollSlot { node: 1, mode: LinkMode::Uplink });
+        assert_eq!(
+            s.slot_at(0),
+            PollSlot {
+                node: 0,
+                mode: LinkMode::Downlink
+            }
+        );
+        assert_eq!(
+            s.slot_at(1),
+            PollSlot {
+                node: 0,
+                mode: LinkMode::Uplink
+            }
+        );
+        assert_eq!(
+            s.slot_at(2),
+            PollSlot {
+                node: 1,
+                mode: LinkMode::Downlink
+            }
+        );
+        assert_eq!(
+            s.slot_at(3),
+            PollSlot {
+                node: 1,
+                mode: LinkMode::Uplink
+            }
+        );
     }
 
     #[test]

@@ -167,8 +167,14 @@ mod tests {
 
     #[test]
     fn mode_decoding() {
-        assert_eq!(PacketConfig::mode_from_chirp_count(3), Some(LinkMode::Uplink));
-        assert_eq!(PacketConfig::mode_from_chirp_count(2), Some(LinkMode::Downlink));
+        assert_eq!(
+            PacketConfig::mode_from_chirp_count(3),
+            Some(LinkMode::Uplink)
+        );
+        assert_eq!(
+            PacketConfig::mode_from_chirp_count(2),
+            Some(LinkMode::Downlink)
+        );
         assert_eq!(PacketConfig::mode_from_chirp_count(0), None);
         assert_eq!(PacketConfig::mode_from_chirp_count(5), None);
     }

@@ -98,7 +98,9 @@ impl FreqLut {
             };
         }
         let step = (f_hi - f_lo) / (Self::POINTS - 1) as f64;
-        let values = (0..Self::POINTS).map(|i| eval(f_lo + i as f64 * step)).collect();
+        let values = (0..Self::POINTS)
+            .map(|i| eval(f_lo + i as f64 * step))
+            .collect();
         Self { f_lo, step, values }
     }
 
@@ -234,10 +236,22 @@ impl Scene {
     pub fn milback_indoor() -> Self {
         let mut s = Self::free_space();
         s.clutter = vec![
-            Reflector { position: Point::new(6.0, 2.0), rcs: 0.8 },   // side wall
-            Reflector { position: Point::new(9.0, -1.5), rcs: 1.5 },  // back wall
-            Reflector { position: Point::new(2.5, -1.0), rcs: 0.15 }, // desk
-            Reflector { position: Point::new(4.0, 1.8), rcs: 0.25 },  // shelf
+            Reflector {
+                position: Point::new(6.0, 2.0),
+                rcs: 0.8,
+            }, // side wall
+            Reflector {
+                position: Point::new(9.0, -1.5),
+                rcs: 1.5,
+            }, // back wall
+            Reflector {
+                position: Point::new(2.5, -1.0),
+                rcs: 0.15,
+            }, // desk
+            Reflector {
+                position: Point::new(4.0, 1.8),
+                rcs: 0.25,
+            }, // shelf
         ];
         s.self_interference_db = Some(-45.0);
         s.mirror = Some(MirrorReflection::milback());
@@ -376,9 +390,7 @@ impl Scene {
             let phase = Cpx::cis(-2.0 * PI * fc * 2.0 * m.depth_offset / SPEED_OF_LIGHT);
             (
                 FreqLut::build(f_lo, f_hi, |f| {
-                    (radar_rx_power(1.0, g_tx, g_rx, sigma, 1.0, f)
-                        * fspl(d_tx, f)
-                        * fspl(d_rx, f)
+                    (radar_rx_power(1.0, g_tx, g_rx, sigma, 1.0, f) * fspl(d_tx, f) * fspl(d_rx, f)
                         / fspl(1.0, f).powi(2))
                     .sqrt()
                 }),
@@ -393,8 +405,7 @@ impl Scene {
             let t_emit = (t - tau_rt).max(0.0);
             let f_inst = comp.profile.freq_at(t_emit);
             let gammas = (node.gamma)(t);
-            let coeff =
-                gammas[0] * port_luts[0].get(f_inst) + gammas[1] * port_luts[1].get(f_inst);
+            let coeff = gammas[0] * port_luts[0].get(f_inst) + gammas[1] * port_luts[1].get(f_inst);
             acc.samples[i] += s * coeff * rt_phase;
 
             // --- Mirror (structural) reflection, switch-coupled ----------
@@ -547,7 +558,11 @@ mod tests {
         // Tone at fa: port A receives strongly, port B weakly.
         let ga = scene.tone_gain_to_port(&pose, &fsa, Port::A, fa);
         let gb = scene.tone_gain_to_port(&pose, &fsa, Port::B, fa);
-        assert!(ratio_to_db(ga / gb) > 10.0, "port isolation {} dB", ratio_to_db(ga / gb));
+        assert!(
+            ratio_to_db(ga / gb) > 10.0,
+            "port isolation {} dB",
+            ratio_to_db(ga / gb)
+        );
         // And symmetrically at fb.
         let ga2 = scene.tone_gain_to_port(&pose, &fsa, Port::A, fb);
         let gb2 = scene.tone_gain_to_port(&pose, &fsa, Port::B, fb);
@@ -566,8 +581,8 @@ mod tests {
         let rx = scene.to_node_port(&comp, &pose, &fsa, Port::A);
         let expected = scene.tone_gain_to_port(&pose, &fsa, Port::A, f);
         // Skip the first samples affected by the delay zero-fill.
-        let p: f64 = rx.samples[100..].iter().map(|c| c.norm_sq()).sum::<f64>()
-            / (rx.len() - 100) as f64;
+        let p: f64 =
+            rx.samples[100..].iter().map(|c| c.norm_sq()).sum::<f64>() / (rx.len() - 100) as f64;
         assert!((p / expected - 1.0).abs() < 0.05, "p {p} vs {expected}");
     }
 
@@ -582,8 +597,16 @@ mod tests {
         let comp = TxComponent::tone(sig, f);
         let g_refl = static_gamma(true);
         let g_abs = static_gamma(false);
-        let node_r = NodeInterface { pose, fsa: &fsa, gamma: &g_refl };
-        let node_a = NodeInterface { pose, fsa: &fsa, gamma: &g_abs };
+        let node_r = NodeInterface {
+            pose,
+            fsa: &fsa,
+            gamma: &g_refl,
+        };
+        let node_a = NodeInterface {
+            pose,
+            fsa: &fsa,
+            gamma: &g_abs,
+        };
         let rx_r = scene.monostatic_rx(&comp, &node_r, 0);
         let rx_a = scene.monostatic_rx(&comp, &node_a, 0);
         let pr: f64 = rx_r.samples[100..].iter().map(|c| c.norm_sq()).sum();
@@ -603,10 +626,14 @@ mod tests {
         let comp = TxComponent::tone(Signal::tone(fs, f, 0.0, 1.0, 4000), f);
         // Only port A reflective, |Γ| = 1, port B perfectly absorbing.
         let g = |_t: f64| [Cpx::new(-1.0, 0.0), Cpx::new(0.0, 0.0)];
-        let node = NodeInterface { pose, fsa: &fsa, gamma: &g };
+        let node = NodeInterface {
+            pose,
+            fsa: &fsa,
+            gamma: &g,
+        };
         let rx = scene.monostatic_rx(&comp, &node, 0);
-        let p: f64 = rx.samples[200..].iter().map(|c| c.norm_sq()).sum::<f64>()
-            / (rx.len() - 200) as f64;
+        let p: f64 =
+            rx.samples[200..].iter().map(|c| c.norm_sq()).sum::<f64>() / (rx.len() - 200) as f64;
         let expected = scene.tone_backscatter_gain(&pose, &fsa, Port::A, f, 0);
         assert!((p / expected - 1.0).abs() < 0.1, "p {p} vs {expected}");
     }
@@ -624,10 +651,14 @@ mod tests {
         let f = 28e9;
         let comp = TxComponent::tone(Signal::tone(1e8, f, 0.0, 1.0, 2000), f);
         let g = static_gamma(false);
-        let node = NodeInterface { pose, fsa: &fsa, gamma: &g };
+        let node = NodeInterface {
+            pose,
+            fsa: &fsa,
+            gamma: &g,
+        };
         let rx = scene.monostatic_rx(&comp, &node, 0);
-        let p: f64 = rx.samples[100..].iter().map(|c| c.norm_sq()).sum::<f64>()
-            / (rx.len() - 100) as f64;
+        let p: f64 =
+            rx.samples[100..].iter().map(|c| c.norm_sq()).sum::<f64>() / (rx.len() - 100) as f64;
         assert!(p > 1e-12, "clutter return missing: {p}");
     }
 
@@ -640,10 +671,14 @@ mod tests {
         let f = fsa.frequency_for_angle(Port::A, 0.0).unwrap();
         let comp = TxComponent::tone(Signal::tone(1e8, f, 0.0, 1.0, 2000), f);
         let g = static_gamma(true);
-        let node = NodeInterface { pose, fsa: &fsa, gamma: &g };
+        let node = NodeInterface {
+            pose,
+            fsa: &fsa,
+            gamma: &g,
+        };
         let rx = scene.monostatic_rx(&comp, &node, 0);
-        let p: f64 = rx.samples[100..].iter().map(|c| c.norm_sq()).sum::<f64>()
-            / (rx.len() - 100) as f64;
+        let p: f64 =
+            rx.samples[100..].iter().map(|c| c.norm_sq()).sum::<f64>() / (rx.len() - 100) as f64;
         // −45 dB self-interference >> node return at 8 m (≈ −90 dB).
         assert!(ratio_to_db(p) > -50.0, "{} dB", ratio_to_db(p));
     }
@@ -660,13 +695,29 @@ mod tests {
         let comp = TxComponent::tone(Signal::tone(1e8, f, 0.0, 1.0, 1000), f);
         let g1 = static_gamma(true);
         let g2 = static_gamma(true);
-        let n1 = NodeInterface { pose: pose1, fsa: &fsa, gamma: &g1 };
-        let n2 = NodeInterface { pose: pose2, fsa: &fsa, gamma: &g2 };
+        let n1 = NodeInterface {
+            pose: pose1,
+            fsa: &fsa,
+            gamma: &g1,
+        };
+        let n2 = NodeInterface {
+            pose: pose2,
+            fsa: &fsa,
+            gamma: &g2,
+        };
         let both = scene.monostatic_rx_multi(&comp, &[n1, n2], 0);
         let g1 = static_gamma(true);
         let g2 = static_gamma(true);
-        let n1 = NodeInterface { pose: pose1, fsa: &fsa, gamma: &g1 };
-        let n2 = NodeInterface { pose: pose2, fsa: &fsa, gamma: &g2 };
+        let n1 = NodeInterface {
+            pose: pose1,
+            fsa: &fsa,
+            gamma: &g1,
+        };
+        let n2 = NodeInterface {
+            pose: pose2,
+            fsa: &fsa,
+            gamma: &g2,
+        };
         let a = scene.monostatic_rx(&comp, &n1, 0);
         let b = scene.monostatic_rx(&comp, &n2, 0);
         for i in 0..both.len() {
@@ -686,7 +737,11 @@ mod tests {
         let g_on = scene.tone_backscatter_gain(&on_beam, &fsa, Port::A, f, 0);
         let g_off = scene.tone_backscatter_gain(&off_beam, &fsa, Port::A, f, 0);
         // Two horn passes of ≥20 dB suppression each.
-        assert!(ratio_to_db(g_on / g_off) > 35.0, "{} dB", ratio_to_db(g_on / g_off));
+        assert!(
+            ratio_to_db(g_on / g_off) > 35.0,
+            "{} dB",
+            ratio_to_db(g_on / g_off)
+        );
     }
 
     #[test]
@@ -707,7 +762,11 @@ mod tests {
         let f = fsa.frequency_for_angle(Port::A, 0.0).unwrap();
         let comp = TxComponent::tone(Signal::tone(1e8, f, 0.0, 1.0, 1000), f);
         let g = static_gamma(true);
-        let node = NodeInterface { pose, fsa: &fsa, gamma: &g };
+        let node = NodeInterface {
+            pose,
+            fsa: &fsa,
+            gamma: &g,
+        };
         let rx0 = scene.monostatic_rx(&comp, &node, 0);
         let rx1 = scene.monostatic_rx(&comp, &node, 1);
         let dphi = (rx0.samples[500] * rx1.samples[500].conj()).arg();

@@ -122,7 +122,11 @@ mod tests {
         lna.apply(&mut sig, 1e6, &mut rng);
         let p_out = sig.power();
         // Signal dominates this noise level: output ≈ input × 100.
-        assert!((p_out / p_in - 100.0).abs() < 1.0, "gain ratio {}", p_out / p_in);
+        assert!(
+            (p_out / p_in - 100.0).abs() < 1.0,
+            "gain ratio {}",
+            p_out / p_in
+        );
     }
 
     #[test]
@@ -156,7 +160,11 @@ mod tests {
         let mut sig = Signal::tone(fs, 0.0, 0.0, 100.0, 4000); // huge DC
         sig.add(&Signal::tone(fs, 0.0, 100e3, 1.0, 4000));
         let out = bpf.apply(&sig);
-        let p: f64 = out.samples[1000..3000].iter().map(|c| c.norm_sq()).sum::<f64>() / 2000.0;
+        let p: f64 = out.samples[1000..3000]
+            .iter()
+            .map(|c| c.norm_sq())
+            .sum::<f64>()
+            / 2000.0;
         assert!((p - 1.0).abs() < 0.2, "band power {p}");
         assert_eq!(bpf.noise_bandwidth(), 180e3);
         assert_eq!(bpf.band(), (20e3, 200e3));

@@ -135,7 +135,10 @@ impl DualPortFsa {
     /// Builds an FSA from a configuration.
     pub fn new(cfg: FsaConfig) -> Self {
         assert!(cfg.n_elements >= 2, "FSA needs at least 2 elements");
-        assert!(cfg.spacing > 0.0 && cfg.feed_length > 0.0, "bad FSA geometry");
+        assert!(
+            cfg.spacing > 0.0 && cfg.feed_length > 0.0,
+            "bad FSA geometry"
+        );
         Self { cfg }
     }
 
@@ -273,15 +276,27 @@ mod tests {
         let f = fsa();
         let lo = f.beam_angle(Port::A, 26.5e9).unwrap();
         let hi = f.beam_angle(Port::A, 29.5e9).unwrap();
-        assert!((rad_to_deg(lo) + 30.0).abs() < 1e-9, "lo {}", rad_to_deg(lo));
-        assert!((rad_to_deg(hi) - 30.0).abs() < 1e-9, "hi {}", rad_to_deg(hi));
+        assert!(
+            (rad_to_deg(lo) + 30.0).abs() < 1e-9,
+            "lo {}",
+            rad_to_deg(lo)
+        );
+        assert!(
+            (rad_to_deg(hi) - 30.0).abs() < 1e-9,
+            "hi {}",
+            rad_to_deg(hi)
+        );
     }
 
     #[test]
     fn sixty_degree_coverage_with_3ghz() {
         let f = fsa();
         let (lo, hi) = f.scan_range(Port::A).unwrap();
-        assert!(rad_to_deg(hi - lo) >= 59.9, "coverage {}", rad_to_deg(hi - lo));
+        assert!(
+            rad_to_deg(hi - lo) >= 59.9,
+            "coverage {}",
+            rad_to_deg(hi - lo)
+        );
         assert!((f.config().f_hi - f.config().f_lo - 3e9).abs() < 1.0);
     }
 
@@ -405,7 +420,11 @@ mod tests {
     fn config_geometry_is_physical() {
         let cfg = FsaConfig::milback();
         // Spacing should be around half a wavelength at 28 GHz (10.7 mm).
-        assert!(cfg.spacing > 3e-3 && cfg.spacing < 9e-3, "spacing {}", cfg.spacing);
+        assert!(
+            cfg.spacing > 3e-3 && cfg.spacing < 9e-3,
+            "spacing {}",
+            cfg.spacing
+        );
         // Electrical length a few cm.
         assert!(cfg.feed_length > 0.02 && cfg.feed_length < 0.10);
     }

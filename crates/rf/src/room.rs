@@ -111,7 +111,7 @@ mod tests {
         assert!(walls.iter().any(|r| r.position.x == 10.0)); // back
         assert!(walls.iter().any(|r| r.position.y == 3.0)); // left
         assert!(walls.iter().any(|r| r.position.y == -3.0)); // right
-        // Rough count: back ≈ 7, sides ≈ 2×9.
+                                                             // Rough count: back ≈ 7, sides ≈ 2×9.
         assert!(walls.len() >= 20, "{}", walls.len());
         for r in &walls {
             assert!(room.contains(&r.position));

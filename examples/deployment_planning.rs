@@ -30,7 +30,7 @@ fn main() {
     let count = |pred: &dyn Fn(f64) -> bool| {
         cells
             .iter()
-            .filter(|c| c.best_rate.map(|r| pred(r)).unwrap_or(false))
+            .filter(|c| c.best_rate.map(pred).unwrap_or(false))
             .count()
     };
     let total = cells.len();

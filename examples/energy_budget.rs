@@ -33,16 +33,26 @@ fn main() {
     let e_cycle = e_dl + e_ul + e_loc;
     let years = COIN_CELL_J / e_cycle / (3600.0 * 24.0 * 365.0);
     println!("scenario A — 1 report/s (32 B down, 256 B up, localized every packet):");
-    println!("  energy per cycle: {:.2} µJ  (dl {:.2} + ul {:.2} + loc {:.2})",
-        e_cycle * 1e6, e_dl * 1e6, e_ul * 1e6, e_loc * 1e6);
-    println!("  coin-cell life:   {years:.0} years of radio activity (battery shelf-life limited!)");
+    println!(
+        "  energy per cycle: {:.2} µJ  (dl {:.2} + ul {:.2} + loc {:.2})",
+        e_cycle * 1e6,
+        e_dl * 1e6,
+        e_ul * 1e6,
+        e_loc * 1e6
+    );
+    println!(
+        "  coin-cell life:   {years:.0} years of radio activity (battery shelf-life limited!)"
+    );
     println!();
 
     // Scenario B: continuous AR stream — 40 Mbps uplink, always on.
     let p_stream = model.power_mw(NodeMode::Uplink { bit_rate: 40e6 }) * 1e-3;
     let hours = COIN_CELL_J / p_stream / 3600.0;
     println!("scenario B — continuous 40 Mbps uplink stream:");
-    println!("  node power: {:.0} mW → {hours:.0} h on a coin cell", p_stream * 1e3);
+    println!(
+        "  node power: {:.0} mW → {hours:.0} h on a coin cell",
+        p_stream * 1e3
+    );
     println!();
 
     // Comparison per §9.6.

@@ -23,7 +23,10 @@ fn main() {
     ];
     let truths = [2.5, 4.0, 6.0];
 
-    println!("MilBack SDM demo: one AP polling {} co-present nodes", poses.len());
+    println!(
+        "MilBack SDM demo: one AP polling {} co-present nodes",
+        poses.len()
+    );
     let mut net = MultiNetwork::new(poses, Fidelity::Fast, 4000);
     let schedule = PollSchedule::round_robin_uplink(3);
     let payloads: Vec<Vec<u8>> = names
@@ -69,9 +72,15 @@ fn main() {
     // Per-tone backscatter gains with the AP steered at the wristband.
     let fsa = net.node.fsa;
     let wrist_inc = wrist.incidence_from(&net.scene.tx_pos);
-    let f = fsa.frequency_for_angle(milback_rf::fsa::Port::A, wrist_inc).unwrap();
-    let g_wrist = net.scene.tone_backscatter_gain(&wrist, &fsa, milback_rf::fsa::Port::A, f, 0);
-    let g_head = net.scene.tone_backscatter_gain(&head, &fsa, milback_rf::fsa::Port::A, f, 0);
+    let f = fsa
+        .frequency_for_angle(milback_rf::fsa::Port::A, wrist_inc)
+        .unwrap();
+    let g_wrist = net
+        .scene
+        .tone_backscatter_gain(&wrist, &fsa, milback_rf::fsa::Port::A, f, 0);
+    let g_head = net
+        .scene
+        .tone_backscatter_gain(&head, &fsa, milback_rf::fsa::Port::A, f, 0);
     println!(
         "wristband path {:.1} dB, headset path {:.1} dB → {:.1} dB of spatial isolation",
         10.0 * g_wrist.log10(),

@@ -48,8 +48,10 @@ fn main() {
         let Some(ul) = outcome.uplink else {
             // Mode signalling or orientation sensing missed this packet —
             // a real deployment would simply retransmit.
-            println!("[node → AP] packet missed (mode {:?}) — retrying next round",
-                outcome.mode_detected);
+            println!(
+                "[node → AP] packet missed (mode {:?}) — retrying next round",
+                outcome.mode_detected
+            );
             continue;
         };
         println!(

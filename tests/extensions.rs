@@ -22,7 +22,9 @@ fn dense_oaqfm_rate_range_tradeoff() {
     assert_eq!(dense.bit_rate, 4e6);
 
     let mut net = Network::new(near, Fidelity::Fast, 5001);
-    let classic = net.downlink(&[0x3A; 16], 1e6, true).expect("no classic link");
+    let classic = net
+        .downlink(&[0x3A; 16], 1e6, true)
+        .expect("no classic link");
     assert_eq!(classic.bit_errors, 0);
     // Same symbol rate, double the bits.
     assert_eq!(dense.bit_rate, 2.0 * 1e6 * 2.0);
@@ -40,7 +42,10 @@ fn multinode_round_localizes_and_delivers_all() {
     let results = net.run_round(&schedule, &payloads, 5e6);
     for (k, r) in results.iter().enumerate() {
         assert!(r.fix.is_some(), "node {k} not localized");
-        let ul = r.uplink.as_ref().unwrap_or_else(|| panic!("node {k} no uplink"));
+        let ul = r
+            .uplink
+            .as_ref()
+            .unwrap_or_else(|| panic!("node {k} no uplink"));
         assert_eq!(ul.payload.as_deref().unwrap(), &payloads[k][..]);
     }
 }
@@ -187,9 +192,8 @@ fn fec_recovers_marginal_uplink() {
     for seed in 0..trials {
         let mut net = Network::new(pose, Fidelity::Fast, 6000 + seed);
         // Transport the coded symbol stream in a frame-sized payload.
-        let coded_bytes = milback_proto::bits::bits_to_bytes(
-            &symbols_to_bits(&coded_symbols)[..112],
-        );
+        let coded_bytes =
+            milback_proto::bits::bits_to_bytes(&symbols_to_bits(&coded_symbols)[..112]);
         if let Some(report) = net.uplink(&coded_bytes, 10e6, true) {
             // Count raw delivery (CRC) and FEC-assisted delivery.
             if report.payload.is_ok() {

@@ -121,3 +121,68 @@ proptest! {
         prop_assert!((fix.range - d).abs() < 0.3, "range {} vs {}", fix.range, d);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Trial seeds are collision-free within any sweep: distinct indices
+    /// under one master seed never map to the same per-trial seed. (The
+    /// derivation is a bijection of `master ^ index·odd`, so this holds
+    /// for ALL pairs — the test samples the space.)
+    #[test]
+    fn seed_derivation_no_collisions(
+        master in any::<u64>(),
+        i in 0usize..100_000,
+        j in 0usize..100_000,
+    ) {
+        let a = milback::batch::derive_seed(master, i as u64);
+        let b = milback::batch::derive_seed(master, j as u64);
+        prop_assert_eq!(a == b, i == j, "indices {} and {} -> {:#x}", i, j, a);
+    }
+
+    /// Seed derivation is a pure function of (master, index): evaluation
+    /// order is irrelevant, so a permuted work schedule (what the
+    /// parallel engine actually does) sees the same seeds.
+    #[test]
+    fn seed_derivation_order_invariant(
+        master in any::<u64>(),
+        n in 1usize..64,
+        shuffle_seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let forward: Vec<u64> = (0..n).map(|i| milback::batch::derive_seed(master, i as u64)).collect();
+        // Visit indices in a pseudo-random order, as a work-stealing pool would.
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(shuffle_seed);
+        for i in (1..n).rev() {
+            order.swap(i, rng.gen_range(0..i + 1));
+        }
+        for &i in &order {
+            prop_assert_eq!(milback::batch::derive_seed(master, i as u64), forward[i]);
+        }
+    }
+
+    /// Different master seeds give unrelated trial-seed streams.
+    #[test]
+    fn seed_derivation_masters_diverge(
+        m1 in any::<u64>(),
+        m2 in any::<u64>(),
+        i in 0usize..1000,
+    ) {
+        let m2 = if m1 == m2 { m2 ^ 1 } else { m2 }; // force distinct masters
+        prop_assert_ne!(
+            milback::batch::derive_seed(m1, i as u64),
+            milback::batch::derive_seed(m2, i as u64)
+        );
+    }
+
+    /// run_trials hands each closure the seed derived from its own index,
+    /// and returns results in index order.
+    #[test]
+    fn run_trials_seeds_match_derivation(master in any::<u64>(), n in 0usize..32) {
+        let got = milback::batch::run_trials(n, master, |t| (t.index, t.seed));
+        let expect: Vec<(usize, u64)> =
+            (0..n).map(|i| (i, milback::batch::derive_seed(master, i as u64))).collect();
+        prop_assert_eq!(got, expect);
+    }
+}

@@ -29,11 +29,17 @@ fn orientation_error_tolerated_by_downlink() {
             &net.node.pose,
             &net.node.fsa,
             milback_rf::fsa::Port::A,
-            net.node.fsa.frequency_for_angle(milback_rf::fsa::Port::A, net.true_orientation()).unwrap(),
+            net.node
+                .fsa
+                .frequency_for_angle(milback_rf::fsa::Port::A, net.true_orientation())
+                .unwrap(),
         );
-        let g_wrong = net
-            .scene
-            .tone_gain_to_port(&net.node.pose, &net.node.fsa, milback_rf::fsa::Port::A, f_a);
+        let g_wrong = net.scene.tone_gain_to_port(
+            &net.node.pose,
+            &net.node.fsa,
+            milback_rf::fsa::Port::A,
+            f_a,
+        );
         let loss_db = 10.0 * (g_right / g_wrong).log10();
         assert!(
             loss_db < 3.5,

@@ -1,0 +1,162 @@
+//! Offline vendored subset of the `criterion` benchmarking API.
+//!
+//! The MilBack build container has no crate-registry access, so this crate
+//! implements the surface `benches/figures.rs` uses: [`Criterion`],
+//! [`BenchmarkGroup`], `Bencher::iter`, [`black_box`] and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Timing is a plain
+//! warmup-then-measure loop printing mean wall time per iteration — no
+//! statistics engine, no HTML reports.
+
+use std::time::{Duration, Instant};
+
+/// Re-export for benchmarks that use `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Runs one benchmark body repeatedly and measures it.
+pub struct Bencher {
+    /// Target measurement time per benchmark.
+    measure_for: Duration,
+    /// Mean seconds per iteration, filled by [`Bencher::iter`].
+    mean_secs: f64,
+    /// Iterations executed during measurement.
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f`, storing the mean wall-clock seconds per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warmup call (fills caches, triggers lazy init).
+        black_box(f());
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < self.measure_for || iters == 0 {
+            black_box(f());
+            iters += 1;
+            if iters >= 1_000_000 {
+                break;
+            }
+        }
+        self.mean_secs = start.elapsed().as_secs_f64() / iters as f64;
+        self.iters = iters;
+    }
+}
+
+fn human_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, 10, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            sample_size: 10,
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
+    // `sample_size` scales the measurement window: heavier benches ask for
+    // fewer samples upstream, so spend less wall time on them here too.
+    let measure_for = Duration::from_millis((20 * sample_size.clamp(1, 100)) as u64);
+    let mut b = Bencher {
+        measure_for,
+        mean_secs: 0.0,
+        iters: 0,
+    };
+    f(&mut b);
+    println!(
+        "bench {name:<40} {:>12}/iter ({} iters)",
+        human_time(b.mean_secs),
+        b.iters
+    );
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the nominal sample count (scales the measurement window).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a named benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{name}", self.name), self.sample_size, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a function running a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("group");
+        g.sample_size(2);
+        g.bench_function("inner", |b| b.iter(|| black_box(3) * 2));
+        g.finish();
+    }
+}
