@@ -29,9 +29,16 @@ if cargo fmt --version >/dev/null 2>&1; then
     # Vendored stubs keep upstream-ish layout and are exempt from house style.
     cargo fmt --check -p milback -p milback-dsp -p milback-rf -p milback-hw \
         -p milback-proto -p milback-node -p milback-ap -p milback-baseline \
-        -p milback-bench -p milback-repro
+        -p milback-bench -p milback-repro -p milback-telemetry
 else
     echo "==> rustfmt not installed; skipping format check" >&2
 fi
+
+echo "==> cargo doc (rustdoc warnings are errors)"
+# Same package list as fmt: vendored stubs are exempt from the docs gate.
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps -q \
+    -p milback -p milback-dsp -p milback-rf -p milback-hw \
+    -p milback-proto -p milback-node -p milback-ap -p milback-baseline \
+    -p milback-bench -p milback-repro -p milback-telemetry
 
 echo "==> CI green"

@@ -81,7 +81,12 @@ impl AoaEstimator {
         if acc.abs() == 0.0 {
             return None;
         }
-        self.phase_to_angle(acc.arg())
+        let angle = self.phase_to_angle(acc.arg());
+        match angle {
+            Some(_) => milback_telemetry::counter_add("ap.aoa.ok", 1),
+            None => milback_telemetry::counter_add("ap.aoa.ambiguous", 1),
+        }
+        angle
     }
 }
 

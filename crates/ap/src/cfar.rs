@@ -57,9 +57,12 @@ impl CfarDetector {
     /// local floor, within `[lo, hi)`.
     pub fn detect(&self, power: &[f64], lo: usize, hi: usize) -> Vec<usize> {
         let hi = hi.min(power.len());
-        (lo..hi)
+        let hits: Vec<usize> = (lo..hi)
             .filter(|&i| power[i] > self.threshold * self.local_floor(power, i))
-            .collect()
+            .collect();
+        milback_telemetry::counter_add("ap.cfar.cells", (hi.saturating_sub(lo)) as u64);
+        milback_telemetry::counter_add("ap.cfar.detections", hits.len() as u64);
+        hits
     }
 
     /// The strongest CFAR detection in `[lo, hi)`, if any.

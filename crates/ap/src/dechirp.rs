@@ -49,6 +49,7 @@ impl RangeProcessor {
     /// the cached in-place plan for that size — the twiddle/bit-reversal
     /// tables are built once per thread and amortized across every chirp.
     pub fn range_spectrum(&self, dechirped: &Signal) -> Vec<Cpx> {
+        milback_telemetry::counter_add("ap.dechirp.spectra", 1);
         let mut buf = dechirped.samples.clone();
         apply_window(&mut buf, self.window);
         buf.resize(self.fft_len, milback_dsp::num::ZERO);

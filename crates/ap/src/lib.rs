@@ -15,6 +15,27 @@
 //! * [`orientation`] — AP-side node-orientation sensing,
 //! * [`uplink`] — the Figure-7 uplink receive chain,
 //! * [`tone_select`] — orientation-driven OAQFM carrier selection.
+//!
+//! ## Place in the paper's architecture
+//!
+//! The AP owns every active radio in MilBack (the node is passive), so
+//! this crate reproduces the paper's infrastructure side end to end:
+//! §5.1 localization is [`dechirp`] → [`background`] → peak search in
+//! [`ranging`] with [`aoa`] phase-difference angles; §5.2(b) AP-side
+//! orientation sensing is [`orientation`]; the §6.3 uplink receive chain
+//! of Figure 7 is [`uplink`]; and the §6.1 carrier choice that makes
+//! OAQFM work at an oblique node is [`tone_select`]. [`cfar`] and
+//! [`pulse_compression`] are the ablation alternatives the robustness
+//! tests swap in.
+//!
+//! ## Telemetry
+//!
+//! With `MILBACK_TELEMETRY=1` the pipeline reports
+//! `ap.localize.attempts`/`fixes`/`misses`, an `ap.localize.ns` span,
+//! `ap.dechirp.spectra`, `ap.cfar.*` and `ap.aoa.*` counters through
+//! `milback-telemetry`.
+
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod aoa;
 pub mod background;

@@ -125,6 +125,8 @@ impl Localizer {
     /// `tx_ref` is the transmitted chirp reference. Returns `None` when no
     /// modulated return rises above the subtraction residue.
     pub fn process(&self, tx_ref: &Signal, captures: &[[Signal; 2]]) -> Option<LocalizationResult> {
+        let _span = milback_telemetry::span("ap.localize.ns");
+        milback_telemetry::counter_add("ap.localize.attempts", 1);
         let fs = tx_ref.fs;
         let (d0, d1) = self.profile_diffs(tx_ref, captures);
 
@@ -133,7 +135,15 @@ impl Localizer {
         let det1 = detection_spectrum(&d1);
         let det: Vec<f64> = det0.iter().zip(&det1).map(|(a, b)| a + b).collect();
 
-        let peak = self.find_node_bin(&det, fs)?;
+        let peak = match self.find_node_bin(&det, fs) {
+            Some(p) => p,
+            None => {
+                milback_telemetry::counter_add("ap.localize.misses", 1);
+                return None;
+            }
+        };
+        milback_telemetry::counter_add("ap.localize.fixes", 1);
+        milback_telemetry::observe("ap.localize.peak_bin", peak as u64);
         let peak_power = det[peak];
         let refined = if self.sub_bin {
             parabolic_refine(&det[..det.len() / 2], peak)

@@ -6,6 +6,19 @@
 //!   backscatter tags are built on (and why it cannot do downlink),
 //! * [`systems`] — mmTag, Millimetro, OmniScatter and MilBack as rows of
 //!   the capability/efficiency comparison.
+//!
+//! ## Place in the paper's architecture
+//!
+//! The paper's Table 1 positions MilBack against the prior mmWave
+//! backscatter systems, all of which build on Van Atta retroreflection:
+//! they can reflect a carrier back at the AP but cannot *receive*, which
+//! is the two-way gap MilBack's dual-port FSA closes. [`vanatta`] models
+//! that array (including why its retro-reflection admits no downlink
+//! demodulation point) and [`systems`] renders each published system's
+//! capability row so `milback::experiments::table1` can regenerate the
+//! comparison.
+
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod systems;
 pub mod vanatta;

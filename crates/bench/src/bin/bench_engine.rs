@@ -1,26 +1,45 @@
-//! Batch-engine and FFT-plan benchmark: times the workspace's two new
-//! performance layers and writes the result to `BENCH_1.json`.
+//! Batch-engine and FFT-plan benchmark with an optional telemetry
+//! snapshot: times the workspace's performance layers and writes the
+//! result to the next free `BENCH_N.json`.
 //!
-//! Three measurements on a representative localization workload (the
-//! Fig. 12a trial — dechirp, five range FFTs, background subtraction,
-//! peak search):
+//! Measurements:
 //!
-//! 1. `serial` — one worker thread (the historical execution model),
-//! 2. `parallel` — the batch engine at the machine's thread count,
-//! 3. planned vs unplanned FFT — the cached-plan transform against a
+//! 1. `serial` vs `parallel` — the batch engine at one worker thread (the
+//!    historical execution model) against the machine's thread count, on
+//!    a representative localization workload (the Fig. 12a trial —
+//!    dechirp, five range FFTs, background subtraction, peak search),
+//! 2. planned vs unplanned FFT — the cached-plan transform against a
 //!    rebuild-tables-every-call transform of the same 8192-point range
-//!    FFT (the dominant kernel of the trial).
+//!    FFT (the dominant kernel of the trial),
+//! 3. a short full-stack link leg — OAQFM downlink + uplink transfers
+//!    through the batch engine, so the telemetry snapshot covers the
+//!    node/proto/link stages too.
 //!
 //! The engine is deterministic by construction; this binary also asserts
 //! that the parallel run's outputs equal the serial run's before timing
-//! is reported. Usage: `cargo run --release -p milback-bench --bin
-//! bench_engine [-- --out path.json]`.
+//! is reported.
+//!
+//! Output naming: without `--out`, the binary scans the working directory
+//! for existing `BENCH_<n>.json` files and writes to the next free index,
+//! so successive runs never clobber earlier results.
+//!
+//! Telemetry: with `MILBACK_TELEMETRY=1` (see README §Observability), the
+//! registry is reset after warm-up and the end-of-run snapshot is
+//! embedded under the `"telemetry"` key of the output JSON — per-stage
+//! counters and histograms from `dsp` (plan cache), `ap` (localization),
+//! `node`/`proto` (demod, CRC), and `core` (batch, link). Without the
+//! variable the key is `null` and the instrumented code paths take their
+//! no-op branches.
+//!
+//! Usage: `cargo run --release -p milback-bench --bin bench_engine
+//! [-- --out path.json]`.
 
 use milback::batch;
 use milback::{Fidelity, Network};
 use milback_dsp::num::Cpx;
 use milback_dsp::plan::{with_plan, FftPlan};
 use milback_rf::geometry::{deg_to_rad, Pose};
+use milback_telemetry as telemetry;
 use std::time::Instant;
 
 /// One Fig.-12a-style trial: localize a node at 3 m with per-trial noise.
@@ -31,6 +50,19 @@ fn trial(t: batch::Trial) -> Option<u64> {
     net.localize().map(|fix| fix.range.to_bits())
 }
 
+/// One link-leg trial: a downlink and an uplink transfer end to end
+/// (OAQFM waveforms, envelope demod, CRC framing). Returns the total bit
+/// errors, which doubles as a determinism witness.
+fn link_trial(t: batch::Trial) -> u64 {
+    let pose = Pose::facing_ap(2.0, 0.0, deg_to_rad(12.0));
+    let mut net = Network::new(pose, Fidelity::Fast, t.seed);
+    let payload: Vec<u8> = (0..8u8).map(|i| i * 31 + t.index as u8).collect();
+    let dl = net.downlink(&payload, 1e6, true);
+    let ul = net.uplink(&payload, 5e6, true);
+    dl.map(|r| r.bit_errors as u64).unwrap_or(u64::MAX / 2)
+        + ul.map(|r| r.bit_errors as u64).unwrap_or(u64::MAX / 2)
+}
+
 fn json_f(v: f64) -> String {
     if v.is_finite() {
         format!("{v:.6}")
@@ -39,19 +71,44 @@ fn json_f(v: f64) -> String {
     }
 }
 
-fn main() {
-    let out_path = {
-        let mut args = std::env::args().skip(1);
-        let mut path = "BENCH_1.json".to_string();
-        while let Some(a) = args.next() {
-            if a == "--out" {
-                if let Some(p) = args.next() {
-                    path = p;
+/// The next free `BENCH_<n>.json` name in `dir`: one past the highest
+/// existing index (starting at 1).
+fn next_bench_path(dir: &std::path::Path) -> String {
+    let mut max = 0u64;
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(num) = name
+                .strip_prefix("BENCH_")
+                .and_then(|rest| rest.strip_suffix(".json"))
+            {
+                if let Ok(n) = num.parse::<u64>() {
+                    max = max.max(n);
                 }
             }
         }
-        path
+    }
+    format!("BENCH_{}.json", max + 1)
+}
+
+fn main() {
+    let out_path = {
+        let mut args = std::env::args().skip(1);
+        let mut path = None;
+        while let Some(a) = args.next() {
+            if a == "--out" {
+                if let Some(p) = args.next() {
+                    path = Some(p);
+                }
+            }
+        }
+        path.unwrap_or_else(|| next_bench_path(std::path::Path::new(".")))
     };
+    let bench_name = std::path::Path::new(&out_path)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "BENCH".to_string());
 
     let trials = 24;
     let seed = 0xB16B_00B5;
@@ -60,6 +117,9 @@ fn main() {
     // Warm each thread's plan cache so the engine comparison measures
     // scheduling, not first-use table construction.
     let _ = batch::run_trials_with_threads(threads.max(2), seed, threads, trial);
+
+    // The telemetry snapshot should describe the measured region only.
+    telemetry::reset();
 
     println!("batch engine: {trials} localization trials, {threads} worker thread(s)");
     let t0 = Instant::now();
@@ -109,14 +169,32 @@ fn main() {
     println!("  planned:   {:.1} µs/fft", planned_s * 1e6);
     println!("  speedup: {fft_speedup:.2}x (bitwise identical: {bitwise})");
 
+    // Link leg: a handful of end-to-end transfers so the snapshot carries
+    // node/proto/link counters alongside the localization stages.
+    let link_trials = 4;
+    let t0 = Instant::now();
+    let link_errors = batch::run_trials(link_trials, seed ^ 0x1111, link_trial);
+    let link_s = t0.elapsed().as_secs_f64();
+    let total_errors: u64 = link_errors.iter().sum();
+    println!("link leg: {link_trials} downlink+uplink transfers in {link_s:.3} s ({total_errors} bit errors)");
+
+    let telemetry_json = if telemetry::enabled() {
+        let snap = telemetry::snapshot();
+        // Indent the snapshot to sit two levels deep in the output object.
+        snap.to_json(2).replace('\n', "\n  ")
+    } else {
+        "null".to_string()
+    };
+
     let json = format!(
-        "{{\n  \"bench\": \"BENCH_1\",\n  \"description\": \"Batch-engine (serial vs parallel) and FFT-plan (unplanned vs cached) timings on a Fig. 12a localization workload\",\n  \"host_threads\": {threads},\n  \"engine\": {{\n    \"workload\": \"localization trial, node at 3 m, Fidelity::Fast\",\n    \"trials\": {trials},\n    \"serial_s\": {},\n    \"parallel_s\": {},\n    \"speedup\": {},\n    \"deterministic\": true\n  }},\n  \"fft_plan\": {{\n    \"size\": {n},\n    \"reps\": {reps},\n    \"unplanned_us_per_fft\": {},\n    \"planned_us_per_fft\": {},\n    \"speedup\": {},\n    \"bitwise_identical\": {bitwise}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"{bench_name}\",\n  \"description\": \"Batch-engine (serial vs parallel) and FFT-plan (unplanned vs cached) timings on a Fig. 12a localization workload, plus a short end-to-end link leg\",\n  \"host_threads\": {threads},\n  \"engine\": {{\n    \"workload\": \"localization trial, node at 3 m, Fidelity::Fast\",\n    \"trials\": {trials},\n    \"serial_s\": {},\n    \"parallel_s\": {},\n    \"speedup\": {},\n    \"deterministic\": true\n  }},\n  \"fft_plan\": {{\n    \"size\": {n},\n    \"reps\": {reps},\n    \"unplanned_us_per_fft\": {},\n    \"planned_us_per_fft\": {},\n    \"speedup\": {},\n    \"bitwise_identical\": {bitwise}\n  }},\n  \"link_leg\": {{\n    \"trials\": {link_trials},\n    \"elapsed_s\": {},\n    \"total_bit_errors\": {total_errors}\n  }},\n  \"telemetry\": {telemetry_json}\n}}\n",
         json_f(serial_s),
         json_f(parallel_s),
         json_f(engine_speedup),
         json_f(unplanned_s * 1e6),
         json_f(planned_s * 1e6),
         json_f(fft_speedup),
+        json_f(link_s),
     );
     std::fs::write(&out_path, &json).expect("failed to write benchmark JSON");
     println!("wrote {out_path}");

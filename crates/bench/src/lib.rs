@@ -7,6 +7,16 @@
 //!
 //! Binaries write machine-readable CSV next to the human-readable table
 //! when `--csv <path>` is given.
+//!
+//! The `bench_engine` binary is the performance harness: it times the
+//! localization and link pipelines serially and in parallel, and writes
+//! an auto-numbered `BENCH_<n>.json` report. Run it with
+//! `MILBACK_TELEMETRY=1` and the report additionally embeds a
+//! `milback-telemetry` snapshot — per-stage counters and histograms from
+//! the dsp/ap/node/proto/core layers (workflow documented in
+//! EXPERIMENTS.md).
+
+#![deny(rustdoc::broken_intra_doc_links)]
 
 use std::fmt::Write as _;
 use std::fs;

@@ -19,6 +19,7 @@
 //! `MILBACK_THREADS` environment variable (`MILBACK_THREADS=1` forces
 //! serial execution, useful for benchmarking the speedup itself).
 
+use milback_telemetry as telemetry;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 
@@ -33,6 +34,14 @@ pub struct Trial {
 }
 
 /// Derives the RNG seed for trial `index` of a batch keyed by `master`.
+///
+/// ```
+/// use milback::batch::derive_seed;
+/// // Depends only on (master, index) — never on thread schedule.
+/// assert_eq!(derive_seed(42, 7), derive_seed(42, 7));
+/// assert_ne!(derive_seed(42, 7), derive_seed(42, 8));
+/// assert_ne!(derive_seed(42, 7), derive_seed(43, 7));
+/// ```
 ///
 /// SplitMix64-style finalizer over `master ^ index·φ` (φ = 2⁶⁴/golden
 /// ratio, odd). For a fixed master the map `index → seed` is injective:
@@ -87,31 +96,61 @@ where
 {
     let n = items.len();
     let threads = threads.max(1).min(n.max(1));
-    if threads <= 1 || n <= 1 {
-        return items.iter().enumerate().map(|(i, it)| f(it, i)).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let out = f(&items[i], i);
-                *slots[i].lock().unwrap() = Some(out);
-            });
+    let batch_span = telemetry::span("core.batch.run.ns");
+    telemetry::counter_add("core.batch.items", n as u64);
+    telemetry::gauge_set("core.batch.threads", threads as f64);
+    let t0 = telemetry::enabled().then(std::time::Instant::now);
+    // One trial's work, with its per-item span (recorded into the worker
+    // thread's shard and merged at snapshot).
+    let run_one = |it: &I, i: usize| telemetry::time("core.batch.item.ns", || f(it, i));
+    let out = if threads <= 1 || n <= 1 {
+        items
+            .iter()
+            .enumerate()
+            .map(|(i, it)| run_one(it, i))
+            .collect()
+    } else {
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let out = run_one(&items[i], i);
+                    *slots[i].lock().unwrap() = Some(out);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|m| m.into_inner().unwrap().expect("worker skipped a slot"))
+            .collect()
+    };
+    if let Some(t0) = t0 {
+        let elapsed = t0.elapsed().as_secs_f64();
+        if elapsed > 0.0 {
+            telemetry::gauge_set("core.batch.items_per_s", n as f64 / elapsed);
         }
-    });
-    slots
-        .into_iter()
-        .map(|m| m.into_inner().unwrap().expect("worker skipped a slot"))
-        .collect()
+    }
+    batch_span.end();
+    out
 }
 
 /// Runs `n` independent trials in parallel. `f` receives each trial's
 /// [`Trial`] (index + derived seed) and results come back in index order.
+///
+/// ```
+/// use milback::batch::{run_trials, run_trials_with_threads};
+///
+/// let f = |t: milback::batch::Trial| t.seed.rotate_left(t.index as u32);
+/// // The deterministic contract: any thread count, identical results.
+/// let parallel = run_trials(16, 42, f);
+/// let serial = run_trials_with_threads(16, 42, 1, f);
+/// assert_eq!(parallel, serial);
+/// ```
 pub fn run_trials<T, F>(n: usize, master_seed: u64, f: F) -> Vec<T>
 where
     T: Send,

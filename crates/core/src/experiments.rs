@@ -39,6 +39,8 @@ pub struct Fig10Row {
 /// Sweeps the dual-port FSA pattern over ±40° for the paper's seven
 /// sample frequencies (Fig. 10).
 pub fn fig10_fsa_pattern() -> Vec<Fig10Row> {
+    let _span = milback_telemetry::span("core.experiments.fig10_fsa_pattern.ns");
+    milback_telemetry::counter_add("core.experiments.runs", 1);
     let fsa = DualPortFsa::milback();
     let freqs_ghz = [26.5, 27.0, 27.5, 28.0, 28.5, 29.0, 29.5];
     let mut rows = Vec::new();
@@ -107,6 +109,8 @@ pub struct Fig11Trace {
 /// Reproduces Fig. 11: node at 2 m, AP sends symbols 00, 01, 10, 11 at
 /// 1 µs per symbol on the orientation-selected tones.
 pub fn fig11_oaqfm_micro(seed: u64) -> Fig11Trace {
+    let _span = milback_telemetry::span("core.experiments.fig11_oaqfm_micro.ns");
+    milback_telemetry::counter_add("core.experiments.runs", 1);
     use milback_ap::waveform::ook_waveform;
     use milback_proto::bits::OaqfmSymbol;
     use milback_rf::channel::TxComponent;
@@ -197,6 +201,8 @@ pub struct RangingRow {
 /// repetitions each (20 in the paper), node facing the AP at a small
 /// random azimuth per trial.
 pub fn fig12a_ranging(trials: usize, seed: u64) -> Vec<RangingRow> {
+    let _span = milback_telemetry::span("core.experiments.fig12a_ranging.ns");
+    milback_telemetry::counter_add("core.experiments.runs", 1);
     // Draw every trial's randomness up front in the serial order, then run
     // the expensive simulations on the batch engine — results are
     // identical to the historical serial loop at any thread count.
@@ -246,6 +252,8 @@ pub struct AngleCdf {
 /// Runs the Fig. 12b angle experiment: trials pooled across distances and
 /// azimuths, as the paper pools its CDF.
 pub fn fig12b_angle_cdf(trials_per_point: usize, seed: u64) -> AngleCdf {
+    let _span = milback_telemetry::span("core.experiments.fig12b_angle_cdf.ns");
+    milback_telemetry::counter_add("core.experiments.runs", 1);
     let mut master = StdRng::seed_from_u64(seed);
     let inputs: Vec<(f64, u64, f64)> = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
         .iter()
@@ -349,6 +357,8 @@ fn orientation_sweep(
 /// Fig. 13a: orientation sensing at the node, sweep of orientations at
 /// 2 m, `trials` repetitions (25 in the paper).
 pub fn fig13a_node_orientation(trials: usize, seed: u64) -> Vec<OrientationRow> {
+    let _span = milback_telemetry::span("core.experiments.fig13a_node_orientation.ns");
+    milback_telemetry::counter_add("core.experiments.runs", 1);
     let orientations: Vec<f64> = (-5..=5).map(|k| k as f64 * 4.0).collect();
     orientation_sweep(&orientations, trials, seed, true)
 }
@@ -356,6 +366,8 @@ pub fn fig13a_node_orientation(trials: usize, seed: u64) -> Vec<OrientationRow> 
 /// Fig. 13b: orientation sensing at the AP — a finer sweep around the
 /// −6°…−2° mirror-collision region.
 pub fn fig13b_ap_orientation(trials: usize, seed: u64) -> Vec<OrientationRow> {
+    let _span = milback_telemetry::span("core.experiments.fig13b_ap_orientation.ns");
+    milback_telemetry::counter_add("core.experiments.runs", 1);
     let orientations: Vec<f64> = (-6..=6).map(|k| k as f64 * 2.0).collect();
     orientation_sweep(&orientations, trials, seed, false)
 }
@@ -381,6 +393,8 @@ pub struct LinkRow {
 
 /// Fig. 14: downlink SINR vs distance (1–12 m).
 pub fn fig14_downlink(seed: u64) -> Vec<LinkRow> {
+    let _span = milback_telemetry::span("core.experiments.fig14_downlink.ns");
+    milback_telemetry::counter_add("core.experiments.runs", 1);
     let distances: Vec<f64> = (1..=12).map(|d| d as f64).collect();
     batch::par_map(&distances, |&d, _| {
         let pose = Pose::facing_ap(d, 0.0, deg_to_rad(COMM_ORIENTATION_DEG));
@@ -406,6 +420,8 @@ pub fn fig14_downlink(seed: u64) -> Vec<LinkRow> {
 /// Fig. 15: uplink SNR vs distance at `bit_rate` bits/s (10 Mbps for
 /// 15a, 40 Mbps for 15b; OAQFM carries 2 bits/symbol).
 pub fn fig15_uplink(bit_rate: f64, max_distance_m: usize, seed: u64) -> Vec<LinkRow> {
+    let _span = milback_telemetry::span("core.experiments.fig15_uplink.ns");
+    milback_telemetry::counter_add("core.experiments.runs", 1);
     let symbol_rate = bit_rate / 2.0;
     let distances: Vec<f64> = (1..=max_distance_m).map(|d| d as f64).collect();
     batch::par_map(&distances, |&d, _| {
@@ -449,6 +465,8 @@ pub struct Table1Row {
 
 /// Regenerates Table 1 (with §9.6 energy efficiency attached).
 pub fn table1() -> Vec<Table1Row> {
+    let _span = milback_telemetry::span("core.experiments.table1.ns");
+    milback_telemetry::counter_add("core.experiments.runs", 1);
     milback_baseline::table1_systems()
         .iter()
         .map(|s| {
@@ -480,6 +498,8 @@ pub struct PowerRow {
 
 /// Regenerates the §9.6 power table.
 pub fn power_table() -> Vec<PowerRow> {
+    let _span = milback_telemetry::span("core.experiments.power_table.ns");
+    milback_telemetry::counter_add("core.experiments.runs", 1);
     use milback_hw::power::{NodeMode, PowerModel};
     let m = PowerModel::milback();
     vec![

@@ -31,6 +31,20 @@
 //! let fix = net.localize().expect("node not found");
 //! assert!((fix.range - 3.0).abs() < 0.2);
 //! ```
+//!
+//! ## Observability
+//!
+//! The whole pipeline is instrumented with `milback-telemetry`: set
+//! `MILBACK_TELEMETRY=1` (or call `milback_telemetry::set_enabled(true)`)
+//! and every [`link`] transfer, [`protocol`] packet, [`experiments`]
+//! driver and [`batch`] run records counters, histograms and spans into
+//! a process-wide registry. `milback_telemetry::snapshot()` drains it;
+//! the `bench_engine` binary embeds the snapshot in its `BENCH_*.json`
+//! output. Aggregation is sharded per worker thread and merged with
+//! order-independent integer arithmetic, so batch totals are identical
+//! whether `MILBACK_THREADS=1` or 16 (DESIGN.md §11).
+
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod ablations;
 pub mod adaptation;

@@ -7,12 +7,14 @@ use milback_ap::tone_select::{select_tones, ToneSelection};
 use milback_ap::uplink::{UplinkReceiver, UPLINK_PILOT};
 use milback_ap::waveform;
 use milback_dsp::signal::Signal;
+use milback_hw::power::NodeMode;
 use milback_node::demod::{demodulate_oaqfm, demodulate_ook, EnvelopeSlicer};
 use milback_node::modulator::modulate_uplink;
 use milback_proto::bits::{bit_errors, bits_to_symbols, symbols_to_bits, OaqfmSymbol};
 use milback_proto::frame::{decode_frame, encode_frame, FrameError};
 use milback_rf::channel::{NodeInterface, TxComponent};
 use milback_rf::fsa::Port;
+use milback_telemetry as telemetry;
 
 /// Minimum tone separation before falling back to single-carrier OOK:
 /// the two envelope-detector branches stop being separable when the tones
@@ -129,16 +131,27 @@ impl Network {
         symbol_rate: f64,
         use_truth: bool,
     ) -> Option<DownlinkReport> {
+        let _span = telemetry::span("core.link.downlink.ns");
         let tones = self.plan_tones(use_truth)?;
         let frame = encode_frame(payload);
-        match tones {
+        let report = match tones {
             ToneSelection::Dual { f_a, f_b } => {
-                Some(self.downlink_dual(payload, &frame, f_a, f_b, symbol_rate, tones))
+                self.downlink_dual(payload, &frame, f_a, f_b, symbol_rate, tones)
             }
             ToneSelection::Single { f } => {
-                Some(self.downlink_ook(payload, &frame, f, symbol_rate, tones))
+                self.downlink_ook(payload, &frame, f, symbol_rate, tones)
             }
-        }
+        };
+        telemetry::counter_add("core.link.downlink.frames", 1);
+        telemetry::counter_add("core.link.downlink.bits", report.total_bits as u64);
+        telemetry::counter_add("core.link.downlink.bit_errors", report.bit_errors as u64);
+        // Node energy over the transfer, from the hw power model: OAQFM
+        // carries 2 bits/symbol, OOK 1 — either way `total_bits` symbols'
+        // worth of airtime bounds the draw at the downlink power level.
+        let duration_s = report.total_bits as f64 / (2.0 * symbol_rate);
+        let energy_nj = self.node.power.power_mw(NodeMode::Downlink) * duration_s * 1e6;
+        telemetry::observe("node.energy.downlink_nj", energy_nj as u64);
+        Some(report)
     }
 
     fn downlink_dual(
@@ -292,6 +305,7 @@ impl Network {
         symbol_rate: f64,
         use_truth: bool,
     ) -> Option<UplinkReport> {
+        let _span = telemetry::span("core.link.uplink.ns");
         let tones = self.plan_tones(use_truth)?;
         let (f_a, f_b) = match tones {
             ToneSelection::Dual { f_a, f_b } => (f_a, f_b),
@@ -352,6 +366,14 @@ impl Network {
         let sent_bits = symbols_to_bits(&frame);
         let got_bits = symbols_to_bits(got_frame);
         let errors = bit_errors(&sent_bits, &got_bits);
+        telemetry::counter_add("core.link.uplink.frames", 1);
+        telemetry::counter_add("core.link.uplink.bits", sent_bits.len() as u64);
+        telemetry::counter_add("core.link.uplink.bit_errors", errors as u64);
+        let bit_rate = 2.0 * symbol_rate;
+        let energy_nj = self.node.power.power_mw(NodeMode::Uplink { bit_rate })
+            * (sent_bits.len() as f64 / bit_rate)
+            * 1e6;
+        telemetry::observe("node.energy.uplink_nj", energy_nj as u64);
         Some(UplinkReport {
             tones,
             payload: decode_frame(got_frame, payload.len()),

@@ -92,6 +92,7 @@ impl Network {
     /// 3. Payload — downlink or uplink per the packet's mode, with OAQFM
     ///    carriers chosen from the AP's orientation estimate.
     pub fn run_packet(&mut self, packet: &Packet, symbol_rate: f64) -> PacketOutcome {
+        let _span = milback_telemetry::span("core.protocol.packet.ns");
         // --- Field 1 ---------------------------------------------------
         let mode_detected = self.signal_mode(packet.mode);
         let (cap_a, cap_b) = self.field1_node_captures();
@@ -115,8 +116,10 @@ impl Network {
         };
         // The payload proceeds only if the node heard the right mode.
         if mode_detected != Some(packet.mode) {
+            milback_telemetry::counter_add("core.protocol.mode_mismatch", 1);
             return outcome;
         }
+        milback_telemetry::counter_add("core.protocol.mode_ok", 1);
         match packet.mode {
             LinkMode::Downlink => {
                 outcome.downlink = self.downlink(&packet.payload, symbol_rate, false);

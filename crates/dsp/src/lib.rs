@@ -19,6 +19,24 @@
 //! * [`stft`] — short-time Fourier transform (spectrograms),
 //! * [`plan`] — cached FFT plans (precomputed twiddles, bit-reversal
 //!   tables, Bluestein kernels) backing the [`fft`] free functions.
+//!
+//! ## Place in the paper's architecture
+//!
+//! This crate implements no paper section by itself; it is the numeric
+//! substrate every reproduced section runs on. The FMCW dechirp/range
+//! FFT of §5.1 is [`fft`] + [`window`], the triangular-chirp orientation
+//! sensing of §5.2 uses [`chirp`] and [`stft`], the §6 OAQFM links run
+//! on [`filter`] and [`goertzel`] tone probes, and every Monte-Carlo
+//! figure draws its noise from [`noise`] and reports through [`stats`].
+//!
+//! ## Telemetry
+//!
+//! The plan cache reports `dsp.plan_cache.hit.local` /
+//! `dsp.plan_cache.miss.local` counters and a `dsp.fft.size` histogram
+//! through `milback-telemetry` when `MILBACK_TELEMETRY=1`; recording is
+//! a no-op branch otherwise (README §Observability).
+
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod chirp;
 pub mod detect;

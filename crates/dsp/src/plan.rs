@@ -23,6 +23,7 @@
 //! produce bitwise-identical results to explicit plan usage.
 
 use crate::num::{Cpx, ZERO};
+use milback_telemetry as telemetry;
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::f64::consts::PI;
@@ -41,6 +42,18 @@ pub struct FftPlan {
 
 impl FftPlan {
     /// Builds a plan for length `n`.
+    ///
+    /// ```
+    /// use milback_dsp::num::Cpx;
+    /// use milback_dsp::plan::FftPlan;
+    ///
+    /// let plan = FftPlan::new(16);
+    /// let x: Vec<Cpx> = (0..16).map(|i| Cpx::cis(i as f64 * 0.3)).collect();
+    /// let back = plan.inverse(&plan.forward(&x));
+    /// for (a, b) in x.iter().zip(&back) {
+    ///     assert!((*a - *b).abs() < 1e-12);
+    /// }
+    /// ```
     ///
     /// # Panics
     /// Panics if `n` is not a power of two.
@@ -280,20 +293,38 @@ thread_local! {
 }
 
 fn pow2_plan(cache: &mut PlanCache, n: usize) -> Rc<FftPlan> {
-    cache
-        .fft
-        .entry(n)
-        .or_insert_with(|| Rc::new(FftPlan::new(n)))
-        .clone()
+    match cache.fft.entry(n) {
+        std::collections::hash_map::Entry::Occupied(e) => {
+            telemetry::counter_add("dsp.plan_cache.hit.local", 1);
+            e.get().clone()
+        }
+        std::collections::hash_map::Entry::Vacant(e) => {
+            telemetry::counter_add("dsp.plan_cache.miss.local", 1);
+            telemetry::observe("dsp.plan_cache.built_size.local", n as u64);
+            e.insert(Rc::new(FftPlan::new(n))).clone()
+        }
+    }
 }
 
 /// Runs `f` with the cached power-of-two plan for length `n`, creating it
 /// on first use. Plans are per-thread, so this is safe (and contention-
 /// free) under the parallel batch engine.
 ///
+/// ```
+/// use milback_dsp::num::Cpx;
+/// use milback_dsp::plan::with_plan;
+///
+/// let x: Vec<Cpx> = (0..8).map(|i| Cpx::new(i as f64, 0.0)).collect();
+/// // First call builds the length-8 plan; repeats reuse it.
+/// let spectrum = with_plan(8, |plan| plan.forward(&x));
+/// // Bitwise identical to the free function (itself a plan wrapper).
+/// assert_eq!(spectrum, milback_dsp::fft::fft(&x));
+/// ```
+///
 /// # Panics
 /// Panics if `n` is not a power of two.
 pub fn with_plan<R>(n: usize, f: impl FnOnce(&FftPlan) -> R) -> R {
+    telemetry::observe("dsp.fft.size", n as u64);
     let plan = PLAN_CACHE.with(|c| pow2_plan(&mut c.borrow_mut(), n));
     f(&plan)
 }
@@ -303,8 +334,10 @@ pub fn with_bluestein<R>(n: usize, f: impl FnOnce(&BluesteinPlan) -> R) -> R {
     let plan = PLAN_CACHE.with(|c| {
         let mut cache = c.borrow_mut();
         if let Some(p) = cache.bluestein.get(&n) {
+            telemetry::counter_add("dsp.plan_cache.hit.local", 1);
             p.clone()
         } else {
+            telemetry::counter_add("dsp.plan_cache.miss.local", 1);
             let inner = pow2_plan(&mut cache, crate::fft::next_pow2(2 * n - 1));
             let p = Rc::new(BluesteinPlan::new(n, inner));
             cache.bluestein.insert(n, p.clone());
@@ -319,12 +352,15 @@ pub fn with_bluestein<R>(n: usize, f: impl FnOnce(&BluesteinPlan) -> R) -> R {
 /// caller's business (matching [`crate::fft::fft`] conventions).
 pub(crate) fn bluestein_cached(input: &[Cpx], inverse: bool) -> Vec<Cpx> {
     let n = input.len();
+    telemetry::observe("dsp.fft.size", n as u64);
     PLAN_CACHE.with(|c| {
         let (plan, mut scratch) = {
             let mut cache = c.borrow_mut();
             let plan = if let Some(p) = cache.bluestein.get(&n) {
+                telemetry::counter_add("dsp.plan_cache.hit.local", 1);
                 p.clone()
             } else {
+                telemetry::counter_add("dsp.plan_cache.miss.local", 1);
                 let inner = pow2_plan(&mut cache, crate::fft::next_pow2(2 * n - 1));
                 let p = Rc::new(BluesteinPlan::new(n, inner));
                 cache.bluestein.insert(n, p.clone());

@@ -89,6 +89,7 @@ pub fn demodulate_oaqfm(
     t0: f64,
     n_symbols: usize,
 ) -> Vec<OaqfmSymbol> {
+    milback_telemetry::counter_add("node.demod.oaqfm.symbols", n_symbols as u64);
     let la = slicer.symbol_levels(det_a, t0, n_symbols);
     let lb = slicer.symbol_levels(det_b, t0, n_symbols);
     let ta = EnvelopeSlicer::threshold(&la);
@@ -149,6 +150,7 @@ pub fn demodulate_ook(
     t0: f64,
     n_bits: usize,
 ) -> Vec<bool> {
+    milback_telemetry::counter_add("node.demod.ook.bits", n_bits as u64);
     let combined: Vec<f64> = det_a.iter().zip(det_b).map(|(a, b)| a + b).collect();
     let levels = slicer.symbol_levels(&combined, t0, n_bits);
     let thr = EnvelopeSlicer::threshold(&levels);

@@ -11,6 +11,26 @@
 //! * [`mode_detect`] — Field-1 chirp counting → uplink/downlink (§7),
 //! * [`firmware`] — the node MCU's packet state machine,
 //! * [`timing`] — pilot-based symbol-timing recovery.
+//!
+//! ## Place in the paper's architecture
+//!
+//! The node is the paper's central contribution: a passive dual-port FSA
+//! tag that localizes (§5), receives (§6.1–6.2) and transmits (§6.3)
+//! without generating a carrier. This crate is everything that runs on
+//! the tag: [`node`] wires the `milback-hw` components to the
+//! `milback-rf` FSA model, [`demod`] and [`modulator`] are the two §6
+//! data directions, [`mode_detect`] implements the §7 Field-1 protocol
+//! handshake, and [`orientation`] reproduces §5.2(a).
+//!
+//! ## Telemetry
+//!
+//! With `MILBACK_TELEMETRY=1` the node reports
+//! `node.demod.oaqfm.symbols`, `node.demod.ook.bits` and
+//! `node.mode_detect.*` counters; the energy its `milback-hw` power
+//! model draws per transfer is recorded by `milback::link` as
+//! `node.energy.*_nj` histograms.
+
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod demod;
 pub mod firmware;

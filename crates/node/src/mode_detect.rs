@@ -69,12 +69,13 @@ impl ModeDetector {
     /// packet was missed entirely).
     pub fn detect(&self, capture: &[f64], t0: f64) -> Option<LinkMode> {
         let levels = self.slot_levels(capture, t0);
-        let slots = Self::detect_slots(&levels)?;
-        match slots {
-            [true, true, true] => Some(LinkMode::Uplink),
-            [true, false, true] => Some(LinkMode::Downlink),
+        let mode = match Self::detect_slots(&levels) {
+            Some([true, true, true]) => Some(LinkMode::Uplink),
+            Some([true, false, true]) => Some(LinkMode::Downlink),
             _ => None,
-        }
+        };
+        Self::count_decision(mode);
+        mode
     }
 
     /// Noise-robust mode detection. Both valid patterns carry chirps in
@@ -102,12 +103,25 @@ impl ModeDetector {
             return None;
         }
         let ratio = levels[1] / baseline;
-        if ratio > 0.55 {
+        let mode = if ratio > 0.55 {
             Some(LinkMode::Uplink)
         } else if ratio < 0.45 {
             Some(LinkMode::Downlink)
         } else {
             None
+        };
+        Self::count_decision(mode);
+        mode
+    }
+
+    /// Telemetry bookkeeping shared by both detection entry points.
+    fn count_decision(mode: Option<LinkMode>) {
+        match mode {
+            Some(LinkMode::Uplink) => milback_telemetry::counter_add("node.mode_detect.uplink", 1),
+            Some(LinkMode::Downlink) => {
+                milback_telemetry::counter_add("node.mode_detect.downlink", 1)
+            }
+            None => milback_telemetry::counter_add("node.mode_detect.undecided", 1),
         }
     }
 }

@@ -110,6 +110,7 @@ impl ArqSender {
         let frame = with_header(self.seq, payload);
         self.in_flight = Some(frame.clone());
         self.attempts = 1;
+        milback_telemetry::counter_add("proto.arq.sent", 1);
         frame
     }
 
@@ -122,14 +123,17 @@ impl ArqSender {
         if acked_seq == Some(self.seq) {
             self.in_flight = None;
             self.seq = self.seq.toggled();
+            milback_telemetry::counter_add("proto.arq.delivered", 1);
             return SenderAction::Delivered;
         }
         if self.attempts >= self.max_attempts {
             self.in_flight = None;
             self.seq = self.seq.toggled();
+            milback_telemetry::counter_add("proto.arq.giveups", 1);
             return SenderAction::GiveUp;
         }
         self.attempts += 1;
+        milback_telemetry::counter_add("proto.arq.retries", 1);
         SenderAction::Transmit(frame.clone())
     }
 }

@@ -39,8 +39,10 @@ pub fn check_crc(framed: &[u8]) -> Option<&[u8]> {
     let (payload, tail) = framed.split_at(framed.len() - 2);
     let expect = ((tail[0] as u16) << 8) | tail[1] as u16;
     if crc16_ccitt(payload) == expect {
+        milback_telemetry::counter_add("proto.crc.ok", 1);
         Some(payload)
     } else {
+        milback_telemetry::counter_add("proto.crc.fail", 1);
         None
     }
 }

@@ -66,6 +66,8 @@ pub fn decode(coded: &[bool]) -> (Vec<bool>, usize) {
         }
         out.extend(data);
     }
+    milback_telemetry::counter_add("proto.fec.blocks", (coded.len() / 7) as u64);
+    milback_telemetry::counter_add("proto.fec.corrected", corrected as u64);
     (out, corrected)
 }
 

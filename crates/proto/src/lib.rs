@@ -12,6 +12,26 @@
 //! * [`multiframe`] — fragmentation/reassembly for large messages,
 //! * [`packet`] — packet structure and preamble timing (Field 1 mode
 //!   signalling, Field 2 localization chirps, payload).
+//!
+//! ## Place in the paper's architecture
+//!
+//! §7 specifies MilBack's packet: Field 1 signals direction by chirp
+//! count, Field 2 carries the localization chirps, then the payload
+//! flows whichever way Field 1 announced. [`packet`] encodes exactly
+//! that structure and [`bits`] the 2-bit OAQFM alphabet of §6. The rest
+//! is the link-layer machinery a deployment needs where the paper stops:
+//! [`crc`] integrity, [`fec`] coding at the range edge, [`arq`]
+//! retransmission, [`mac`] polling for the §8 multi-node case and
+//! [`dense`] for the §9.4 multi-amplitude extension.
+//!
+//! ## Telemetry
+//!
+//! With `MILBACK_TELEMETRY=1` this crate reports `proto.crc.ok`/`fail`,
+//! `proto.fec.blocks`/`corrected` and
+//! `proto.arq.sent`/`delivered`/`retries`/`giveups` counters through
+//! `milback-telemetry`.
+
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod arq;
 pub mod bits;

@@ -12,6 +12,23 @@
 //!   mirror reflection and self-interference,
 //! * [`frontend`] — AP front-end models (LNA, mixer, baseband BPF),
 //! * [`room`] — parametric indoor-room clutter scenes.
+//!
+//! ## Place in the paper's architecture
+//!
+//! §4 of the paper is the dual-port FSA design this crate models in
+//! [`fsa`]: a leaky-wave antenna whose beam angle is a function of
+//! frequency, terminated at both ports by switches so the node can
+//! either retro-reflect or modulate. [`propagation`] carries the §9.1
+//! link budget (the 1/R⁴ backscatter radar equation), [`channel`]
+//! injects the clutter and self-interference that §5.1's background
+//! subtraction exists to remove, and [`geometry`]/[`room`] define the
+//! evaluation scenes behind Figures 12–15.
+//!
+//! This crate is pure physics — it is deliberately *not* instrumented
+//! with telemetry; stage counters live in the layers that call it
+//! (`milback-ap`, `milback-node`, `milback` core).
+
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod antenna;
 pub mod channel;

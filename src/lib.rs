@@ -13,8 +13,12 @@
 //! * [`milback_node`] — the backscatter node,
 //! * [`milback_ap`] — the access point,
 //! * [`milback_baseline`] — mmTag/Millimetro/OmniScatter comparators,
+//! * [`milback_telemetry`] — counters/histograms/spans over the whole
+//!   pipeline (`MILBACK_TELEMETRY=1` to enable),
 //! * [`milback`] — the end-to-end `Network` simulator and experiment
 //!   drivers.
+
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub use milback;
 pub use milback_ap;
@@ -24,3 +28,4 @@ pub use milback_hw;
 pub use milback_node;
 pub use milback_proto;
 pub use milback_rf;
+pub use milback_telemetry;
