@@ -19,7 +19,11 @@ cargo test -q --release "${CARGO_FLAGS[@]}"
 
 if cargo clippy --version >/dev/null 2>&1; then
     echo "==> cargo clippy"
-    cargo clippy --release "${CARGO_FLAGS[@]}" --all-targets -- -D warnings
+    # The two allow-by-default lints guard the zero-allocation hot paths
+    # (DESIGN.md §12): a redundant clone or a collect-then-iterate chain
+    # is usually a hidden heap allocation.
+    cargo clippy --release "${CARGO_FLAGS[@]}" --all-targets -- -D warnings \
+        -W clippy::redundant_clone -W clippy::needless_collect
 else
     echo "==> clippy not installed; skipping lint" >&2
 fi
@@ -33,6 +37,13 @@ if cargo fmt --version >/dev/null 2>&1; then
 else
     echo "==> rustfmt not installed; skipping format check" >&2
 fi
+
+echo "==> bench smoke (kernel/burst bitwise asserts)"
+# --smoke shrinks every rep count; the run still asserts that each fast
+# path (in-place FFT, workspace pipeline, waveform templates) is bitwise
+# identical to its allocating twin before reporting timings.
+cargo run --release --offline -p milback-bench --bin bench_engine -- \
+    --smoke --out target/bench_smoke.json >/dev/null
 
 echo "==> cargo doc (rustdoc warnings are errors)"
 # Same package list as fmt: vendored stubs are exempt from the docs gate.

@@ -11,6 +11,7 @@
 //! ranging wants spectra and AP-side orientation sensing wants the
 //! time-domain difference.
 
+use milback_dsp::buffer;
 use milback_dsp::num::Cpx;
 use milback_dsp::signal::Signal;
 
@@ -33,16 +34,31 @@ pub fn pairwise_diff_signals(chirps: &[Signal]) -> Vec<Signal> {
         .collect()
 }
 
-/// Pairwise differences of consecutive chirp spectra.
+/// Pairwise differences of consecutive chirp spectra (allocating
+/// wrapper over [`pairwise_diff_spectra_into`]).
 pub fn pairwise_diff_spectra(spectra: &[Vec<Cpx>]) -> Vec<Vec<Cpx>> {
+    let mut out = Vec::new();
+    pairwise_diff_spectra_into(spectra, &mut out);
+    out
+}
+
+/// Pairwise differences of consecutive chirp spectra, written into
+/// `out`. Both the outer vector and each inner difference buffer reuse
+/// their capacity, so a warmed five-chirp burst performs no allocation.
+pub fn pairwise_diff_spectra_into(spectra: &[Vec<Cpx>], out: &mut Vec<Vec<Cpx>>) {
     assert!(spectra.len() >= 2, "need at least two spectra to subtract");
-    spectra
-        .windows(2)
-        .map(|w| {
-            assert_eq!(w[0].len(), w[1].len(), "spectrum length mismatch");
-            w[1].iter().zip(&w[0]).map(|(b, a)| *b - *a).collect()
-        })
-        .collect()
+    let n_diffs = spectra.len() - 1;
+    buffer::track_growth(out, n_diffs);
+    out.truncate(n_diffs);
+    while out.len() < n_diffs {
+        out.push(Vec::new());
+    }
+    for (d, w) in out.iter_mut().zip(spectra.windows(2)) {
+        assert_eq!(w[0].len(), w[1].len(), "spectrum length mismatch");
+        buffer::track_growth(d, w[0].len());
+        d.clear();
+        d.extend(w[1].iter().zip(&w[0]).map(|(b, a)| *b - *a));
+    }
 }
 
 /// Index of the difference with the largest total energy — the pair that
@@ -63,17 +79,26 @@ pub fn strongest_diff<T: DiffEnergy>(diffs: &[T]) -> usize {
 
 /// Per-bin detection power: the maximum of `|d[k]|²` across all
 /// differences. Static clutter is near zero in every difference; the
-/// node's bin is large in at least one.
+/// node's bin is large in at least one. (Allocating wrapper over
+/// [`detection_spectrum_into`].)
 pub fn detection_spectrum(diffs: &[Vec<Cpx>]) -> Vec<f64> {
+    let mut out = Vec::new();
+    detection_spectrum_into(diffs, &mut out);
+    out
+}
+
+/// Per-bin detection power written into `out`, reusing its capacity.
+pub fn detection_spectrum_into(diffs: &[Vec<Cpx>], out: &mut Vec<f64>) {
     assert!(!diffs.is_empty(), "no differences given");
     let n = diffs[0].len();
-    let mut out = vec![0.0f64; n];
+    buffer::track_growth(out, n);
+    out.clear();
+    out.resize(n, 0.0);
     for d in diffs {
         for (o, c) in out.iter_mut().zip(d) {
             *o = (*o).max(c.norm_sq());
         }
     }
-    out
 }
 
 /// Total-energy abstraction so [`strongest_diff`] works on both forms.
@@ -123,7 +148,7 @@ mod tests {
         // Node "on" in chirps 0-2, "off" in 3-4 → only diff 2→3 is nonzero.
         let on = tone(1.0, 64);
         let off = tone(0.1, 64);
-        let chirps = vec![on.clone(), on.clone(), on.clone(), off.clone(), off];
+        let chirps = vec![on.clone(), on.clone(), on, off.clone(), off];
         let diffs = pairwise_diff_signals(&chirps);
         assert!(diffs[0].diff_energy() < 1e-20);
         assert!(diffs[2].diff_energy() > 0.1);
@@ -165,6 +190,32 @@ mod tests {
         let det = detection_spectrum(&diffs);
         assert!(det[3] < 1e-20, "clutter bin leaked: {}", det[3]);
         assert!((det[10] - 1.0).abs() < 1e-12, "node bin: {}", det[10]);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_bitwise() {
+        let n = 48;
+        let spectra: Vec<Vec<Cpx>> = (0..5)
+            .map(|c| {
+                (0..n)
+                    .map(|k| Cpx::cis((c * n + k) as f64 * 0.13) * (1.0 + k as f64 * 0.01))
+                    .collect()
+            })
+            .collect();
+        let diffs = pairwise_diff_spectra(&spectra);
+        let det = detection_spectrum(&diffs);
+
+        let mut diffs_buf = Vec::new();
+        let mut det_buf = Vec::new();
+        // Reused buffers (including previously-longer inner vectors) must
+        // keep reproducing the allocating results bit for bit.
+        diffs_buf.push(vec![milback_dsp::num::ZERO; n * 2]);
+        for _ in 0..2 {
+            pairwise_diff_spectra_into(&spectra, &mut diffs_buf);
+            assert_eq!(diffs, diffs_buf);
+            detection_spectrum_into(&diffs_buf, &mut det_buf);
+            assert_eq!(det, det_buf);
+        }
     }
 
     #[test]

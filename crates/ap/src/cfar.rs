@@ -54,15 +54,36 @@ impl CfarDetector {
     }
 
     /// Returns the indices of all cells that exceed `threshold` × their
-    /// local floor, within `[lo, hi)`.
+    /// local floor, within `[lo, hi)` (allocating wrapper over
+    /// [`CfarDetector::detect_into`]).
     pub fn detect(&self, power: &[f64], lo: usize, hi: usize) -> Vec<usize> {
+        let mut hits = Vec::new();
+        self.detect_into(power, lo, hi, &mut hits);
+        hits
+    }
+
+    /// [`CfarDetector::detect`] into a caller-owned hit buffer. The hit
+    /// count is unknown up front, so growth is detected after the fill
+    /// rather than predicted; telemetry semantics match `detect`.
+    pub fn detect_into(&self, power: &[f64], lo: usize, hi: usize, hits: &mut Vec<usize>) {
         let hi = hi.min(power.len());
-        let hits: Vec<usize> = (lo..hi)
-            .filter(|&i| power[i] > self.threshold * self.local_floor(power, i))
-            .collect();
+        let cap = hits.capacity();
+        hits.clear();
+        hits.extend((lo..hi).filter(|&i| power[i] > self.threshold * self.local_floor(power, i)));
+        if hits.capacity() != cap {
+            milback_telemetry::counter_add("dsp.workspace.grow.local", 1);
+        }
         milback_telemetry::counter_add("ap.cfar.cells", (hi.saturating_sub(lo)) as u64);
         milback_telemetry::counter_add("ap.cfar.detections", hits.len() as u64);
-        hits
+    }
+
+    /// Local noise floors for every cell in `[lo, hi)`, written into
+    /// `floors` — the workspace's CFAR noise-estimate buffer.
+    pub fn local_floors_into(&self, power: &[f64], lo: usize, hi: usize, floors: &mut Vec<f64>) {
+        let hi = hi.min(power.len());
+        milback_dsp::buffer::track_growth(floors, hi.saturating_sub(lo));
+        floors.clear();
+        floors.extend((lo..hi).map(|i| self.local_floor(power, i)));
     }
 
     /// The strongest CFAR detection in `[lo, hi)`, if any.
@@ -135,6 +156,24 @@ mod tests {
         let det = CfarDetector::range_profile();
         let power = noise_with_peaks(&[(2, 100.0)]);
         assert!(det.detect(&power, 0, 256).contains(&2));
+    }
+
+    #[test]
+    fn detect_into_matches_allocating_bitwise() {
+        let det = CfarDetector::range_profile();
+        let power = noise_with_peaks(&[(40, 80.0), (100, 100.0), (200, 90.0)]);
+        let expect = det.detect(&power, 10, 250);
+        let mut hits = Vec::new();
+        for _ in 0..2 {
+            det.detect_into(&power, 10, 250, &mut hits);
+            assert_eq!(expect, hits);
+        }
+        let mut floors = Vec::new();
+        det.local_floors_into(&power, 10, 250, &mut floors);
+        assert_eq!(floors.len(), 240);
+        for (off, f) in floors.iter().enumerate() {
+            assert_eq!(*f, det.local_floor(&power, 10 + off));
+        }
     }
 
     #[test]

@@ -6,8 +6,9 @@
 //! profile*: bin `k` ↔ round-trip delay `k·fs/(N·slope)` ↔ range
 //! `c·τ/2`.
 
+use milback_dsp::buffer;
 use milback_dsp::chirp::ChirpConfig;
-use milback_dsp::num::Cpx;
+use milback_dsp::num::{Cpx, ZERO};
 use milback_dsp::plan::with_plan;
 use milback_dsp::signal::Signal;
 use milback_dsp::window::{apply_window, Window};
@@ -43,18 +44,48 @@ impl RangeProcessor {
         rx.conj_multiply(tx_ref)
     }
 
-    /// Windowed, zero-padded complex range spectrum of a dechirped chirp.
+    /// Allocation-free [`RangeProcessor::dechirp`]: writes the `rx · tx*`
+    /// samples into `out`, reusing its capacity. Truncates to the shorter
+    /// length, like [`Signal::conj_multiply`].
+    pub fn dechirp_into(&self, rx: &Signal, tx_ref: &Signal, out: &mut Vec<Cpx>) {
+        assert_eq!(rx.fs, tx_ref.fs, "sample-rate mismatch in dechirp_into");
+        let n = rx.len().min(tx_ref.len());
+        buffer::track_growth(out, n);
+        out.clear();
+        out.extend((0..n).map(|i| rx.samples[i] * tx_ref.samples[i].conj()));
+    }
+
+    /// Windowed, zero-padded complex range spectrum of a dechirped chirp
+    /// (allocating wrapper over [`RangeProcessor::range_spectrum_into`]).
+    pub fn range_spectrum(&self, dechirped: &Signal) -> Vec<Cpx> {
+        let mut out = Vec::new();
+        self.range_spectrum_into(&dechirped.samples, &mut out);
+        out
+    }
+
+    /// Windowed, zero-padded complex range spectrum, written into `out`.
     ///
     /// `fft_len` is a power of two by construction, so this runs through
     /// the cached in-place plan for that size — the twiddle/bit-reversal
-    /// tables are built once per thread and amortized across every chirp.
-    pub fn range_spectrum(&self, dechirped: &Signal) -> Vec<Cpx> {
+    /// tables are built once per thread and amortized across every chirp,
+    /// and a warmed `out` buffer makes the whole call allocation-free.
+    pub fn range_spectrum_into(&self, dechirped: &[Cpx], out: &mut Vec<Cpx>) {
         milback_telemetry::counter_add("ap.dechirp.spectra", 1);
-        let mut buf = dechirped.samples.clone();
-        apply_window(&mut buf, self.window);
-        buf.resize(self.fft_len, milback_dsp::num::ZERO);
-        with_plan(self.fft_len, |p| p.forward_in_place(&mut buf));
-        buf
+        buffer::track_growth(out, self.fft_len.max(dechirped.len()));
+        out.clear();
+        out.extend_from_slice(dechirped);
+        apply_window(out, self.window);
+        out.resize(self.fft_len, ZERO);
+        with_plan(self.fft_len, |p| p.forward_in_place(out));
+    }
+
+    /// Complex range profile (allocating wrapper over
+    /// [`RangeProcessor::range_profile_into`]).
+    pub fn range_profile(&self, dechirped: &Signal) -> Vec<Cpx> {
+        let mut fft_buf = Vec::new();
+        let mut out = Vec::new();
+        self.range_profile_into(&dechirped.samples, &mut fft_buf, &mut out);
+        out
     }
 
     /// Complex range profile: the range spectrum re-indexed so that bin
@@ -65,10 +96,20 @@ impl RangeProcessor {
     /// negative-frequency half of the FFT; this profile flips the axis so
     /// increasing bin = increasing range, without conjugating (the complex
     /// values keep the carrier phase used for AoA).
-    pub fn range_profile(&self, dechirped: &Signal) -> Vec<Cpx> {
-        let spec = self.range_spectrum(dechirped);
-        let n = spec.len();
-        (0..n).map(|k| spec[(n - k) % n]).collect()
+    ///
+    /// The spectrum lands in `fft_buf`, the flipped profile in `out`;
+    /// both reuse their capacity across calls.
+    pub fn range_profile_into(
+        &self,
+        dechirped: &[Cpx],
+        fft_buf: &mut Vec<Cpx>,
+        out: &mut Vec<Cpx>,
+    ) {
+        self.range_spectrum_into(dechirped, fft_buf);
+        let n = fft_buf.len();
+        buffer::track_growth(out, n);
+        out.clear();
+        out.extend((0..n).map(|k| fft_buf[(n - k) % n]));
     }
 
     /// Beat frequency of range-FFT bin `k` (fractional bins allowed),
@@ -182,6 +223,35 @@ mod tests {
         ranges.sort_by(|a, b| a.partial_cmp(b).unwrap());
         assert!((ranges[0] - 2.0).abs() < 0.05, "{ranges:?}");
         assert!((ranges[1] - 2.5).abs() < 0.05, "{ranges:?}");
+    }
+
+    #[test]
+    fn into_variants_match_allocating_bitwise() {
+        let cfg = test_chirp();
+        let proc = RangeProcessor::new(cfg, 2);
+        let tx = cfg.sawtooth();
+        let tau = 2.0 * 3.0 / SPEED_OF_LIGHT;
+        let mut rx = tx.delayed(tau);
+        rx.rotate(Cpx::cis(-2.0 * std::f64::consts::PI * tx.fc * tau));
+
+        let de = proc.dechirp(&rx, &tx);
+        let mut de_buf = Vec::new();
+        proc.dechirp_into(&rx, &tx, &mut de_buf);
+        assert_eq!(de.samples, de_buf);
+
+        let spec = proc.range_spectrum(&de);
+        let mut spec_buf = Vec::new();
+        // Reused buffers must keep reproducing the allocating result.
+        for _ in 0..2 {
+            proc.range_spectrum_into(&de_buf, &mut spec_buf);
+            assert_eq!(spec, spec_buf);
+        }
+
+        let profile = proc.range_profile(&de);
+        let mut fft_buf = Vec::new();
+        let mut prof_buf = Vec::new();
+        proc.range_profile_into(&de_buf, &mut fft_buf, &mut prof_buf);
+        assert_eq!(profile, prof_buf);
     }
 
     #[test]

@@ -14,7 +14,9 @@
 //! * [`aoa`] — two-antenna phase-difference angle estimation,
 //! * [`orientation`] — AP-side node-orientation sensing,
 //! * [`uplink`] — the Figure-7 uplink receive chain,
-//! * [`tone_select`] — orientation-driven OAQFM carrier selection.
+//! * [`tone_select`] — orientation-driven OAQFM carrier selection,
+//! * [`workspace`] — reusable buffer sets ([`workspace::DspWorkspace`])
+//!   that make the localization hot loop allocation-free (DESIGN.md §12).
 //!
 //! ## Place in the paper's architecture
 //!
@@ -49,6 +51,7 @@ pub mod ranging;
 pub mod tone_select;
 pub mod uplink;
 pub mod waveform;
+pub mod workspace;
 
 pub use aoa::AoaEstimator;
 pub use cfar::CfarDetector;
@@ -61,3 +64,4 @@ pub use ranging::{LocalizationResult, Localizer};
 pub use tone_select::{select_tones, ToneSelection};
 pub use uplink::{ook_ber, UplinkReceiver, UplinkStats, UPLINK_PILOT};
 pub use waveform::TxConfig;
+pub use workspace::{with_workspace, DspWorkspace};

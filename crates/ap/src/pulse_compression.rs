@@ -151,7 +151,7 @@ mod tests {
     #[test]
     fn empty_window_returns_none() {
         let tx = test_chirp().sawtooth();
-        let mut ranger = PulseCompressionRanger::new(tx.clone());
+        let mut ranger = PulseCompressionRanger::new(tx);
         ranger.min_range = 20.0; // beyond max
         let (_, caps) = captures(3.0, 5.0);
         assert!(ranger.process(&caps).is_none());

@@ -86,20 +86,47 @@ impl RangeDopplerProcessor {
         if captures.len() < 4 {
             return None;
         }
-        let fs = tx_ref.fs;
         // Fast time: range profile per chirp.
         let profiles: Vec<Vec<Cpx>> = captures
             .iter()
             .map(|c| self.range.range_profile(&self.range.dechirp(c, tx_ref)))
             .collect();
+        Some(self.map_from_profiles(&profiles, tx_ref.fs))
+    }
+
+    /// Workspace variant of [`RangeDopplerProcessor::process`]: the
+    /// per-chirp dechirp and range profiles run in `ws`'s buffers. The
+    /// map itself is the return value and still allocates. Bitwise
+    /// identical to the allocating path.
+    pub fn process_with(
+        &self,
+        ws: &mut crate::workspace::DspWorkspace,
+        captures: &[Signal],
+        tx_ref: &Signal,
+    ) -> Option<RangeDopplerMap> {
+        if captures.len() < 4 {
+            return None;
+        }
+        crate::workspace::DspWorkspace::ensure_pool(&mut ws.profiles[0], captures.len());
+        for (i, c) in captures.iter().enumerate() {
+            self.range.dechirp_into(c, tx_ref, &mut ws.dechirp);
+            self.range
+                .range_profile_into(&ws.dechirp, &mut ws.fft, &mut ws.profiles[0][i]);
+        }
+        Some(self.map_from_profiles(&ws.profiles[0], tx_ref.fs))
+    }
+
+    /// Slow-time processing shared by [`RangeDopplerProcessor::process`]
+    /// and [`RangeDopplerProcessor::process_with`]: windowed FFT across
+    /// chirps for every kept range row.
+    fn map_from_profiles(&self, profiles: &[Vec<Cpx>], fs: f64) -> RangeDopplerMap {
         let n_rows_full = profiles[0].len() / 2;
         let max_bin = ((2.0 * self.max_range / SPEED_OF_LIGHT * self.range.chirp.slope())
             * self.range.fft_len as f64
             / fs) as usize;
         let n_rows = n_rows_full.min(max_bin.max(1));
 
-        // Slow time: windowed FFT across chirps for every kept range row.
-        let n_chirps = captures.len();
+        let n_chirps = profiles.len();
         let n_dopp = (n_chirps * self.doppler.pad).next_power_of_two();
         let prf = 1.0 / self.doppler.chirp_interval;
         let dopp_freqs = fft_freqs(n_dopp, prf);
@@ -124,11 +151,11 @@ impl RangeDopplerProcessor {
                 power.push(slow.iter().map(|c| c.norm_sq()).collect());
             }
         });
-        Some(RangeDopplerMap {
+        RangeDopplerMap {
             power,
             ranges,
             velocities,
-        })
+        }
     }
 }
 
@@ -199,6 +226,21 @@ mod tests {
         let (rm, vm, _) = map.strongest_mover(1.0).unwrap();
         assert!((rm - 2.5).abs() < 0.3, "{rm}");
         assert!((vm + 1.5).abs() < 0.5, "{vm}");
+    }
+
+    #[test]
+    fn process_with_matches_process_bitwise() {
+        let interval = 2e-4;
+        let (tx, caps) = captures(4.0, 3.0, 1.5, interval, 16);
+        let proc = RangeDopplerProcessor::new(RangeProcessor::new(test_chirp(), 1), interval);
+        let expect = proc.process(&caps, &tx).unwrap();
+        let mut ws = crate::workspace::DspWorkspace::new();
+        for _ in 0..2 {
+            let got = proc.process_with(&mut ws, &caps, &tx).unwrap();
+            assert_eq!(expect.power, got.power);
+            assert_eq!(expect.ranges, got.ranges);
+            assert_eq!(expect.velocities, got.velocities);
+        }
     }
 
     #[test]

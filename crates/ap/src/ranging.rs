@@ -3,8 +3,12 @@
 //! angle.
 
 use crate::aoa::AoaEstimator;
-use crate::background::{detection_spectrum, pairwise_diff_spectra};
+use crate::background::{
+    detection_spectrum, detection_spectrum_into, pairwise_diff_spectra, pairwise_diff_spectra_into,
+};
 use crate::dechirp::RangeProcessor;
+use crate::workspace::DspWorkspace;
+use milback_dsp::buffer;
 use milback_dsp::detect::{argmax, parabolic_refine};
 use milback_dsp::num::Cpx;
 use milback_dsp::signal::Signal;
@@ -100,10 +104,44 @@ impl Localizer {
         (pairwise_diff_spectra(&s0), pairwise_diff_spectra(&s1))
     }
 
+    /// Workspace variant of [`Localizer::profile_diffs`]: fills
+    /// `ws.profiles` and `ws.diffs` per antenna, allocation-free on a
+    /// warmed workspace, bitwise identical to the allocating path (each
+    /// chirp's profile is an independent FP computation, so per-antenna
+    /// batching instead of per-chirp interleaving changes nothing).
+    pub fn profile_diffs_with(
+        &self,
+        ws: &mut DspWorkspace,
+        tx_ref: &Signal,
+        captures: &[[Signal; 2]],
+    ) {
+        assert!(captures.len() >= 2, "need at least two chirps");
+        for ant in 0..2 {
+            DspWorkspace::ensure_pool(&mut ws.profiles[ant], captures.len());
+            for (i, pair) in captures.iter().enumerate() {
+                self.proc.dechirp_into(&pair[ant], tx_ref, &mut ws.dechirp);
+                self.proc
+                    .range_profile_into(&ws.dechirp, &mut ws.fft, &mut ws.profiles[ant][i]);
+            }
+            pairwise_diff_spectra_into(&ws.profiles[ant], &mut ws.diffs[ant]);
+        }
+    }
+
     /// Finds the node's range bin in a detection spectrum: the strongest
     /// in-window bin, provided it rises at least 10 dB above the
     /// subtraction-residue floor.
     pub fn find_node_bin(&self, det: &[f64], fs: f64) -> Option<usize> {
+        self.find_node_bin_with(det, fs, &mut Vec::new())
+    }
+
+    /// [`Localizer::find_node_bin`] with a caller-owned sort buffer for
+    /// the noise-floor estimate.
+    pub fn find_node_bin_with(
+        &self,
+        det: &[f64],
+        fs: f64,
+        scratch: &mut Vec<f64>,
+    ) -> Option<usize> {
         let lo = self.range_to_bin(self.min_range, fs).max(1);
         let hi = self.range_to_bin(self.max_range, fs).min(det.len() / 2 - 1);
         if lo >= hi {
@@ -112,7 +150,7 @@ impl Localizer {
         let window = &det[lo..hi];
         let rel = argmax(window)?;
         let peak = lo + rel;
-        let floor = milback_dsp::detect::noise_floor(window, 0.5);
+        let floor = milback_dsp::detect::noise_floor_with(window, 0.5, scratch);
         if det[peak] < 5.0 * floor.max(f64::MIN_POSITIVE) {
             return None;
         }
@@ -159,6 +197,62 @@ impl Localizer {
         // is common.
         let best = Self::strongest_at_bin(&d0, peak, 2);
         let angle = self.aoa.estimate_windowed(&d0[best], &d1[best], peak, 2);
+
+        Some(LocalizationResult {
+            range,
+            angle,
+            peak_power,
+        })
+    }
+
+    /// Workspace variant of [`Localizer::process`]: the entire burst runs
+    /// in `ws`'s buffers, so a warmed workspace makes the call
+    /// allocation-free (pinned by `tests/zero_alloc.rs`) while returning
+    /// a bitwise-identical [`LocalizationResult`] (pinned by
+    /// `tests/workspace_equivalence.rs`). Telemetry semantics match
+    /// `process` exactly.
+    pub fn process_with(
+        &self,
+        ws: &mut DspWorkspace,
+        tx_ref: &Signal,
+        captures: &[[Signal; 2]],
+    ) -> Option<LocalizationResult> {
+        let _span = milback_telemetry::span("ap.localize.ns");
+        milback_telemetry::counter_add("ap.localize.attempts", 1);
+        let fs = tx_ref.fs;
+        self.profile_diffs_with(ws, tx_ref, captures);
+
+        // Detection spectrum: sum the two antennas' per-bin maxima.
+        detection_spectrum_into(&ws.diffs[0], &mut ws.det[0]);
+        detection_spectrum_into(&ws.diffs[1], &mut ws.det[1]);
+        buffer::track_growth(&mut ws.det_sum, ws.det[0].len());
+        ws.det_sum.clear();
+        ws.det_sum
+            .extend(ws.det[0].iter().zip(&ws.det[1]).map(|(a, b)| a + b));
+
+        let peak = match self.find_node_bin_with(&ws.det_sum, fs, &mut ws.floor_scratch) {
+            Some(p) => p,
+            None => {
+                milback_telemetry::counter_add("ap.localize.misses", 1);
+                return None;
+            }
+        };
+        milback_telemetry::counter_add("ap.localize.fixes", 1);
+        milback_telemetry::observe("ap.localize.peak_bin", peak as u64);
+        let peak_power = ws.det_sum[peak];
+        let refined = if self.sub_bin {
+            parabolic_refine(&ws.det_sum[..ws.det_sum.len() / 2], peak)
+        } else {
+            peak as f64
+        };
+        let range = self.proc.bin_to_range(refined, fs);
+
+        // Same difference-pair selection as `process` (see the comment
+        // there); the pair index is shared across antennas.
+        let best = Self::strongest_at_bin(&ws.diffs[0], peak, 2);
+        let angle = self
+            .aoa
+            .estimate_windowed(&ws.diffs[0][best], &ws.diffs[1][best], peak, 2);
 
         Some(LocalizationResult {
             range,
@@ -259,6 +353,22 @@ mod tests {
             let r = loc.process(&tx, &caps).unwrap();
             let got = r.angle.unwrap();
             assert!((got - ang).abs() < 0.02, "true {ang}, got {got}");
+        }
+    }
+
+    #[test]
+    fn process_with_matches_process_bitwise() {
+        let loc = Localizer::new(RangeProcessor::new(test_chirp(), 2));
+        let mut ws = DspWorkspace::new();
+        for d in [1.5, 3.0, 6.0] {
+            let (tx, caps) = synthetic_captures(d, 0.15, 5.0, 0.8);
+            let expect = loc.process(&tx, &caps);
+            assert!(expect.is_some());
+            // A workspace reused across bursts (and distances) must keep
+            // reproducing the allocating pipeline exactly.
+            for _ in 0..2 {
+                assert_eq!(loc.process_with(&mut ws, &tx, &caps), expect);
+            }
         }
     }
 

@@ -8,8 +8,10 @@
 use milback_dsp::chirp::ChirpConfig;
 use milback_dsp::num::{Cpx, ZERO};
 use milback_dsp::signal::Signal;
+use milback_dsp::{buffer, template};
 use milback_proto::bits::OaqfmSymbol;
 use milback_proto::packet::{LinkMode, PacketConfig, Slot};
+use std::rc::Rc;
 
 /// AP transmit configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -35,45 +37,84 @@ impl TxConfig {
     }
 }
 
-/// Generates one Field-2 sawtooth chirp at the configured power.
+/// The cached Field-2 sawtooth template for this TX configuration:
+/// `cfg` re-sampled at the TX rate and scaled to the TX amplitude.
+/// Synthesized once per thread per config (`milback_dsp::template`).
+pub fn field2_template(tx: &TxConfig, cfg: &ChirpConfig) -> Rc<Signal> {
+    let mut c = *cfg;
+    c.fs = tx.fs;
+    c.amplitude = tx.amplitude();
+    template::sawtooth(&c)
+}
+
+/// The cached Field-1 triangular template for this TX configuration.
+pub fn field1_template(tx: &TxConfig, cfg: &ChirpConfig) -> Rc<Signal> {
+    let mut c = *cfg;
+    c.fs = tx.fs;
+    c.amplitude = tx.amplitude();
+    template::triangular(&c)
+}
+
+/// Generates one Field-2 sawtooth chirp at the configured power (a copy
+/// of the cached template — bitwise identical to fresh synthesis).
 pub fn field2_chirp(tx: &TxConfig, cfg: &ChirpConfig) -> Signal {
-    let mut c = *cfg;
-    c.fs = tx.fs;
-    c.amplitude = tx.amplitude();
-    c.sawtooth()
+    field2_template(tx, cfg).as_ref().clone()
 }
 
-/// Generates one Field-1 triangular chirp at the configured power.
+/// Generates one Field-1 triangular chirp at the configured power (a
+/// copy of the cached template).
 pub fn field1_chirp(tx: &TxConfig, cfg: &ChirpConfig) -> Signal {
-    let mut c = *cfg;
-    c.fs = tx.fs;
-    c.amplitude = tx.amplitude();
-    c.triangular()
+    field1_template(tx, cfg).as_ref().clone()
 }
 
-/// Generates the full Field-1 waveform for a link mode: three chirp slots,
-/// with the middle slot silent in downlink mode.
+/// Generates the full Field-1 waveform for a link mode (allocating
+/// wrapper over [`field1_waveform_into`]).
 pub fn field1_waveform(tx: &TxConfig, pkt: &PacketConfig, mode: LinkMode) -> Signal {
-    let chirp = field1_chirp(tx, &pkt.field1_chirp);
+    let mut out = Signal::zeros(tx.fs, 0.0, 0);
+    field1_waveform_into(tx, pkt, mode, &mut out);
+    out
+}
+
+/// Assembles the Field-1 waveform into `out`: three chirp slots, with
+/// the middle slot silent in downlink mode. Copies from the cached
+/// template; allocation-free on a warmed buffer.
+pub fn field1_waveform_into(tx: &TxConfig, pkt: &PacketConfig, mode: LinkMode, out: &mut Signal) {
+    let chirp = field1_template(tx, &pkt.field1_chirp);
     let slot_len = chirp.len();
-    let mut out = Signal::zeros(chirp.fs, chirp.fc, 3 * slot_len);
+    out.fs = chirp.fs;
+    out.fc = chirp.fc;
+    buffer::track_growth(&mut out.samples, 3 * slot_len);
+    out.samples.clear();
+    out.samples.resize(3 * slot_len, ZERO);
     for (k, slot) in PacketConfig::field1_slots(mode).iter().enumerate() {
         if *slot == Slot::Chirp {
             let off = k * slot_len;
             out.samples[off..off + slot_len].copy_from_slice(&chirp.samples);
         }
     }
+}
+
+/// Generates the Field-2 waveform: `count` back-to-back sawtooth chirps
+/// (allocating wrapper over [`field2_waveform_into`]).
+pub fn field2_waveform(tx: &TxConfig, pkt: &PacketConfig) -> Signal {
+    let mut out = Signal::zeros(tx.fs, 0.0, 0);
+    field2_waveform_into(tx, pkt, &mut out);
     out
 }
 
-/// Generates the Field-2 waveform: `count` back-to-back sawtooth chirps.
-pub fn field2_waveform(tx: &TxConfig, pkt: &PacketConfig) -> Signal {
-    let chirp = field2_chirp(tx, &pkt.field2_chirp);
-    let mut out = chirp.clone();
-    for _ in 1..pkt.field2_count {
-        out.append(&chirp);
+/// Assembles the Field-2 chirp train into `out` by copying the cached
+/// template `field2_count` times (at least once, matching the historical
+/// clone-then-append behavior). Allocation-free on a warmed buffer.
+pub fn field2_waveform_into(tx: &TxConfig, pkt: &PacketConfig, out: &mut Signal) {
+    let chirp = field2_template(tx, &pkt.field2_chirp);
+    out.fs = chirp.fs;
+    out.fc = chirp.fc;
+    let copies = pkt.field2_count.max(1);
+    buffer::track_growth(&mut out.samples, copies * chirp.len());
+    out.samples.clear();
+    for _ in 0..copies {
+        out.samples.extend_from_slice(&chirp.samples);
     }
-    out
 }
 
 /// Generates the continuous two-tone uplink query at RF frequencies
@@ -237,6 +278,43 @@ mod tests {
         let n = single.len();
         for i in (0..n).step_by(97) {
             assert!((w.samples[i] - w.samples[i + 3 * n]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn template_waveforms_match_fresh_synthesis_bitwise() {
+        let tx = small_tx();
+        let pkt = small_pkt();
+        // Fresh synthesis, bypassing the template cache entirely.
+        let fresh = |cfg: &ChirpConfig, tri: bool| {
+            let mut c = *cfg;
+            c.fs = tx.fs;
+            c.amplitude = tx.amplitude();
+            if tri {
+                c.triangular()
+            } else {
+                c.sawtooth()
+            }
+        };
+        assert_eq!(
+            field2_chirp(&tx, &pkt.field2_chirp),
+            fresh(&pkt.field2_chirp, false)
+        );
+        assert_eq!(
+            field1_chirp(&tx, &pkt.field1_chirp),
+            fresh(&pkt.field1_chirp, true)
+        );
+
+        // The _into assembly on a reused buffer matches the allocating
+        // path bit for bit.
+        let f1 = field1_waveform(&tx, &pkt, LinkMode::Downlink);
+        let f2 = field2_waveform(&tx, &pkt);
+        let mut buf = Signal::zeros(1.0, 0.0, 0);
+        for _ in 0..2 {
+            field1_waveform_into(&tx, &pkt, LinkMode::Downlink, &mut buf);
+            assert_eq!(f1, buf);
+            field2_waveform_into(&tx, &pkt, &mut buf);
+            assert_eq!(f2, buf);
         }
     }
 

@@ -1,6 +1,6 @@
-//! Batch-engine and FFT-plan benchmark with an optional telemetry
-//! snapshot: times the workspace's performance layers and writes the
-//! result to the next free `BENCH_N.json`.
+//! Batch-engine, FFT-plan, per-kernel and allocation benchmark with an
+//! optional telemetry snapshot: times the workspace's performance layers
+//! and writes the result to the next free `BENCH_N.json`.
 //!
 //! Measurements:
 //!
@@ -11,36 +11,88 @@
 //! 2. planned vs unplanned FFT — the cached-plan transform against a
 //!    rebuild-tables-every-call transform of the same 8192-point range
 //!    FFT (the dominant kernel of the trial),
-//! 3. a short full-stack link leg — OAQFM downlink + uplink transfers
+//! 3. per-kernel legs — each DSP hot-path kernel (dechirp, range FFT,
+//!    CFAR, waveform synthesis) timed allocating vs `_into`/template
+//!    form, with a bitwise-equality assert per kernel,
+//! 4. the five-chirp localization burst — `Localizer::process`
+//!    (allocating) against `Localizer::process_with` (workspace), with
+//!    heap allocations per burst counted by this binary's global
+//!    allocator (DESIGN.md §12),
+//! 5. a short full-stack link leg — OAQFM downlink + uplink transfers
 //!    through the batch engine, so the telemetry snapshot covers the
 //!    node/proto/link stages too.
 //!
 //! The engine is deterministic by construction; this binary also asserts
-//! that the parallel run's outputs equal the serial run's before timing
-//! is reported.
+//! that the parallel run's outputs equal the serial run's — and that
+//! every fast path is bitwise identical to its allocating twin — before
+//! timings are reported.
 //!
 //! Output naming: without `--out`, the binary scans the working directory
 //! for existing `BENCH_<n>.json` files and writes to the next free index,
-//! so successive runs never clobber earlier results.
+//! so successive runs never clobber earlier results. `--smoke` shrinks
+//! every rep count to a CI-friendly size (the asserts still run; the
+//! timings are then only indicative).
 //!
 //! Telemetry: with `MILBACK_TELEMETRY=1` (see README §Observability), the
 //! registry is reset after warm-up and the end-of-run snapshot is
 //! embedded under the `"telemetry"` key of the output JSON — per-stage
-//! counters and histograms from `dsp` (plan cache), `ap` (localization),
-//! `node`/`proto` (demod, CRC), and `core` (batch, link). Without the
-//! variable the key is `null` and the instrumented code paths take their
-//! no-op branches.
+//! counters and histograms from `dsp` (plan cache, workspace reuse), `ap`
+//! (localization), `node`/`proto` (demod, CRC), and `core` (batch, link).
+//! Without the variable the key is `null` and the instrumented code paths
+//! take their no-op branches.
 //!
 //! Usage: `cargo run --release -p milback-bench --bin bench_engine
-//! [-- --out path.json]`.
+//! [-- --smoke] [-- --out path.json]`.
 
 use milback::batch;
 use milback::{Fidelity, Network};
+use milback_ap::cfar::CfarDetector;
+use milback_ap::waveform::TxConfig;
+use milback_ap::workspace::DspWorkspace;
 use milback_dsp::num::Cpx;
 use milback_dsp::plan::{with_plan, FftPlan};
+use milback_dsp::template;
 use milback_rf::geometry::{deg_to_rad, Pose};
 use milback_telemetry as telemetry;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+
+/// A pass-through allocator that counts heap acquisitions, so the burst
+/// leg can report allocations-per-burst alongside the timings. Matches
+/// the accounting in `tests/zero_alloc.rs`: `alloc`, `alloc_zeroed` and
+/// `realloc` each count one; `dealloc` is free.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn alloc_count() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
 
 /// One Fig.-12a-style trial: localize a node at 3 m with per-trial noise.
 fn trial(t: batch::Trial) -> Option<u64> {
@@ -92,25 +144,58 @@ fn next_bench_path(dir: &std::path::Path) -> String {
     format!("BENCH_{}.json", max + 1)
 }
 
+/// One timed A/B kernel leg: runs `alloc_f` and `fast_f` `reps` times
+/// each and returns `(alloc_us, fast_us, speedup)` per call.
+fn time_pair(reps: usize, mut alloc_f: impl FnMut(), mut fast_f: impl FnMut()) -> (f64, f64, f64) {
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        alloc_f();
+    }
+    let alloc_us = t0.elapsed().as_secs_f64() / reps as f64 * 1e6;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        fast_f();
+    }
+    let fast_us = t0.elapsed().as_secs_f64() / reps as f64 * 1e6;
+    (alloc_us, fast_us, alloc_us / fast_us)
+}
+
+fn kernel_json(name: &str, desc: &str, reps: usize, leg: (f64, f64, f64)) -> String {
+    format!(
+        "    \"{name}\": {{\n      \"workload\": \"{desc}\",\n      \"reps\": {reps},\n      \"allocating_us\": {},\n      \"fast_us\": {},\n      \"speedup\": {},\n      \"bitwise_identical\": true\n    }}",
+        json_f(leg.0),
+        json_f(leg.1),
+        json_f(leg.2),
+    )
+}
+
 fn main() {
-    let out_path = {
+    let (out_path, smoke) = {
         let mut args = std::env::args().skip(1);
         let mut path = None;
+        let mut smoke = false;
         while let Some(a) = args.next() {
-            if a == "--out" {
-                if let Some(p) = args.next() {
-                    path = Some(p);
+            match a.as_str() {
+                "--out" => {
+                    if let Some(p) = args.next() {
+                        path = Some(p);
+                    }
                 }
+                "--smoke" => smoke = true,
+                _ => {}
             }
         }
-        path.unwrap_or_else(|| next_bench_path(std::path::Path::new(".")))
+        (
+            path.unwrap_or_else(|| next_bench_path(std::path::Path::new("."))),
+            smoke,
+        )
     };
     let bench_name = std::path::Path::new(&out_path)
         .file_stem()
         .map(|s| s.to_string_lossy().into_owned())
         .unwrap_or_else(|| "BENCH".to_string());
 
-    let trials = 24;
+    let trials = if smoke { 4 } else { 24 };
     let seed = 0xB16B_00B5;
     let threads = batch::thread_count();
 
@@ -140,7 +225,7 @@ fn main() {
     // the twiddle/bit-reversal tables per call — exactly what the
     // pre-plan-cache implementation did on every transform.
     let n = 8192;
-    let reps = 200;
+    let reps = if smoke { 10 } else { 200 };
     let input: Vec<Cpx> = (0..n)
         .map(|i| Cpx::cis(i as f64 * 0.37) * (1.0 + (i as f64 * 0.01).sin()))
         .collect();
@@ -169,9 +254,173 @@ fn main() {
     println!("  planned:   {:.1} µs/fft", planned_s * 1e6);
     println!("  speedup: {fft_speedup:.2}x (bitwise identical: {bitwise})");
 
+    // ------------------------------------------------------------------
+    // Per-kernel legs: allocating vs `_into`/template form of each DSP
+    // hot-path kernel, each guarded by a bitwise-equality assert.
+    // ------------------------------------------------------------------
+    let kernel_reps = if smoke { 5 } else { 100 };
+    let chirp_cfg = Fidelity::Fast.sawtooth();
+    let proc = milback_ap::RangeProcessor::new(chirp_cfg, 2);
+    let tx_ref = chirp_cfg.sawtooth();
+    let rx = tx_ref.delayed(20e-9);
+    println!("kernels ({kernel_reps} reps each):");
+
+    // Dechirp: fresh product vector vs reuse of one buffer.
+    let dechirp_ref = proc.dechirp(&rx, &tx_ref);
+    let mut dechirp_buf = Vec::new();
+    proc.dechirp_into(&rx, &tx_ref, &mut dechirp_buf);
+    assert_eq!(dechirp_ref.samples, dechirp_buf, "dechirp_into diverged");
+    let dechirp_leg = time_pair(
+        kernel_reps,
+        || {
+            std::hint::black_box(proc.dechirp(&rx, &tx_ref));
+        },
+        || {
+            proc.dechirp_into(&rx, &tx_ref, &mut dechirp_buf);
+            std::hint::black_box(&dechirp_buf);
+        },
+    );
+    println!(
+        "  dechirp:    {:.1} µs -> {:.1} µs ({:.2}x)",
+        dechirp_leg.0, dechirp_leg.1, dechirp_leg.2
+    );
+
+    // Range FFT at the pipeline's true size (fft_len = pad × chirp len,
+    // rounded up): allocating forward vs forward_into a reused buffer.
+    let fft_n = proc.fft_len;
+    let fft_input: Vec<Cpx> = (0..fft_n)
+        .map(|i| Cpx::cis(i as f64 * 0.11) * (i as f64 * 0.003).cos())
+        .collect();
+    let fft_ref = with_plan(fft_n, |p| p.forward(&fft_input));
+    let mut fft_buf = Vec::new();
+    with_plan(fft_n, |p| p.forward_into(&fft_input, &mut fft_buf));
+    assert_eq!(fft_ref, fft_buf, "forward_into diverged");
+    let fft_leg = time_pair(
+        kernel_reps,
+        || {
+            std::hint::black_box(with_plan(fft_n, |p| p.forward(&fft_input)));
+        },
+        || {
+            with_plan(fft_n, |p| p.forward_into(&fft_input, &mut fft_buf));
+            std::hint::black_box(&fft_buf);
+        },
+    );
+    println!(
+        "  range fft:  {:.1} µs -> {:.1} µs ({:.2}x, {fft_n}-point)",
+        fft_leg.0, fft_leg.1, fft_leg.2
+    );
+
+    // CFAR over a detection-spectrum-sized power vector with a few
+    // planted peaks.
+    let cfar = CfarDetector::range_profile();
+    let power: Vec<f64> = (0..fft_n)
+        .map(|i| {
+            let base = 1.0 + 0.2 * (i as f64 * 0.01).sin();
+            if i % 997 == 300 {
+                base + 50.0
+            } else {
+                base
+            }
+        })
+        .collect();
+    let (cfar_lo, cfar_hi) = (16, fft_n / 2);
+    let cfar_ref = cfar.detect(&power, cfar_lo, cfar_hi);
+    let mut cfar_hits = Vec::new();
+    cfar.detect_into(&power, cfar_lo, cfar_hi, &mut cfar_hits);
+    assert_eq!(cfar_ref, cfar_hits, "detect_into diverged");
+    let cfar_leg = time_pair(
+        kernel_reps,
+        || {
+            std::hint::black_box(cfar.detect(&power, cfar_lo, cfar_hi));
+        },
+        || {
+            cfar.detect_into(&power, cfar_lo, cfar_hi, &mut cfar_hits);
+            std::hint::black_box(&cfar_hits);
+        },
+    );
+    println!(
+        "  cfar:       {:.1} µs -> {:.1} µs ({:.2}x)",
+        cfar_leg.0, cfar_leg.1, cfar_leg.2
+    );
+
+    // Waveform synthesis: fresh Field-2 chirp synthesis vs a template-
+    // cache fetch.
+    let tx_cfg = TxConfig::milback();
+    let mut synth_cfg = chirp_cfg;
+    synth_cfg.fs = tx_cfg.fs;
+    synth_cfg.amplitude = tx_cfg.amplitude();
+    let wave_ref = synth_cfg.sawtooth();
+    let wave_tmpl = template::sawtooth(&synth_cfg);
+    assert_eq!(
+        wave_ref.samples, wave_tmpl.samples,
+        "waveform template diverged"
+    );
+    let wave_leg = time_pair(
+        kernel_reps,
+        || {
+            std::hint::black_box(synth_cfg.sawtooth());
+        },
+        || {
+            std::hint::black_box(template::sawtooth(&synth_cfg));
+        },
+    );
+    println!(
+        "  waveform:   {:.1} µs -> {:.1} µs ({:.2}x)",
+        wave_leg.0, wave_leg.1, wave_leg.2
+    );
+
+    // ------------------------------------------------------------------
+    // The five-chirp localization burst: the allocating pipeline against
+    // the workspace pipeline on identical captures, with heap
+    // allocations per burst from this binary's counting allocator.
+    // ------------------------------------------------------------------
+    let burst_reps = if smoke { 3 } else { 40 };
+    let pose = Pose::facing_ap(3.0, deg_to_rad(5.0), 0.0);
+    let mut net = Network::new(pose, Fidelity::Fast, seed ^ 0xBEEF);
+    let (burst_tx, burst_caps) = net.field2_captures();
+    let localizer = net.localizer();
+    let mut ws = DspWorkspace::new();
+
+    // Warm both paths (plan cache, workspace buffers) before counting.
+    let burst_ref = localizer.process(&burst_tx, &burst_caps);
+    let warm = localizer.process_with(&mut ws, &burst_tx, &burst_caps);
+    assert_eq!(burst_ref, warm, "process_with diverged from process");
+
+    let a0 = alloc_count();
+    let t0 = Instant::now();
+    let mut burst_alloc_out = None;
+    for _ in 0..burst_reps {
+        burst_alloc_out = localizer.process(&burst_tx, &burst_caps);
+    }
+    let burst_alloc_s = t0.elapsed().as_secs_f64() / burst_reps as f64;
+    let burst_alloc_allocs = (alloc_count() - a0) / burst_reps as u64;
+
+    let a0 = alloc_count();
+    let t0 = Instant::now();
+    let mut burst_ws_out = None;
+    for _ in 0..burst_reps {
+        burst_ws_out = localizer.process_with(&mut ws, &burst_tx, &burst_caps);
+    }
+    let burst_ws_s = t0.elapsed().as_secs_f64() / burst_reps as f64;
+    let burst_ws_allocs = (alloc_count() - a0) / burst_reps as u64;
+
+    let burst_bitwise = burst_alloc_out == burst_ws_out && burst_ws_out == burst_ref;
+    assert!(burst_bitwise, "burst outputs diverged");
+    let burst_speedup = burst_alloc_s / burst_ws_s;
+    println!("localization burst (5 chirps x 2 antennas, {burst_reps} reps):");
+    println!(
+        "  allocating: {:.2} ms/burst, {burst_alloc_allocs} allocs/burst",
+        burst_alloc_s * 1e3
+    );
+    println!(
+        "  workspace:  {:.2} ms/burst, {burst_ws_allocs} allocs/burst",
+        burst_ws_s * 1e3
+    );
+    println!("  speedup: {burst_speedup:.2}x (bitwise identical: {burst_bitwise})");
+
     // Link leg: a handful of end-to-end transfers so the snapshot carries
     // node/proto/link counters alongside the localization stages.
-    let link_trials = 4;
+    let link_trials = if smoke { 1 } else { 4 };
     let t0 = Instant::now();
     let link_errors = batch::run_trials(link_trials, seed ^ 0x1111, link_trial);
     let link_s = t0.elapsed().as_secs_f64();
@@ -186,14 +435,45 @@ fn main() {
         "null".to_string()
     };
 
+    let kernels = [
+        kernel_json(
+            "dechirp",
+            "6400-sample dechirp, fresh vec vs reused buffer",
+            kernel_reps,
+            dechirp_leg,
+        ),
+        kernel_json(
+            "range_fft",
+            "16384-point cached-plan FFT, forward vs forward_into",
+            kernel_reps,
+            fft_leg,
+        ),
+        kernel_json(
+            "cfar",
+            "CA-CFAR sweep over half a range spectrum, detect vs detect_into",
+            kernel_reps,
+            cfar_leg,
+        ),
+        kernel_json(
+            "waveform",
+            "Field-2 chirp, fresh synthesis vs template-cache fetch",
+            kernel_reps,
+            wave_leg,
+        ),
+    ]
+    .join(",\n");
+
     let json = format!(
-        "{{\n  \"bench\": \"{bench_name}\",\n  \"description\": \"Batch-engine (serial vs parallel) and FFT-plan (unplanned vs cached) timings on a Fig. 12a localization workload, plus a short end-to-end link leg\",\n  \"host_threads\": {threads},\n  \"engine\": {{\n    \"workload\": \"localization trial, node at 3 m, Fidelity::Fast\",\n    \"trials\": {trials},\n    \"serial_s\": {},\n    \"parallel_s\": {},\n    \"speedup\": {},\n    \"deterministic\": true\n  }},\n  \"fft_plan\": {{\n    \"size\": {n},\n    \"reps\": {reps},\n    \"unplanned_us_per_fft\": {},\n    \"planned_us_per_fft\": {},\n    \"speedup\": {},\n    \"bitwise_identical\": {bitwise}\n  }},\n  \"link_leg\": {{\n    \"trials\": {link_trials},\n    \"elapsed_s\": {},\n    \"total_bit_errors\": {total_errors}\n  }},\n  \"telemetry\": {telemetry_json}\n}}\n",
+        "{{\n  \"bench\": \"{bench_name}\",\n  \"description\": \"Batch-engine, FFT-plan, per-kernel and five-chirp-burst timings on a Fig. 12a localization workload, plus a short end-to-end link leg\",\n  \"host_threads\": {threads},\n  \"smoke\": {smoke},\n  \"engine\": {{\n    \"workload\": \"localization trial, node at 3 m, Fidelity::Fast\",\n    \"trials\": {trials},\n    \"serial_s\": {},\n    \"parallel_s\": {},\n    \"speedup\": {},\n    \"deterministic\": true\n  }},\n  \"fft_plan\": {{\n    \"size\": {n},\n    \"reps\": {reps},\n    \"unplanned_us_per_fft\": {},\n    \"planned_us_per_fft\": {},\n    \"speedup\": {},\n    \"bitwise_identical\": {bitwise}\n  }},\n  \"kernels\": {{\n{kernels}\n  }},\n  \"localization_burst\": {{\n    \"workload\": \"five-chirp Field-2 burst, 2 RX antennas, Fidelity::Fast\",\n    \"reps\": {burst_reps},\n    \"allocating_ms_per_burst\": {},\n    \"workspace_ms_per_burst\": {},\n    \"speedup\": {},\n    \"allocating_allocs_per_burst\": {burst_alloc_allocs},\n    \"workspace_allocs_per_burst\": {burst_ws_allocs},\n    \"bitwise_identical\": {burst_bitwise},\n    \"deterministic\": true\n  }},\n  \"link_leg\": {{\n    \"trials\": {link_trials},\n    \"elapsed_s\": {},\n    \"total_bit_errors\": {total_errors}\n  }},\n  \"telemetry\": {telemetry_json}\n}}\n",
         json_f(serial_s),
         json_f(parallel_s),
         json_f(engine_speedup),
         json_f(unplanned_s * 1e6),
         json_f(planned_s * 1e6),
         json_f(fft_speedup),
+        json_f(burst_alloc_s * 1e3),
+        json_f(burst_ws_s * 1e3),
+        json_f(burst_speedup),
         json_f(link_s),
     );
     std::fs::write(&out_path, &json).expect("failed to write benchmark JSON");

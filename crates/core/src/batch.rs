@@ -18,6 +18,13 @@
 //! machine's available parallelism and can be pinned with the
 //! `MILBACK_THREADS` environment variable (`MILBACK_THREADS=1` forces
 //! serial execution, useful for benchmarking the speedup itself).
+//!
+//! Memory: each worker thread carries its own thread-local
+//! [`milback_ap::workspace::DspWorkspace`] (plus the thread-local FFT plan
+//! cache), so a worker warms its DSP buffers on its first trial and every
+//! later trial in the batch runs allocation-free through the hot pipeline
+//! (DESIGN.md §12). Buffer placement never changes FP values, so the
+//! determinism contract above is unaffected.
 
 use milback_telemetry as telemetry;
 use std::sync::atomic::{AtomicUsize, Ordering};

@@ -331,9 +331,15 @@ impl Network {
         let amp = tx.amplitude() / 2f64.sqrt();
         // Each query tone is rendered as its own channel component so the
         // node's FSA gain is evaluated at that tone's frequency (the whole
-        // point of OAQFM: each tone talks to one port's beam).
-        let tone_a = Signal::tone(fs, fc, f_a - fc, amp, n);
-        let tone_b = Signal::tone(fs, fc, f_b - fc, amp, n);
+        // point of OAQFM: each tone talks to one port's beam). Query tones
+        // only depend on the carrier plan, so repeated transfers pull them
+        // from the template cache instead of re-synthesizing.
+        let tone_a = milback_dsp::template::tone(fs, fc, f_a - fc, amp, n)
+            .as_ref()
+            .clone();
+        let tone_b = milback_dsp::template::tone(fs, fc, f_b - fc, amp, n)
+            .as_ref()
+            .clone();
         let comp_a = TxComponent::tone(tone_a, f_a);
         let comp_b = TxComponent::tone(tone_b, f_b);
 

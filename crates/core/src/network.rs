@@ -130,8 +130,17 @@ impl Network {
         let cfg = self.fidelity.sawtooth();
         let mut chirp_cfg = cfg;
         chirp_cfg.amplitude = self.ap.tx.amplitude();
-        let tx = chirp_cfg.sawtooth();
+        // The TX chirp is loop-invariant across chirps AND trials: fetch it
+        // from the process-wide template cache (bitwise identical to fresh
+        // synthesis) instead of re-synthesizing 6400 samples per burst.
+        let tx = milback_dsp::template::sawtooth(&chirp_cfg).as_ref().clone();
         let profile = FreqProfile::Sawtooth(chirp_cfg);
+        // One channel component serves every chirp; only the node's switch
+        // schedule (captured in `gamma`) varies with the chirp index.
+        let comp = TxComponent {
+            signal: tx.clone(),
+            profile,
+        };
 
         let mod_freq = self.fidelity.localization_mod_freq();
         let schedule_a = SwitchSchedule::SquareWave {
@@ -158,10 +167,6 @@ impl Network {
                 fsa: &self.node.fsa,
                 gamma: &gamma,
             };
-            let comp = TxComponent {
-                signal: tx.clone(),
-                profile,
-            };
             // Common trigger jitter for both antennas of this chirp. The
             // TX and RX share the synthesizer, so jitter shifts only the
             // sampling window (an envelope delay) — it does NOT rotate the
@@ -187,7 +192,10 @@ impl Network {
     pub fn localize(&mut self) -> Option<LocalizationResult> {
         let (tx, captures) = self.field2_captures();
         let localizer = self.localizer();
-        localizer.process(&tx, &captures)
+        // Run the burst in the thread-local workspace: batch workers reuse
+        // the same buffers trial after trial (bitwise identical to
+        // `Localizer::process`, pinned by tests/workspace_equivalence.rs).
+        milback_ap::with_workspace(|ws| localizer.process_with(ws, &tx, &captures))
     }
 
     /// The localizer matching this network's fidelity.
@@ -203,35 +211,42 @@ impl Network {
     pub fn sense_orientation_at_ap(&mut self) -> Option<f64> {
         let (tx, captures) = self.field2_captures();
         let localizer = self.localizer();
-        let (d0, d1) = localizer.profile_diffs(&tx, &captures);
-        // Locate the node's range bin from the combined detection
-        // spectrum, exactly as localization does.
-        let det0 = milback_ap::background::detection_spectrum(&d0);
-        let det1 = milback_ap::background::detection_spectrum(&d1);
-        let det: Vec<f64> = det0.iter().zip(&det1).map(|(a, b)| a + b).collect();
-        let node_bin = localizer.find_node_bin(&det, tx.fs)?;
-        // Use the difference pair with the most node energy.
-        let best = (0..d0.len()).max_by(|&i, &j| {
-            let e = |k: usize| -> f64 {
-                let lo = node_bin.saturating_sub(2);
-                let hi = (node_bin + 3).min(d0[k].len());
-                d0[k][lo..hi].iter().map(|c| c.norm_sq()).sum()
-            };
-            e(i).partial_cmp(&e(j)).unwrap()
-        })?;
         let est = ApOrientationEstimator::new(self.fidelity.sawtooth());
-        // Gate half-width: the beam bump's spectral spread is a few tens
-        // of bins at these chirp lengths.
-        let half = (localizer.proc.fft_len / 100).max(16);
-        est.estimate_gated(
-            &d0[best],
-            node_bin,
-            half,
-            tx.fs,
-            tx.len(),
-            &self.node.fsa,
-            Port::A,
-        )
+        milback_ap::with_workspace(|ws| {
+            localizer.profile_diffs_with(ws, &tx, &captures);
+            // Locate the node's range bin from the combined detection
+            // spectrum, exactly as localization does.
+            milback_ap::background::detection_spectrum_into(&ws.diffs[0], &mut ws.det[0]);
+            milback_ap::background::detection_spectrum_into(&ws.diffs[1], &mut ws.det[1]);
+            milback_dsp::buffer::track_growth(&mut ws.det_sum, ws.det[0].len());
+            ws.det_sum.clear();
+            ws.det_sum
+                .extend(ws.det[0].iter().zip(&ws.det[1]).map(|(a, b)| a + b));
+            let node_bin =
+                localizer.find_node_bin_with(&ws.det_sum, tx.fs, &mut ws.floor_scratch)?;
+            // Use the difference pair with the most node energy.
+            let d0 = &ws.diffs[0];
+            let best = (0..d0.len()).max_by(|&i, &j| {
+                let e = |k: usize| -> f64 {
+                    let lo = node_bin.saturating_sub(2);
+                    let hi = (node_bin + 3).min(d0[k].len());
+                    d0[k][lo..hi].iter().map(|c| c.norm_sq()).sum()
+                };
+                e(i).partial_cmp(&e(j)).unwrap()
+            })?;
+            // Gate half-width: the beam bump's spectral spread is a few tens
+            // of bins at these chirp lengths.
+            let half = (localizer.proc.fft_len / 100).max(16);
+            est.estimate_gated(
+                &d0[best],
+                node_bin,
+                half,
+                tx.fs,
+                tx.len(),
+                &self.node.fsa,
+                Port::A,
+            )
+        })
     }
 
     // ------------------------------------------------------------------

@@ -103,18 +103,29 @@ pub fn two_peaks(data: &[f64], min_separation: usize) -> Option<(Peak, Peak)> {
 }
 
 /// Mean of the values strictly below the `q`-quantile — a simple robust
-/// noise-floor estimate for thresholding spectra.
+/// noise-floor estimate for thresholding spectra. Allocating wrapper
+/// over [`noise_floor_with`].
 pub fn noise_floor(data: &[f64], q: f64) -> f64 {
+    noise_floor_with(data, q, &mut Vec::new())
+}
+
+/// [`noise_floor`] with a caller-owned sort buffer: identical result
+/// (an unstable sort reorders only equal values, which cannot change
+/// the sorted value sequence), zero allocations once `scratch` has
+/// grown to `data.len()`.
+pub fn noise_floor_with(data: &[f64], q: f64, scratch: &mut Vec<f64>) -> f64 {
     assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
     if data.is_empty() {
         return 0.0;
     }
-    let mut sorted: Vec<f64> = data.iter().copied().filter(|v| !v.is_nan()).collect();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let k = ((sorted.len() as f64 * q) as usize)
+    crate::buffer::track_growth(scratch, data.len());
+    scratch.clear();
+    scratch.extend(data.iter().copied().filter(|v| !v.is_nan()));
+    scratch.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+    let k = ((scratch.len() as f64 * q) as usize)
         .max(1)
-        .min(sorted.len());
-    sorted[..k].iter().sum::<f64>() / k as f64
+        .min(scratch.len());
+    scratch[..k].iter().sum::<f64>() / k as f64
 }
 
 #[cfg(test)]
@@ -221,5 +232,19 @@ mod tests {
     #[test]
     fn noise_floor_empty() {
         assert_eq!(noise_floor(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn noise_floor_with_matches_allocating_bitwise() {
+        let data: Vec<f64> = (0..500)
+            .map(|i| ((i * 7919) % 251) as f64 * 0.013 + 0.1)
+            .collect();
+        let mut scratch = Vec::new();
+        for q in [0.1, 0.5, 0.9] {
+            let expect = noise_floor(&data, q);
+            // Reused scratch across quantiles must not perturb results.
+            assert_eq!(noise_floor_with(&data, q, &mut scratch), expect);
+            assert_eq!(noise_floor_with(&data, q, &mut scratch), expect);
+        }
     }
 }

@@ -18,7 +18,11 @@
 //! * [`goertzel`] — single-bin DFT for cheap tone-power probes,
 //! * [`stft`] — short-time Fourier transform (spectrograms),
 //! * [`plan`] — cached FFT plans (precomputed twiddles, bit-reversal
-//!   tables, Bluestein kernels) backing the [`fft`] free functions.
+//!   tables, Bluestein kernels) backing the [`fft`] free functions,
+//! * [`buffer`] — reusable-buffer helpers for the zero-allocation
+//!   `_into` hot paths (DESIGN.md §12),
+//! * [`template`] — thread-local cache of synthesized reference
+//!   waveforms (chirps, tones) keyed by exact config bits.
 //!
 //! ## Place in the paper's architecture
 //!
@@ -38,6 +42,7 @@
 
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod buffer;
 pub mod chirp;
 pub mod detect;
 pub mod fft;
@@ -50,6 +55,7 @@ pub mod resample;
 pub mod signal;
 pub mod stats;
 pub mod stft;
+pub mod template;
 pub mod window;
 pub mod xcorr;
 

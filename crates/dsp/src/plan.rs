@@ -158,17 +158,35 @@ impl FftPlan {
         }
     }
 
-    /// Out-of-place forward DFT.
+    /// Forward DFT into a caller-owned buffer: `out` is overwritten with
+    /// the spectrum of `input`, reusing its capacity. After warmup (once
+    /// `out` has grown to the plan length) this performs no heap
+    /// allocation. Bitwise identical to [`FftPlan::forward`].
+    pub fn forward_into(&self, input: &[Cpx], out: &mut Vec<Cpx>) {
+        crate::buffer::copy_into(input, out);
+        self.forward_in_place(out);
+    }
+
+    /// Inverse DFT (normalized) into a caller-owned buffer; the
+    /// allocation-free counterpart of [`FftPlan::inverse`].
+    pub fn inverse_into(&self, input: &[Cpx], out: &mut Vec<Cpx>) {
+        crate::buffer::copy_into(input, out);
+        self.inverse_in_place(out);
+    }
+
+    /// Out-of-place forward DFT (allocating wrapper over
+    /// [`FftPlan::forward_into`]).
     pub fn forward(&self, input: &[Cpx]) -> Vec<Cpx> {
-        let mut out = input.to_vec();
-        self.forward_in_place(&mut out);
+        let mut out = Vec::new();
+        self.forward_into(input, &mut out);
         out
     }
 
-    /// Out-of-place inverse DFT (normalized).
+    /// Out-of-place inverse DFT, normalized (allocating wrapper over
+    /// [`FftPlan::inverse_into`]).
     pub fn inverse(&self, input: &[Cpx]) -> Vec<Cpx> {
-        let mut out = input.to_vec();
-        self.inverse_in_place(&mut out);
+        let mut out = Vec::new();
+        self.inverse_into(input, &mut out);
         out
     }
 }
@@ -186,6 +204,10 @@ pub struct BluesteinPlan {
     filter_spec: Vec<Cpx>,
     /// The length-`m` radix-2 plan the convolution runs on.
     inner: Rc<FftPlan>,
+    /// Reusable length-`m` convolution buffer. Plans live in a
+    /// thread-local cache, so a `RefCell` suffices; after the first
+    /// transform a call performs zero transient allocations.
+    scratch: RefCell<Vec<Cpx>>,
 }
 
 impl BluesteinPlan {
@@ -217,6 +239,7 @@ impl BluesteinPlan {
             chirp,
             filter_spec: filter,
             inner,
+            scratch: RefCell::new(Vec::new()),
         }
     }
 
@@ -231,12 +254,19 @@ impl BluesteinPlan {
     }
 
     /// Unnormalized transform with sign `-1` (forward) or `+1` (inverse
-    /// kernel; the caller applies `1/N`). `scratch` is reused between
-    /// calls to avoid the per-call allocation.
-    fn transform_with(&self, input: &[Cpx], inverse: bool, scratch: &mut Vec<Cpx>) -> Vec<Cpx> {
+    /// kernel; the caller applies `1/N`), written into `out`. The
+    /// convolution runs in the plan's own scratch buffer, so a call on a
+    /// warmed plan performs no heap allocation beyond growing `out` once.
+    ///
+    /// # Panics
+    /// Panics if called re-entrantly on the same plan (the internal
+    /// scratch is a `RefCell`); transforms never recurse, so this cannot
+    /// happen from the public API.
+    pub fn transform_into(&self, input: &[Cpx], inverse: bool, out: &mut Vec<Cpx>) {
         assert_eq!(input.len(), self.n, "buffer length != plan length");
         let n = self.n;
         let m = self.m;
+        let mut scratch = self.scratch.borrow_mut();
         scratch.clear();
         scratch.resize(m, ZERO);
         // The inverse kernel is the conjugate chirp; conjugating the
@@ -251,7 +281,7 @@ impl BluesteinPlan {
         for k in 0..n {
             scratch[k] = input[k] * chirp(k);
         }
-        self.inner.forward_in_place(scratch);
+        self.inner.forward_in_place(&mut scratch);
         if inverse {
             // conv filter for the inverse kernel is the conjugate of the
             // forward filter's *time response*, whose spectrum is the
@@ -269,26 +299,32 @@ impl BluesteinPlan {
         for c in scratch.iter_mut() {
             *c = c.conj();
         }
-        self.inner.forward_in_place(scratch);
+        self.inner.forward_in_place(&mut scratch);
         let inv_m = 1.0 / m as f64;
-        (0..n)
-            .map(|k| scratch[k].conj() * inv_m * chirp(k))
-            .collect()
+        crate::buffer::track_growth(out, n);
+        out.clear();
+        out.extend((0..n).map(|k| scratch[k].conj() * inv_m * chirp(k)));
+    }
+
+    /// Allocating wrapper over [`BluesteinPlan::transform_into`].
+    pub fn transform(&self, input: &[Cpx], inverse: bool) -> Vec<Cpx> {
+        let mut out = Vec::new();
+        self.transform_into(input, inverse, &mut out);
+        out
     }
 }
 
-/// Thread-local memoized plans plus a reusable Bluestein scratch buffer.
+/// Thread-local memoized plans. Bluestein scratch lives inside each
+/// [`BluesteinPlan`], so the cache holds plans only.
 struct PlanCache {
     fft: HashMap<usize, Rc<FftPlan>>,
     bluestein: HashMap<usize, Rc<BluesteinPlan>>,
-    scratch: Vec<Cpx>,
 }
 
 thread_local! {
     static PLAN_CACHE: RefCell<PlanCache> = RefCell::new(PlanCache {
         fft: HashMap::new(),
         bluestein: HashMap::new(),
-        scratch: Vec::new(),
     });
 }
 
@@ -347,34 +383,38 @@ pub fn with_bluestein<R>(n: usize, f: impl FnOnce(&BluesteinPlan) -> R) -> R {
     f(&plan)
 }
 
-/// Bluestein transform through the thread-local cache, reusing the cached
-/// scratch buffer. `inverse` selects the kernel sign; normalization is the
-/// caller's business (matching [`crate::fft::fft`] conventions).
-pub(crate) fn bluestein_cached(input: &[Cpx], inverse: bool) -> Vec<Cpx> {
+/// Bluestein transform through the thread-local cache, written into a
+/// caller-owned buffer. `inverse` selects the kernel sign; normalization
+/// is the caller's business (matching [`crate::fft::fft`] conventions).
+///
+/// The hot path is a single cache borrow with no `Rc` clone: the
+/// transform runs *under* the borrow, which is sound because
+/// [`BluesteinPlan::transform_into`] is self-contained (its inner
+/// power-of-two plan and scratch buffer live inside the plan) and never
+/// re-enters the cache.
+pub(crate) fn bluestein_cached_into(input: &[Cpx], inverse: bool, out: &mut Vec<Cpx>) {
     let n = input.len();
     telemetry::observe("dsp.fft.size", n as u64);
     PLAN_CACHE.with(|c| {
-        let (plan, mut scratch) = {
-            let mut cache = c.borrow_mut();
-            let plan = if let Some(p) = cache.bluestein.get(&n) {
-                telemetry::counter_add("dsp.plan_cache.hit.local", 1);
-                p.clone()
-            } else {
-                telemetry::counter_add("dsp.plan_cache.miss.local", 1);
-                let inner = pow2_plan(&mut cache, crate::fft::next_pow2(2 * n - 1));
-                let p = Rc::new(BluesteinPlan::new(n, inner));
-                cache.bluestein.insert(n, p.clone());
-                p
-            };
-            // Take the scratch buffer out of the cache so the borrow ends
-            // before the transform runs (it may itself hit the cache).
-            let scratch = std::mem::take(&mut cache.scratch);
-            (plan, scratch)
-        };
-        let out = plan.transform_with(input, inverse, &mut scratch);
-        c.borrow_mut().scratch = scratch;
-        out
+        let mut cache = c.borrow_mut();
+        if let Some(p) = cache.bluestein.get(&n) {
+            telemetry::counter_add("dsp.plan_cache.hit.local", 1);
+            p.transform_into(input, inverse, out);
+        } else {
+            telemetry::counter_add("dsp.plan_cache.miss.local", 1);
+            let inner = pow2_plan(&mut cache, crate::fft::next_pow2(2 * n - 1));
+            let p = Rc::new(BluesteinPlan::new(n, inner));
+            p.transform_into(input, inverse, out);
+            cache.bluestein.insert(n, p);
+        }
     })
+}
+
+/// Allocating wrapper over [`bluestein_cached_into`].
+pub(crate) fn bluestein_cached(input: &[Cpx], inverse: bool) -> Vec<Cpx> {
+    let mut out = Vec::new();
+    bluestein_cached_into(input, inverse, &mut out);
+    out
 }
 
 /// Number of distinct plan sizes currently cached on this thread
@@ -441,6 +481,44 @@ mod tests {
             for (a, b) in expect.iter().zip(&got) {
                 assert!((*a - *b).abs() < 1e-9, "n={n}");
             }
+        }
+    }
+
+    #[test]
+    fn forward_into_matches_forward_bitwise() {
+        for n in [1usize, 8, 256] {
+            let x = ramp(n);
+            let plan = FftPlan::new(n);
+            let alloc = plan.forward(&x);
+            let mut reused = Vec::new();
+            // Repeated calls into the same buffer must keep producing the
+            // allocating result bit for bit.
+            for _ in 0..3 {
+                plan.forward_into(&x, &mut reused);
+                assert_eq!(alloc, reused, "n={n}");
+            }
+            let inv_alloc = plan.inverse(&alloc);
+            let mut inv_reused = Vec::new();
+            plan.inverse_into(&alloc, &mut inv_reused);
+            assert_eq!(inv_alloc, inv_reused, "n={n}");
+        }
+    }
+
+    #[test]
+    fn bluestein_into_matches_allocating_bitwise() {
+        for n in [3usize, 12, 257] {
+            let x = ramp(n);
+            let expect = bluestein_cached(&x, false);
+            let mut out = Vec::new();
+            // The internal scratch is reused across calls; results must
+            // stay bitwise stable.
+            for _ in 0..3 {
+                bluestein_cached_into(&x, false, &mut out);
+                assert_eq!(expect, out, "n={n}");
+            }
+            let inner = Rc::new(FftPlan::new(crate::fft::next_pow2(2 * n - 1)));
+            let standalone = BluesteinPlan::new(n, inner);
+            assert_eq!(standalone.transform(&x, false), expect, "n={n}");
         }
     }
 

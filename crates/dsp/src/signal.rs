@@ -171,6 +171,16 @@ impl Signal {
         }
     }
 
+    /// Overwrites this signal with a copy of `other`, reusing the
+    /// existing sample buffer's capacity — the allocation-free
+    /// counterpart of `other.clone()` for template-backed packet
+    /// assembly (see `milback_dsp::template`).
+    pub fn copy_from(&mut self, other: &Signal) {
+        self.fs = other.fs;
+        self.fc = other.fc;
+        crate::buffer::copy_into(&other.samples, &mut self.samples);
+    }
+
     /// Concatenates another signal after this one (same `fs`/`fc`).
     pub fn append(&mut self, other: &Signal) {
         assert_eq!(self.fs, other.fs, "sample-rate mismatch in append");

@@ -1,0 +1,110 @@
+//! Allocation-regression pin for the DSP hot paths (DESIGN.md §12).
+//!
+//! A counting global allocator wraps the system allocator; the single
+//! test below warms the workspace/template fast paths and then asserts
+//! that steady-state iterations perform **zero** heap allocations:
+//!
+//! * the five-chirp localization burst through
+//!   `Localizer::process_with` on a warmed `DspWorkspace`,
+//! * the link-side symbol loop: Field-2 waveform assembly into a reused
+//!   `Signal` plus uplink query-tone fetches from the template cache.
+//!
+//! One test function on purpose: the allocation counter is process-wide,
+//! so a second concurrently-running test would pollute the deltas.
+
+use milback::{Fidelity, Network};
+use milback_ap::waveform::{self, TxConfig};
+use milback_ap::workspace::DspWorkspace;
+use milback_dsp::signal::Signal;
+use milback_dsp::template;
+use milback_proto::packet::PacketConfig;
+use milback_rf::geometry::{deg_to_rad, Pose};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Pass-through allocator that counts heap acquisitions (`alloc`,
+/// `alloc_zeroed`, `realloc`); frees are not counted.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn warmed_hot_paths_perform_zero_heap_allocations() {
+    // ---- five-chirp localization burst ------------------------------
+    let pose = Pose::facing_ap(3.0, deg_to_rad(4.0), 0.0);
+    let mut net = Network::new(pose, Fidelity::Fast, 0xA110C);
+    let (tx, captures) = net.field2_captures();
+    let localizer = net.localizer();
+    let mut ws = DspWorkspace::new();
+
+    // Warm-up: grows the workspace buffers, builds the cached FFT plan
+    // and checks the fast path against the allocating reference.
+    let expect = localizer.process(&tx, &captures);
+    assert!(expect.is_some(), "reference localization failed");
+    for _ in 0..2 {
+        assert_eq!(localizer.process_with(&mut ws, &tx, &captures), expect);
+    }
+
+    let before = allocs();
+    for _ in 0..5 {
+        let got = localizer.process_with(&mut ws, &tx, &captures);
+        assert_eq!(got, expect);
+    }
+    assert_eq!(
+        allocs() - before,
+        0,
+        "warmed localization burst allocated on the heap"
+    );
+
+    // ---- link symbol loop: waveform assembly + tone templates -------
+    let tx_cfg = TxConfig::milback();
+    let pkt = PacketConfig::milback();
+    let mut wave = Signal::zeros(tx_cfg.fs, 0.0, 0);
+    let (fs, fc, f_off, amp, n) = (4e9, 28e9, 150e6, 1.0, 4096);
+
+    // Warm-up: grows the waveform buffer and populates the template
+    // cache (chirp train + query tone).
+    waveform::field2_waveform_into(&tx_cfg, &pkt, &mut wave);
+    let tone_ref = template::tone(fs, fc, f_off, amp, n);
+    assert_eq!(tone_ref.len(), n);
+
+    let before = allocs();
+    for _ in 0..5 {
+        waveform::field2_waveform_into(&tx_cfg, &pkt, &mut wave);
+        let tone = template::tone(fs, fc, f_off, amp, n);
+        assert!(std::rc::Rc::ptr_eq(&tone, &tone_ref), "tone cache missed");
+    }
+    assert_eq!(
+        allocs() - before,
+        0,
+        "warmed link symbol loop allocated on the heap"
+    );
+}
