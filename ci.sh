@@ -19,11 +19,14 @@ cargo test -q --release "${CARGO_FLAGS[@]}"
 
 if cargo clippy --version >/dev/null 2>&1; then
     echo "==> cargo clippy"
-    # The two allow-by-default lints guard the zero-allocation hot paths
-    # (DESIGN.md §12): a redundant clone or a collect-then-iterate chain
-    # is usually a hidden heap allocation.
+    # The allow-by-default lints guard the zero-allocation hot paths
+    # (DESIGN.md §12–13): a redundant clone or a collect-then-iterate
+    # chain is usually a hidden heap allocation, and index-based loops /
+    # manual copy loops hide the slice patterns the cached channel
+    # kernels rely on.
     cargo clippy --release "${CARGO_FLAGS[@]}" --all-targets -- -D warnings \
-        -W clippy::redundant_clone -W clippy::needless_collect
+        -W clippy::redundant_clone -W clippy::needless_collect \
+        -W clippy::needless_range_loop -W clippy::manual_memcpy
 else
     echo "==> clippy not installed; skipping lint" >&2
 fi
@@ -38,10 +41,11 @@ else
     echo "==> rustfmt not installed; skipping format check" >&2
 fi
 
-echo "==> bench smoke (kernel/burst bitwise asserts)"
+echo "==> bench smoke (kernel/burst/channel bitwise asserts)"
 # --smoke shrinks every rep count; the run still asserts that each fast
-# path (in-place FFT, workspace pipeline, waveform templates) is bitwise
-# identical to its allocating twin before reporting timings.
+# path (in-place FFT, workspace pipeline, waveform templates, and the
+# cached channel-synthesis render of DESIGN.md §13) is bitwise identical
+# to its allocating/uncached twin before reporting timings.
 cargo run --release --offline -p milback-bench --bin bench_engine -- \
     --smoke --out target/bench_smoke.json >/dev/null
 

@@ -18,7 +18,13 @@
 //!    (allocating) against `Localizer::process_with` (workspace), with
 //!    heap allocations per burst counted by this binary's global
 //!    allocator (DESIGN.md §12),
-//! 5. a short full-stack link leg — OAQFM downlink + uplink transfers
+//! 5. channel synthesis — the cached workspace render (static-scene
+//!    response + hoisted ray tables, DESIGN.md §13) against the uncached
+//!    reference, as a single monostatic render and as the full
+//!    five-chirp × two-antenna Field-2 burst, with a bitwise-equality
+//!    assert and allocation counts; plus the warm end-to-end
+//!    localization trial (render + process through every cache),
+//! 6. a short full-stack link leg — OAQFM downlink + uplink transfers
 //!    through the batch engine, so the telemetry snapshot covers the
 //!    node/proto/link stages too.
 //!
@@ -51,8 +57,11 @@ use milback_ap::waveform::TxConfig;
 use milback_ap::workspace::DspWorkspace;
 use milback_dsp::num::Cpx;
 use milback_dsp::plan::{with_plan, FftPlan};
+use milback_dsp::signal::Signal;
 use milback_dsp::template;
+use milback_rf::channel::{FreqProfile, NodeInterface, TxComponent};
 use milback_rf::geometry::{deg_to_rad, Pose};
+use milback_rf::{wave_fingerprint, ChannelWorkspace};
 use milback_telemetry as telemetry;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -418,6 +427,188 @@ fn main() {
     );
     println!("  speedup: {burst_speedup:.2}x (bitwise identical: {burst_bitwise})");
 
+    // ------------------------------------------------------------------
+    // Channel synthesis: the cached workspace render (DESIGN.md §13)
+    // against the uncached reference on the Fig. 12a scene — a single
+    // monostatic render, then the burst-shaped workload (five chirps ×
+    // two RX antennas, per-chirp Γ schedules), then the warm end-to-end
+    // localization trial (render + process through every cache).
+    // ------------------------------------------------------------------
+    let chan_reps = if smoke { 3 } else { 40 };
+    let chan_pose = Pose::facing_ap(3.0, deg_to_rad(5.0), 0.0);
+    let chan_net = Network::new(chan_pose, Fidelity::Fast, seed ^ 0xC0FFEE);
+    let mut chan_cfg = chan_net.fidelity.sawtooth();
+    chan_cfg.amplitude = chan_net.ap.tx.amplitude();
+    let chan_comp = TxComponent {
+        signal: chan_cfg.sawtooth(),
+        profile: FreqProfile::Sawtooth(chan_cfg),
+    };
+    let chan_fp = wave_fingerprint(&chan_comp);
+    let mod_freq = chan_net.fidelity.localization_mod_freq();
+    // Representative localization Γ schedule: port A square-wave
+    // modulated, port B absorptive (the cache never keys on Γ — it is
+    // evaluated per sample on every render, hit or miss).
+    let gamma_at = move |t: f64| -> [Cpx; 2] {
+        let state = if (t * mod_freq).fract() < 0.5 {
+            0.6
+        } else {
+            -0.6
+        };
+        [Cpx::new(state, 0.0), Cpx::new(0.05, 0.0)]
+    };
+    let scene = &chan_net.scene;
+    let mut cw = ChannelWorkspace::default();
+    let mut chan_out = Signal::zeros(chan_comp.signal.fs, chan_comp.signal.fc, 0);
+
+    // Bitwise check + warm-up for both antennas.
+    let gamma0 = |t: f64| gamma_at(t);
+    let node_if = NodeInterface {
+        pose: chan_net.node.pose,
+        fsa: &chan_net.node.fsa,
+        gamma: &gamma0,
+    };
+    for ant in 0..2 {
+        let reference =
+            scene.monostatic_rx_multi_uncached(&chan_comp, std::slice::from_ref(&node_if), ant);
+        scene.monostatic_rx_multi_into(
+            &mut cw,
+            &chan_comp,
+            chan_fp,
+            std::slice::from_ref(&node_if),
+            ant,
+            &mut chan_out,
+        );
+        assert_eq!(
+            reference.samples, chan_out.samples,
+            "cached channel render diverged from uncached (antenna {ant})"
+        );
+    }
+
+    // Single render (antenna 0) A/B with allocation counts.
+    let a0 = alloc_count();
+    let t0 = Instant::now();
+    for _ in 0..chan_reps {
+        std::hint::black_box(scene.monostatic_rx_multi_uncached(
+            &chan_comp,
+            std::slice::from_ref(&node_if),
+            0,
+        ));
+    }
+    let chan_uncached_s = t0.elapsed().as_secs_f64() / chan_reps as f64;
+    let chan_uncached_allocs = (alloc_count() - a0) / chan_reps as u64;
+
+    let a0 = alloc_count();
+    let t0 = Instant::now();
+    for _ in 0..chan_reps {
+        scene.monostatic_rx_multi_into(
+            &mut cw,
+            &chan_comp,
+            chan_fp,
+            std::slice::from_ref(&node_if),
+            0,
+            &mut chan_out,
+        );
+        std::hint::black_box(&chan_out);
+    }
+    let chan_cached_s = t0.elapsed().as_secs_f64() / chan_reps as f64;
+    let chan_cached_allocs = (alloc_count() - a0) / chan_reps as u64;
+    let chan_speedup = chan_uncached_s / chan_cached_s;
+    println!("channel render (1 chirp, milback_indoor scene, {chan_reps} reps):");
+    println!(
+        "  uncached: {:.2} ms, {chan_uncached_allocs} allocs/render",
+        chan_uncached_s * 1e3
+    );
+    println!(
+        "  cached:   {:.2} ms, {chan_cached_allocs} allocs/render",
+        chan_cached_s * 1e3
+    );
+    println!("  speedup: {chan_speedup:.2}x (bitwise identical: true)");
+
+    // Burst-shaped workload: five chirps × two antennas with per-chirp
+    // Γ offsets, exactly the renders behind one Field-2 capture.
+    let chirp_t = chan_cfg.duration;
+    let burst_render_cached = |cw: &mut ChannelWorkspace, out: &mut Signal| {
+        for chirp in 0..5 {
+            let t_off = chirp as f64 * chirp_t;
+            let gamma = |t: f64| gamma_at(t_off + t);
+            let node_if = NodeInterface {
+                pose: chan_net.node.pose,
+                fsa: &chan_net.node.fsa,
+                gamma: &gamma,
+            };
+            for ant in 0..2 {
+                scene.monostatic_rx_multi_into(
+                    cw,
+                    &chan_comp,
+                    chan_fp,
+                    std::slice::from_ref(&node_if),
+                    ant,
+                    out,
+                );
+                std::hint::black_box(&out);
+            }
+        }
+    };
+    let burst_render_uncached = || {
+        for chirp in 0..5 {
+            let t_off = chirp as f64 * chirp_t;
+            let gamma = |t: f64| gamma_at(t_off + t);
+            let node_if = NodeInterface {
+                pose: chan_net.node.pose,
+                fsa: &chan_net.node.fsa,
+                gamma: &gamma,
+            };
+            for ant in 0..2 {
+                std::hint::black_box(scene.monostatic_rx_multi_uncached(
+                    &chan_comp,
+                    std::slice::from_ref(&node_if),
+                    ant,
+                ));
+            }
+        }
+    };
+
+    let t0 = Instant::now();
+    for _ in 0..chan_reps {
+        burst_render_uncached();
+    }
+    let chan_burst_uncached_s = t0.elapsed().as_secs_f64() / chan_reps as f64;
+
+    let a0 = alloc_count();
+    let t0 = Instant::now();
+    for _ in 0..chan_reps {
+        burst_render_cached(&mut cw, &mut chan_out);
+    }
+    let chan_burst_cached_s = t0.elapsed().as_secs_f64() / chan_reps as f64;
+    let chan_burst_allocs = (alloc_count() - a0) / chan_reps as u64;
+    let chan_burst_speedup = chan_burst_uncached_s / chan_burst_cached_s;
+    println!("channel burst (5 chirps x 2 antennas, {chan_reps} reps):");
+    println!("  uncached: {:.2} ms/burst", chan_burst_uncached_s * 1e3);
+    println!(
+        "  cached:   {:.2} ms/burst, {chan_burst_allocs} allocs/burst",
+        chan_burst_cached_s * 1e3
+    );
+    println!("  speedup: {chan_burst_speedup:.2}x");
+
+    // Warm end-to-end trial: render + dechirp + FFT + subtraction + peak
+    // search through every cache (the quantity a batch worker pays per
+    // Fig. 12a trial once its thread-locals are warm).
+    let e2e_reps = if smoke { 3 } else { 40 };
+    let mut e2e_net = Network::new(chan_pose, Fidelity::Fast, seed ^ 0xE2E);
+    assert!(
+        e2e_net.localize().is_some(),
+        "end-to-end trial found no node"
+    );
+    let a0 = alloc_count();
+    let t0 = Instant::now();
+    for _ in 0..e2e_reps {
+        std::hint::black_box(e2e_net.localize());
+    }
+    let e2e_s = t0.elapsed().as_secs_f64() / e2e_reps as f64;
+    let e2e_allocs = (alloc_count() - a0) / e2e_reps as u64;
+    println!("end-to-end trial (render + process, warm, {e2e_reps} reps):");
+    println!("  {:.2} ms/trial, {e2e_allocs} allocs/trial", e2e_s * 1e3);
+
     // Link leg: a handful of end-to-end transfers so the snapshot carries
     // node/proto/link counters alongside the localization stages.
     let link_trials = if smoke { 1 } else { 4 };
@@ -464,7 +655,7 @@ fn main() {
     .join(",\n");
 
     let json = format!(
-        "{{\n  \"bench\": \"{bench_name}\",\n  \"description\": \"Batch-engine, FFT-plan, per-kernel and five-chirp-burst timings on a Fig. 12a localization workload, plus a short end-to-end link leg\",\n  \"host_threads\": {threads},\n  \"smoke\": {smoke},\n  \"engine\": {{\n    \"workload\": \"localization trial, node at 3 m, Fidelity::Fast\",\n    \"trials\": {trials},\n    \"serial_s\": {},\n    \"parallel_s\": {},\n    \"speedup\": {},\n    \"deterministic\": true\n  }},\n  \"fft_plan\": {{\n    \"size\": {n},\n    \"reps\": {reps},\n    \"unplanned_us_per_fft\": {},\n    \"planned_us_per_fft\": {},\n    \"speedup\": {},\n    \"bitwise_identical\": {bitwise}\n  }},\n  \"kernels\": {{\n{kernels}\n  }},\n  \"localization_burst\": {{\n    \"workload\": \"five-chirp Field-2 burst, 2 RX antennas, Fidelity::Fast\",\n    \"reps\": {burst_reps},\n    \"allocating_ms_per_burst\": {},\n    \"workspace_ms_per_burst\": {},\n    \"speedup\": {},\n    \"allocating_allocs_per_burst\": {burst_alloc_allocs},\n    \"workspace_allocs_per_burst\": {burst_ws_allocs},\n    \"bitwise_identical\": {burst_bitwise},\n    \"deterministic\": true\n  }},\n  \"link_leg\": {{\n    \"trials\": {link_trials},\n    \"elapsed_s\": {},\n    \"total_bit_errors\": {total_errors}\n  }},\n  \"telemetry\": {telemetry_json}\n}}\n",
+        "{{\n  \"bench\": \"{bench_name}\",\n  \"description\": \"Batch-engine, FFT-plan, per-kernel and five-chirp-burst timings on a Fig. 12a localization workload, plus a short end-to-end link leg\",\n  \"host_threads\": {threads},\n  \"smoke\": {smoke},\n  \"engine\": {{\n    \"workload\": \"localization trial, node at 3 m, Fidelity::Fast\",\n    \"trials\": {trials},\n    \"serial_s\": {},\n    \"parallel_s\": {},\n    \"speedup\": {},\n    \"deterministic\": true\n  }},\n  \"fft_plan\": {{\n    \"size\": {n},\n    \"reps\": {reps},\n    \"unplanned_us_per_fft\": {},\n    \"planned_us_per_fft\": {},\n    \"speedup\": {},\n    \"bitwise_identical\": {bitwise}\n  }},\n  \"kernels\": {{\n{kernels}\n  }},\n  \"localization_burst\": {{\n    \"workload\": \"five-chirp Field-2 burst, 2 RX antennas, Fidelity::Fast\",\n    \"reps\": {burst_reps},\n    \"allocating_ms_per_burst\": {},\n    \"workspace_ms_per_burst\": {},\n    \"speedup\": {},\n    \"allocating_allocs_per_burst\": {burst_alloc_allocs},\n    \"workspace_allocs_per_burst\": {burst_ws_allocs},\n    \"bitwise_identical\": {burst_bitwise},\n    \"deterministic\": true\n  }},\n  \"channel_render\": {{\n    \"workload\": \"single monostatic render, milback_indoor scene, node at 3 m\",\n    \"reps\": {chan_reps},\n    \"uncached_ms_per_render\": {},\n    \"cached_ms_per_render\": {},\n    \"speedup\": {},\n    \"uncached_allocs_per_render\": {chan_uncached_allocs},\n    \"cached_allocs_per_render\": {chan_cached_allocs},\n    \"bitwise_identical\": true\n  }},\n  \"channel_burst\": {{\n    \"workload\": \"five-chirp x two-antenna Field-2 channel render, per-chirp gamma schedules\",\n    \"reps\": {chan_reps},\n    \"uncached_ms_per_burst\": {},\n    \"cached_ms_per_burst\": {},\n    \"speedup\": {},\n    \"cached_allocs_per_burst\": {chan_burst_allocs}\n  }},\n  \"end_to_end_trial\": {{\n    \"workload\": \"warm Fig. 12a localization trial: channel render + DSP pipeline through every cache\",\n    \"reps\": {e2e_reps},\n    \"ms_per_trial\": {},\n    \"allocs_per_trial\": {e2e_allocs}\n  }},\n  \"link_leg\": {{\n    \"trials\": {link_trials},\n    \"elapsed_s\": {},\n    \"total_bit_errors\": {total_errors}\n  }},\n  \"telemetry\": {telemetry_json}\n}}\n",
         json_f(serial_s),
         json_f(parallel_s),
         json_f(engine_speedup),
@@ -474,6 +665,13 @@ fn main() {
         json_f(burst_alloc_s * 1e3),
         json_f(burst_ws_s * 1e3),
         json_f(burst_speedup),
+        json_f(chan_uncached_s * 1e3),
+        json_f(chan_cached_s * 1e3),
+        json_f(chan_speedup),
+        json_f(chan_burst_uncached_s * 1e3),
+        json_f(chan_burst_cached_s * 1e3),
+        json_f(chan_burst_speedup),
+        json_f(e2e_s * 1e3),
         json_f(link_s),
     );
     std::fs::write(&out_path, &json).expect("failed to write benchmark JSON");

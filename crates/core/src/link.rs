@@ -14,6 +14,7 @@ use milback_proto::bits::{bit_errors, bits_to_symbols, symbols_to_bits, OaqfmSym
 use milback_proto::frame::{decode_frame, encode_frame, FrameError};
 use milback_rf::channel::{NodeInterface, TxComponent};
 use milback_rf::fsa::Port;
+use milback_rf::{wave_fingerprint, with_channel_workspace};
 use milback_telemetry as telemetry;
 
 /// Minimum tone separation before falling back to single-carrier OOK:
@@ -86,28 +87,40 @@ impl Network {
     /// Renders a pair of per-tone downlink components to both FSA ports,
     /// including the cross-tone leakage each port receives from the other
     /// tone's side lobes. Returns `(at_port_a, at_port_b)`.
+    ///
+    /// The four port renders share one [`ChannelWorkspace`] borrow and
+    /// each component's [`wave_fingerprint`] is computed once, so the
+    /// hoisted port tables are reused across ports and transfers.
+    ///
+    /// [`ChannelWorkspace`]: milback_rf::ChannelWorkspace
     pub(crate) fn render_tones_to_ports(
         &self,
         comp_a: &TxComponent,
         comp_b: &TxComponent,
     ) -> (Signal, Signal) {
-        let mut at_a = self
-            .scene
-            .to_node_port(comp_a, &self.node.pose, &self.node.fsa, Port::A);
-        at_a.add(
-            &self
+        let fp_a = wave_fingerprint(comp_a);
+        let fp_b = wave_fingerprint(comp_b);
+        let pose = &self.node.pose;
+        let fsa = &self.node.fsa;
+        with_channel_workspace(|ws| {
+            let mut at_a = self
                 .scene
-                .to_node_port(comp_b, &self.node.pose, &self.node.fsa, Port::A),
-        );
-        let mut at_b = self
-            .scene
-            .to_node_port(comp_b, &self.node.pose, &self.node.fsa, Port::B);
-        at_b.add(
-            &self
+                .to_node_port_with(ws, comp_a, fp_a, pose, fsa, Port::A);
+            at_a.add(
+                &self
+                    .scene
+                    .to_node_port_with(ws, comp_b, fp_b, pose, fsa, Port::A),
+            );
+            let mut at_b = self
                 .scene
-                .to_node_port(comp_a, &self.node.pose, &self.node.fsa, Port::B),
-        );
-        (at_a, at_b)
+                .to_node_port_with(ws, comp_b, fp_b, pose, fsa, Port::B);
+            at_b.add(
+                &self
+                    .scene
+                    .to_node_port_with(ws, comp_a, fp_a, pose, fsa, Port::B),
+            );
+            (at_a, at_b)
+        })
     }
 
     /// Chooses OAQFM carriers for the node's current (AP-estimated)
@@ -346,6 +359,9 @@ impl Network {
         // The node modulates its ports per symbol.
         let (sched_a, sched_b) = modulate_uplink(&self.node.switch, &symbols, t0, symbol_rate)
             .expect("symbol rate exceeds switch capability");
+        // Four monostatic renders (two tones × two RX antennas) share one
+        // workspace borrow; the per-tone ray tables and static responses
+        // are built once and replayed for the other antenna/transfer.
         let (rx0, rx1) = {
             let gamma = self.node.gamma_schedule(&sched_a, &sched_b);
             let node_if = NodeInterface {
@@ -353,11 +369,25 @@ impl Network {
                 fsa: &self.node.fsa,
                 gamma: &gamma,
             };
-            let mut rx0 = self.scene.monostatic_rx(&comp_a, &node_if, 0);
-            rx0.add(&self.scene.monostatic_rx(&comp_b, &node_if, 0));
-            let mut rx1 = self.scene.monostatic_rx(&comp_a, &node_if, 1);
-            rx1.add(&self.scene.monostatic_rx(&comp_b, &node_if, 1));
-            (rx0, rx1)
+            let nodes = std::slice::from_ref(&node_if);
+            let fp_a = wave_fingerprint(&comp_a);
+            let fp_b = wave_fingerprint(&comp_b);
+            with_channel_workspace(|ws| {
+                let mut rx0 = Signal::zeros(fs, fc, comp_a.signal.len());
+                let mut rx1 = Signal::zeros(fs, fc, comp_a.signal.len());
+                let mut tmp = Signal::zeros(fs, fc, comp_a.signal.len());
+                self.scene
+                    .monostatic_rx_multi_into(ws, &comp_a, fp_a, nodes, 0, &mut rx0);
+                self.scene
+                    .monostatic_rx_multi_into(ws, &comp_b, fp_b, nodes, 0, &mut tmp);
+                rx0.add(&tmp);
+                self.scene
+                    .monostatic_rx_multi_into(ws, &comp_a, fp_a, nodes, 1, &mut rx1);
+                self.scene
+                    .monostatic_rx_multi_into(ws, &comp_b, fp_b, nodes, 1, &mut tmp);
+                rx1.add(&tmp);
+                (rx0, rx1)
+            })
         };
 
         let mut receiver = UplinkReceiver::milback(symbol_rate);

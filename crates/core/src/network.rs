@@ -9,6 +9,7 @@ use crate::config::{ApParams, Fidelity};
 use milback_ap::dechirp::RangeProcessor;
 use milback_ap::orientation::ApOrientationEstimator;
 use milback_ap::ranging::{LocalizationResult, Localizer};
+use milback_dsp::chirp::ChirpConfig;
 use milback_dsp::noise::{add_awgn, thermal_noise_power};
 use milback_dsp::num::Cpx;
 use milback_dsp::signal::Signal;
@@ -18,8 +19,63 @@ use milback_node::orientation::NodeOrientationEstimator;
 use milback_rf::channel::{FreqProfile, NodeInterface, Scene, TxComponent};
 use milback_rf::fsa::Port;
 use milback_rf::geometry::Pose;
+use milback_rf::workspace::{wave_fingerprint, with_channel_workspace, ChannelWorkspace};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::cell::RefCell;
+
+/// Reusable buffers and cached identity for a Field-2 render
+/// (DESIGN.md §13). Holds the TX reference, the per-chirp capture
+/// pairs, and the channel component with its waveform fingerprint so a
+/// warmed burst re-renders with **zero** heap allocations
+/// (`tests/zero_alloc.rs`).
+#[derive(Debug)]
+pub struct Field2Burst {
+    /// TX reference chirp of the last render.
+    pub tx: Signal,
+    /// Per-chirp capture pairs (`[antenna 0, antenna 1]`).
+    pub captures: Vec<[Signal; 2]>,
+    /// The channel component (TX chirp + frequency profile), kept so
+    /// repeat bursts skip the template clone.
+    comp: Option<TxComponent>,
+    /// `wave_fingerprint` of `comp`, cached alongside it.
+    wave_fp: u64,
+    /// The chirp config `comp`/`wave_fp` were built for.
+    comp_cfg: Option<ChirpConfig>,
+}
+
+/// Placeholder for not-yet-rendered capture slots (`Signal` requires a
+/// positive sample rate, so it has no `Default`). The render overwrites
+/// `fs`/`fc` and resizes the buffer.
+fn empty_signal() -> Signal {
+    Signal::zeros(1.0, 0.0, 0)
+}
+
+impl Default for Field2Burst {
+    fn default() -> Self {
+        Self {
+            tx: empty_signal(),
+            captures: Vec::new(),
+            comp: None,
+            wave_fp: 0,
+            comp_cfg: None,
+        }
+    }
+}
+
+thread_local! {
+    static BURST: RefCell<Field2Burst> = RefCell::new(Field2Burst::default());
+}
+
+/// Runs `f` with this thread's shared [`Field2Burst`] buffers (the
+/// render-side analogue of `milback_ap::with_workspace`). Re-entrant
+/// checkouts fall back to a fresh temporary burst.
+pub fn with_field2_burst<R>(f: impl FnOnce(&mut Field2Burst) -> R) -> R {
+    BURST.with(|b| match b.try_borrow_mut() {
+        Ok(mut burst) => f(&mut burst),
+        Err(_) => f(&mut Field2Burst::default()),
+    })
+}
 
 /// A complete single-node MilBack deployment.
 #[derive(Debug, Clone)]
@@ -124,8 +180,27 @@ impl Network {
     }
 
     /// Like [`Self::field2_captures`] with a configurable chirp count
-    /// (for the chirp-count ablation; the paper uses five).
+    /// (for the chirp-count ablation; the paper uses five). Allocating
+    /// wrapper over [`Self::field2_captures_into`].
     pub fn field2_captures_n(&mut self, n_chirps: usize) -> (Signal, Vec<[Signal; 2]>) {
+        let mut burst = Field2Burst::default();
+        with_channel_workspace(|cw| self.field2_captures_into(cw, n_chirps, &mut burst));
+        (burst.tx, burst.captures)
+    }
+
+    /// Renders a Field-2 burst into reusable [`Field2Burst`] buffers
+    /// through the cached channel-synthesis path (DESIGN.md §13).
+    /// Bitwise identical to [`Self::field2_captures_n`] — same RNG draw
+    /// order (one jitter gaussian per chirp, then per-antenna AWGN) and
+    /// the same sample arithmetic; only the buffer management differs.
+    /// After warm-up (same scene/pose/fidelity on this thread), a burst
+    /// performs zero steady-state heap allocations.
+    pub fn field2_captures_into(
+        &mut self,
+        cw: &mut ChannelWorkspace,
+        n_chirps: usize,
+        burst: &mut Field2Burst,
+    ) {
         assert!(n_chirps >= 2, "need at least two chirps");
         let cfg = self.fidelity.sawtooth();
         let mut chirp_cfg = cfg;
@@ -133,14 +208,22 @@ impl Network {
         // The TX chirp is loop-invariant across chirps AND trials: fetch it
         // from the process-wide template cache (bitwise identical to fresh
         // synthesis) instead of re-synthesizing 6400 samples per burst.
-        let tx = milback_dsp::template::sawtooth(&chirp_cfg).as_ref().clone();
-        let profile = FreqProfile::Sawtooth(chirp_cfg);
         // One channel component serves every chirp; only the node's switch
-        // schedule (captured in `gamma`) varies with the chirp index.
-        let comp = TxComponent {
-            signal: tx.clone(),
-            profile,
-        };
+        // schedule (captured in `gamma`) varies with the chirp index — so
+        // the component and its waveform fingerprint are cached in the
+        // burst and rebuilt only when the chirp config changes.
+        let template = milback_dsp::template::sawtooth(&chirp_cfg);
+        burst.tx.copy_from(template.as_ref());
+        if burst.comp_cfg != Some(chirp_cfg) {
+            burst.comp = Some(TxComponent {
+                signal: template.as_ref().clone(),
+                profile: FreqProfile::Sawtooth(chirp_cfg),
+            });
+            burst.wave_fp = wave_fingerprint(burst.comp.as_ref().unwrap());
+            burst.comp_cfg = Some(chirp_cfg);
+        }
+        let comp = burst.comp.as_ref().unwrap();
+        let wave_fp = burst.wave_fp;
 
         let mod_freq = self.fidelity.localization_mod_freq();
         let schedule_a = SwitchSchedule::SquareWave {
@@ -149,11 +232,15 @@ impl Network {
         };
         let schedule_b = SwitchSchedule::Constant(SwitchState::Absorptive);
 
-        let noise_p = thermal_noise_power(tx.fs, self.ap.capture_nf_db);
-        let mut captures = Vec::with_capacity(n_chirps);
+        let noise_p = thermal_noise_power(burst.tx.fs, self.ap.capture_nf_db);
+        milback_dsp::buffer::track_growth(&mut burst.captures, n_chirps);
+        burst.captures.truncate(n_chirps);
+        while burst.captures.len() < n_chirps {
+            burst.captures.push([empty_signal(), empty_signal()]);
+        }
         // Backscatter passes the node's implementation loss twice.
         let two_way_loss = 10f64.powf(-2.0 * self.node.impl_loss_db / 20.0);
-        for i in 0..n_chirps {
+        for (i, pair) in burst.captures.iter_mut().enumerate() {
             let t_off = i as f64 * chirp_cfg.duration;
             let switch = self.node.switch;
             let gamma = |t: f64| -> [Cpx; 2] {
@@ -173,29 +260,36 @@ impl Network {
             // carrier, which is what keeps background subtraction coherent
             // chirp-to-chirp in the real system too.
             let jitter = milback_dsp::noise::gaussian(&mut self.rng).abs() * self.ap.jitter_rms;
-            let mut pair = Vec::with_capacity(2);
-            for ant in 0..2 {
-                let mut rx = self.scene.monostatic_rx(&comp, &node_if, ant);
+            for (ant, rx) in pair.iter_mut().enumerate() {
+                self.scene.monostatic_rx_multi_into(
+                    cw,
+                    comp,
+                    wave_fp,
+                    std::slice::from_ref(&node_if),
+                    ant,
+                    rx,
+                );
                 if jitter > 0.0 {
-                    rx = rx.delayed(jitter);
+                    rx.delay_in_place(jitter);
                 }
-                add_awgn(&mut rx, noise_p, &mut self.rng);
-                pair.push(rx);
+                add_awgn(rx, noise_p, &mut self.rng);
             }
-            captures.push([pair[0].clone(), pair[1].clone()]);
         }
-        (tx, captures)
     }
 
     /// Runs the full §5.1 localization: Field-2 capture → dechirp →
     /// background subtraction → range + angle.
     pub fn localize(&mut self) -> Option<LocalizationResult> {
-        let (tx, captures) = self.field2_captures();
-        let localizer = self.localizer();
-        // Run the burst in the thread-local workspace: batch workers reuse
-        // the same buffers trial after trial (bitwise identical to
-        // `Localizer::process`, pinned by tests/workspace_equivalence.rs).
-        milback_ap::with_workspace(|ws| localizer.process_with(ws, &tx, &captures))
+        // Render into the thread-local burst buffers through the cached
+        // channel path, then process in the thread-local DSP workspace:
+        // batch workers reuse both trial after trial (bitwise identical
+        // to the allocating pipeline, pinned by
+        // tests/workspace_equivalence.rs and tests/channel_equivalence.rs).
+        with_field2_burst(|burst| {
+            with_channel_workspace(|cw| self.field2_captures_into(cw, 5, burst));
+            let localizer = self.localizer();
+            milback_ap::with_workspace(|ws| localizer.process_with(ws, &burst.tx, &burst.captures))
+        })
     }
 
     /// The localizer matching this network's fidelity.
@@ -209,43 +303,47 @@ impl Network {
     /// background subtraction → gate → IFFT flow. Returns the estimated
     /// incidence angle (radians).
     pub fn sense_orientation_at_ap(&mut self) -> Option<f64> {
-        let (tx, captures) = self.field2_captures();
-        let localizer = self.localizer();
-        let est = ApOrientationEstimator::new(self.fidelity.sawtooth());
-        milback_ap::with_workspace(|ws| {
-            localizer.profile_diffs_with(ws, &tx, &captures);
-            // Locate the node's range bin from the combined detection
-            // spectrum, exactly as localization does.
-            milback_ap::background::detection_spectrum_into(&ws.diffs[0], &mut ws.det[0]);
-            milback_ap::background::detection_spectrum_into(&ws.diffs[1], &mut ws.det[1]);
-            milback_dsp::buffer::track_growth(&mut ws.det_sum, ws.det[0].len());
-            ws.det_sum.clear();
-            ws.det_sum
-                .extend(ws.det[0].iter().zip(&ws.det[1]).map(|(a, b)| a + b));
-            let node_bin =
-                localizer.find_node_bin_with(&ws.det_sum, tx.fs, &mut ws.floor_scratch)?;
-            // Use the difference pair with the most node energy.
-            let d0 = &ws.diffs[0];
-            let best = (0..d0.len()).max_by(|&i, &j| {
-                let e = |k: usize| -> f64 {
-                    let lo = node_bin.saturating_sub(2);
-                    let hi = (node_bin + 3).min(d0[k].len());
-                    d0[k][lo..hi].iter().map(|c| c.norm_sq()).sum()
-                };
-                e(i).partial_cmp(&e(j)).unwrap()
-            })?;
-            // Gate half-width: the beam bump's spectral spread is a few tens
-            // of bins at these chirp lengths.
-            let half = (localizer.proc.fft_len / 100).max(16);
-            est.estimate_gated(
-                &d0[best],
-                node_bin,
-                half,
-                tx.fs,
-                tx.len(),
-                &self.node.fsa,
-                Port::A,
-            )
+        with_field2_burst(|burst| {
+            with_channel_workspace(|cw| self.field2_captures_into(cw, 5, burst));
+            let tx = &burst.tx;
+            let captures = &burst.captures;
+            let localizer = self.localizer();
+            let est = ApOrientationEstimator::new(self.fidelity.sawtooth());
+            milback_ap::with_workspace(|ws| {
+                localizer.profile_diffs_with(ws, tx, captures);
+                // Locate the node's range bin from the combined detection
+                // spectrum, exactly as localization does.
+                milback_ap::background::detection_spectrum_into(&ws.diffs[0], &mut ws.det[0]);
+                milback_ap::background::detection_spectrum_into(&ws.diffs[1], &mut ws.det[1]);
+                milback_dsp::buffer::track_growth(&mut ws.det_sum, ws.det[0].len());
+                ws.det_sum.clear();
+                ws.det_sum
+                    .extend(ws.det[0].iter().zip(&ws.det[1]).map(|(a, b)| a + b));
+                let node_bin =
+                    localizer.find_node_bin_with(&ws.det_sum, tx.fs, &mut ws.floor_scratch)?;
+                // Use the difference pair with the most node energy.
+                let d0 = &ws.diffs[0];
+                let best = (0..d0.len()).max_by(|&i, &j| {
+                    let e = |k: usize| -> f64 {
+                        let lo = node_bin.saturating_sub(2);
+                        let hi = (node_bin + 3).min(d0[k].len());
+                        d0[k][lo..hi].iter().map(|c| c.norm_sq()).sum()
+                    };
+                    e(i).partial_cmp(&e(j)).unwrap()
+                })?;
+                // Gate half-width: the beam bump's spectral spread is a few tens
+                // of bins at these chirp lengths.
+                let half = (localizer.proc.fft_len / 100).max(16);
+                est.estimate_gated(
+                    &d0[best],
+                    node_bin,
+                    half,
+                    tx.fs,
+                    tx.len(),
+                    &self.node.fsa,
+                    Port::A,
+                )
+            })
         })
     }
 

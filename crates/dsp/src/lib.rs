@@ -21,6 +21,8 @@
 //!   tables, Bluestein kernels) backing the [`fft`] free functions,
 //! * [`buffer`] — reusable-buffer helpers for the zero-allocation
 //!   `_into` hot paths (DESIGN.md §12),
+//! * [`phasor`] — phasor-recurrence carrier rotation with periodic
+//!   exact re-anchoring (DESIGN.md §13),
 //! * [`template`] — thread-local cache of synthesized reference
 //!   waveforms (chirps, tones) keyed by exact config bits.
 //!
@@ -50,6 +52,7 @@ pub mod filter;
 pub mod goertzel;
 pub mod noise;
 pub mod num;
+pub mod phasor;
 pub mod plan;
 pub mod resample;
 pub mod signal;

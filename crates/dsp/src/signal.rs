@@ -38,9 +38,15 @@ impl Signal {
 
     /// A constant-amplitude complex tone at baseband offset `f_off` Hz
     /// (RF frequency `fc + f_off`), amplitude `amp`, `n` samples.
+    ///
+    /// Evaluated with the phasor recurrence of [`crate::phasor`]: every
+    /// 64th sample is bitwise identical to a direct
+    /// `Cpx::from_polar(amp, w·t)` loop and the rest differ by less than
+    /// 4×10⁻¹³ relative (DESIGN.md §13).
     pub fn tone(fs: f64, fc: f64, f_off: f64, amp: f64, n: usize) -> Self {
         let w = 2.0 * std::f64::consts::PI * f_off / fs;
-        let samples = (0..n).map(|t| Cpx::from_polar(amp, w * t as f64)).collect();
+        let mut samples = vec![ZERO; n];
+        crate::phasor::fill_linear(amp, 0.0, w, &mut samples);
         Self::new(fs, fc, samples)
     }
 
@@ -142,15 +148,39 @@ impl Signal {
     /// pushed past the end are dropped. This models propagation delay of the
     /// *envelope*; the accompanying carrier phase rotation
     /// `exp(-j2π·fc·tau)` must be applied separately (the channel does it).
+    ///
+    /// ## Leading-edge convention
+    ///
+    /// Output sample `i` interpolates between input samples `j−1` and `j`
+    /// (`j = i − ⌊τ·fs⌋`). At `j == 0` there is no `j−1` sample, so the
+    /// kernel interpolates against an **implicit zero**: with fractional
+    /// shift `frac`, the first live output sample is
+    /// `x[0]·(1 − frac)` — deliberately attenuated, as if the waveform
+    /// ramped up from silence. This models a signal that was *off* before
+    /// its first sample (true for every chirp/tone the simulator emits)
+    /// rather than extrapolating the leading edge. All delay kernels
+    /// ([`Signal::delayed_into`], [`Signal::accumulate_delayed`],
+    /// [`Signal::delay_in_place`]) share this convention bitwise; the unit
+    /// test `fractional_delay_attenuates_leading_edge` pins it.
     pub fn delayed(&self, tau: f64) -> Signal {
+        let mut out = Signal::zeros(self.fs, self.fc, self.len());
+        self.delayed_into(tau, &mut out.samples);
+        out
+    }
+
+    /// Allocation-free [`Signal::delayed`]: writes the delayed envelope
+    /// into `out`, resizing it to `self.len()`. Bitwise identical to
+    /// `delayed` (same interpolation expression and leading-edge
+    /// convention).
+    pub fn delayed_into(&self, tau: f64, out: &mut Vec<Cpx>) {
         assert!(tau >= 0.0, "delay must be non-negative");
-        let shift = tau * self.fs;
-        let whole = shift.floor() as usize;
-        let frac = shift - shift.floor();
+        let (whole, frac) = self.split_shift(tau);
         let n = self.len();
-        let mut out = vec![ZERO; n];
+        crate::buffer::track_growth(out, n);
+        out.resize(n, ZERO);
         for (i, slot) in out.iter_mut().enumerate() {
             if i < whole {
+                *slot = ZERO;
                 continue;
             }
             let j = i - whole;
@@ -159,7 +189,52 @@ impl Signal {
             let b = self.samples[j];
             *slot = a * frac + b * (1.0 - frac);
         }
-        Signal::new(self.fs, self.fc, out)
+    }
+
+    /// Accumulates a delayed, coefficient-scaled copy of this signal:
+    /// `acc[i] += delayed(τ)[i] · coeff`, without materializing the
+    /// delayed waveform. The per-sample expression matches
+    /// `self.delayed(tau)` followed by a scaled add bitwise — this is the
+    /// zero-allocation ray-accumulation kernel of the channel synthesizer
+    /// (DESIGN.md §13). `acc` must be at least `self.len()` long.
+    pub fn accumulate_delayed(&self, tau: f64, coeff: Cpx, acc: &mut [Cpx]) {
+        assert!(tau >= 0.0, "delay must be non-negative");
+        assert!(acc.len() >= self.len(), "accumulator shorter than signal");
+        let (whole, frac) = self.split_shift(tau);
+        for (i, slot) in acc.iter_mut().enumerate().take(self.len()).skip(whole) {
+            let j = i - whole;
+            let a = if j == 0 { ZERO } else { self.samples[j - 1] };
+            let b = self.samples[j];
+            *slot += (a * frac + b * (1.0 - frac)) * coeff;
+        }
+    }
+
+    /// In-place [`Signal::delayed`]: replaces this signal's samples with
+    /// their delayed version, bitwise identical to `delayed` but without
+    /// allocating. Walks indices descending so each output sample reads
+    /// only not-yet-overwritten inputs (`j ≤ i`).
+    pub fn delay_in_place(&mut self, tau: f64) {
+        assert!(tau >= 0.0, "delay must be non-negative");
+        let (whole, frac) = self.split_shift(tau);
+        for i in (0..self.len()).rev() {
+            if i < whole {
+                self.samples[i] = ZERO;
+                continue;
+            }
+            let j = i - whole;
+            let a = if j == 0 { ZERO } else { self.samples[j - 1] };
+            let b = self.samples[j];
+            self.samples[i] = a * frac + b * (1.0 - frac);
+        }
+    }
+
+    /// Splits a delay into whole-sample and fractional parts — the shared
+    /// arithmetic of every delay kernel, kept in one place so they cannot
+    /// diverge bitwise.
+    fn split_shift(&self, tau: f64) -> (usize, f64) {
+        let shift = tau * self.fs;
+        let whole = shift.floor() as usize;
+        (whole, shift - shift.floor())
     }
 
     /// Shifts the baseband spectrum by `f_shift` Hz (multiplies by a complex
@@ -263,6 +338,86 @@ mod tests {
         // d[i] should be i - 0.5 for i >= 1.
         for i in 1..10 {
             assert!((d.samples[i].re - (i as f64 - 0.5)).abs() < 1e-9);
+        }
+    }
+
+    /// Pins the documented leading-edge convention of `delayed`: at
+    /// `j == 0` with a fractional shift the kernel interpolates against
+    /// an implicit zero, so the first live output sample is attenuated
+    /// to `x[0]·(1 − frac)`.
+    #[test]
+    fn fractional_delay_attenuates_leading_edge() {
+        let fs = 1e6;
+        let samples: Vec<Cpx> = (1..=8).map(|i| Cpx::new(i as f64, 0.0)).collect();
+        let s = Signal::new(fs, 0.0, samples);
+        let frac = 0.25;
+        let d = s.delayed(frac / fs);
+        // First live sample: 0·frac + x[0]·(1−frac) = 1·0.75.
+        assert_eq!(d.samples[0].re.to_bits(), (1.0 * (1.0 - frac)).to_bits());
+        assert_eq!(d.samples[0].im.to_bits(), 0.0f64.to_bits());
+        // Interior samples interpolate between live neighbours.
+        assert!((d.samples[3].re - (3.0 * frac + 4.0 * (1.0 - frac))).abs() < 1e-12);
+        // With a whole+fractional shift the convention applies at j == 0
+        // of the shifted frame.
+        let d2 = s.delayed((2.0 + frac) / fs);
+        assert_eq!(d2.samples[2].re.to_bits(), (1.0 * (1.0 - frac)).to_bits());
+        assert!(d2.samples[0].abs() == 0.0 && d2.samples[1].abs() == 0.0);
+    }
+
+    /// All delay kernels share one interpolation expression — pin them
+    /// bitwise against `delayed` for whole, fractional and mixed shifts.
+    #[test]
+    fn delay_kernels_match_delayed_bitwise() {
+        let fs = 2e9;
+        let samples: Vec<Cpx> = (0..64)
+            .map(|i| Cpx::from_polar(1.0 + 0.01 * i as f64, 0.37 * i as f64))
+            .collect();
+        let s = Signal::new(fs, 28e9, samples);
+        let coeff = Cpx::new(0.8, -0.3);
+        for tau in [0.0, 0.5 / fs, 3.0 / fs, 7.31 / fs] {
+            let reference = s.delayed(tau);
+
+            let mut out = vec![Cpx::new(9.0, 9.0); 3];
+            s.delayed_into(tau, &mut out);
+            assert_eq!(out.len(), reference.len());
+
+            // accumulate_delayed(acc=0) must equal delayed()·coeff with
+            // the same operation order.
+            let mut acc = vec![ZERO; s.len()];
+            s.accumulate_delayed(tau, coeff, &mut acc);
+            let mut inplace = s.clone();
+            inplace.delay_in_place(tau);
+            for i in 0..s.len() {
+                assert_eq!(out[i].re.to_bits(), reference.samples[i].re.to_bits());
+                assert_eq!(out[i].im.to_bits(), reference.samples[i].im.to_bits());
+                assert_eq!(
+                    inplace.samples[i].re.to_bits(),
+                    reference.samples[i].re.to_bits()
+                );
+                assert_eq!(
+                    inplace.samples[i].im.to_bits(),
+                    reference.samples[i].im.to_bits()
+                );
+                let want = reference.samples[i] * coeff;
+                assert_eq!(acc[i].re.to_bits(), want.re.to_bits());
+                assert_eq!(acc[i].im.to_bits(), want.im.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn tone_anchors_match_direct_from_polar() {
+        let (fs, f_off, amp, n) = (4e9, 150e6, 1.4, 300);
+        let s = Signal::tone(fs, 28e9, f_off, amp, n);
+        let w = 2.0 * std::f64::consts::PI * f_off / fs;
+        for t in (0..n).step_by(crate::phasor::CHECKPOINT) {
+            let want = Cpx::from_polar(amp, w * t as f64);
+            assert_eq!(s.samples[t].re.to_bits(), want.re.to_bits());
+            assert_eq!(s.samples[t].im.to_bits(), want.im.to_bits());
+        }
+        for (t, c) in s.samples.iter().enumerate() {
+            let want = Cpx::from_polar(amp, w * t as f64);
+            assert!((*c - want).abs() < 4e-13 * amp, "t={t}");
         }
     }
 

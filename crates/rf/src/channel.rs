@@ -18,9 +18,13 @@ use crate::antenna::{Antenna, Horn};
 use crate::fsa::{DualPortFsa, Port};
 use crate::geometry::{Point, Pose, SPEED_OF_LIGHT};
 use crate::propagation::{backscatter_rx_power, fspl, one_way_rx_power, radar_rx_power};
+use crate::workspace::{
+    fsa_fingerprint, pose_bits, wave_fingerprint, with_channel_workspace, ChannelWorkspace, Fnv,
+    PortKey, RayKey, StaticKey,
+};
 use milback_dsp::chirp::ChirpConfig;
 use milback_dsp::noise::db_to_ratio;
-use milback_dsp::num::Cpx;
+use milback_dsp::num::{Cpx, ZERO};
 use milback_dsp::signal::Signal;
 use std::f64::consts::PI;
 
@@ -71,6 +75,30 @@ impl TxComponent {
         match self.profile {
             FreqProfile::Constant(f) => (f, f),
             FreqProfile::Sawtooth(c) | FreqProfile::Triangular(c) => (c.f_start, c.f_stop),
+        }
+    }
+}
+
+/// Folds a frequency profile into a fingerprint, domain-separated by a
+/// discriminant word so e.g. `Constant(f)` and a degenerate chirp at
+/// `f` cannot collide.
+pub(crate) fn fold_profile(h: &mut Fnv, p: &FreqProfile) {
+    match p {
+        FreqProfile::Constant(f) => {
+            h.word(1);
+            h.f64(*f);
+        }
+        FreqProfile::Sawtooth(c) | FreqProfile::Triangular(c) => {
+            h.word(if matches!(p, FreqProfile::Sawtooth(_)) {
+                2
+            } else {
+                3
+            });
+            h.f64(c.f_start);
+            h.f64(c.f_stop);
+            h.f64(c.duration);
+            h.f64(c.fs);
+            h.f64(c.amplitude);
         }
     }
 }
@@ -188,6 +216,36 @@ pub struct NodeInterface<'a> {
     pub gamma: &'a GammaSchedule<'a>,
 }
 
+/// Hoisted per-ray synthesis tables for one (scene, waveform, node
+/// geometry, RX antenna) tuple: everything in `add_node_backscatter`'s
+/// inner loop that does not depend on the reflection-coefficient
+/// schedule. Built once, then replayed per chirp with only the gamma
+/// evaluation and three multiply-adds per sample.
+#[derive(Debug, Clone)]
+pub struct RayTables {
+    /// Envelope delayed by the round-trip time.
+    pub(crate) delayed: Vec<Cpx>,
+    /// Per-sample port-A/port-B LUT amplitudes at the instantaneous
+    /// emitted frequency.
+    pub(crate) amp: [Vec<f64>; 2],
+    /// Per-sample mirror LUT amplitude (empty when the scene has no
+    /// mirror model).
+    pub(crate) amp_mirror: Vec<f64>,
+    /// Round-trip carrier phasor `exp(-j2π·fc·τ_rt)`.
+    pub(crate) rt_phase: Cpx,
+    /// Mirror `(switch_coupling, depth phasor)` when enabled.
+    pub(crate) mirror: Option<(f64, Cpx)>,
+}
+
+/// Hoisted tables for [`Scene::to_node_port`]: the per-sample one-way
+/// LUT amplitude, the carrier phasor and the propagation delay.
+#[derive(Debug, Clone)]
+pub struct PortTables {
+    pub(crate) amp: Vec<f64>,
+    pub(crate) carrier_phase: Cpx,
+    pub(crate) tau: f64,
+}
+
 /// The complete propagation scene.
 #[derive(Debug, Clone)]
 pub struct Scene {
@@ -259,8 +317,58 @@ impl Scene {
     }
 
     /// Steers the AP's TX/RX beams toward a target point.
+    ///
+    /// Changes [`Scene::static_fingerprint`], so every cached channel
+    /// response is invalidated on the next render.
     pub fn steer_towards(&mut self, target: &Point) {
         self.steer = self.tx_pos.bearing_to(target);
+    }
+
+    /// Content-generation fingerprint over every field that shapes the
+    /// synthesized channel: antenna geometry and patterns, steering,
+    /// clutter, self-interference and the mirror model. The
+    /// [`crate::workspace::ChannelWorkspace`] caches are keyed on this
+    /// value, so *any* scene mutation — method or direct field edit —
+    /// invalidates them on the next render (DESIGN.md §13).
+    pub fn static_fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.f64(self.tx_pos.x);
+        h.f64(self.tx_pos.y);
+        for p in &self.rx_pos {
+            h.f64(p.x);
+            h.f64(p.y);
+        }
+        for horn in [&self.tx_antenna, &self.rx_antenna] {
+            h.f64(horn.peak_dbi);
+            h.f64(horn.hpbw);
+            h.f64(horn.sidelobe_db);
+        }
+        h.f64(self.steer);
+        h.word(self.clutter.len() as u64);
+        for r in &self.clutter {
+            h.f64(r.position.x);
+            h.f64(r.position.y);
+            h.f64(r.rcs);
+        }
+        match self.self_interference_db {
+            None => h.word(0),
+            Some(db) => {
+                h.word(1);
+                h.f64(db);
+            }
+        }
+        match &self.mirror {
+            None => h.word(0),
+            Some(m) => {
+                h.word(1);
+                h.f64(m.peak_rcs);
+                h.f64(m.center);
+                h.f64(m.width);
+                h.f64(m.switch_coupling);
+                h.f64(m.depth_offset);
+            }
+        }
+        h.finish()
     }
 
     /// AP TX antenna gain toward `target` given current steering.
@@ -282,6 +390,10 @@ impl Scene {
     /// The signal arriving *inside* the node at FSA port `port` (one-way,
     /// downlink direction), including the frequency-dependent FSA beam
     /// gain. Noiseless; the envelope detector adds its own noise.
+    ///
+    /// Routes through the thread-local [`ChannelWorkspace`] so the
+    /// frequency LUT and per-sample amplitude table are reused across
+    /// symbols of a downlink burst; see [`Scene::to_node_port_with`].
     pub fn to_node_port(
         &self,
         comp: &TxComponent,
@@ -289,10 +401,52 @@ impl Scene {
         fsa: &DualPortFsa,
         port: Port,
     ) -> Signal {
+        let wave_fp = wave_fingerprint(comp);
+        with_channel_workspace(|ws| self.to_node_port_with(ws, comp, wave_fp, pose, fsa, port))
+    }
+
+    /// [`Scene::to_node_port`] against a caller-owned workspace with a
+    /// precomputed [`wave_fingerprint`]. Bitwise identical to the
+    /// historical LUT-per-call implementation.
+    pub fn to_node_port_with(
+        &self,
+        ws: &mut ChannelWorkspace,
+        comp: &TxComponent,
+        wave_fp: u64,
+        pose: &Pose,
+        fsa: &DualPortFsa,
+        port: Port,
+    ) -> Signal {
+        let key = PortKey {
+            scene: self.static_fingerprint(),
+            wave: wave_fp,
+            pose: pose_bits(pose),
+            fsa: fsa_fingerprint(fsa),
+            port,
+        };
+        let tables = ws.port_tables(key, || self.build_port_tables(comp, pose, fsa, port));
+        let mut out = comp.signal.delayed(tables.tau);
+        for (c, amp) in out.samples.iter_mut().zip(&tables.amp) {
+            *c *= tables.carrier_phase * *amp;
+        }
+        out
+    }
+
+    /// Builds the hoisted [`PortTables`] for one downlink ray: the
+    /// amplitude LUT evaluated at every sample's instantaneous emitted
+    /// frequency, plus the carrier phasor and delay.
+    fn build_port_tables(
+        &self,
+        comp: &TxComponent,
+        pose: &Pose,
+        fsa: &DualPortFsa,
+        port: Port,
+    ) -> PortTables {
         let d = self.tx_pos.distance_to(&pose.position);
         let tau = d / SPEED_OF_LIGHT;
         let inc = pose.incidence_from(&self.tx_pos);
         let fc = comp.signal.fc;
+        let fs = comp.signal.fs;
         let g_tx = self.tx_gain_towards(&pose.position, fc);
         let carrier_phase = Cpx::cis(-2.0 * PI * fc * tau);
 
@@ -300,15 +454,18 @@ impl Scene {
         let amp_lut = FreqLut::build(f_lo, f_hi, |f| {
             one_way_rx_power(1.0, g_tx, fsa.gain(port, inc, f), d, f).sqrt()
         });
-
-        let mut out = comp.signal.delayed(tau);
-        let fs = out.fs;
-        for (i, c) in out.samples.iter_mut().enumerate() {
-            let t_emit = i as f64 / fs - tau;
-            let f_inst = comp.profile.freq_at(t_emit.max(0.0));
-            *c *= carrier_phase * amp_lut.get(f_inst);
+        let amp = (0..comp.signal.len())
+            .map(|i| {
+                let t_emit = i as f64 / fs - tau;
+                let f_inst = comp.profile.freq_at(t_emit.max(0.0));
+                amp_lut.get(f_inst)
+            })
+            .collect();
+        PortTables {
+            amp,
+            carrier_phase,
+            tau,
         }
-        out
     }
 
     /// Monostatic capture at RX antenna `rx_idx`: node backscatter through
@@ -328,35 +485,117 @@ impl Scene {
     /// (SDM operation, paper §7): every node's modulated return is summed,
     /// plus the shared static paths. The channel is linear, so this is
     /// exact.
+    ///
+    /// Allocating wrapper over [`Scene::monostatic_rx_multi_into`] using
+    /// the thread-local [`ChannelWorkspace`]; bitwise identical to
+    /// [`Scene::monostatic_rx_multi_uncached`].
     pub fn monostatic_rx_multi(
         &self,
         comp: &TxComponent,
         nodes: &[NodeInterface<'_>],
         rx_idx: usize,
     ) -> Signal {
+        let wave_fp = wave_fingerprint(comp);
+        let mut out = Signal::zeros(comp.signal.fs, comp.signal.fc, comp.signal.len());
+        with_channel_workspace(|ws| {
+            self.monostatic_rx_multi_into(ws, comp, wave_fp, nodes, rx_idx, &mut out)
+        });
+        out
+    }
+
+    /// The cached, allocation-free monostatic render (DESIGN.md §13).
+    ///
+    /// `wave_fp` must be [`wave_fingerprint`]`(comp)` — callers compute
+    /// it once per burst and reuse it across chirps/antennas. After the
+    /// workspace is warm (same scene, waveform and node geometry), a
+    /// render performs **zero** heap allocations: the static-scene
+    /// response is copied from cache and each node's hoisted ray tables
+    /// are replayed with only the Γ-schedule evaluated per sample
+    /// (pinned by `tests/zero_alloc.rs`).
+    pub fn monostatic_rx_multi_into(
+        &self,
+        ws: &mut ChannelWorkspace,
+        comp: &TxComponent,
+        wave_fp: u64,
+        nodes: &[NodeInterface<'_>],
+        rx_idx: usize,
+        out: &mut Signal,
+    ) {
         assert!(rx_idx < 2, "rx_idx must be 0 or 1");
-        let fc = comp.signal.fc;
         let fs = comp.signal.fs;
         let n = comp.signal.len();
-        let mut acc = Signal::zeros(fs, fc, n);
-        for node in nodes {
-            self.add_node_backscatter(&mut acc, comp, node, rx_idx);
+        out.fs = fs;
+        out.fc = comp.signal.fc;
+        milback_dsp::buffer::track_growth(&mut out.samples, n);
+        out.samples.resize(n, ZERO);
+
+        let scene_fp = self.static_fingerprint();
+
+        // Static paths first (summation order matters bitwise: the
+        // uncached reference adds them in the same order).
+        if !self.clutter.is_empty() || self.self_interference_db.is_some() {
+            let key = StaticKey {
+                scene: scene_fp,
+                wave: wave_fp,
+                rx_idx,
+            };
+            let response = ws.static_response(key, || {
+                let mut acc = vec![ZERO; n];
+                self.add_static_paths(comp, rx_idx, &mut acc);
+                acc
+            });
+            out.samples.copy_from_slice(response);
+        } else {
+            out.samples.fill(ZERO);
         }
-        self.add_static_paths(&mut acc, comp, rx_idx);
+
+        for node in nodes {
+            let key = RayKey {
+                scene: scene_fp,
+                wave: wave_fp,
+                rx_idx,
+                pose: pose_bits(&node.pose),
+                fsa: fsa_fingerprint(node.fsa),
+            };
+            let tables = ws.ray_tables(key, || self.build_ray_tables(comp, node, rx_idx));
+            accumulate_node(tables, node.gamma, fs, &mut out.samples);
+        }
+    }
+
+    /// Reference monostatic render that bypasses every cache: fresh
+    /// LUTs, fresh ray tables, fresh buffers. The fast path is asserted
+    /// bitwise against this in `tests/channel_equivalence.rs` and the
+    /// bench A/B leg.
+    pub fn monostatic_rx_multi_uncached(
+        &self,
+        comp: &TxComponent,
+        nodes: &[NodeInterface<'_>],
+        rx_idx: usize,
+    ) -> Signal {
+        assert!(rx_idx < 2, "rx_idx must be 0 or 1");
+        let fs = comp.signal.fs;
+        let mut acc = Signal::zeros(fs, comp.signal.fc, comp.signal.len());
+        self.add_static_paths(comp, rx_idx, &mut acc.samples);
+        for node in nodes {
+            let tables = self.build_ray_tables(comp, node, rx_idx);
+            accumulate_node(&tables, node.gamma, fs, &mut acc.samples);
+        }
         acc
     }
 
-    /// Adds one node's backscatter (both ports + its mirror reflection)
-    /// into `acc`.
-    fn add_node_backscatter(
+    /// Builds the hoisted [`RayTables`] for one node's backscatter rays
+    /// (both ports + its mirror reflection): the round-trip-delayed
+    /// envelope and, per sample, every frequency-LUT amplitude the
+    /// historical inner loop evaluated on the fly.
+    fn build_ray_tables(
         &self,
-        acc: &mut Signal,
         comp: &TxComponent,
         node: &NodeInterface<'_>,
         rx_idx: usize,
-    ) {
+    ) -> RayTables {
         let fc = comp.signal.fc;
         let fs = comp.signal.fs;
+        let n = comp.signal.len();
         let d_tx = self.tx_pos.distance_to(&node.pose.position);
         let d_rx = self.rx_pos[rx_idx].distance_to(&node.pose.position);
         let tau_rt = (d_tx + d_rx) / SPEED_OF_LIGHT;
@@ -365,7 +604,6 @@ impl Scene {
         let g_rx = self.rx_gain_from(rx_idx, &node.pose.position, fc);
         let rt_phase = Cpx::cis(-2.0 * PI * fc * tau_rt);
 
-        // --- Node backscatter through each port -------------------------
         let (f_lo, f_hi) = comp.freq_range();
         let port_luts: [FreqLut; 2] = [
             FreqLut::build(f_lo, f_hi, |f| {
@@ -399,28 +637,33 @@ impl Scene {
             )
         });
 
-        let delayed = comp.signal.delayed(tau_rt);
-        for (i, &s) in delayed.samples.iter().enumerate() {
+        let mut delayed = Vec::new();
+        comp.signal.delayed_into(tau_rt, &mut delayed);
+        let mut amp = [Vec::with_capacity(n), Vec::with_capacity(n)];
+        let mut amp_mirror = Vec::with_capacity(if mirror_lut.is_some() { n } else { 0 });
+        for i in 0..n {
             let t = i as f64 / fs;
             let t_emit = (t - tau_rt).max(0.0);
             let f_inst = comp.profile.freq_at(t_emit);
-            let gammas = (node.gamma)(t);
-            let coeff = gammas[0] * port_luts[0].get(f_inst) + gammas[1] * port_luts[1].get(f_inst);
-            acc.samples[i] += s * coeff * rt_phase;
-
-            // --- Mirror (structural) reflection, switch-coupled ----------
-            if let Some((lut, coupling, phase)) = &mirror_lut {
-                // Weak coupling to port A's switch state.
-                let state = 2.0 * gammas[0].abs() - 1.0;
-                let amp = lut.get(f_inst) * (1.0 + coupling * state);
-                acc.samples[i] += s * rt_phase * *phase * amp;
+            amp[0].push(port_luts[0].get(f_inst));
+            amp[1].push(port_luts[1].get(f_inst));
+            if let Some((lut, _, _)) = &mirror_lut {
+                amp_mirror.push(lut.get(f_inst));
             }
+        }
+        RayTables {
+            delayed,
+            amp,
+            amp_mirror,
+            rt_phase,
+            mirror: mirror_lut.map(|(_, coupling, phase)| (coupling, phase)),
         }
     }
 
     /// Adds the node-independent static paths (clutter + TX→RX leakage)
-    /// into `acc`.
-    fn add_static_paths(&self, acc: &mut Signal, comp: &TxComponent, rx_idx: usize) {
+    /// into `acc` through the allocation-free
+    /// [`Signal::accumulate_delayed`] kernel.
+    fn add_static_paths(&self, comp: &TxComponent, rx_idx: usize, acc: &mut [Cpx]) {
         let fc = comp.signal.fc;
         // --- Static clutter ---------------------------------------------
         for r in &self.clutter {
@@ -433,20 +676,14 @@ impl Scene {
             let p = radar_rx_power(1.0, g_t, g_r, r.rcs, 1.0, fc) * fspl(d1, fc) * fspl(d2, fc)
                 / fspl(1.0, fc).powi(2);
             let coeff = Cpx::cis(-2.0 * PI * fc * tau) * p.sqrt();
-            let delayed = comp.signal.delayed(tau);
-            for (a, b) in acc.samples.iter_mut().zip(&delayed.samples) {
-                *a += *b * coeff;
-            }
+            comp.signal.accumulate_delayed(tau, coeff, acc);
         }
 
         // --- TX → RX self-interference ----------------------------------
         if let Some(si_db) = self.self_interference_db {
             let tau = 1e-9; // ~30 cm equivalent leakage path
             let coeff = Cpx::cis(-2.0 * PI * fc * tau) * db_to_ratio(si_db).sqrt();
-            let delayed = comp.signal.delayed(tau);
-            for (a, b) in acc.samples.iter_mut().zip(&delayed.samples) {
-                *a += *b * coeff;
-            }
+            comp.signal.accumulate_delayed(tau, coeff, acc);
         }
     }
 
@@ -488,6 +725,28 @@ impl Scene {
     pub fn round_trip_delay(&self, pose: &Pose, rx_idx: usize) -> f64 {
         (self.tx_pos.distance_to(&pose.position) + self.rx_pos[rx_idx].distance_to(&pose.position))
             / SPEED_OF_LIGHT
+    }
+}
+
+/// Replays one node's hoisted [`RayTables`] against a Γ-schedule,
+/// accumulating into `acc`. This is the only per-sample loop left on
+/// the monostatic path: one schedule evaluation and three
+/// multiply-adds per sample, no trigonometry, no LUT walks. Both the
+/// cached and the uncached render call it, so they agree bitwise.
+fn accumulate_node(tables: &RayTables, gamma: &GammaSchedule<'_>, fs: f64, acc: &mut [Cpx]) {
+    for (i, &s) in tables.delayed.iter().enumerate() {
+        let t = i as f64 / fs;
+        let gammas = gamma(t);
+        let coeff = gammas[0] * tables.amp[0][i] + gammas[1] * tables.amp[1][i];
+        acc[i] += s * coeff * tables.rt_phase;
+
+        // --- Mirror (structural) reflection, switch-coupled ----------
+        if let Some((coupling, phase)) = tables.mirror {
+            // Weak coupling to port A's switch state.
+            let state = 2.0 * gammas[0].abs() - 1.0;
+            let amp = tables.amp_mirror[i] * (1.0 + coupling * state);
+            acc[i] += s * tables.rt_phase * phase * amp;
+        }
     }
 }
 

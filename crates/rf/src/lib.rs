@@ -24,8 +24,11 @@
 //! subtraction exists to remove, and [`geometry`]/[`room`] define the
 //! evaluation scenes behind Figures 12–15.
 //!
-//! This crate is pure physics — it is deliberately *not* instrumented
-//! with telemetry; stage counters live in the layers that call it
+//! This crate is pure physics with one observability exception: the
+//! [`workspace`] channel-synthesis caches report their hit/miss/grow
+//! counters (all `.local`-suffixed, per-thread) so the static-scene
+//! response cache of DESIGN.md §13 can be audited. Stage counters for
+//! the processing pipeline live in the layers that call this crate
 //! (`milback-ap`, `milback-node`, `milback` core).
 
 #![deny(rustdoc::broken_intra_doc_links)]
@@ -37,8 +40,10 @@ pub mod fsa;
 pub mod geometry;
 pub mod propagation;
 pub mod room;
+pub mod workspace;
 
 pub use channel::{Scene, TxComponent};
 pub use fsa::{DualPortFsa, FsaConfig, Port};
 pub use geometry::{Point, Pose};
 pub use room::Room;
+pub use workspace::{wave_fingerprint, with_channel_workspace, ChannelWorkspace};

@@ -1,0 +1,388 @@
+//! Reusable channel-synthesis workspace: the static-scene response
+//! cache and per-ray tables behind the fast monostatic render path
+//! (DESIGN.md §13).
+//!
+//! A five-chirp Field-2 burst renders the *same* static scene (clutter
+//! plus TX→RX leakage) and the *same* node geometry ten times (five
+//! chirps × two RX antennas) — only the node's reflection-coefficient
+//! schedule changes between chirps. The [`ChannelWorkspace`] caches
+//! everything that depends purely on (scene, waveform, geometry):
+//!
+//! * the summed **static-scene response** per (scene, waveform, RX
+//!   antenna) — reused across every chirp of a burst and across trials
+//!   with unchanged geometry,
+//! * per-node **ray tables** (delayed envelope + per-sample LUT
+//!   amplitude products + round-trip phasor) per (scene, waveform,
+//!   pose, FSA, RX antenna),
+//! * per-port **downlink tables** for `Scene::to_node_port`.
+//!
+//! ## Invalidation
+//!
+//! `Scene` is a plain value with public fields — experiments mutate it
+//! directly (`scene.clutter.push(..)`, `steer_towards`, node moves), so
+//! a hidden mutation-counting generation number could not see every
+//! edit. The generation counter is therefore a **content generation**:
+//! [`Scene::static_fingerprint`](crate::channel::Scene::static_fingerprint)
+//! folds every static-relevant field into
+//! an FNV-1a hash, and cache keys carry that fingerprint (plus waveform
+//! and geometry fingerprints). Any scene mutation changes the
+//! fingerprint, which misses the cache and rebuilds — no explicit
+//! invalidation hooks needed, no way to forget one.
+//!
+//! ## Telemetry
+//!
+//! Per-thread caches warm independently, so all counters carry the
+//! `.local` suffix and are stripped from the deterministic telemetry
+//! view (README §Observability):
+//!
+//! * `rf.scene.cache.hit.local` / `rf.scene.cache.miss.local` — static
+//!   response lookups,
+//! * `rf.ray.cache.hit.local` / `rf.ray.cache.miss.local` — node ray
+//!   tables,
+//! * `rf.port.cache.hit.local` / `rf.port.cache.miss.local` — downlink
+//!   port tables,
+//! * `rf.workspace.grow.local` — one count per cache entry built
+//!   (insert or LRU replacement).
+//!
+//! `rf.workspace.reuse` counts thread-local checkouts and is
+//! thread-invariant, mirroring `dsp.workspace.reuse`.
+
+use crate::channel::{PortTables, RayTables, TxComponent};
+use crate::fsa::{DualPortFsa, Port};
+use crate::geometry::Pose;
+use milback_dsp::num::Cpx;
+use milback_telemetry as telemetry;
+use std::cell::RefCell;
+
+// ---------------------------------------------------------------------
+// FNV-1a fingerprints
+// ---------------------------------------------------------------------
+
+/// Incremental FNV-1a over 64-bit words. Hashing whole `f64` bit
+/// patterns (not bytes) keeps a 6 400-sample waveform fingerprint in
+/// the ~10 µs range — negligible next to a render and amortized by the
+/// callers that cache the result per burst.
+pub(crate) struct Fnv(u64);
+
+impl Fnv {
+    pub(crate) fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    #[inline]
+    pub(crate) fn word(&mut self, w: u64) {
+        self.0 = (self.0 ^ w).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
+    #[inline]
+    pub(crate) fn f64(&mut self, v: f64) {
+        self.word(v.to_bits());
+    }
+
+    pub(crate) fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Fingerprint of a transmitted component: sample rate, carrier,
+/// frequency profile and every sample's bit pattern. Two components
+/// with equal fingerprints render identically through the channel.
+///
+/// Callers on the hot path (`Network`, `link`) compute this once per
+/// burst/symbol batch and pass it to the `_into` render entry points;
+/// the allocating wrappers recompute it per call.
+pub fn wave_fingerprint(comp: &TxComponent) -> u64 {
+    let mut h = Fnv::new();
+    h.f64(comp.signal.fs);
+    h.f64(comp.signal.fc);
+    crate::channel::fold_profile(&mut h, &comp.profile);
+    h.word(comp.signal.len() as u64);
+    for c in &comp.signal.samples {
+        h.f64(c.re);
+        h.f64(c.im);
+    }
+    h.finish()
+}
+
+/// Fingerprint of an FSA design (all [`crate::fsa::FsaConfig`] fields).
+pub fn fsa_fingerprint(fsa: &DualPortFsa) -> u64 {
+    let cfg = fsa.config();
+    let mut h = Fnv::new();
+    h.word(cfg.n_elements as u64);
+    h.f64(cfg.spacing);
+    h.f64(cfg.feed_length);
+    h.word(cfg.harmonic as u64);
+    h.f64(cfg.feed_loss_neper);
+    h.f64(cfg.efficiency_db);
+    h.f64(cfg.element.peak_dbi);
+    h.f64(cfg.element.q);
+    h.f64(cfg.element.floor_db);
+    h.f64(cfg.f_lo);
+    h.f64(cfg.f_hi);
+    h.finish()
+}
+
+#[inline]
+pub(crate) fn pose_bits(pose: &Pose) -> [u64; 3] {
+    [
+        pose.position.x.to_bits(),
+        pose.position.y.to_bits(),
+        pose.facing.to_bits(),
+    ]
+}
+
+// ---------------------------------------------------------------------
+// Cache keys and entries
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct StaticKey {
+    pub scene: u64,
+    pub wave: u64,
+    pub rx_idx: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct RayKey {
+    pub scene: u64,
+    pub wave: u64,
+    pub rx_idx: usize,
+    pub pose: [u64; 3],
+    pub fsa: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct PortKey {
+    pub scene: u64,
+    pub wave: u64,
+    pub pose: [u64; 3],
+    pub fsa: u64,
+    pub port: Port,
+}
+
+struct Entry<K, V> {
+    key: K,
+    value: V,
+    stamp: u64,
+}
+
+/// Tiny stamp-LRU: linear scan (a handful of entries), min-stamp
+/// replacement when full. `hit`/`miss` name the telemetry counters.
+struct Lru<K, V> {
+    entries: Vec<Entry<K, V>>,
+    cap: usize,
+    hit: &'static str,
+    miss: &'static str,
+}
+
+impl<K: PartialEq + Copy, V> Lru<K, V> {
+    fn new(cap: usize, hit: &'static str, miss: &'static str) -> Self {
+        Self {
+            entries: Vec::new(),
+            cap,
+            hit,
+            miss,
+        }
+    }
+
+    fn get_or_build(&mut self, key: K, stamp: u64, build: impl FnOnce() -> V) -> &V {
+        let idx = match self.entries.iter().position(|e| e.key == key) {
+            Some(i) => {
+                telemetry::counter_add(self.hit, 1);
+                self.entries[i].stamp = stamp;
+                i
+            }
+            None => {
+                telemetry::counter_add(self.miss, 1);
+                telemetry::counter_add("rf.workspace.grow.local", 1);
+                let entry = Entry {
+                    key,
+                    value: build(),
+                    stamp,
+                };
+                if self.entries.len() < self.cap {
+                    self.entries.push(entry);
+                    self.entries.len() - 1
+                } else {
+                    let i = self
+                        .entries
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, e)| e.stamp)
+                        .map(|(i, _)| i)
+                        .unwrap();
+                    self.entries[i] = entry;
+                    i
+                }
+            }
+        };
+        &self.entries[idx].value
+    }
+}
+
+// ---------------------------------------------------------------------
+// The workspace
+// ---------------------------------------------------------------------
+
+/// Caller-owned cache set for channel synthesis. Mirrors
+/// `milback_ap::workspace::DspWorkspace`: own one directly or borrow
+/// the thread-local instance through [`with_channel_workspace`].
+pub struct ChannelWorkspace {
+    statics: Lru<StaticKey, Vec<Cpx>>,
+    rays: Lru<RayKey, RayTables>,
+    ports: Lru<PortKey, PortTables>,
+    clock: u64,
+}
+
+impl ChannelWorkspace {
+    /// An empty workspace; caches fill on first use.
+    pub fn new() -> Self {
+        Self {
+            statics: Lru::new(8, "rf.scene.cache.hit.local", "rf.scene.cache.miss.local"),
+            rays: Lru::new(16, "rf.ray.cache.hit.local", "rf.ray.cache.miss.local"),
+            ports: Lru::new(8, "rf.port.cache.hit.local", "rf.port.cache.miss.local"),
+            clock: 0,
+        }
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    pub(crate) fn static_response(
+        &mut self,
+        key: StaticKey,
+        build: impl FnOnce() -> Vec<Cpx>,
+    ) -> &[Cpx] {
+        let stamp = self.tick();
+        self.statics.get_or_build(key, stamp, build)
+    }
+
+    pub(crate) fn ray_tables(
+        &mut self,
+        key: RayKey,
+        build: impl FnOnce() -> RayTables,
+    ) -> &RayTables {
+        let stamp = self.tick();
+        self.rays.get_or_build(key, stamp, build)
+    }
+
+    pub(crate) fn port_tables(
+        &mut self,
+        key: PortKey,
+        build: impl FnOnce() -> PortTables,
+    ) -> &PortTables {
+        let stamp = self.tick();
+        self.ports.get_or_build(key, stamp, build)
+    }
+
+    /// Number of cached entries across all caches (test/diagnostic aid).
+    pub fn cached_entries(&self) -> usize {
+        self.statics.entries.len() + self.rays.entries.len() + self.ports.entries.len()
+    }
+}
+
+impl Default for ChannelWorkspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+thread_local! {
+    static WORKSPACE: RefCell<ChannelWorkspace> = RefCell::new(ChannelWorkspace::new());
+}
+
+/// Runs `f` with this thread's shared [`ChannelWorkspace`].
+///
+/// Counts one `rf.workspace.reuse` per checkout. Re-entrant checkouts
+/// (a closure calling [`with_channel_workspace`] again) fall back to a
+/// fresh temporary workspace rather than panicking — correctness never
+/// depends on which cache set a call lands on.
+pub fn with_channel_workspace<R>(f: impl FnOnce(&mut ChannelWorkspace) -> R) -> R {
+    telemetry::counter_add("rf.workspace.reuse", 1);
+    WORKSPACE.with(|w| match w.try_borrow_mut() {
+        Ok(mut ws) => f(&mut ws),
+        Err(_) => f(&mut ChannelWorkspace::new()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::{Scene, TxComponent};
+    use milback_dsp::signal::Signal;
+
+    #[test]
+    fn lru_replaces_least_recently_used() {
+        let mut lru: Lru<u64, u64> = Lru::new(2, "t.hit.local", "t.miss.local");
+        lru.get_or_build(1, 1, || 10);
+        lru.get_or_build(2, 2, || 20);
+        lru.get_or_build(1, 3, || 99); // hit: keeps 10
+        assert_eq!(*lru.get_or_build(1, 4, || 99), 10);
+        lru.get_or_build(3, 5, || 30); // evicts key 2 (stamp 2)
+        assert_eq!(lru.entries.len(), 2);
+        assert!(lru.entries.iter().any(|e| e.key == 1));
+        assert!(lru.entries.iter().any(|e| e.key == 3));
+    }
+
+    #[test]
+    fn wave_fingerprint_separates_contents_and_metadata() {
+        let mk =
+            |f_off: f64| TxComponent::tone(Signal::tone(1e8, 28e9, f_off, 1.0, 64), 28e9 + f_off);
+        let a = wave_fingerprint(&mk(0.0));
+        let b = wave_fingerprint(&mk(1e6));
+        assert_ne!(a, b, "different samples must fingerprint differently");
+        assert_eq!(a, wave_fingerprint(&mk(0.0)), "fingerprint must be stable");
+    }
+
+    #[test]
+    fn scene_fingerprint_sees_every_static_field() {
+        let base = Scene::milback_indoor();
+        let fp = base.static_fingerprint();
+        assert_eq!(fp, base.static_fingerprint(), "fingerprint must be stable");
+
+        let mut steered = base.clone();
+        steered.steer_towards(&crate::geometry::Point::new(3.0, 1.0));
+        assert_ne!(fp, steered.static_fingerprint(), "steer not covered");
+
+        let mut decluttered = base.clone();
+        decluttered.clutter.pop();
+        assert_ne!(fp, decluttered.static_fingerprint(), "clutter not covered");
+
+        let mut no_si = base.clone();
+        no_si.self_interference_db = None;
+        assert_ne!(fp, no_si.static_fingerprint(), "SI not covered");
+
+        let mut mirror_moved = base.clone();
+        mirror_moved.mirror.as_mut().unwrap().depth_offset += 1e-3;
+        assert_ne!(fp, mirror_moved.static_fingerprint(), "mirror not covered");
+
+        let mut rx_moved = base;
+        rx_moved.rx_pos[1].y += 1e-4;
+        assert_ne!(fp, rx_moved.static_fingerprint(), "rx_pos not covered");
+    }
+
+    #[test]
+    fn with_channel_workspace_tolerates_nesting() {
+        std::thread::spawn(|| {
+            with_channel_workspace(|ws| {
+                let key = StaticKey {
+                    scene: 1,
+                    wave: 2,
+                    rx_idx: 0,
+                };
+                ws.static_response(key, Vec::new);
+                assert_eq!(ws.cached_entries(), 1);
+                with_channel_workspace(|inner| {
+                    assert_eq!(inner.cached_entries(), 0, "nested checkout saw outer");
+                });
+            });
+            with_channel_workspace(|ws| {
+                assert_eq!(ws.cached_entries(), 1, "workspace was not reused");
+            });
+        })
+        .join()
+        .unwrap();
+    }
+}

@@ -1,0 +1,236 @@
+//! Bitwise equivalence of the cached channel-synthesis path
+//! (`Scene::monostatic_rx_multi_into` + `ChannelWorkspace`, DESIGN.md
+//! §13) against the uncached reference
+//! (`Scene::monostatic_rx_multi_uncached`), plus the content-fingerprint
+//! invalidation rules: any static-scene or node-geometry change must be
+//! reflected on the very next render, with no stale cache reuse.
+
+use milback_dsp::chirp::ChirpConfig;
+use milback_dsp::num::Cpx;
+use milback_dsp::signal::Signal;
+use milback_rf::channel::{FreqProfile, NodeInterface, Scene, TxComponent};
+use milback_rf::fsa::DualPortFsa;
+use milback_rf::geometry::{deg_to_rad, Point, Pose};
+use milback_rf::{wave_fingerprint, ChannelWorkspace};
+
+/// A short Field-2-style chirp (800 samples) so each uncached reference
+/// render stays cheap.
+fn test_component() -> TxComponent {
+    let cfg = ChirpConfig {
+        f_start: 27.5e9,
+        f_stop: 28.5e9,
+        duration: 0.5e-6,
+        fs: 1.6e9,
+        amplitude: 1.0,
+    };
+    TxComponent {
+        signal: cfg.sawtooth(),
+        profile: FreqProfile::Sawtooth(cfg),
+    }
+}
+
+/// Square-wave port-A modulation at `freq` with a small port-B residual,
+/// offset by `t_off` — the shape of the localization Γ schedule.
+fn gamma_square(freq: f64, t_off: f64) -> impl Fn(f64) -> [Cpx; 2] {
+    move |t: f64| {
+        let s = if ((t + t_off) * freq).fract() < 0.5 {
+            0.6
+        } else {
+            -0.6
+        };
+        [Cpx::new(s, 0.0), Cpx::new(0.05, 0.0)]
+    }
+}
+
+fn render_cached(
+    ws: &mut ChannelWorkspace,
+    scene: &Scene,
+    comp: &TxComponent,
+    nodes: &[NodeInterface<'_>],
+    rx_idx: usize,
+) -> Signal {
+    let mut out = Signal::zeros(comp.signal.fs, comp.signal.fc, 0);
+    scene.monostatic_rx_multi_into(ws, comp, wave_fingerprint(comp), nodes, rx_idx, &mut out);
+    out
+}
+
+/// The cached path must be bitwise identical to the uncached reference on
+/// every scene variant — clutter on/off, mirror on/off, self-interference
+/// on/off — at both RX antennas, with two SDM nodes in the scene, both on
+/// the cold first render and on the warm replay.
+#[test]
+fn cached_render_matches_uncached_across_scene_variants() {
+    let comp = test_component();
+    let fsa = DualPortFsa::milback();
+    let pose_a = Pose::facing_ap(3.0, deg_to_rad(5.0), deg_to_rad(8.0));
+    let pose_b = Pose::facing_ap(4.5, deg_to_rad(-10.0), 0.0);
+    let gamma_a = gamma_square(40e6, 0.0);
+    let gamma_b = gamma_square(25e6, 0.1e-6);
+    let nodes = [
+        NodeInterface {
+            pose: pose_a,
+            fsa: &fsa,
+            gamma: &gamma_a,
+        },
+        NodeInterface {
+            pose: pose_b,
+            fsa: &fsa,
+            gamma: &gamma_b,
+        },
+    ];
+
+    let mut indoor = Scene::milback_indoor();
+    indoor.steer_towards(&pose_a.position);
+    let mut no_mirror = indoor.clone();
+    no_mirror.mirror = None;
+    let mut no_clutter = indoor.clone();
+    no_clutter.clutter.clear();
+    let mut bare = Scene::free_space();
+    bare.steer_towards(&pose_a.position);
+
+    let mut ws = ChannelWorkspace::default();
+    for (name, scene) in [
+        ("indoor", &indoor),
+        ("no_mirror", &no_mirror),
+        ("no_clutter", &no_clutter),
+        ("free_space", &bare),
+    ] {
+        for rx_idx in 0..2 {
+            let reference = scene.monostatic_rx_multi_uncached(&comp, &nodes, rx_idx);
+            let cold = render_cached(&mut ws, scene, &comp, &nodes, rx_idx);
+            assert_eq!(
+                reference.samples, cold.samples,
+                "{name} rx{rx_idx}: cold cached render diverged"
+            );
+            let warm = render_cached(&mut ws, scene, &comp, &nodes, rx_idx);
+            assert_eq!(
+                reference.samples, warm.samples,
+                "{name} rx{rx_idx}: warm cached render diverged"
+            );
+        }
+    }
+}
+
+/// Γ schedules are deliberately outside the cache keys (they are
+/// evaluated per sample on every render): two chirps of the same burst
+/// must reuse the hoisted tables yet produce different, each-correct
+/// output.
+#[test]
+fn gamma_schedule_is_applied_per_render_not_cached() {
+    let comp = test_component();
+    let fsa = DualPortFsa::milback();
+    let pose = Pose::facing_ap(3.0, 0.0, deg_to_rad(5.0));
+    let mut scene = Scene::milback_indoor();
+    scene.steer_towards(&pose.position);
+
+    let mut ws = ChannelWorkspace::default();
+    let mut chirps = Vec::new();
+    for chirp in 0..3 {
+        let gamma = gamma_square(40e6, chirp as f64 * 0.5e-6);
+        let node = NodeInterface {
+            pose,
+            fsa: &fsa,
+            gamma: &gamma,
+        };
+        let cached = render_cached(&mut ws, &scene, &comp, std::slice::from_ref(&node), 0);
+        let reference = scene.monostatic_rx_multi_uncached(&comp, std::slice::from_ref(&node), 0);
+        assert_eq!(reference.samples, cached.samples, "chirp {chirp} diverged");
+        chirps.push(cached);
+    }
+    assert_ne!(
+        chirps[0].samples, chirps[1].samples,
+        "distinct gamma offsets must yield distinct renders"
+    );
+}
+
+/// Moving the node or re-steering the AP mid-burst must invalidate the
+/// cached tables: the next render equals a fresh uncached render of the
+/// new geometry and differs from the stale one.
+#[test]
+fn scene_and_node_mutations_invalidate_the_cache() {
+    let comp = test_component();
+    let fsa = DualPortFsa::milback();
+    let gamma = gamma_square(40e6, 0.0);
+    let pose0 = Pose::facing_ap(3.0, 0.0, deg_to_rad(5.0));
+    let mut scene = Scene::milback_indoor();
+    scene.steer_towards(&pose0.position);
+
+    let mut ws = ChannelWorkspace::default();
+    let node0 = NodeInterface {
+        pose: pose0,
+        fsa: &fsa,
+        gamma: &gamma,
+    };
+    let before = render_cached(&mut ws, &scene, &comp, std::slice::from_ref(&node0), 0);
+
+    // Node moves: new pose must be re-synthesized, not replayed.
+    let pose1 = Pose::facing_ap(3.4, deg_to_rad(7.0), deg_to_rad(5.0));
+    let node1 = NodeInterface {
+        pose: pose1,
+        fsa: &fsa,
+        gamma: &gamma,
+    };
+    let moved = render_cached(&mut ws, &scene, &comp, std::slice::from_ref(&node1), 0);
+    let moved_ref = scene.monostatic_rx_multi_uncached(&comp, std::slice::from_ref(&node1), 0);
+    assert_eq!(
+        moved_ref.samples, moved.samples,
+        "post-move render is stale"
+    );
+    assert_ne!(before.samples, moved.samples, "node motion had no effect");
+
+    // AP re-steers toward the new position: static fingerprint changes,
+    // so clutter response AND ray tables must both refresh.
+    scene.steer_towards(&pose1.position);
+    let steered = render_cached(&mut ws, &scene, &comp, std::slice::from_ref(&node1), 0);
+    let steered_ref = scene.monostatic_rx_multi_uncached(&comp, std::slice::from_ref(&node1), 0);
+    assert_eq!(
+        steered_ref.samples, steered.samples,
+        "post-steer render is stale"
+    );
+    assert_ne!(moved.samples, steered.samples, "re-steering had no effect");
+
+    // Clutter mutation through the public field (no setter involved).
+    scene.clutter.push(milback_rf::channel::Reflector {
+        position: Point::new(5.0, 0.5),
+        rcs: 0.4,
+    });
+    let cluttered = render_cached(&mut ws, &scene, &comp, std::slice::from_ref(&node1), 0);
+    let cluttered_ref = scene.monostatic_rx_multi_uncached(&comp, std::slice::from_ref(&node1), 0);
+    assert_eq!(
+        cluttered_ref.samples, cluttered.samples,
+        "post-clutter-mutation render is stale"
+    );
+    assert_ne!(
+        steered.samples, cluttered.samples,
+        "added reflector had no effect"
+    );
+
+    // The original geometry still verifies after all the churn (it may
+    // have been evicted, but never corrupted).
+    let mut scene0 = Scene::milback_indoor();
+    scene0.steer_towards(&pose0.position);
+    let replay = render_cached(&mut ws, &scene0, &comp, std::slice::from_ref(&node0), 0);
+    assert_eq!(
+        before.samples, replay.samples,
+        "original geometry corrupted"
+    );
+}
+
+/// The one-way downlink render (`to_node_port`) must give the same
+/// signal through a warm workspace as through a cold one.
+#[test]
+fn to_node_port_cache_is_transparent() {
+    let comp = test_component();
+    let fsa = DualPortFsa::milback();
+    let pose = Pose::facing_ap(2.0, 0.0, deg_to_rad(12.0));
+    let mut scene = Scene::milback_indoor();
+    scene.steer_towards(&pose.position);
+    let fp = wave_fingerprint(&comp);
+
+    for port in [milback_rf::fsa::Port::A, milback_rf::fsa::Port::B] {
+        let mut cold_ws = ChannelWorkspace::default();
+        let cold = scene.to_node_port_with(&mut cold_ws, &comp, fp, &pose, &fsa, port);
+        let warm = scene.to_node_port_with(&mut cold_ws, &comp, fp, &pose, &fsa, port);
+        assert_eq!(cold.samples, warm.samples, "warm {port:?} render diverged");
+    }
+}

@@ -7,7 +7,11 @@
 //! * the five-chirp localization burst through
 //!   `Localizer::process_with` on a warmed `DspWorkspace`,
 //! * the link-side symbol loop: Field-2 waveform assembly into a reused
-//!   `Signal` plus uplink query-tone fetches from the template cache.
+//!   `Signal` plus uplink query-tone fetches from the template cache,
+//! * the full Field-2 render: `Network::field2_captures_into` through a
+//!   warmed `ChannelWorkspace` + `Field2Burst` — channel synthesis
+//!   included (static-scene response cache + hoisted ray tables,
+//!   DESIGN.md §13), not just the processing half.
 //!
 //! One test function on purpose: the allocation counter is process-wide,
 //! so a second concurrently-running test would pollute the deltas.
@@ -106,5 +110,40 @@ fn warmed_hot_paths_perform_zero_heap_allocations() {
         allocs() - before,
         0,
         "warmed link symbol loop allocated on the heap"
+    );
+
+    // ---- full Field-2 render: channel synthesis included ------------
+    // A caller-owned workspace + burst, so warm-up is explicit. The
+    // scene is the clutter-rich indoor default, so this covers the
+    // static-response cache, the hoisted ray tables AND the capture
+    // noise/jitter loop.
+    let mut cw = milback_rf::ChannelWorkspace::default();
+    let mut burst = milback::network::Field2Burst::default();
+    net.field2_captures_into(&mut cw, 5, &mut burst);
+    net.field2_captures_into(&mut cw, 5, &mut burst);
+    assert_eq!(burst.captures.len(), 5);
+
+    let before = allocs();
+    for _ in 0..3 {
+        net.field2_captures_into(&mut cw, 5, &mut burst);
+    }
+    assert_eq!(
+        allocs() - before,
+        0,
+        "warmed Field-2 render (channel synthesis) allocated on the heap"
+    );
+
+    // And the fully-composed trial the batch engine runs: render through
+    // the thread-local burst/channel workspaces, process through the
+    // thread-local DSP workspace.
+    assert!(net.localize().is_some(), "warm-up localize failed");
+    let before = allocs();
+    for _ in 0..3 {
+        assert!(net.localize().is_some(), "steady-state localize failed");
+    }
+    assert_eq!(
+        allocs() - before,
+        0,
+        "warmed end-to-end localize allocated on the heap"
     );
 }
