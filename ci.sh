@@ -27,6 +27,12 @@ if cargo clippy --version >/dev/null 2>&1; then
     cargo clippy --release "${CARGO_FLAGS[@]}" --all-targets -- -D warnings \
         -W clippy::redundant_clone -W clippy::needless_collect \
         -W clippy::needless_range_loop -W clippy::manual_memcpy
+    # Library paths of the protocol/session layers must not unwrap:
+    # every fallible outcome is a typed error or a Degradation report
+    # (DESIGN.md §14). --lib skips #[cfg(test)] modules; --no-deps
+    # keeps the lint off the vendored stubs.
+    cargo clippy --release --offline --lib --no-deps -p milback -p milback-proto \
+        -- -D warnings -W clippy::unwrap_used
 else
     echo "==> clippy not installed; skipping lint" >&2
 fi
@@ -48,6 +54,18 @@ echo "==> bench smoke (kernel/burst/channel bitwise asserts)"
 # to its allocating/uncached twin before reporting timings.
 cargo run --release --offline -p milback-bench --bin bench_engine -- \
     --smoke --out target/bench_smoke.json >/dev/null
+
+echo "==> chaos smoke (fault-injection determinism)"
+# The chaos leg (DESIGN.md §14) runs supervised sessions under sampled
+# fault plans serially and in parallel, asserting identical outcomes and
+# byte-identical telemetry deterministic views inside one process. Two
+# back-to-back runs then pin cross-process determinism: same seeds, same
+# faults, same recoveries — the view files must compare equal with cmp.
+MILBACK_TELEMETRY=1 cargo run --release --offline -p milback-bench --bin bench_engine -- \
+    --smoke --chaos-only --chaos-view target/chaos_view_1.json >/dev/null
+MILBACK_TELEMETRY=1 cargo run --release --offline -p milback-bench --bin bench_engine -- \
+    --smoke --chaos-only --chaos-view target/chaos_view_2.json >/dev/null
+cmp target/chaos_view_1.json target/chaos_view_2.json
 
 echo "==> cargo doc (rustdoc warnings are errors)"
 # Same package list as fmt: vendored stubs are exempt from the docs gate.

@@ -48,9 +48,18 @@
 //! take their no-op branches.
 //!
 //! Usage: `cargo run --release -p milback-bench --bin bench_engine
-//! [-- --smoke] [-- --out path.json]`.
+//! [-- --smoke] [-- --out path.json] [-- --chaos-only]
+//! [-- --chaos-view path.json]`.
+//!
+//! The chaos leg runs supervised sessions under sampled fault plans
+//! (DESIGN.md §14) serially and in parallel, asserting identical
+//! per-trial outcomes and byte-identical telemetry deterministic views.
+//! `--chaos-only` runs just that leg (the CI determinism check);
+//! `--chaos-view <path>` writes the serial run's deterministic-view
+//! JSON so two invocations can be compared byte-for-byte.
 
 use milback::batch;
+use milback::chaos::{chaos_sweep_with_threads, default_points};
 use milback::{Fidelity, Network};
 use milback_ap::cfar::CfarDetector;
 use milback_ap::waveform::TxConfig;
@@ -132,6 +141,64 @@ fn json_f(v: f64) -> String {
     }
 }
 
+/// The chaos leg (DESIGN.md §14): a small chaos sweep run serially and
+/// in parallel. Asserts per-trial outcome equality and byte-identical
+/// telemetry deterministic views, optionally writing the serial view to
+/// `view_path` for cross-process comparison. Returns the JSON fragment
+/// for the report. Resets telemetry; callers run it outside their own
+/// measured region.
+fn chaos_leg(smoke: bool, threads: usize, view_path: Option<&str>) -> String {
+    let points = default_points();
+    let trials = if smoke { 3 } else { 12 };
+    let seed = 0xC4A0_5EED;
+
+    telemetry::reset();
+    let t0 = Instant::now();
+    let serial = chaos_sweep_with_threads(&points, trials, seed, 1);
+    let serial_s = t0.elapsed().as_secs_f64();
+    let serial_view = telemetry::snapshot().deterministic_view().to_json(2);
+
+    telemetry::reset();
+    let t0 = Instant::now();
+    let parallel = chaos_sweep_with_threads(&points, trials, seed, threads);
+    let parallel_s = t0.elapsed().as_secs_f64();
+    let parallel_view = telemetry::snapshot().deterministic_view().to_json(2);
+
+    assert_eq!(
+        serial, parallel,
+        "chaos sweep lost determinism across thread counts"
+    );
+    assert_eq!(
+        serial_view, parallel_view,
+        "chaos telemetry deterministic views diverged"
+    );
+
+    if let Some(path) = view_path {
+        std::fs::write(path, &serial_view).expect("failed to write chaos deterministic view");
+        println!("chaos leg: wrote deterministic view to {path}");
+    }
+
+    let flat: Vec<_> = serial.iter().flatten().collect();
+    let delivered = flat.iter().filter(|o| o.delivered).count();
+    let fallbacks = flat.iter().filter(|o| o.fell_back).count();
+    let failures = flat.iter().filter(|o| o.failure.is_some()).count();
+    println!(
+        "chaos leg: {} sessions ({} points x {trials} trials), {delivered} delivered, \
+         {fallbacks} reduced-chirp fallbacks, {failures} typed failures",
+        flat.len(),
+        points.len(),
+    );
+    println!("  serial: {serial_s:.3} s, parallel ({threads} threads): {parallel_s:.3} s");
+    println!("  deterministic: outcomes identical, views byte-identical");
+
+    format!(
+        "{{\n    \"workload\": \"supervised sessions under sampled fault plans, intensities 0.0/0.5/0.9\",\n    \"sessions\": {},\n    \"trials_per_point\": {trials},\n    \"serial_s\": {},\n    \"parallel_s\": {},\n    \"delivered\": {delivered},\n    \"reduced_chirp_fallbacks\": {fallbacks},\n    \"typed_failures\": {failures},\n    \"outcomes_identical\": true,\n    \"views_byte_identical\": true\n  }}",
+        flat.len(),
+        json_f(serial_s),
+        json_f(parallel_s),
+    )
+}
+
 /// The next free `BENCH_<n>.json` name in `dir`: one past the highest
 /// existing index (starting at 1).
 fn next_bench_path(dir: &std::path::Path) -> String {
@@ -179,10 +246,12 @@ fn kernel_json(name: &str, desc: &str, reps: usize, leg: (f64, f64, f64)) -> Str
 }
 
 fn main() {
-    let (out_path, smoke) = {
+    let (out_path, smoke, chaos_only, chaos_view) = {
         let mut args = std::env::args().skip(1);
         let mut path = None;
         let mut smoke = false;
+        let mut chaos_only = false;
+        let mut chaos_view = None;
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--out" => {
@@ -191,12 +260,20 @@ fn main() {
                     }
                 }
                 "--smoke" => smoke = true,
+                "--chaos-only" => chaos_only = true,
+                "--chaos-view" => {
+                    if let Some(p) = args.next() {
+                        chaos_view = Some(p);
+                    }
+                }
                 _ => {}
             }
         }
         (
             path.unwrap_or_else(|| next_bench_path(std::path::Path::new("."))),
             smoke,
+            chaos_only,
+            chaos_view,
         )
     };
     let bench_name = std::path::Path::new(&out_path)
@@ -207,6 +284,14 @@ fn main() {
     let trials = if smoke { 4 } else { 24 };
     let seed = 0xB16B_00B5;
     let threads = batch::thread_count();
+
+    // Chaos leg first: it resets telemetry for its own serial/parallel
+    // view comparison, so it has to run before (not inside) the measured
+    // region below.
+    let chaos_json = chaos_leg(smoke, threads, chaos_view.as_deref());
+    if chaos_only {
+        return;
+    }
 
     // Warm each thread's plan cache so the engine comparison measures
     // scheduling, not first-use table construction.
@@ -655,7 +740,7 @@ fn main() {
     .join(",\n");
 
     let json = format!(
-        "{{\n  \"bench\": \"{bench_name}\",\n  \"description\": \"Batch-engine, FFT-plan, per-kernel and five-chirp-burst timings on a Fig. 12a localization workload, plus a short end-to-end link leg\",\n  \"host_threads\": {threads},\n  \"smoke\": {smoke},\n  \"engine\": {{\n    \"workload\": \"localization trial, node at 3 m, Fidelity::Fast\",\n    \"trials\": {trials},\n    \"serial_s\": {},\n    \"parallel_s\": {},\n    \"speedup\": {},\n    \"deterministic\": true\n  }},\n  \"fft_plan\": {{\n    \"size\": {n},\n    \"reps\": {reps},\n    \"unplanned_us_per_fft\": {},\n    \"planned_us_per_fft\": {},\n    \"speedup\": {},\n    \"bitwise_identical\": {bitwise}\n  }},\n  \"kernels\": {{\n{kernels}\n  }},\n  \"localization_burst\": {{\n    \"workload\": \"five-chirp Field-2 burst, 2 RX antennas, Fidelity::Fast\",\n    \"reps\": {burst_reps},\n    \"allocating_ms_per_burst\": {},\n    \"workspace_ms_per_burst\": {},\n    \"speedup\": {},\n    \"allocating_allocs_per_burst\": {burst_alloc_allocs},\n    \"workspace_allocs_per_burst\": {burst_ws_allocs},\n    \"bitwise_identical\": {burst_bitwise},\n    \"deterministic\": true\n  }},\n  \"channel_render\": {{\n    \"workload\": \"single monostatic render, milback_indoor scene, node at 3 m\",\n    \"reps\": {chan_reps},\n    \"uncached_ms_per_render\": {},\n    \"cached_ms_per_render\": {},\n    \"speedup\": {},\n    \"uncached_allocs_per_render\": {chan_uncached_allocs},\n    \"cached_allocs_per_render\": {chan_cached_allocs},\n    \"bitwise_identical\": true\n  }},\n  \"channel_burst\": {{\n    \"workload\": \"five-chirp x two-antenna Field-2 channel render, per-chirp gamma schedules\",\n    \"reps\": {chan_reps},\n    \"uncached_ms_per_burst\": {},\n    \"cached_ms_per_burst\": {},\n    \"speedup\": {},\n    \"cached_allocs_per_burst\": {chan_burst_allocs}\n  }},\n  \"end_to_end_trial\": {{\n    \"workload\": \"warm Fig. 12a localization trial: channel render + DSP pipeline through every cache\",\n    \"reps\": {e2e_reps},\n    \"ms_per_trial\": {},\n    \"allocs_per_trial\": {e2e_allocs}\n  }},\n  \"link_leg\": {{\n    \"trials\": {link_trials},\n    \"elapsed_s\": {},\n    \"total_bit_errors\": {total_errors}\n  }},\n  \"telemetry\": {telemetry_json}\n}}\n",
+        "{{\n  \"bench\": \"{bench_name}\",\n  \"description\": \"Batch-engine, FFT-plan, per-kernel and five-chirp-burst timings on a Fig. 12a localization workload, plus a short end-to-end link leg\",\n  \"host_threads\": {threads},\n  \"smoke\": {smoke},\n  \"engine\": {{\n    \"workload\": \"localization trial, node at 3 m, Fidelity::Fast\",\n    \"trials\": {trials},\n    \"serial_s\": {},\n    \"parallel_s\": {},\n    \"speedup\": {},\n    \"deterministic\": true\n  }},\n  \"fft_plan\": {{\n    \"size\": {n},\n    \"reps\": {reps},\n    \"unplanned_us_per_fft\": {},\n    \"planned_us_per_fft\": {},\n    \"speedup\": {},\n    \"bitwise_identical\": {bitwise}\n  }},\n  \"kernels\": {{\n{kernels}\n  }},\n  \"localization_burst\": {{\n    \"workload\": \"five-chirp Field-2 burst, 2 RX antennas, Fidelity::Fast\",\n    \"reps\": {burst_reps},\n    \"allocating_ms_per_burst\": {},\n    \"workspace_ms_per_burst\": {},\n    \"speedup\": {},\n    \"allocating_allocs_per_burst\": {burst_alloc_allocs},\n    \"workspace_allocs_per_burst\": {burst_ws_allocs},\n    \"bitwise_identical\": {burst_bitwise},\n    \"deterministic\": true\n  }},\n  \"channel_render\": {{\n    \"workload\": \"single monostatic render, milback_indoor scene, node at 3 m\",\n    \"reps\": {chan_reps},\n    \"uncached_ms_per_render\": {},\n    \"cached_ms_per_render\": {},\n    \"speedup\": {},\n    \"uncached_allocs_per_render\": {chan_uncached_allocs},\n    \"cached_allocs_per_render\": {chan_cached_allocs},\n    \"bitwise_identical\": true\n  }},\n  \"channel_burst\": {{\n    \"workload\": \"five-chirp x two-antenna Field-2 channel render, per-chirp gamma schedules\",\n    \"reps\": {chan_reps},\n    \"uncached_ms_per_burst\": {},\n    \"cached_ms_per_burst\": {},\n    \"speedup\": {},\n    \"cached_allocs_per_burst\": {chan_burst_allocs}\n  }},\n  \"end_to_end_trial\": {{\n    \"workload\": \"warm Fig. 12a localization trial: channel render + DSP pipeline through every cache\",\n    \"reps\": {e2e_reps},\n    \"ms_per_trial\": {},\n    \"allocs_per_trial\": {e2e_allocs}\n  }},\n  \"link_leg\": {{\n    \"trials\": {link_trials},\n    \"elapsed_s\": {},\n    \"total_bit_errors\": {total_errors}\n  }},\n  \"chaos\": {chaos_json},\n  \"telemetry\": {telemetry_json}\n}}\n",
         json_f(serial_s),
         json_f(parallel_s),
         json_f(engine_speedup),

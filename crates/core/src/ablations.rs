@@ -131,10 +131,19 @@ pub fn ablation_orientation_assist(seed: u64) -> Vec<AssistRow> {
         // (a "blind" AP that ignores the node's rotation).
         let net = Network::new(pose, Fidelity::Fast, seed);
         let fsa = net.node.fsa;
-        let f_fixed_a = fsa.frequency_for_angle(Port::A, deg_to_rad(5.0)).unwrap();
-        let f_right_a = fsa
-            .frequency_for_angle(Port::A, net.true_orientation())
-            .unwrap();
+        // Both angles sit inside the FSA's scan range by construction;
+        // if a config change ever moves them out, report the misalign
+        // penalty as unbounded rather than panicking mid-batch.
+        let (Some(f_fixed_a), Some(f_right_a)) = (
+            fsa.frequency_for_angle(Port::A, deg_to_rad(5.0)),
+            fsa.frequency_for_angle(Port::A, net.true_orientation()),
+        ) else {
+            return AssistRow {
+                orientation_deg: odeg,
+                assisted_sinr_db: assisted,
+                fixed_sinr_db: f64::NEG_INFINITY,
+            };
+        };
         let g_fixed =
             net.scene
                 .tone_gain_to_port(&net.node.pose, &net.node.fsa, Port::A, f_fixed_a);

@@ -9,7 +9,7 @@
 
 use crate::link::UplinkReport;
 use crate::network::Network;
-use milback_proto::arq::{parse_header, ArqReceiver, ArqSender, SenderAction};
+use milback_proto::arq::{parse_header, ArqReceiver, ArqSender, ArqVerdict};
 
 /// Candidate uplink bit rates, fastest first (OAQFM, 2 bits/symbol).
 pub const UPLINK_RATES: [f64; 4] = [40e6, 20e6, 10e6, 5e6];
@@ -64,12 +64,16 @@ impl Network {
     ) -> Option<usize> {
         let mut tx = ArqSender::new(max_attempts);
         let mut rx = ArqReceiver::new();
-        let mut frame = tx.send(payload);
+        // The verdict API keeps one header+payload buffer inside the
+        // sender for the whole retry loop — no per-retry clone, which
+        // keeps this path on the zero-alloc budget of DESIGN.md §12.
+        tx.start(payload);
         let mut attempts = 0;
         loop {
             attempts += 1;
-            // One over-the-air transfer of the ARQ frame.
-            let outcome = self.uplink(&frame, symbol_rate, true)?;
+            // One over-the-air transfer of the in-flight ARQ frame,
+            // borrowed straight out of the sender.
+            let outcome = self.uplink(tx.frame()?, symbol_rate, true)?;
             let ack = match outcome.payload {
                 Ok(received) => {
                     // AP got a CRC-valid frame: run the receiver side.
@@ -77,10 +81,10 @@ impl Network {
                 }
                 Err(_) => None, // corrupted: no ACK
             };
-            match tx.on_ack(ack) {
-                SenderAction::Delivered => return Some(attempts),
-                SenderAction::GiveUp => return None,
-                SenderAction::Transmit(retry) => frame = retry,
+            match tx.on_ack_verdict(ack) {
+                ArqVerdict::Delivered => return Some(attempts),
+                ArqVerdict::GiveUp => return None,
+                ArqVerdict::Retry => {}
             }
         }
     }

@@ -127,13 +127,20 @@ where
                         break;
                     }
                     let out = run_one(&items[i], i);
-                    *slots[i].lock().unwrap() = Some(out);
+                    // A poisoned slot mutex just means another worker
+                    // panicked; take the lock anyway — the panic will
+                    // propagate out of the scope regardless.
+                    *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
                 });
             }
         });
         slots
             .into_iter()
-            .map(|m| m.into_inner().unwrap().expect("worker skipped a slot"))
+            .map(|m| {
+                m.into_inner()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .expect("worker skipped a slot")
+            })
             .collect()
     };
     if let Some(t0) = t0 {

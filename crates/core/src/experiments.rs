@@ -80,10 +80,14 @@ pub fn fsa_summary() -> FsaSummary {
         min_gain = min_gain.min(fsa.peak_gain_dbi(Port::A, f));
         f += 0.1e9;
     }
-    let (lo, hi) = fsa.scan_range(Port::A).unwrap();
+    // The milback FSA always scans a non-empty range; degrade to zero
+    // coverage instead of panicking if a config edit ever breaks that.
+    let coverage = fsa
+        .scan_range(Port::A)
+        .map_or(0.0, |(lo, hi)| rad_to_deg(hi - lo));
     FsaSummary {
         min_peak_gain_dbi: min_gain,
-        coverage_deg: rad_to_deg(hi - lo),
+        coverage_deg: coverage,
     }
 }
 

@@ -13,6 +13,9 @@
 //! * [`multinode`] — SDM multi-node deployments with a polling MAC,
 //! * [`dense_link`] — multi-amplitude "dense OAQFM" (§9.4 extension),
 //! * [`adaptation`] — rate fallback and stop-and-wait ARQ delivery,
+//! * [`session`] — the self-healing session supervisor: bounded retry,
+//!   backoff, reduced-chirp fallback, typed degradation reports,
+//! * [`chaos`] — deterministic chaos sweeps over sampled fault plans,
 //! * [`tracking`] — Kalman tracking over per-packet fixes,
 //! * [`velocity`] — slow-time Doppler radial-velocity measurement,
 //! * [`survey`] — analytic coverage maps for deployment planning,
@@ -49,6 +52,7 @@
 pub mod ablations;
 pub mod adaptation;
 pub mod batch;
+pub mod chaos;
 pub mod config;
 pub mod dense_link;
 pub mod experiments;
@@ -56,18 +60,21 @@ pub mod link;
 pub mod multinode;
 pub mod network;
 pub mod protocol;
+pub mod session;
 pub mod survey;
 pub mod tracking;
 pub mod velocity;
 
 pub use adaptation::AdaptiveReport;
 pub use batch::{derive_seed, run_trials, sweep, Trial};
+pub use chaos::{chaos_sweep, ChaosOutcome, ChaosPoint};
 pub use config::{ApParams, Fidelity};
 pub use dense_link::DenseDownlinkReport;
 pub use link::{DownlinkReport, UplinkReport};
 pub use multinode::{MultiNetwork, SlotResult};
 pub use network::Network;
 pub use protocol::PacketOutcome;
+pub use session::{Degradation, Session, SessionConfig, SessionError, SessionReport};
 pub use survey::{coverage_map, CoverageCell};
 pub use tracking::{NodeTracker, TrackEstimate};
 pub use velocity::VelocityResult;

@@ -356,9 +356,17 @@ impl Network {
         let comp_a = TxComponent::tone(tone_a, f_a);
         let comp_b = TxComponent::tone(tone_b, f_b);
 
-        // The node modulates its ports per symbol.
-        let (sched_a, sched_b) = modulate_uplink(&self.node.switch, &symbols, t0, symbol_rate)
-            .expect("symbol rate exceeds switch capability");
+        // The node modulates its ports per symbol. A symbol rate beyond
+        // the switch's capability is a planning error, not a physics
+        // outcome — reject the transfer gracefully instead of panicking.
+        let (sched_a, sched_b) = match modulate_uplink(&self.node.switch, &symbols, t0, symbol_rate)
+        {
+            Ok(s) => s,
+            Err(_) => {
+                telemetry::counter_add("core.link.uplink.rejected", 1);
+                return None;
+            }
+        };
         // Four monostatic renders (two tones × two RX antennas) share one
         // workspace borrow; the per-tone ray tables and static responses
         // are built once and replayed for the other antenna/transfer.
@@ -389,6 +397,11 @@ impl Network {
                 (rx0, rx1)
             })
         };
+        let (mut rx0, mut rx1) = (rx0, rx1);
+        // Scheduled impairments act on the AP's captures post-synthesis
+        // (no-op, bitwise, when the plan is empty).
+        self.faults.apply_to_rx(self.clock_s, 0, &mut rx0);
+        self.faults.apply_to_rx(self.clock_s, 1, &mut rx1);
 
         let mut receiver = UplinkReceiver::milback(symbol_rate);
         // Uplink noise figure: the LNA's own 3 dB (the node's reflected
@@ -436,7 +449,12 @@ impl Network {
     /// port.
     fn node_video(&mut self, at_port: &Signal) -> Vec<f64> {
         let mut rng = self.fork_rng();
-        self.node.receive_port_video(at_port, &mut rng)
+        let mut video = self.node.receive_port_video(at_port, &mut rng);
+        // Node-side impairments on the detector output (no-op when the
+        // fault plan is empty).
+        self.faults
+            .apply_to_video(self.clock_s, at_port.fs, &mut video);
+        video
     }
 }
 

@@ -213,8 +213,15 @@ impl MultiNetwork {
         let comp_a = TxComponent::tone(Signal::tone(fs, fc, f_a - fc, amp, n), f_a);
         let comp_b = TxComponent::tone(Signal::tone(fs, fc, f_b - fc, amp, n), f_b);
 
-        let (sched_a, sched_b) = modulate_uplink(&self.nodes[id].switch, &symbols, t0, symbol_rate)
-            .expect("symbol rate exceeds switch capability");
+        // A symbol rate beyond the node's switch capability is a
+        // planning error — reject the slot gracefully, like the
+        // single-node uplink does.
+        let Ok((sched_a, sched_b)) =
+            modulate_uplink(&self.nodes[id].switch, &symbols, t0, symbol_rate)
+        else {
+            milback_telemetry::counter_add("core.link.uplink.rejected", 1);
+            return None;
+        };
         let parked = SwitchSchedule::Constant(SwitchState::Absorptive);
 
         let gammas: Vec<Box<dyn Fn(f64) -> [Cpx; 2]>> = self

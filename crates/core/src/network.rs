@@ -17,6 +17,7 @@ use milback_hw::switch::{SwitchSchedule, SwitchState};
 use milback_node::node::BackscatterNode;
 use milback_node::orientation::NodeOrientationEstimator;
 use milback_rf::channel::{FreqProfile, NodeInterface, Scene, TxComponent};
+use milback_rf::faults::FaultPlan;
 use milback_rf::fsa::Port;
 use milback_rf::geometry::Pose;
 use milback_rf::workspace::{wave_fingerprint, with_channel_workspace, ChannelWorkspace};
@@ -88,6 +89,13 @@ pub struct Network {
     pub ap: ApParams,
     /// Waveform fidelity preset.
     pub fidelity: Fidelity,
+    /// Scheduled channel impairments (empty by default; when empty every
+    /// render path is bitwise identical to the fault-free build).
+    pub faults: FaultPlan,
+    /// Session clock, seconds. Render paths evaluate fault windows at
+    /// `clock_s + local offset`; the [`crate::session`] supervisor
+    /// advances it across fields and recovery backoff.
+    pub clock_s: f64,
     rng: StdRng,
 }
 
@@ -103,6 +111,8 @@ impl Network {
             node: BackscatterNode::milback(pose),
             ap: ApParams::milback(),
             fidelity,
+            faults: FaultPlan::none(),
+            clock_s: 0.0,
             rng: StdRng::seed_from_u64(seed),
         }
     }
@@ -121,6 +131,8 @@ impl Network {
             node,
             ap,
             fidelity,
+            faults: FaultPlan::none(),
+            clock_s: 0.0,
             rng: StdRng::seed_from_u64(seed),
         }
     }
@@ -134,6 +146,8 @@ impl Network {
             node: BackscatterNode::milback(pose),
             ap: ApParams::milback(),
             fidelity,
+            faults: FaultPlan::none(),
+            clock_s: 0.0,
             rng: StdRng::seed_from_u64(seed),
         }
     }
@@ -214,15 +228,21 @@ impl Network {
         // burst and rebuilt only when the chirp config changes.
         let template = milback_dsp::template::sawtooth(&chirp_cfg);
         burst.tx.copy_from(template.as_ref());
-        if burst.comp_cfg != Some(chirp_cfg) {
-            burst.comp = Some(TxComponent {
+        let comp: &TxComponent = if burst.comp_cfg == Some(chirp_cfg) && burst.comp.is_some() {
+            match burst.comp.as_ref() {
+                Some(c) => c,
+                // Checked `is_some` above; unreachable.
+                None => return,
+            }
+        } else {
+            let fresh = TxComponent {
                 signal: template.as_ref().clone(),
                 profile: FreqProfile::Sawtooth(chirp_cfg),
-            });
-            burst.wave_fp = wave_fingerprint(burst.comp.as_ref().unwrap());
+            };
+            burst.wave_fp = wave_fingerprint(&fresh);
             burst.comp_cfg = Some(chirp_cfg);
-        }
-        let comp = burst.comp.as_ref().unwrap();
+            burst.comp.insert(fresh)
+        };
         let wave_fp = burst.wave_fp;
 
         let mod_freq = self.fidelity.localization_mod_freq();
@@ -273,6 +293,11 @@ impl Network {
                     rx.delay_in_place(jitter);
                 }
                 add_awgn(rx, noise_p, &mut self.rng);
+                // Scheduled impairments go in last — after the cached
+                // channel response and the receiver noise — so the
+                // content-fingerprint caches stay valid and an empty
+                // plan leaves the capture bitwise untouched.
+                self.faults.apply_to_rx(self.clock_s + t_off, i, rx);
             }
         }
     }
@@ -329,7 +354,7 @@ impl Network {
                         let hi = (node_bin + 3).min(d0[k].len());
                         d0[k][lo..hi].iter().map(|c| c.norm_sq()).sum()
                     };
-                    e(i).partial_cmp(&e(j)).unwrap()
+                    e(i).total_cmp(&e(j))
                 })?;
                 // Gate half-width: the beam bump's spectral spread is a few tens
                 // of bins at these chirp lengths.
@@ -368,8 +393,13 @@ impl Network {
         let at_b = self
             .scene
             .to_node_port(&comp, &self.node.pose, &self.node.fsa, Port::B);
-        let cap_a = self.node.receive_port(&at_a, &mut self.rng);
-        let cap_b = self.node.receive_port(&at_b, &mut self.rng);
+        let mut cap_a = self.node.receive_port(&at_a, &mut self.rng);
+        let mut cap_b = self.node.receive_port(&at_b, &mut self.rng);
+        // Node-side impairments act on the detector output (blockage,
+        // saturation, droop); no-op when the plan is empty.
+        let adc_fs = self.node.adc.sample_rate;
+        self.faults.apply_to_video(self.clock_s, adc_fs, &mut cap_a);
+        self.faults.apply_to_video(self.clock_s, adc_fs, &mut cap_b);
         (cap_a, cap_b)
     }
 

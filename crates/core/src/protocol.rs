@@ -77,6 +77,11 @@ impl Network {
             slot_duration: pkt.field1_chirp.duration,
             sample_rate: self.node.adc.sample_rate,
         };
+        // Scheduled impairments hit the node's detector stream before
+        // the decision (no-op when the fault plan is empty) — a blockage
+        // window over Field 1 erases chirps the counter needed.
+        self.faults
+            .apply_to_video(self.clock_s, self.node.adc.sample_rate, &mut combined);
         // The node knows its detector noise (it can measure a quiet
         // window any time); the combined capture sums two ports.
         let sigma = 2f64.sqrt() * self.node.detector.output_noise_rms();

@@ -1,0 +1,577 @@
+//! Self-healing packet sessions (DESIGN.md §14).
+//!
+//! [`crate::protocol::PacketOutcome`] reports what happened in one shot
+//! of the paper's §7 exchange — and under impairments it degrades to a
+//! fistful of silent `None`s. This module is the supervisor a deployment
+//! would actually run: bounded retry with exponential backoff on Field-1
+//! mode detection, localization fallback to a reduced-chirp
+//! background-subtraction estimate when Field-2 chirps die, ARQ-budgeted
+//! payload delivery driven by the same [`Backoff`] policy, and a typed
+//! [`SessionError`]/[`Degradation`] report in place of silence.
+//!
+//! Retries are not free: every render and every backoff advances
+//! [`Network::clock_s`], the session clock the fault windows of
+//! [`milback_rf::faults`] are scheduled against. Backing off past the
+//! end of a blockage window is therefore *real* recovery — the retry
+//! re-renders the channel at a later time and genuinely sees it clear —
+//! which is what `tests/robustness.rs` pins.
+
+use crate::link::{DownlinkReport, UplinkReport};
+use crate::network::Network;
+use milback_ap::ranging::LocalizationResult;
+use milback_dsp::signal::Signal;
+use milback_proto::arq::{ArqReceiver, ArqSender, ArqVerdict, Backoff};
+use milback_proto::packet::{LinkMode, Packet};
+use milback_telemetry as telemetry;
+
+/// A non-fatal deviation from the clean exchange. The session completed
+/// (or kept going), but something had to be retried, discarded or given
+/// up along the way — each variant names what.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Degradation {
+    /// Field-1 mode detection needed retries before the node heard the
+    /// right mode (`attempts` includes the final, successful one).
+    ModeRetries {
+        /// Total Field-1 transmissions.
+        attempts: usize,
+    },
+    /// Field-2 chirps were discarded as dead (blocked/dropped) before
+    /// localization.
+    ChirpLoss {
+        /// Chirps discarded.
+        dropped: usize,
+        /// Chirps retained for localization.
+        used: usize,
+    },
+    /// Localization ran on fewer than the configured chirp count — the
+    /// reduced-chirp background-subtraction fallback (§5.1 needs only
+    /// two chirps for one subtraction pair).
+    ReducedChirpFallback {
+        /// Chirps the estimate was computed from.
+        used: usize,
+    },
+    /// Localization produced no fix even after chirp triage.
+    NoFix,
+    /// The node could not estimate its own orientation from Field 1.
+    NoNodeOrientation,
+    /// The AP could not estimate the node's orientation from Field 2.
+    NoApOrientation,
+    /// The payload needed ARQ retries (`attempts` includes the final,
+    /// successful one).
+    PayloadRetries {
+        /// Total payload transmissions.
+        attempts: usize,
+    },
+}
+
+/// Which stage of the exchange ultimately failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The node never detected the announced mode within the retry
+    /// budget — the exchange cannot proceed at all.
+    ModeDetect,
+    /// The payload never delivered within the ARQ budget.
+    Payload,
+}
+
+/// Terminal session failure: the stage that gave up, how many attempts
+/// it burned, and every degradation observed before the failure (the
+/// partial story is often the useful part of the report).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionError {
+    /// The stage that exhausted its budget.
+    pub kind: FailureKind,
+    /// Attempts spent at that stage.
+    pub attempts: usize,
+    /// Degradations accumulated before the failure.
+    pub degradations: Vec<Degradation>,
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.kind {
+            FailureKind::ModeDetect => write!(
+                f,
+                "mode detection failed after {} attempts ({} degradations)",
+                self.attempts,
+                self.degradations.len()
+            ),
+            FailureKind::Payload => write!(
+                f,
+                "payload delivery failed after {} attempts ({} degradations)",
+                self.attempts,
+                self.degradations.len()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// Retry/fallback budgets for one supervised exchange.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionConfig {
+    /// Field-1 transmissions allowed (1 original + retries).
+    pub mode_attempts: usize,
+    /// Payload transmissions allowed (ARQ budget).
+    pub payload_attempts: usize,
+    /// Backoff policy between retries (shared with `proto::arq`).
+    pub backoff: Backoff,
+    /// Minimum chirps localization may fall back to (≥ 2: background
+    /// subtraction needs one pair).
+    pub min_chirps: usize,
+    /// A chirp whose capture energy falls below this fraction of the
+    /// burst's median is discarded as dead before localization.
+    pub energy_floor: f64,
+    /// Payload symbol rate, symbols/s.
+    pub symbol_rate: f64,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        Self::milback()
+    }
+}
+
+impl SessionConfig {
+    /// Defaults matched to the paper's packet: four attempts per stage,
+    /// the shared 5 ms-doubling backoff, fallback floor of two chirps,
+    /// dead below 5% of median energy, 1 Msym/s payload.
+    pub fn milback() -> Self {
+        Self {
+            mode_attempts: 4,
+            payload_attempts: 4,
+            backoff: Backoff::milback(),
+            min_chirps: 2,
+            energy_floor: 0.05,
+            symbol_rate: 1e6,
+        }
+    }
+}
+
+/// What a supervised exchange accomplished, degradations included.
+#[derive(Debug, Clone)]
+pub struct SessionReport {
+    /// The packet's direction.
+    pub mode: LinkMode,
+    /// Field-1 transmissions used (1 = clean).
+    pub mode_attempts: usize,
+    /// Localization fix (possibly from the reduced-chirp fallback).
+    pub fix: Option<LocalizationResult>,
+    /// Chirps localization actually used.
+    pub chirps_used: usize,
+    /// The node's own orientation estimate, radians.
+    pub node_orientation: Option<f64>,
+    /// The AP's orientation estimate, radians.
+    pub ap_orientation: Option<f64>,
+    /// Payload transmissions used (1 = clean).
+    pub payload_attempts: usize,
+    /// Downlink result of the delivering attempt.
+    pub downlink: Option<DownlinkReport>,
+    /// Uplink result of the delivering attempt.
+    pub uplink: Option<UplinkReport>,
+    /// Every deviation from the clean exchange, in order of occurrence.
+    pub degradations: Vec<Degradation>,
+    /// Total time spent waiting in backoff, seconds.
+    pub backoff_s: f64,
+}
+
+impl SessionReport {
+    /// Whether the exchange was completely clean (no degradations).
+    pub fn is_clean(&self) -> bool {
+        self.degradations.is_empty()
+    }
+}
+
+/// Supervisor wrapping one packet exchange with retry, fallback and
+/// typed reporting. Owns no network state — borrow a [`Network`] per
+/// call so batch trials stay index-addressed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Session {
+    /// Budgets and policies for this session.
+    pub config: SessionConfig,
+}
+
+impl Session {
+    /// Creates a supervisor with the given budgets.
+    pub fn new(config: SessionConfig) -> Self {
+        Self { config }
+    }
+
+    /// Runs one supervised exchange of `packet` over `net`.
+    ///
+    /// The happy path is bitwise identical to
+    /// [`crate::protocol`]'s un-supervised flow with an empty
+    /// [`milback_rf::faults::FaultPlan`]: same render order, same RNG
+    /// draws, no retries. Under faults the supervisor retries Field 1
+    /// with backoff, triages dead Field-2 chirps before localization,
+    /// and drives the payload through its ARQ budget; it returns
+    /// `Err(SessionError)` only when a budget is exhausted.
+    pub fn run(&self, net: &mut Network, packet: &Packet) -> Result<SessionReport, SessionError> {
+        let cfg = &self.config;
+        let pkt = net.fidelity.packet();
+        let mut degradations: Vec<Degradation> = Vec::new();
+        let mut backoff_s = 0.0;
+
+        // --- Field 1: mode signalling, with retry + backoff ------------
+        let mut mode_attempts = 0;
+        loop {
+            mode_attempts += 1;
+            let heard = net.signal_mode(packet.mode);
+            net.clock_s += pkt.field1_duration();
+            if heard == Some(packet.mode) {
+                break;
+            }
+            telemetry::counter_add("core.session.mode_retry", 1);
+            if mode_attempts >= cfg.mode_attempts {
+                telemetry::counter_add("core.session.fail", 1);
+                return Err(SessionError {
+                    kind: FailureKind::ModeDetect,
+                    attempts: mode_attempts,
+                    degradations,
+                });
+            }
+            let wait = cfg.backoff.delay_s(mode_attempts);
+            net.clock_s += wait;
+            backoff_s += wait;
+        }
+        if mode_attempts > 1 {
+            degradations.push(Degradation::ModeRetries {
+                attempts: mode_attempts,
+            });
+        }
+
+        // --- Field 1: node-side orientation ----------------------------
+        let node_orientation = net.sense_orientation_at_node();
+        net.clock_s += pkt.field1_chirp.duration;
+        if node_orientation.is_none() {
+            degradations.push(Degradation::NoNodeOrientation);
+        }
+
+        // --- Field 2: localization with dead-chirp triage --------------
+        let (fix, chirps_used) = self.localize_with_triage(net, &mut degradations);
+        net.clock_s += pkt.field2_duration();
+        if fix.is_none() {
+            degradations.push(Degradation::NoFix);
+        }
+
+        // --- Field 2: AP-side orientation ------------------------------
+        let ap_orientation = net.sense_orientation_at_ap();
+        net.clock_s += pkt.field2_duration();
+        if ap_orientation.is_none() {
+            degradations.push(Degradation::NoApOrientation);
+        }
+
+        // --- Payload: ARQ with the shared backoff policy ----------------
+        let mut downlink = None;
+        let mut uplink = None;
+        let payload_attempts = match packet.mode {
+            LinkMode::Downlink => self.deliver_downlink(
+                net,
+                packet,
+                pkt.payload_duration(),
+                &mut downlink,
+                &mut backoff_s,
+            ),
+            LinkMode::Uplink => self.deliver_uplink(
+                net,
+                packet,
+                pkt.payload_duration(),
+                &mut uplink,
+                &mut backoff_s,
+            ),
+        };
+        let Some(payload_attempts) = payload_attempts else {
+            telemetry::counter_add("core.session.fail", 1);
+            return Err(SessionError {
+                kind: FailureKind::Payload,
+                attempts: cfg.payload_attempts,
+                degradations,
+            });
+        };
+        if payload_attempts > 1 {
+            degradations.push(Degradation::PayloadRetries {
+                attempts: payload_attempts,
+            });
+        }
+
+        telemetry::counter_add("core.session.ok", 1);
+        Ok(SessionReport {
+            mode: packet.mode,
+            mode_attempts,
+            fix,
+            chirps_used,
+            node_orientation,
+            ap_orientation,
+            payload_attempts,
+            downlink,
+            uplink,
+            degradations,
+            backoff_s,
+        })
+    }
+
+    /// Field-2 localization with energy triage: chirps whose capture
+    /// energy collapses below `energy_floor` × median (blocked, dropped)
+    /// are discarded, and localization falls back to the surviving
+    /// subset — the §5.1 background subtraction needs only one chirp
+    /// pair. Returns the fix and the chirp count actually used.
+    fn localize_with_triage(
+        &self,
+        net: &mut Network,
+        degradations: &mut Vec<Degradation>,
+    ) -> (Option<LocalizationResult>, usize) {
+        let cfg = &self.config;
+        let (tx, captures) = net.field2_captures();
+        let n = captures.len();
+
+        // Per-chirp energy across both antennas.
+        let energy = |pair: &[Signal; 2]| -> f64 {
+            pair.iter()
+                .map(|s| s.samples.iter().map(|c| c.norm_sq()).sum::<f64>())
+                .sum()
+        };
+        let energies: Vec<f64> = captures.iter().map(energy).collect();
+        let mut sorted = energies.clone();
+        sorted.sort_by(f64::total_cmp);
+        let median = sorted[n / 2];
+
+        let alive: Vec<bool> = energies
+            .iter()
+            .map(|&e| e > cfg.energy_floor * median)
+            .collect();
+        let n_alive = alive.iter().filter(|&&a| a).count();
+
+        let localizer = net.localizer();
+        if n_alive == n {
+            // Clean burst: identical to the direct path.
+            let fix = milback_ap::with_workspace(|ws| localizer.process_with(ws, &tx, &captures));
+            return (fix, n);
+        }
+
+        telemetry::counter_add("core.session.chirp_discard", (n - n_alive) as u64);
+        if n_alive < cfg.min_chirps.max(2) {
+            // Not even one subtraction pair survived.
+            degradations.push(Degradation::ChirpLoss {
+                dropped: n - n_alive,
+                used: n_alive,
+            });
+            return (None, n_alive);
+        }
+
+        degradations.push(Degradation::ChirpLoss {
+            dropped: n - n_alive,
+            used: n_alive,
+        });
+        degradations.push(Degradation::ReducedChirpFallback { used: n_alive });
+        telemetry::counter_add("core.session.fallback", 1);
+        let retained: Vec<[Signal; 2]> = captures
+            .iter()
+            .zip(&alive)
+            .filter(|(_, &a)| a)
+            .map(|(pair, _)| pair.clone())
+            .collect();
+        let fix = milback_ap::with_workspace(|ws| localizer.process_with(ws, &tx, &retained));
+        (fix, n_alive)
+    }
+
+    /// Downlink payload with bounded repeat: the AP re-sends until the
+    /// node's CRC passes or the budget runs out. Returns attempts used,
+    /// or `None` on exhaustion.
+    fn deliver_downlink(
+        &self,
+        net: &mut Network,
+        packet: &Packet,
+        airtime_s: f64,
+        out: &mut Option<DownlinkReport>,
+        backoff_s: &mut f64,
+    ) -> Option<usize> {
+        let cfg = &self.config;
+        for attempt in 1..=cfg.payload_attempts {
+            let report = net.downlink(&packet.payload, cfg.symbol_rate, false);
+            net.clock_s += airtime_s;
+            if let Some(r) = report {
+                let ok = r.payload.is_ok();
+                *out = Some(r);
+                if ok {
+                    return Some(attempt);
+                }
+            }
+            telemetry::counter_add("core.session.arq_retry", 1);
+            let wait = cfg.backoff.delay_s(attempt);
+            net.clock_s += wait;
+            *backoff_s += wait;
+        }
+        None
+    }
+
+    /// Uplink payload through the stop-and-wait ARQ machine, with the
+    /// session's backoff between attempts. Returns attempts used, or
+    /// `None` on exhaustion.
+    fn deliver_uplink(
+        &self,
+        net: &mut Network,
+        packet: &Packet,
+        airtime_s: f64,
+        out: &mut Option<UplinkReport>,
+        backoff_s: &mut f64,
+    ) -> Option<usize> {
+        let cfg = &self.config;
+        let mut tx = ArqSender::new(cfg.payload_attempts);
+        let mut rx = ArqReceiver::new();
+        tx.start(&packet.payload);
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            let report = net.uplink(tx.frame()?, cfg.symbol_rate, false);
+            net.clock_s += airtime_s;
+            let ack = report.as_ref().and_then(|r| match &r.payload {
+                Ok(received) => rx.on_frame(received).map(|(ack, _)| ack),
+                Err(_) => None,
+            });
+            if let Some(r) = report {
+                *out = Some(r);
+            }
+            match tx.on_ack_verdict(ack) {
+                ArqVerdict::Delivered => return Some(attempts),
+                ArqVerdict::GiveUp => return None,
+                ArqVerdict::Retry => {
+                    telemetry::counter_add("core.session.arq_retry", 1);
+                    let wait = cfg.backoff.delay_s(attempts);
+                    net.clock_s += wait;
+                    *backoff_s += wait;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Fidelity;
+    use milback_rf::faults::{FaultEvent, FaultKind, FaultPlan};
+    use milback_rf::geometry::{deg_to_rad, Pose};
+
+    fn net_at(dist: f64, seed: u64) -> Network {
+        Network::new(
+            Pose::facing_ap(dist, 0.0, deg_to_rad(12.0)),
+            Fidelity::Fast,
+            seed,
+        )
+    }
+
+    #[test]
+    fn clean_session_is_clean() {
+        let mut net = net_at(2.0, 31);
+        let packet = Packet::downlink((0..16).collect());
+        let report = Session::default()
+            .run(&mut net, &packet)
+            .expect("clean session failed");
+        assert!(report.is_clean(), "degradations: {:?}", report.degradations);
+        assert_eq!(report.mode_attempts, 1);
+        assert_eq!(report.payload_attempts, 1);
+        assert_eq!(report.chirps_used, 5);
+        assert!(report.fix.is_some());
+        assert_eq!(report.backoff_s, 0.0);
+    }
+
+    #[test]
+    fn clean_uplink_session() {
+        let mut net = net_at(2.0, 32);
+        let packet = Packet::uplink(vec![0x5C; 16]);
+        let report = Session::default()
+            .run(&mut net, &packet)
+            .expect("clean uplink failed");
+        assert!(report.is_clean(), "degradations: {:?}", report.degradations);
+        assert!(report.uplink.is_some());
+    }
+
+    #[test]
+    fn chirp_drop_triggers_reduced_chirp_fallback() {
+        let mut net = net_at(2.0, 33);
+        let pkt = net.fidelity.packet();
+        // Kill exactly one Field-2 chirp: the session clock at Field-2
+        // render time is field1_duration + one orientation chirp + one
+        // mode-retry-free exchange — compute it the way Session does.
+        let f2_start = pkt.field1_duration() + pkt.field1_chirp.duration;
+        net.faults = FaultPlan {
+            seed: 5,
+            events: vec![FaultEvent {
+                start_s: f2_start + 2.0 * pkt.field2_chirp.duration,
+                duration_s: pkt.field2_chirp.duration,
+                kind: FaultKind::ChirpDrop,
+            }],
+        };
+        let packet = Packet::downlink((0..16).collect());
+        let report = Session::default()
+            .run(&mut net, &packet)
+            .expect("session failed");
+        assert!(
+            report
+                .degradations
+                .iter()
+                .any(|d| matches!(d, Degradation::ReducedChirpFallback { used: 4 })),
+            "degradations: {:?}",
+            report.degradations
+        );
+        let fix = report.fix.expect("fallback fix missing");
+        assert!((fix.range - 2.0).abs() < 0.2, "range {}", fix.range);
+    }
+
+    #[test]
+    fn mode_detect_failure_is_typed_not_silent() {
+        let mut net = net_at(2.0, 34);
+        // Block Field 1 so hard, for so long, that every retry dies.
+        net.faults = FaultPlan {
+            seed: 6,
+            events: vec![FaultEvent {
+                start_s: 0.0,
+                duration_s: 10.0,
+                kind: FaultKind::Blockage { depth_db: 80.0 },
+            }],
+        };
+        let packet = Packet::downlink((0..16).collect());
+        let err = Session::default()
+            .run(&mut net, &packet)
+            .expect_err("session should fail under permanent blockage");
+        assert_eq!(err.kind, FailureKind::ModeDetect);
+        assert_eq!(err.attempts, SessionConfig::milback().mode_attempts);
+    }
+
+    #[test]
+    fn transient_blockage_is_survived_by_backoff() {
+        let mut net = net_at(2.0, 35);
+        // Blockage covering the first Field-1 attempt only; the 5 ms
+        // backoff hops over it.
+        net.faults = FaultPlan {
+            seed: 7,
+            events: vec![FaultEvent {
+                start_s: 0.0,
+                duration_s: 2e-3,
+                kind: FaultKind::Blockage { depth_db: 80.0 },
+            }],
+        };
+        let packet = Packet::downlink((0..16).collect());
+        let report = Session::default()
+            .run(&mut net, &packet)
+            .expect("retry should have recovered");
+        assert!(report.mode_attempts > 1, "expected a Field-1 retry");
+        assert!(report
+            .degradations
+            .iter()
+            .any(|d| matches!(d, Degradation::ModeRetries { .. })));
+        assert!(report.backoff_s > 0.0);
+    }
+
+    #[test]
+    fn session_error_formats() {
+        let err = SessionError {
+            kind: FailureKind::Payload,
+            attempts: 4,
+            degradations: vec![Degradation::NoFix],
+        };
+        let s = format!("{err}");
+        assert!(s.contains("payload") && s.contains('4'), "{s}");
+    }
+}

@@ -97,13 +97,10 @@ impl NodeTracker {
         assert!(dt > 0.0, "dt must be positive");
         let (z, sx, sy) = self.measurement(fix)?;
         let state = match &mut self.state {
-            None => {
-                self.state = Some(AxisPair {
-                    ax: Axis::init(z.x, sx),
-                    ay: Axis::init(z.y, sy),
-                });
-                self.state.as_mut().unwrap()
-            }
+            state @ None => state.insert(AxisPair {
+                ax: Axis::init(z.x, sx),
+                ay: Axis::init(z.y, sy),
+            }),
             Some(s) => {
                 s.ax.predict(dt, self.accel_noise);
                 s.ay.predict(dt, self.accel_noise);

@@ -81,10 +81,7 @@ impl Reassembler {
         self.parts[(index - 1) as usize] = Some(fragment[FRAGMENT_HEADER..].to_vec());
 
         if self.parts.iter().all(|p| p.is_some()) {
-            let mut out = Vec::new();
-            for p in self.parts.drain(..) {
-                out.extend(p.unwrap());
-            }
+            let out: Vec<u8> = self.parts.drain(..).flatten().flatten().collect();
             self.total = None;
             Ok(Some(out))
         } else {

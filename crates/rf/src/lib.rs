@@ -11,7 +11,10 @@
 //! * [`channel`] — the discrete-ray scene: node backscatter, clutter,
 //!   mirror reflection and self-interference,
 //! * [`frontend`] — AP front-end models (LNA, mixer, baseband BPF),
-//! * [`room`] — parametric indoor-room clutter scenes.
+//! * [`room`] — parametric indoor-room clutter scenes,
+//! * [`faults`] — deterministic scheduled impairments (blockage,
+//!   interference, clock drift, saturation, chirp loss) for chaos
+//!   testing.
 //!
 //! ## Place in the paper's architecture
 //!
@@ -35,6 +38,7 @@
 
 pub mod antenna;
 pub mod channel;
+pub mod faults;
 pub mod frontend;
 pub mod fsa;
 pub mod geometry;
@@ -43,6 +47,7 @@ pub mod room;
 pub mod workspace;
 
 pub use channel::{Scene, TxComponent};
+pub use faults::{FaultEvent, FaultKind, FaultPlan};
 pub use fsa::{DualPortFsa, FsaConfig, Port};
 pub use geometry::{Point, Pose};
 pub use room::Room;

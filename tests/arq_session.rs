@@ -1,0 +1,122 @@
+//! Property tests for the self-healing layers (DESIGN.md §14): the
+//! stop-and-wait ARQ machine delivers exactly once, in order, under
+//! arbitrary frame/ACK loss, and the session supervisor's retry counts
+//! follow the injected fault schedule exactly.
+
+use milback::session::{Degradation, Session, SessionConfig};
+use milback::{Fidelity, Network};
+use milback_proto::arq::{ArqReceiver, ArqSender, ArqVerdict, Backoff};
+use milback_proto::packet::Packet;
+use milback_rf::faults::{FaultEvent, FaultKind, FaultPlan};
+use milback_rf::geometry::{deg_to_rad, Pose};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Exactly-once, in-order delivery: whatever frames and ACKs the
+    /// channel eats, the receiver hands each payload up exactly once and
+    /// in the order sent — duplicates created by lost ACKs are re-ACKed
+    /// but never re-delivered.
+    #[test]
+    fn arq_delivers_exactly_once_in_order(
+        msgs in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 1..16), 1..6),
+        frame_loss in proptest::collection::vec(any::<bool>(), 24..25),
+        ack_loss in proptest::collection::vec(any::<bool>(), 24..25),
+    ) {
+        // Budget large enough that delivery is guaranteed once the loss
+        // patterns run out and the channel goes clean.
+        let budget = frame_loss.len() + ack_loss.len() + 2;
+        let mut tx = ArqSender::new(budget);
+        let mut rx = ArqReceiver::new();
+        let mut delivered: Vec<Vec<u8>> = Vec::new();
+        let mut k = 0usize;
+
+        for msg in &msgs {
+            tx.start(msg);
+            loop {
+                let frame = tx.frame().expect("in-flight frame missing").to_vec();
+                let eat_frame = frame_loss.get(k).copied().unwrap_or(false);
+                let eat_ack = ack_loss.get(k).copied().unwrap_or(false);
+                k += 1;
+
+                let ack = if eat_frame {
+                    // Corrupted/lost frame: the CRC layer never hands it
+                    // to the receiver, so no ACK comes back.
+                    None
+                } else {
+                    let resp = rx.on_frame(&frame).map(|(ack, payload)| {
+                        if let Some(p) = payload {
+                            delivered.push(p.to_vec());
+                        }
+                        ack
+                    });
+                    if eat_ack { None } else { resp }
+                };
+
+                match tx.on_ack_verdict(ack) {
+                    ArqVerdict::Delivered => break,
+                    ArqVerdict::Retry => {}
+                    ArqVerdict::GiveUp => prop_assert!(false, "budget exhausted"),
+                }
+            }
+        }
+        prop_assert_eq!(delivered, msgs.clone());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The session's Field-1 retry count is determined by the injected
+    /// schedule: a blockage covering exactly the first `k` attempts (on
+    /// the known attempt timeline — airtime plus exponential backoff)
+    /// produces exactly `k + 1` mode attempts and the matching total
+    /// backoff wait.
+    #[test]
+    fn session_retries_match_injected_schedule(k in 1usize..4) {
+        let pose = Pose::facing_ap(2.0, 0.0, deg_to_rad(12.0));
+        let mut net = Network::new(pose, Fidelity::Fast, 4100 + k as u64);
+        let pkt = net.fidelity.packet();
+        let cfg = SessionConfig::milback();
+        let backoff = Backoff::milback();
+
+        // Attempt start times on the session clock, as Session computes
+        // them: each attempt costs one Field-1 airtime, each retry adds
+        // the next backoff delay.
+        let f1 = pkt.field1_duration();
+        let mut starts = vec![0.0f64];
+        for i in 1..cfg.mode_attempts {
+            starts.push(starts[i - 1] + f1 + backoff.delay_s(i));
+        }
+
+        // Blockage from t=0 to just before attempt k's start: attempts
+        // 0..k die, attempt k sees a clear channel.
+        net.faults = FaultPlan {
+            seed: 40 + k as u64,
+            events: vec![FaultEvent {
+                start_s: 0.0,
+                duration_s: starts[k] - 1e-4,
+                kind: FaultKind::Blockage { depth_db: 80.0 },
+            }],
+        };
+
+        let packet = Packet::downlink((0..16).collect());
+        let report = Session::new(cfg)
+            .run(&mut net, &packet)
+            .expect("session should recover after the blockage lifts");
+        prop_assert_eq!(report.mode_attempts, k + 1);
+        prop_assert!(report
+            .degradations
+            .iter()
+            .any(|d| matches!(d, Degradation::ModeRetries { attempts } if *attempts == k + 1)));
+        let expected_wait: f64 = (1..=k).map(|i| backoff.delay_s(i)).sum();
+        prop_assert!(
+            (report.backoff_s - expected_wait).abs() < 1e-12,
+            "backoff {} != expected {}",
+            report.backoff_s,
+            expected_wait
+        );
+    }
+}
