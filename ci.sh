@@ -67,6 +67,20 @@ MILBACK_TELEMETRY=1 cargo run --release --offline -p milback-bench --bin bench_e
     --smoke --chaos-only --chaos-view target/chaos_view_2.json >/dev/null
 cmp target/chaos_view_1.json target/chaos_view_2.json
 
+echo "==> serve smoke (serving-pool soak determinism)"
+# The serving soak (DESIGN.md §15) pushes a seeded Poisson schedule past
+# the virtual server's capacity through the work-stealing session pool,
+# serially and in parallel, asserting identical resolutions and
+# byte-identical deterministic telemetry views inside one process. The
+# two runs below additionally pin cross-process AND cross-thread-count
+# determinism: one capped at a single worker, one at four — the
+# deterministic-view files must still compare equal with cmp.
+MILBACK_TELEMETRY=1 MILBACK_THREADS=1 cargo run --release --offline -p milback-bench --bin bench_engine -- \
+    --smoke --serve --serve-only --serve-view target/serve_view_1.json >/dev/null
+MILBACK_TELEMETRY=1 MILBACK_THREADS=4 cargo run --release --offline -p milback-bench --bin bench_engine -- \
+    --smoke --serve --serve-only --serve-view target/serve_view_2.json >/dev/null
+cmp target/serve_view_1.json target/serve_view_2.json
+
 echo "==> cargo doc (rustdoc warnings are errors)"
 # Same package list as fmt: vendored stubs are exempt from the docs gate.
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps -q \

@@ -127,6 +127,40 @@ impl Localizer {
         }
     }
 
+    /// Masked variant of [`Localizer::profile_diffs_with`]: processes
+    /// only the chirps whose `alive` flag is set, in capture order,
+    /// without copying the retained subset. Bitwise identical to
+    /// filtering `captures` through `alive` and calling
+    /// `profile_diffs_with` on the copy (each chirp's profile is an
+    /// independent computation). The session triage path uses this so a
+    /// reduced-chirp fallback stays allocation-free on a warmed
+    /// workspace.
+    pub fn profile_diffs_masked_with(
+        &self,
+        ws: &mut DspWorkspace,
+        tx_ref: &Signal,
+        captures: &[[Signal; 2]],
+        alive: &[bool],
+    ) {
+        assert_eq!(alive.len(), captures.len(), "mask length mismatch");
+        let n_alive = alive.iter().filter(|&&a| a).count();
+        assert!(n_alive >= 2, "need at least two live chirps");
+        for ant in 0..2 {
+            DspWorkspace::ensure_pool(&mut ws.profiles[ant], n_alive);
+            let mut k = 0;
+            for (pair, &live) in captures.iter().zip(alive) {
+                if !live {
+                    continue;
+                }
+                self.proc.dechirp_into(&pair[ant], tx_ref, &mut ws.dechirp);
+                self.proc
+                    .range_profile_into(&ws.dechirp, &mut ws.fft, &mut ws.profiles[ant][k]);
+                k += 1;
+            }
+            pairwise_diff_spectra_into(&ws.profiles[ant], &mut ws.diffs[ant]);
+        }
+    }
+
     /// Finds the node's range bin in a detection spectrum: the strongest
     /// in-window bin, provided it rises at least 10 dB above the
     /// subtraction-residue floor.
@@ -219,9 +253,32 @@ impl Localizer {
     ) -> Option<LocalizationResult> {
         let _span = milback_telemetry::span("ap.localize.ns");
         milback_telemetry::counter_add("ap.localize.attempts", 1);
-        let fs = tx_ref.fs;
         self.profile_diffs_with(ws, tx_ref, captures);
+        self.finish_with(ws, tx_ref.fs)
+    }
 
+    /// Masked variant of [`Localizer::process_with`]: localizes from the
+    /// chirps whose `alive` flag is set, without copying the retained
+    /// subset out of `captures`. Bitwise identical to filtering the
+    /// captures through the mask and calling `process_with` on the copy
+    /// (pinned by a unit test below); allocation-free on a warmed
+    /// workspace. The session's dead-chirp triage runs on this.
+    pub fn process_masked_with(
+        &self,
+        ws: &mut DspWorkspace,
+        tx_ref: &Signal,
+        captures: &[[Signal; 2]],
+        alive: &[bool],
+    ) -> Option<LocalizationResult> {
+        let _span = milback_telemetry::span("ap.localize.ns");
+        milback_telemetry::counter_add("ap.localize.attempts", 1);
+        self.profile_diffs_masked_with(ws, tx_ref, captures, alive);
+        self.finish_with(ws, tx_ref.fs)
+    }
+
+    /// Shared tail of the workspace pipelines: detection spectrum, peak
+    /// search, refinement and AoA over the diffs already in `ws`.
+    fn finish_with(&self, ws: &mut DspWorkspace, fs: f64) -> Option<LocalizationResult> {
         // Detection spectrum: sum the two antennas' per-bin maxima.
         detection_spectrum_into(&ws.diffs[0], &mut ws.det[0]);
         detection_spectrum_into(&ws.diffs[1], &mut ws.det[1]);
@@ -370,6 +427,43 @@ mod tests {
                 assert_eq!(loc.process_with(&mut ws, &tx, &caps), expect);
             }
         }
+    }
+
+    #[test]
+    fn process_masked_with_matches_retained_copy_bitwise() {
+        let loc = Localizer::new(RangeProcessor::new(test_chirp(), 2));
+        let (tx, caps) = synthetic_captures(2.5, 0.1, 5.0, 0.8);
+        let masks: [&[bool]; 3] = [
+            &[true, true, true, true, true],
+            &[true, false, true, true, true],
+            &[false, true, true, false, true],
+        ];
+        let mut ws_masked = DspWorkspace::new();
+        let mut ws_copy = DspWorkspace::new();
+        for alive in masks {
+            let retained: Vec<[Signal; 2]> = caps
+                .iter()
+                .zip(alive)
+                .filter(|(_, &a)| a)
+                .map(|(pair, _)| pair.clone())
+                .collect();
+            let expect = loc.process_with(&mut ws_copy, &tx, &retained);
+            // Reused masked workspace across changing mask widths must
+            // keep matching the copy path exactly.
+            for _ in 0..2 {
+                let got = loc.process_masked_with(&mut ws_masked, &tx, &caps, alive);
+                assert_eq!(got, expect, "mask {alive:?}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "two live chirps")]
+    fn process_masked_with_rejects_single_survivor() {
+        let loc = Localizer::new(RangeProcessor::new(test_chirp(), 2));
+        let (tx, caps) = synthetic_captures(2.5, 0.1, 5.0, 0.8);
+        let mut ws = DspWorkspace::new();
+        loc.process_masked_with(&mut ws, &tx, &caps, &[false, false, false, false, true]);
     }
 
     #[test]

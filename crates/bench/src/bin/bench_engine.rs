@@ -26,7 +26,14 @@
 //!    localization trial (render + process through every cache),
 //! 6. a short full-stack link leg — OAQFM downlink + uplink transfers
 //!    through the batch engine, so the telemetry snapshot covers the
-//!    node/proto/link stages too.
+//!    node/proto/link stages too,
+//! 7. the serving soak (DESIGN.md §15) — a seeded Poisson schedule
+//!    through the session-serving engine's work-stealing pool, serially
+//!    and in parallel, asserting identical resolutions and
+//!    byte-identical deterministic telemetry views, then reporting
+//!    p50/p99 session latency and sessions/sec, plus a localize-only
+//!    soak whose steady-state epoch's heap allocations are counted
+//!    (expected: zero).
 //!
 //! The engine is deterministic by construction; this binary also asserts
 //! that the parallel run's outputs equal the serial run's — and that
@@ -49,7 +56,8 @@
 //!
 //! Usage: `cargo run --release -p milback-bench --bin bench_engine
 //! [-- --smoke] [-- --out path.json] [-- --chaos-only]
-//! [-- --chaos-view path.json]`.
+//! [-- --chaos-view path.json] [-- --serve] [-- --serve-only]
+//! [-- --serve-view path.json]`.
 //!
 //! The chaos leg runs supervised sessions under sampled fault plans
 //! (DESIGN.md §14) serially and in parallel, asserting identical
@@ -57,10 +65,18 @@
 //! `--chaos-only` runs just that leg (the CI determinism check);
 //! `--chaos-view <path>` writes the serial run's deterministic-view
 //! JSON so two invocations can be compared byte-for-byte.
+//!
+//! The serve leg mirrors that for the serving engine: `--serve` is an
+//! explicit opt-in marker (the leg runs in every full invocation),
+//! `--serve-only` runs just the serving soak, and `--serve-view <path>`
+//! writes its serial deterministic view for cross-process, cross-
+//! thread-count comparison (ci.sh runs it at `MILBACK_THREADS=1` and
+//! `=4` and `cmp`s the files).
 
 use milback::batch;
 use milback::chaos::{chaos_sweep_with_threads, default_points};
-use milback::{Fidelity, Network};
+use milback::serve::roster;
+use milback::{Fidelity, Network, ServeConfig, ServeEngine, TrafficConfig, TrafficSchedule};
 use milback_ap::cfar::CfarDetector;
 use milback_ap::waveform::TxConfig;
 use milback_ap::workspace::DspWorkspace;
@@ -199,6 +215,131 @@ fn chaos_leg(smoke: bool, threads: usize, view_path: Option<&str>) -> String {
     )
 }
 
+/// The serving soak (DESIGN.md §15): a seeded Poisson schedule of mixed
+/// sessions — offered load past the virtual server's capacity, so the
+/// shedding policy engages — served by the work-stealing pool serially
+/// and at `threads` workers. Asserts identical resolution sequences,
+/// identical outcome digests and byte-identical deterministic telemetry
+/// views, optionally writing the serial view to `view_path` for
+/// cross-process comparison, then reports p50/p99 session latency and
+/// sessions/sec from the parallel epoch. A second, localize-only soak
+/// measures steady-state heap allocations on a repeat epoch (expected:
+/// zero). Returns the JSON fragment for the report. Resets telemetry;
+/// callers run it outside their own measured region.
+fn serve_leg(smoke: bool, threads: usize, view_path: Option<&str>) -> String {
+    let traffic = TrafficConfig {
+        nodes: 4,
+        sessions: if smoke { 24 } else { 160 },
+        rate_hz: 60.0, // 1.8x the virtual service rate: shedding engages
+        fault_intensity: 0.25,
+        ..TrafficConfig::milback()
+    };
+    let seed = 0x5E12_F00D;
+    let schedule = TrafficSchedule::generate(&traffic, seed);
+    let poses = roster(traffic.nodes, seed);
+    let cfg = ServeConfig::milback();
+
+    telemetry::reset();
+    let mut serial_engine = ServeEngine::new(&poses, cfg);
+    let serial = serial_engine.serve_schedule(&schedule, 1);
+    let serial_view = telemetry::snapshot().deterministic_view().to_json(2);
+
+    telemetry::reset();
+    let mut parallel_engine = ServeEngine::new(&poses, cfg);
+    let parallel = parallel_engine.serve_schedule(&schedule, threads);
+    let parallel_view = telemetry::snapshot().deterministic_view().to_json(2);
+
+    assert_eq!(
+        serial_engine.resolutions(),
+        parallel_engine.resolutions(),
+        "serving soak lost determinism across thread counts"
+    );
+    assert_eq!(
+        serial.outcome_digest, parallel.outcome_digest,
+        "serving soak outcome digests diverged"
+    );
+    assert_eq!(
+        serial_view, parallel_view,
+        "serving telemetry deterministic views diverged"
+    );
+
+    if let Some(path) = view_path {
+        std::fs::write(path, &serial_view).expect("failed to write serve deterministic view");
+        println!("serve leg: wrote deterministic view to {path}");
+    }
+
+    println!(
+        "serve leg: {} sessions, {} nodes, {:.0} Hz offered (load past capacity)",
+        traffic.sessions, traffic.nodes, traffic.rate_hz
+    );
+    println!(
+        "  serial: {:.3} s, parallel ({threads} threads): {:.3} s, {:.1} sessions/s",
+        serial.wall_s, parallel.wall_s, parallel.sessions_per_s
+    );
+    println!(
+        "  latency: p50 {:.0} µs, p99 {:.0} µs, mean {:.0} µs",
+        parallel.p50_latency_us, parallel.p99_latency_us, parallel.mean_latency_us
+    );
+    println!(
+        "  outcomes: {} completed, {} failed, {} shed, {} field2-shed, {} rejected, depth peak {}",
+        parallel.completed,
+        parallel.failed,
+        parallel.shed,
+        parallel.field2_shed,
+        parallel.rejected,
+        parallel.max_depth
+    );
+    println!("  deterministic: resolutions identical, views byte-identical");
+
+    // Steady-state allocation count: a light localize-only schedule on a
+    // warmed engine. The first epoch grows every pool; a repeat of the
+    // same seeded schedule through the same engine should then touch the
+    // heap zero times (pinned hard by tests/zero_alloc.rs — here we
+    // measure and report).
+    let soak_traffic = TrafficConfig {
+        nodes: 3,
+        sessions: 12,
+        rate_hz: 5.0,
+        localize_fraction: 1.0,
+        ..TrafficConfig::milback()
+    };
+    let soak_schedule = TrafficSchedule::generate(&soak_traffic, seed ^ 0xA110C);
+    let mut soak_engine = ServeEngine::new(&roster(soak_traffic.nodes, seed ^ 0xA110C), cfg);
+    let warm = soak_engine.serve_schedule(&soak_schedule, 1);
+    let a0 = alloc_count();
+    let steady = soak_engine.serve_schedule(&soak_schedule, 1);
+    let steady_allocs = alloc_count() - a0;
+    assert_eq!(
+        warm.outcome_digest, steady.outcome_digest,
+        "serving soak epochs diverged"
+    );
+    println!(
+        "  steady-state epoch ({} localize sessions): {steady_allocs} heap allocations",
+        soak_traffic.sessions
+    );
+
+    format!(
+        "{{\n    \"workload\": \"mixed Poisson sessions through the work-stealing serving pool, offered load 1.8x virtual capacity, fault intensity 0.25\",\n    \"sessions\": {},\n    \"nodes\": {},\n    \"rate_hz\": {},\n    \"serial_s\": {},\n    \"parallel_s\": {},\n    \"speedup\": {},\n    \"sessions_per_s\": {},\n    \"p50_latency_us\": {},\n    \"p99_latency_us\": {},\n    \"mean_latency_us\": {},\n    \"completed\": {},\n    \"failed\": {},\n    \"shed\": {},\n    \"field2_shed\": {},\n    \"rejected\": {},\n    \"depth_peak\": {},\n    \"outcome_digest\": \"{:#018x}\",\n    \"steady_state_allocs\": {steady_allocs},\n    \"resolutions_identical\": true,\n    \"views_byte_identical\": true\n  }}",
+        traffic.sessions,
+        traffic.nodes,
+        json_f(traffic.rate_hz),
+        json_f(serial.wall_s),
+        json_f(parallel.wall_s),
+        json_f(serial.wall_s / parallel.wall_s),
+        json_f(parallel.sessions_per_s),
+        json_f(parallel.p50_latency_us),
+        json_f(parallel.p99_latency_us),
+        json_f(parallel.mean_latency_us),
+        parallel.completed,
+        parallel.failed,
+        parallel.shed,
+        parallel.field2_shed,
+        parallel.rejected,
+        parallel.max_depth,
+        parallel.outcome_digest,
+    )
+}
+
 /// The next free `BENCH_<n>.json` name in `dir`: one past the highest
 /// existing index (starting at 1).
 fn next_bench_path(dir: &std::path::Path) -> String {
@@ -246,12 +387,14 @@ fn kernel_json(name: &str, desc: &str, reps: usize, leg: (f64, f64, f64)) -> Str
 }
 
 fn main() {
-    let (out_path, smoke, chaos_only, chaos_view) = {
+    let (out_path, smoke, chaos_only, chaos_view, serve_only, serve_view) = {
         let mut args = std::env::args().skip(1);
         let mut path = None;
         let mut smoke = false;
         let mut chaos_only = false;
         let mut chaos_view = None;
+        let mut serve_only = false;
+        let mut serve_view = None;
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--out" => {
@@ -266,6 +409,15 @@ fn main() {
                         chaos_view = Some(p);
                     }
                 }
+                // Accepted as the documented opt-in marker; the serving
+                // soak runs in every full invocation regardless.
+                "--serve" => {}
+                "--serve-only" => serve_only = true,
+                "--serve-view" => {
+                    if let Some(p) = args.next() {
+                        serve_view = Some(p);
+                    }
+                }
                 _ => {}
             }
         }
@@ -274,6 +426,8 @@ fn main() {
             smoke,
             chaos_only,
             chaos_view,
+            serve_only,
+            serve_view,
         )
     };
     let bench_name = std::path::Path::new(&out_path)
@@ -285,11 +439,19 @@ fn main() {
     let seed = 0xB16B_00B5;
     let threads = batch::thread_count();
 
-    // Chaos leg first: it resets telemetry for its own serial/parallel
-    // view comparison, so it has to run before (not inside) the measured
-    // region below.
-    let chaos_json = chaos_leg(smoke, threads, chaos_view.as_deref());
+    // Chaos and serve legs first: each resets telemetry for its own
+    // serial/parallel view comparison, so they have to run before (not
+    // inside) the measured region below.
+    let chaos_json = if serve_only {
+        String::new()
+    } else {
+        chaos_leg(smoke, threads, chaos_view.as_deref())
+    };
     if chaos_only {
+        return;
+    }
+    let serve_json = serve_leg(smoke, threads, serve_view.as_deref());
+    if serve_only {
         return;
     }
 
@@ -740,7 +902,7 @@ fn main() {
     .join(",\n");
 
     let json = format!(
-        "{{\n  \"bench\": \"{bench_name}\",\n  \"description\": \"Batch-engine, FFT-plan, per-kernel and five-chirp-burst timings on a Fig. 12a localization workload, plus a short end-to-end link leg\",\n  \"host_threads\": {threads},\n  \"smoke\": {smoke},\n  \"engine\": {{\n    \"workload\": \"localization trial, node at 3 m, Fidelity::Fast\",\n    \"trials\": {trials},\n    \"serial_s\": {},\n    \"parallel_s\": {},\n    \"speedup\": {},\n    \"deterministic\": true\n  }},\n  \"fft_plan\": {{\n    \"size\": {n},\n    \"reps\": {reps},\n    \"unplanned_us_per_fft\": {},\n    \"planned_us_per_fft\": {},\n    \"speedup\": {},\n    \"bitwise_identical\": {bitwise}\n  }},\n  \"kernels\": {{\n{kernels}\n  }},\n  \"localization_burst\": {{\n    \"workload\": \"five-chirp Field-2 burst, 2 RX antennas, Fidelity::Fast\",\n    \"reps\": {burst_reps},\n    \"allocating_ms_per_burst\": {},\n    \"workspace_ms_per_burst\": {},\n    \"speedup\": {},\n    \"allocating_allocs_per_burst\": {burst_alloc_allocs},\n    \"workspace_allocs_per_burst\": {burst_ws_allocs},\n    \"bitwise_identical\": {burst_bitwise},\n    \"deterministic\": true\n  }},\n  \"channel_render\": {{\n    \"workload\": \"single monostatic render, milback_indoor scene, node at 3 m\",\n    \"reps\": {chan_reps},\n    \"uncached_ms_per_render\": {},\n    \"cached_ms_per_render\": {},\n    \"speedup\": {},\n    \"uncached_allocs_per_render\": {chan_uncached_allocs},\n    \"cached_allocs_per_render\": {chan_cached_allocs},\n    \"bitwise_identical\": true\n  }},\n  \"channel_burst\": {{\n    \"workload\": \"five-chirp x two-antenna Field-2 channel render, per-chirp gamma schedules\",\n    \"reps\": {chan_reps},\n    \"uncached_ms_per_burst\": {},\n    \"cached_ms_per_burst\": {},\n    \"speedup\": {},\n    \"cached_allocs_per_burst\": {chan_burst_allocs}\n  }},\n  \"end_to_end_trial\": {{\n    \"workload\": \"warm Fig. 12a localization trial: channel render + DSP pipeline through every cache\",\n    \"reps\": {e2e_reps},\n    \"ms_per_trial\": {},\n    \"allocs_per_trial\": {e2e_allocs}\n  }},\n  \"link_leg\": {{\n    \"trials\": {link_trials},\n    \"elapsed_s\": {},\n    \"total_bit_errors\": {total_errors}\n  }},\n  \"chaos\": {chaos_json},\n  \"telemetry\": {telemetry_json}\n}}\n",
+        "{{\n  \"bench\": \"{bench_name}\",\n  \"description\": \"Batch-engine, FFT-plan, per-kernel and five-chirp-burst timings on a Fig. 12a localization workload, plus a short end-to-end link leg and the chaos and serving-soak determinism legs\",\n  \"host_threads\": {threads},\n  \"smoke\": {smoke},\n  \"engine\": {{\n    \"workload\": \"localization trial, node at 3 m, Fidelity::Fast\",\n    \"trials\": {trials},\n    \"serial_s\": {},\n    \"parallel_s\": {},\n    \"speedup\": {},\n    \"deterministic\": true\n  }},\n  \"fft_plan\": {{\n    \"size\": {n},\n    \"reps\": {reps},\n    \"unplanned_us_per_fft\": {},\n    \"planned_us_per_fft\": {},\n    \"speedup\": {},\n    \"bitwise_identical\": {bitwise}\n  }},\n  \"kernels\": {{\n{kernels}\n  }},\n  \"localization_burst\": {{\n    \"workload\": \"five-chirp Field-2 burst, 2 RX antennas, Fidelity::Fast\",\n    \"reps\": {burst_reps},\n    \"allocating_ms_per_burst\": {},\n    \"workspace_ms_per_burst\": {},\n    \"speedup\": {},\n    \"allocating_allocs_per_burst\": {burst_alloc_allocs},\n    \"workspace_allocs_per_burst\": {burst_ws_allocs},\n    \"bitwise_identical\": {burst_bitwise},\n    \"deterministic\": true\n  }},\n  \"channel_render\": {{\n    \"workload\": \"single monostatic render, milback_indoor scene, node at 3 m\",\n    \"reps\": {chan_reps},\n    \"uncached_ms_per_render\": {},\n    \"cached_ms_per_render\": {},\n    \"speedup\": {},\n    \"uncached_allocs_per_render\": {chan_uncached_allocs},\n    \"cached_allocs_per_render\": {chan_cached_allocs},\n    \"bitwise_identical\": true\n  }},\n  \"channel_burst\": {{\n    \"workload\": \"five-chirp x two-antenna Field-2 channel render, per-chirp gamma schedules\",\n    \"reps\": {chan_reps},\n    \"uncached_ms_per_burst\": {},\n    \"cached_ms_per_burst\": {},\n    \"speedup\": {},\n    \"cached_allocs_per_burst\": {chan_burst_allocs}\n  }},\n  \"end_to_end_trial\": {{\n    \"workload\": \"warm Fig. 12a localization trial: channel render + DSP pipeline through every cache\",\n    \"reps\": {e2e_reps},\n    \"ms_per_trial\": {},\n    \"allocs_per_trial\": {e2e_allocs}\n  }},\n  \"link_leg\": {{\n    \"trials\": {link_trials},\n    \"elapsed_s\": {},\n    \"total_bit_errors\": {total_errors}\n  }},\n  \"serve\": {serve_json},\n  \"chaos\": {chaos_json},\n  \"telemetry\": {telemetry_json}\n}}\n",
         json_f(serial_s),
         json_f(parallel_s),
         json_f(engine_speedup),

@@ -27,7 +27,7 @@
 //! determinism contract above is unaffected.
 
 use milback_telemetry as telemetry;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 
 /// One trial's identity within a batch: its index in the batch and the
@@ -153,6 +153,106 @@ where
     out
 }
 
+/// Pooled claim flags for [`run_stealing_with_threads`]: one atomic flag
+/// per job, reused across calls so a long-lived serving engine's
+/// steady-state dispatch allocates nothing once grown to its working
+/// size. [`StealQueue::reset`] must be called with the job count before
+/// each run.
+#[derive(Debug, Default)]
+pub struct StealQueue {
+    flags: Vec<AtomicBool>,
+}
+
+impl StealQueue {
+    /// An empty queue; grows to working size on first [`Self::reset`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Prepares the queue for `n` jobs: clears the first `n` claim flags
+    /// and grows the backing store if (and only if) `n` exceeds every
+    /// earlier reset.
+    pub fn reset(&mut self, n: usize) {
+        for f in self.flags.iter_mut().take(n) {
+            *f.get_mut() = false;
+        }
+        while self.flags.len() < n {
+            self.flags.push(AtomicBool::new(false));
+        }
+    }
+
+    /// Jobs the queue can currently track without growing.
+    pub fn capacity(&self) -> usize {
+        self.flags.len()
+    }
+}
+
+/// Runs jobs `0..n` across `threads` workers with **round-robin
+/// ownership and work stealing**: worker `w` first claims its own lane
+/// (jobs `w, w+threads, …`), then sweeps the whole range for jobs left
+/// unclaimed by a slower worker. Claims are compare-and-swap on the
+/// pooled flags in `queue`, so every job runs **exactly once** no matter
+/// how workers race — and with `threads <= 1` the loop runs inline on
+/// the calling thread, allocation-free.
+///
+/// This is the serving engine's dispatch layer (DESIGN.md §15): jobs are
+/// per-node session chains, so stealing moves whole chains between
+/// workers and per-node FIFO order is preserved by construction. Which
+/// worker runs a chain never affects its result (determinism is the
+/// caller's responsibility via index-derived seeds); only the
+/// `core.batch.steal.local` counter is scheduling-dependent, and the
+/// `.local` suffix excludes it from the deterministic telemetry view.
+///
+/// `queue` must have been [`StealQueue::reset`] with at least `n` jobs.
+pub fn run_stealing_with_threads<F>(queue: &StealQueue, n: usize, threads: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    assert!(
+        queue.flags.len() >= n,
+        "StealQueue::reset(n) before running"
+    );
+    let threads = threads.max(1).min(n.max(1));
+    telemetry::counter_add("core.batch.steal_jobs", n as u64);
+    if threads <= 1 {
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+    telemetry::gauge_set("core.batch.threads", threads as f64);
+    let flags = &queue.flags[..n];
+    let claim = |i: usize| {
+        flags[i]
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    };
+    std::thread::scope(|s| {
+        for w in 0..threads {
+            let f = &f;
+            let claim = &claim;
+            s.spawn(move || {
+                // Own lane first: round-robin ownership keeps workers on
+                // disjoint jobs while everyone is busy.
+                let mut i = w;
+                while i < n {
+                    if claim(i) {
+                        f(i);
+                    }
+                    i += threads;
+                }
+                // Lane drained: steal whatever is still unclaimed.
+                for i in 0..n {
+                    if claim(i) {
+                        telemetry::counter_add("core.batch.steal.local", 1);
+                        f(i);
+                    }
+                }
+            });
+        }
+    });
+}
+
 /// Runs `n` independent trials in parallel. `f` receives each trial's
 /// [`Trial`] (index + derived seed) and results come back in index order.
 ///
@@ -273,6 +373,35 @@ mod tests {
                 assert_eq!(*seed, derive_seed(9, (pi * 4 + j) as u64));
             }
         }
+    }
+
+    #[test]
+    fn run_stealing_executes_each_job_exactly_once() {
+        let n = 103;
+        let mut q = StealQueue::new();
+        for threads in [1, 2, 8] {
+            q.reset(n);
+            let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            run_stealing_with_threads(&q, n, threads, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            for (i, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::Relaxed), 1, "job {i} at {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn steal_queue_reset_reuses_allocation() {
+        let mut q = StealQueue::new();
+        q.reset(64);
+        assert_eq!(q.capacity(), 64);
+        // Shrinking and re-growing within the high-water mark never
+        // reallocates (the backing store only ever grows).
+        q.reset(16);
+        q.reset(64);
+        assert_eq!(q.capacity(), 64);
+        run_stealing_with_threads(&q, 0, 4, |_| unreachable!("no jobs"));
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //! * [`adaptation`] — rate fallback and stop-and-wait ARQ delivery,
 //! * [`session`] — the self-healing session supervisor: bounded retry,
 //!   backoff, reduced-chirp fallback, typed degradation reports,
+//! * [`serve`] — the session-serving engine: work-stealing pool over
+//!   per-node FIFO chains, bounded submission queues with backpressure,
+//!   telemetry-driven load shedding,
 //! * [`chaos`] — deterministic chaos sweeps over sampled fault plans,
 //! * [`tracking`] — Kalman tracking over per-packet fixes,
 //! * [`velocity`] — slow-time Doppler radial-velocity measurement,
@@ -60,6 +63,7 @@ pub mod link;
 pub mod multinode;
 pub mod network;
 pub mod protocol;
+pub mod serve;
 pub mod session;
 pub mod survey;
 pub mod tracking;
@@ -74,7 +78,13 @@ pub use link::{DownlinkReport, UplinkReport};
 pub use multinode::{MultiNetwork, SlotResult};
 pub use network::Network;
 pub use protocol::PacketOutcome;
-pub use session::{Degradation, Session, SessionConfig, SessionError, SessionReport};
+pub use serve::{
+    Outcome, Resolution, ServeConfig, ServeEngine, ServeReport, SessionRequest, TrafficConfig,
+    TrafficSchedule, Workload,
+};
+pub use session::{
+    Degradation, LocalizeSummary, Session, SessionConfig, SessionCtx, SessionError, SessionReport,
+};
 pub use survey::{coverage_map, CoverageCell};
 pub use tracking::{NodeTracker, TrackEstimate};
 pub use velocity::VelocityResult;

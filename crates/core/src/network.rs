@@ -179,6 +179,15 @@ impl Network {
         &mut self.rng
     }
 
+    /// Re-seeds the RNG in place (allocation-free: `StdRng` is a plain
+    /// struct). The serving engine keeps one pooled `Network` per node
+    /// lane and reseeds it with `derive_seed(master, ticket)` at the
+    /// start of every session, so outcomes depend only on the submission
+    /// index — never on which worker ran the lane or what ran before.
+    pub fn reseed(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed);
+    }
+
     // ------------------------------------------------------------------
     // Field 2: localization + AP-side orientation
     // ------------------------------------------------------------------

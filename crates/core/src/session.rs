@@ -17,12 +17,16 @@
 //! which is what `tests/robustness.rs` pins.
 
 use crate::link::{DownlinkReport, UplinkReport};
-use crate::network::Network;
+use crate::network::{Field2Burst, Network};
 use milback_ap::ranging::LocalizationResult;
+use milback_ap::workspace::DspWorkspace;
+use milback_dsp::buffer::track_growth;
 use milback_dsp::signal::Signal;
 use milback_proto::arq::{ArqReceiver, ArqSender, ArqVerdict, Backoff};
 use milback_proto::packet::{LinkMode, Packet};
+use milback_rf::workspace::ChannelWorkspace;
 use milback_telemetry as telemetry;
+use std::cell::RefCell;
 
 /// A non-fatal deviation from the clean exchange. The session completed
 /// (or kept going), but something had to be retried, discarded or given
@@ -62,6 +66,12 @@ pub enum Degradation {
         /// Total payload transmissions.
         attempts: usize,
     },
+    /// Field-2 work (localization + AP-side orientation) was shed by the
+    /// serving engine's overload policy before any chirps went on air:
+    /// no fix was attempted, but Field-1 mode signalling and the payload
+    /// ARQ still ran, with the tone plan taken from the cached
+    /// orientation instead of a fresh Field-2 sense (DESIGN.md §15).
+    Field2Shed,
 }
 
 /// Which stage of the exchange ultimately failed.
@@ -183,6 +193,59 @@ impl SessionReport {
     }
 }
 
+/// Pooled per-session scratch state (DESIGN.md §15): every reusable
+/// buffer a supervised exchange touches outside the link layer — the
+/// AP's DSP workspace, the channel-synthesis cache, the Field-2 render
+/// buffers and the triage scratch. The serving engine owns one
+/// `SessionCtx` per pool slot and checks it out per session, so the
+/// steady-state localization service loop performs zero heap
+/// allocations (pinned by `tests/zero_alloc.rs`).
+#[derive(Default)]
+pub struct SessionCtx {
+    /// AP-side DSP buffers (dechirp → FFT → background → detection).
+    pub dsp: DspWorkspace,
+    /// Channel-synthesis cache + render scratch (DESIGN.md §13).
+    pub chan: ChannelWorkspace,
+    /// Field-2 render buffers: TX reference + per-chirp capture pairs.
+    pub burst: Field2Burst,
+    /// Per-chirp burst energies (triage input).
+    energies: Vec<f64>,
+    /// Sort scratch for the triage energy median.
+    energy_sort: Vec<f64>,
+    /// Triage verdict per chirp.
+    alive: Vec<bool>,
+}
+
+impl SessionCtx {
+    /// An empty context; buffers grow to working size on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+thread_local! {
+    /// Shared context for [`Session::run`] callers that don't pool their
+    /// own (batch workers, tests): warms once per thread, like the other
+    /// thread-local workspaces.
+    static RUN_CTX: RefCell<SessionCtx> = RefCell::new(SessionCtx::default());
+}
+
+/// Outcome of one Field-2-only localization request — the serving
+/// engine's `Localize` service class, which skips Field 1 and the
+/// payload entirely. Plain `Copy` data so pooled serving slots can
+/// record it without allocating.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocalizeSummary {
+    /// The fix (possibly from the reduced-chirp fallback).
+    pub fix: Option<LocalizationResult>,
+    /// Chirps localization actually used.
+    pub chirps_used: usize,
+    /// Chirps discarded as dead by the energy triage.
+    pub dropped: usize,
+    /// Whether the reduced-chirp fallback ran.
+    pub fell_back: bool,
+}
+
 /// Supervisor wrapping one packet exchange with retry, fallback and
 /// typed reporting. Owns no network state — borrow a [`Network`] per
 /// call so batch trials stay index-addressed.
@@ -207,7 +270,32 @@ impl Session {
     /// with backoff, triages dead Field-2 chirps before localization,
     /// and drives the payload through its ARQ budget; it returns
     /// `Err(SessionError)` only when a budget is exhausted.
+    ///
+    /// Scratch comes from a thread-local [`SessionCtx`]; pooled callers
+    /// (the serving engine) use [`Session::run_in`] with their own.
     pub fn run(&self, net: &mut Network, packet: &Packet) -> Result<SessionReport, SessionError> {
+        RUN_CTX.with(|c| match c.try_borrow_mut() {
+            Ok(mut ctx) => self.run_in(&mut ctx, net, packet, false),
+            Err(_) => self.run_in(&mut SessionCtx::default(), net, packet, false),
+        })
+    }
+
+    /// [`Session::run`] with caller-owned scratch and an overload flag.
+    ///
+    /// With `shed_field2 == false` this is exactly `run` (same renders,
+    /// same RNG draws, same report). With `shed_field2 == true` — the
+    /// serving engine's load-shedding path — the session skips all
+    /// Field-2 work (localization triage and AP-side orientation, their
+    /// airtime included), records [`Degradation::Field2Shed`], and
+    /// delivers the payload over the cached-orientation tone plan so the
+    /// ARQ stays alive under overload.
+    pub fn run_in(
+        &self,
+        ctx: &mut SessionCtx,
+        net: &mut Network,
+        packet: &Packet,
+        shed_field2: bool,
+    ) -> Result<SessionReport, SessionError> {
         let cfg = &self.config;
         let pkt = net.fidelity.packet();
         let mut degradations: Vec<Degradation> = Vec::new();
@@ -248,19 +336,27 @@ impl Session {
             degradations.push(Degradation::NoNodeOrientation);
         }
 
-        // --- Field 2: localization with dead-chirp triage --------------
-        let (fix, chirps_used) = self.localize_with_triage(net, &mut degradations);
-        net.clock_s += pkt.field2_duration();
-        if fix.is_none() {
-            degradations.push(Degradation::NoFix);
-        }
-
-        // --- Field 2: AP-side orientation ------------------------------
-        let ap_orientation = net.sense_orientation_at_ap();
-        net.clock_s += pkt.field2_duration();
-        if ap_orientation.is_none() {
-            degradations.push(Degradation::NoApOrientation);
-        }
+        // --- Field 2: localization + AP orientation (or shed) ----------
+        let (fix, chirps_used, ap_orientation) = if shed_field2 {
+            // Overload: no Field-2 chirps go on air at all — the airtime
+            // is the saving — and the payload below plans its tones from
+            // the cached orientation instead of a fresh sense.
+            telemetry::counter_add("core.session.field2_shed", 1);
+            degradations.push(Degradation::Field2Shed);
+            (None, 0, None)
+        } else {
+            let (fix, chirps_used) = self.localize_with_triage_in(ctx, net, &mut degradations);
+            net.clock_s += pkt.field2_duration();
+            if fix.is_none() {
+                degradations.push(Degradation::NoFix);
+            }
+            let ap_orientation = net.sense_orientation_at_ap();
+            net.clock_s += pkt.field2_duration();
+            if ap_orientation.is_none() {
+                degradations.push(Degradation::NoApOrientation);
+            }
+            (fix, chirps_used, ap_orientation)
+        };
 
         // --- Payload: ARQ with the shared backoff policy ----------------
         let mut downlink = None;
@@ -270,6 +366,7 @@ impl Session {
                 net,
                 packet,
                 pkt.payload_duration(),
+                shed_field2,
                 &mut downlink,
                 &mut backoff_s,
             ),
@@ -277,6 +374,7 @@ impl Session {
                 net,
                 packet,
                 pkt.payload_duration(),
+                shed_field2,
                 &mut uplink,
                 &mut backoff_s,
             ),
@@ -311,19 +409,55 @@ impl Session {
         })
     }
 
+    /// Field-2 localization with energy triage, reporting degradations.
+    /// Thin wrapper over [`Session::triage_localize`] that translates
+    /// its counts into [`Degradation`]s in the order the old inline
+    /// implementation pushed them.
+    fn localize_with_triage_in(
+        &self,
+        ctx: &mut SessionCtx,
+        net: &mut Network,
+        degradations: &mut Vec<Degradation>,
+    ) -> (Option<LocalizationResult>, usize) {
+        let s = self.triage_localize(ctx, net);
+        if s.dropped > 0 {
+            degradations.push(Degradation::ChirpLoss {
+                dropped: s.dropped,
+                used: s.chirps_used,
+            });
+            if s.fell_back {
+                degradations.push(Degradation::ReducedChirpFallback {
+                    used: s.chirps_used,
+                });
+            }
+        }
+        (s.fix, s.chirps_used)
+    }
+
+    /// Runs one standalone Field-2 localization service request in
+    /// caller-owned scratch: render, energy triage, (possibly
+    /// reduced-chirp) processing, and the Field-2 airtime on the session
+    /// clock. This is the serving engine's `Localize` workload — on a
+    /// warmed [`SessionCtx`] with a clean channel it performs zero heap
+    /// allocations (pinned by `tests/zero_alloc.rs`).
+    pub fn localize_in(&self, ctx: &mut SessionCtx, net: &mut Network) -> LocalizeSummary {
+        let pkt = net.fidelity.packet();
+        let summary = self.triage_localize(ctx, net);
+        net.clock_s += pkt.field2_duration();
+        summary
+    }
+
     /// Field-2 localization with energy triage: chirps whose capture
     /// energy collapses below `energy_floor` × median (blocked, dropped)
     /// are discarded, and localization falls back to the surviving
     /// subset — the §5.1 background subtraction needs only one chirp
-    /// pair. Returns the fix and the chirp count actually used.
-    fn localize_with_triage(
-        &self,
-        net: &mut Network,
-        degradations: &mut Vec<Degradation>,
-    ) -> (Option<LocalizationResult>, usize) {
+    /// pair. Runs entirely in `ctx` buffers (the masked processing path
+    /// avoids copying the retained subset), bitwise identical to the
+    /// allocating implementation it replaced.
+    fn triage_localize(&self, ctx: &mut SessionCtx, net: &mut Network) -> LocalizeSummary {
         let cfg = &self.config;
-        let (tx, captures) = net.field2_captures();
-        let n = captures.len();
+        net.field2_captures_into(&mut ctx.chan, 5, &mut ctx.burst);
+        let n = ctx.burst.captures.len();
 
         // Per-chirp energy across both antennas.
         let energy = |pair: &[Signal; 2]| -> f64 {
@@ -331,64 +465,76 @@ impl Session {
                 .map(|s| s.samples.iter().map(|c| c.norm_sq()).sum::<f64>())
                 .sum()
         };
-        let energies: Vec<f64> = captures.iter().map(energy).collect();
-        let mut sorted = energies.clone();
-        sorted.sort_by(f64::total_cmp);
-        let median = sorted[n / 2];
+        track_growth(&mut ctx.energies, n);
+        ctx.energies.clear();
+        ctx.energies.extend(ctx.burst.captures.iter().map(energy));
+        track_growth(&mut ctx.energy_sort, n);
+        ctx.energy_sort.clear();
+        ctx.energy_sort.extend_from_slice(&ctx.energies);
+        ctx.energy_sort.sort_by(f64::total_cmp);
+        let median = ctx.energy_sort[n / 2];
 
-        let alive: Vec<bool> = energies
-            .iter()
-            .map(|&e| e > cfg.energy_floor * median)
-            .collect();
-        let n_alive = alive.iter().filter(|&&a| a).count();
+        track_growth(&mut ctx.alive, n);
+        ctx.alive.clear();
+        ctx.alive
+            .extend(ctx.energies.iter().map(|&e| e > cfg.energy_floor * median));
+        let n_alive = ctx.alive.iter().filter(|&&a| a).count();
 
         let localizer = net.localizer();
         if n_alive == n {
             // Clean burst: identical to the direct path.
-            let fix = milback_ap::with_workspace(|ws| localizer.process_with(ws, &tx, &captures));
-            return (fix, n);
+            let fix = localizer.process_with(&mut ctx.dsp, &ctx.burst.tx, &ctx.burst.captures);
+            return LocalizeSummary {
+                fix,
+                chirps_used: n,
+                dropped: 0,
+                fell_back: false,
+            };
         }
 
         telemetry::counter_add("core.session.chirp_discard", (n - n_alive) as u64);
         if n_alive < cfg.min_chirps.max(2) {
             // Not even one subtraction pair survived.
-            degradations.push(Degradation::ChirpLoss {
+            return LocalizeSummary {
+                fix: None,
+                chirps_used: n_alive,
                 dropped: n - n_alive,
-                used: n_alive,
-            });
-            return (None, n_alive);
+                fell_back: false,
+            };
         }
 
-        degradations.push(Degradation::ChirpLoss {
-            dropped: n - n_alive,
-            used: n_alive,
-        });
-        degradations.push(Degradation::ReducedChirpFallback { used: n_alive });
         telemetry::counter_add("core.session.fallback", 1);
-        let retained: Vec<[Signal; 2]> = captures
-            .iter()
-            .zip(&alive)
-            .filter(|(_, &a)| a)
-            .map(|(pair, _)| pair.clone())
-            .collect();
-        let fix = milback_ap::with_workspace(|ws| localizer.process_with(ws, &tx, &retained));
-        (fix, n_alive)
+        let fix = localizer.process_masked_with(
+            &mut ctx.dsp,
+            &ctx.burst.tx,
+            &ctx.burst.captures,
+            &ctx.alive,
+        );
+        LocalizeSummary {
+            fix,
+            chirps_used: n_alive,
+            dropped: n - n_alive,
+            fell_back: true,
+        }
     }
 
     /// Downlink payload with bounded repeat: the AP re-sends until the
     /// node's CRC passes or the budget runs out. Returns attempts used,
-    /// or `None` on exhaustion.
+    /// or `None` on exhaustion. `cached_tones` plans the carriers from
+    /// the cached orientation instead of a fresh Field-2 sense (the
+    /// shed path, where no Field-2 airtime is spent).
     fn deliver_downlink(
         &self,
         net: &mut Network,
         packet: &Packet,
         airtime_s: f64,
+        cached_tones: bool,
         out: &mut Option<DownlinkReport>,
         backoff_s: &mut f64,
     ) -> Option<usize> {
         let cfg = &self.config;
         for attempt in 1..=cfg.payload_attempts {
-            let report = net.downlink(&packet.payload, cfg.symbol_rate, false);
+            let report = net.downlink(&packet.payload, cfg.symbol_rate, cached_tones);
             net.clock_s += airtime_s;
             if let Some(r) = report {
                 let ok = r.payload.is_ok();
@@ -407,12 +553,14 @@ impl Session {
 
     /// Uplink payload through the stop-and-wait ARQ machine, with the
     /// session's backoff between attempts. Returns attempts used, or
-    /// `None` on exhaustion.
+    /// `None` on exhaustion. `cached_tones` as in
+    /// [`Session::deliver_downlink`].
     fn deliver_uplink(
         &self,
         net: &mut Network,
         packet: &Packet,
         airtime_s: f64,
+        cached_tones: bool,
         out: &mut Option<UplinkReport>,
         backoff_s: &mut f64,
     ) -> Option<usize> {
@@ -423,7 +571,7 @@ impl Session {
         let mut attempts = 0;
         loop {
             attempts += 1;
-            let report = net.uplink(tx.frame()?, cfg.symbol_rate, false);
+            let report = net.uplink(tx.frame()?, cfg.symbol_rate, cached_tones);
             net.clock_s += airtime_s;
             let ack = report.as_ref().and_then(|r| match &r.payload {
                 Ok(received) => rx.on_frame(received).map(|(ack, _)| ack),
@@ -562,6 +710,75 @@ mod tests {
             .iter()
             .any(|d| matches!(d, Degradation::ModeRetries { .. })));
         assert!(report.backoff_s > 0.0);
+    }
+
+    #[test]
+    fn run_in_without_shedding_matches_run() {
+        let packet = Packet::downlink((0..16).collect());
+        let mut a = net_at(2.0, 37);
+        let mut b = net_at(2.0, 37);
+        let ra = Session::default().run(&mut a, &packet).expect("run failed");
+        let mut ctx = SessionCtx::new();
+        let rb = Session::default()
+            .run_in(&mut ctx, &mut b, &packet, false)
+            .expect("run_in failed");
+        assert_eq!(ra.fix, rb.fix);
+        assert_eq!(ra.chirps_used, rb.chirps_used);
+        assert_eq!(ra.mode_attempts, rb.mode_attempts);
+        assert_eq!(ra.payload_attempts, rb.payload_attempts);
+        assert_eq!(ra.node_orientation, rb.node_orientation);
+        assert_eq!(ra.ap_orientation, rb.ap_orientation);
+        assert_eq!(ra.degradations, rb.degradations);
+        assert_eq!(ra.backoff_s, rb.backoff_s);
+        assert_eq!(a.clock_s, b.clock_s, "session clocks diverged");
+    }
+
+    #[test]
+    fn shed_session_keeps_payload_arq_alive() {
+        let packet = Packet::downlink((0..16).collect());
+        let mut ctx = SessionCtx::new();
+        let mut net = net_at(2.0, 36);
+        let pkt = net.fidelity.packet();
+        let report = Session::default()
+            .run_in(&mut ctx, &mut net, &packet, true)
+            .expect("shed session failed");
+        // Field-2 work dropped...
+        assert!(report.fix.is_none());
+        assert_eq!(report.chirps_used, 0);
+        assert!(report.ap_orientation.is_none());
+        assert!(report.degradations.contains(&Degradation::Field2Shed));
+        // ...but the payload delivered, and the Field-2 airtime was the
+        // saving: a clean run of the same exchange spends exactly the
+        // two skipped Field-2 windows more session time.
+        assert_eq!(report.payload_attempts, 1);
+        let dl = report.downlink.expect("no downlink report");
+        assert!(dl.payload.is_ok(), "shed payload failed CRC");
+        let mut clean_net = net_at(2.0, 36);
+        Session::default()
+            .run_in(&mut ctx, &mut clean_net, &packet, false)
+            .expect("clean session failed");
+        let saved = clean_net.clock_s - net.clock_s;
+        assert!(
+            (saved - 2.0 * pkt.field2_duration()).abs() < 1e-12,
+            "shed saved {} s, expected the two Field-2 windows ({} s)",
+            saved,
+            2.0 * pkt.field2_duration()
+        );
+    }
+
+    #[test]
+    fn localize_in_matches_direct_localize() {
+        let mut net = net_at(2.0, 38);
+        let mut ctx = SessionCtx::new();
+        let s = Session::default().localize_in(&mut ctx, &mut net);
+        assert_eq!(s.chirps_used, 5);
+        assert_eq!(s.dropped, 0);
+        assert!(!s.fell_back);
+        assert!(net.clock_s > 0.0, "Field-2 airtime not charged");
+        // Bitwise identical to the thread-local localization path on a
+        // fresh network with the same seed.
+        assert_eq!(s.fix, net_at(2.0, 38).localize());
+        assert!(s.fix.is_some());
     }
 
     #[test]

@@ -204,8 +204,22 @@ impl FaultPlan {
     /// seed per trial with `batch::derive_seed`, so a chaos sweep is
     /// reproducible to the byte.
     pub fn chaos(seed: u64, intensity: f64, horizon_s: f64) -> Self {
+        let mut plan = Self::none();
+        plan.chaos_into(seed, intensity, horizon_s);
+        plan
+    }
+
+    /// In-place variant of [`FaultPlan::chaos`]: rebuilds this plan's
+    /// schedule reusing the existing `events` allocation. The serving
+    /// engine keeps one pooled plan per queue slot and re-rolls it per
+    /// session, so the steady-state loop never allocates for faults.
+    /// Produces a plan equal to `FaultPlan::chaos(seed, intensity,
+    /// horizon_s)`.
+    pub fn chaos_into(&mut self, seed: u64, intensity: f64, horizon_s: f64) {
         let intensity = intensity.clamp(0.0, 1.0);
-        let mut events = Vec::new();
+        self.seed = seed;
+        self.events.clear();
+        let events = &mut self.events;
         if intensity > 0.0 {
             let mut rng = Mix::at(seed, 0x000C_4A05);
             // Blockage: up to three shadowing episodes.
@@ -266,7 +280,6 @@ impl FaultPlan {
                 });
             }
         }
-        Self { seed, events }
     }
 
     /// Applies every overlapping event to an RF-domain capture whose
@@ -550,6 +563,21 @@ mod tests {
             FaultPlan::chaos(7, 0.9, 0.01),
             FaultPlan::chaos(8, 0.9, 0.01)
         );
+    }
+
+    #[test]
+    fn chaos_into_matches_chaos_and_reuses_capacity() {
+        let mut plan = FaultPlan::chaos(11, 0.9, 0.02);
+        let cap = plan.events.capacity();
+        plan.chaos_into(12, 0.4, 0.01);
+        assert_eq!(plan, FaultPlan::chaos(12, 0.4, 0.01));
+        assert!(plan.events.capacity() >= plan.events.len());
+        // Re-rolling to a smaller (or empty) schedule keeps the buffer.
+        plan.chaos_into(13, 0.0, 0.01);
+        assert!(plan.is_empty());
+        assert_eq!(plan.events.capacity(), cap.max(plan.events.capacity()));
+        plan.chaos_into(11, 0.9, 0.02);
+        assert_eq!(plan, FaultPlan::chaos(11, 0.9, 0.02));
     }
 
     #[test]

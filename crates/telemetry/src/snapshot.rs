@@ -46,6 +46,42 @@ impl HistogramSnapshot {
         }
     }
 
+    /// Nearest-rank quantile estimate, `q` in `[0, 1]` (`None` when
+    /// empty). Resolution is the power-of-two bucket width: the value
+    /// returned is the inclusive upper bound of the bucket holding the
+    /// rank, clamped into `[min, max]` so `quantile(0.0)` and
+    /// `quantile(1.0)` are exact. (The serve report's p50/p99 session
+    /// latencies are computed from the raw samples instead; this is the
+    /// coarse view available from a telemetry snapshot alone.)
+    ///
+    /// ```
+    /// use milback_telemetry::{Histogram, HistogramSnapshot};
+    /// let mut h = Histogram::new();
+    /// for v in [1u64, 2, 3, 1000] {
+    ///     h.record(v);
+    /// }
+    /// let mut s = HistogramSnapshot::empty();
+    /// s.merge_from(&h);
+    /// assert_eq!(s.quantile(0.0), Some(1));
+    /// assert_eq!(s.quantile(1.0), Some(1000));
+    /// assert!(s.quantile(0.5).unwrap() <= 3);
+    /// ```
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for &(ub, c) in &self.buckets {
+            seen = seen.saturating_add(c);
+            if seen >= rank {
+                return Some(ub.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
     /// Folds one shard's [`Histogram`] into this snapshot.
     pub fn merge_from(&mut self, h: &Histogram) {
         self.count = self.count.saturating_add(h.count);
@@ -256,6 +292,29 @@ mod tests {
         assert_eq!(s.max, 1000);
         // bucket for 1000 is [512, 1023]
         assert!(s.buckets.contains(&(1023, 1)));
+    }
+
+    #[test]
+    fn quantile_nearest_rank() {
+        assert_eq!(HistogramSnapshot::empty().quantile(0.5), None);
+        let s = sample_hist(&[1, 1, 1, 1]);
+        assert_eq!(s.quantile(0.5), Some(1));
+        assert_eq!(s.quantile(0.99), Some(1));
+        // 100 small values and one huge one: p50 stays small (the upper
+        // bound of the [8, 15] bucket holding the rank), p100 exact.
+        let mut vals = vec![8u64; 100];
+        vals.push(1 << 20);
+        let s = sample_hist(&vals);
+        assert_eq!(s.quantile(0.5), Some(15));
+        assert_eq!(s.quantile(1.0), Some(1 << 20));
+        // Monotone in q.
+        let s = sample_hist(&[1, 10, 100, 1000, 10_000]);
+        let mut last = 0;
+        for q in [0.0, 0.25, 0.5, 0.75, 0.99, 1.0] {
+            let v = s.quantile(q).unwrap();
+            assert!(v >= last, "quantile({q}) = {v} < {last}");
+            last = v;
+        }
     }
 
     #[test]

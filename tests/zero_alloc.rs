@@ -11,7 +11,10 @@
 //! * the full Field-2 render: `Network::field2_captures_into` through a
 //!   warmed `ChannelWorkspace` + `Field2Burst` — channel synthesis
 //!   included (static-scene response cache + hoisted ray tables,
-//!   DESIGN.md §13), not just the processing half.
+//!   DESIGN.md §13), not just the processing half,
+//! * the serving loop (DESIGN.md §15): a whole seeded epoch of
+//!   `Localize` sessions through the pooled serving engine — admission,
+//!   chains, steal dispatch, scratch checkout, resolutions, report.
 //!
 //! One test function on purpose: the allocation counter is process-wide,
 //! so a second concurrently-running test would pollute the deltas.
@@ -145,5 +148,41 @@ fn warmed_hot_paths_perform_zero_heap_allocations() {
         allocs() - before,
         0,
         "warmed end-to-end localize allocated on the heap"
+    );
+
+    // ---- serving loop: pooled sessions through the engine -----------
+    // The §15 serving engine's `Localize` service class end to end:
+    // admission, per-node chains, the work-stealing dispatch (1 thread
+    // = inline), pooled scratch checkout, fault-plan reuse, resolution
+    // slots and the report. Epoch 1 grows every pool; a repeat of the
+    // same seeded schedule must then allocate nothing.
+    use milback::serve::roster;
+    use milback::{ServeConfig, ServeEngine, TrafficConfig, TrafficSchedule, Workload};
+    let traffic = TrafficConfig {
+        nodes: 3,
+        sessions: 12,
+        rate_hz: 5.0,           // light load: nothing sheds or rejects
+        localize_fraction: 1.0, // the zero-allocation service class
+        ..TrafficConfig::milback()
+    };
+    let schedule = TrafficSchedule::generate(&traffic, 0x5E4E);
+    assert!(schedule
+        .requests
+        .iter()
+        .all(|r| r.workload == Workload::Localize));
+    let mut engine = ServeEngine::new(&roster(traffic.nodes, 0x5E4E), ServeConfig::milback());
+    let warm = engine.serve_schedule(&schedule, 1);
+    assert_eq!(warm.completed, traffic.sessions, "warm-up epoch degraded");
+
+    let before = allocs();
+    let steady = engine.serve_schedule(&schedule, 1);
+    assert_eq!(
+        allocs() - before,
+        0,
+        "warmed serving loop allocated on the heap"
+    );
+    assert_eq!(
+        steady.outcome_digest, warm.outcome_digest,
+        "serving epochs diverged"
     );
 }
