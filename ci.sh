@@ -81,6 +81,31 @@ MILBACK_TELEMETRY=1 MILBACK_THREADS=4 cargo run --release --offline -p milback-b
     --smoke --serve --serve-only --serve-view target/serve_view_2.json >/dev/null
 cmp target/serve_view_1.json target/serve_view_2.json
 
+echo "==> net smoke (dense-network fabric determinism)"
+# The net leg (DESIGN.md §16) sweeps the dense-network fabric across
+# node densities — two APs, slotted polling rounds with drift, handoffs
+# and parked-neighbor interference — serially and in parallel, asserting
+# per-density digest equality and byte-identical deterministic telemetry
+# views inside one process. The two runs below pin cross-process AND
+# cross-thread-count determinism: the deterministic per-density tables
+# (and views) must compare equal with cmp at 1 and at 4 workers.
+MILBACK_TELEMETRY=1 MILBACK_THREADS=1 cargo run --release --offline -p milback-bench --bin bench_engine -- \
+    --smoke --net --net-only --net-view target/net_view_1.json >/dev/null
+MILBACK_TELEMETRY=1 MILBACK_THREADS=4 cargo run --release --offline -p milback-bench --bin bench_engine -- \
+    --smoke --net --net-only --net-view target/net_view_2.json >/dev/null
+cmp target/net_view_1.json target/net_view_2.json
+
+echo "==> docs freshness (ARCHITECTURE/README section refs resolve in DESIGN.md)"
+# Every "DESIGN.md §N" reference in the top-level maps must point at a
+# real "## N." heading in DESIGN.md — a renumbered or deleted design
+# section must not leave dangling pointers in the architecture docs.
+for n in $(grep -ho 'DESIGN\.md §[0-9]\+' ARCHITECTURE.md README.md | grep -o '[0-9]\+$' | sort -un); do
+    grep -q "^## $n\." DESIGN.md || {
+        echo "ARCHITECTURE.md/README.md reference DESIGN.md §$n but DESIGN.md has no '## $n.' heading" >&2
+        exit 1
+    }
+done
+
 echo "==> cargo doc (rustdoc warnings are errors)"
 # Same package list as fmt: vendored stubs are exempt from the docs gate.
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps -q \

@@ -1,0 +1,101 @@
+//! Coverage-cell assignment for multi-AP deployments (DESIGN.md §16).
+//!
+//! The paper deploys one AP; a dense network tiles a space with several,
+//! and every node must be owned by exactly one *coverage cell* — the AP
+//! that serves its sessions. Assignment here follows the strongest
+//! measured response: the closed-form two-way link budget
+//! (`Scene::tone_backscatter_gain`) evaluated at the node's best Port-A
+//! operating frequency, summed over both RX antennas. A hysteresis
+//! margin keeps nodes from flapping between two APs of nearly equal
+//! strength; crossing it is a *handoff*, the deterministic
+//! re-assignment event the fabric counts.
+
+use milback_rf::channel::Scene;
+use milback_rf::fsa::{DualPortFsa, Port};
+use milback_rf::geometry::Pose;
+
+/// Strongest-response metric for one `(AP scene, node)` pair, dB.
+///
+/// `pose` must be in the AP's local frame and `scene` steered at the
+/// node (as every serving render is). The metric is the two-way tone
+/// gain at the frequency that points the node's Port-A beam back along
+/// its incidence angle — the tone localization and uplink actually ride
+/// — summed over both RX antennas. Falls back to the FSA's normal-beam
+/// frequency when the incidence angle is outside the steerable range.
+pub fn response_db(scene: &Scene, pose: &Pose, fsa: &DualPortFsa) -> f64 {
+    let inc = pose.incidence_from(&scene.tx_pos);
+    let f = fsa
+        .frequency_for_angle(Port::A, inc)
+        .unwrap_or_else(|| fsa.normal_frequency());
+    let g = scene.tone_backscatter_gain(pose, fsa, Port::A, f, 0)
+        + scene.tone_backscatter_gain(pose, fsa, Port::A, f, 1);
+    10.0 * g.max(1e-300).log10()
+}
+
+/// Picks the serving cell from per-AP responses with hysteresis.
+///
+/// A node with no current cell takes the strongest response (ties break
+/// to the lowest AP index, so assignment is deterministic). A node
+/// already served by `current` moves only when some other AP beats its
+/// current response by more than `margin_db` — otherwise it stays put.
+///
+/// ```
+/// use milback_ap::coverage::pick_cell;
+///
+/// // Fresh node: strongest wins.
+/// assert_eq!(pick_cell(None, &[-62.0, -58.0], 1.0), 1);
+/// // Within the margin: the current cell keeps the node...
+/// assert_eq!(pick_cell(Some(0), &[-58.5, -58.0], 1.0), 0);
+/// // ...but a clear winner takes it (a handoff).
+/// assert_eq!(pick_cell(Some(0), &[-65.0, -58.0], 1.0), 1);
+/// ```
+pub fn pick_cell(current: Option<usize>, responses_db: &[f64], margin_db: f64) -> usize {
+    assert!(!responses_db.is_empty(), "need at least one AP response");
+    let mut best = 0;
+    for (i, &r) in responses_db.iter().enumerate() {
+        if r > responses_db[best] {
+            best = i;
+        }
+    }
+    match current {
+        Some(c) if c < responses_db.len() && responses_db[best] <= responses_db[c] + margin_db => c,
+        _ => best,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use milback_rf::geometry::deg_to_rad;
+
+    #[test]
+    fn response_falls_with_range() {
+        let fsa = DualPortFsa::milback();
+        let near = Pose::facing_ap(2.0, 0.0, deg_to_rad(10.0));
+        let far = Pose::facing_ap(3.5, 0.0, deg_to_rad(10.0));
+        let mut scene = Scene::milback_indoor();
+        scene.steer_towards(&near.position);
+        let r_near = response_db(&scene, &near, &fsa);
+        scene.steer_towards(&far.position);
+        let r_far = response_db(&scene, &far, &fsa);
+        // Two-way budget: several dB of extra loss per extra 1.5 m
+        // (free space predicts ~19 dB; indoor multipath softens it).
+        assert!(r_near > r_far + 6.0, "near {r_near} dB vs far {r_far} dB");
+    }
+
+    #[test]
+    fn hysteresis_prevents_flapping() {
+        let margin = 2.0;
+        // Responses 1 dB apart: whoever currently serves, keeps serving.
+        let resp = [-60.0, -59.0];
+        assert_eq!(pick_cell(Some(0), &resp, margin), 0);
+        assert_eq!(pick_cell(Some(1), &resp, margin), 1);
+        // 3 dB apart: the stronger AP takes over.
+        let resp = [-62.0, -59.0];
+        assert_eq!(pick_cell(Some(0), &resp, margin), 1);
+        // Fresh assignment ignores the margin; ties break low.
+        assert_eq!(pick_cell(None, &[-59.0, -59.0], margin), 0);
+        // A stale out-of-range current cell re-assigns cleanly.
+        assert_eq!(pick_cell(Some(7), &[-60.0, -59.0], margin), 1);
+    }
+}

@@ -42,6 +42,7 @@
 pub mod aoa;
 pub mod background;
 pub mod cfar;
+pub mod coverage;
 pub mod dechirp;
 pub mod doppler;
 pub mod orientation;

@@ -72,9 +72,20 @@
 //! writes its serial deterministic view for cross-process, cross-
 //! thread-count comparison (ci.sh runs it at `MILBACK_THREADS=1` and
 //! `=4` and `cmp`s the files).
+//!
+//! The net leg (DESIGN.md §16) sweeps the dense-network fabric across
+//! node densities — two APs, slotted polling rounds with drift,
+//! handoffs and parked-neighbor interference — serially and in
+//! parallel, asserting per-density digest equality and byte-identical
+//! deterministic telemetry views, then reporting sessions/sec and
+//! aggregate goodput per density. `--net` is the opt-in marker (the leg
+//! runs in every full invocation), `--net-only` runs just the density
+//! sweep, and `--net-view <path>` writes a deterministic per-density
+//! table plus the telemetry view for cross-process comparison.
 
 use milback::batch;
 use milback::chaos::{chaos_sweep_with_threads, default_points};
+use milback::net::{density_sweep, NetConfig};
 use milback::serve::roster;
 use milback::{Fidelity, Network, ServeConfig, ServeEngine, TrafficConfig, TrafficSchedule};
 use milback_ap::cfar::CfarDetector;
@@ -340,6 +351,117 @@ fn serve_leg(smoke: bool, threads: usize, view_path: Option<&str>) -> String {
     )
 }
 
+/// The net leg (DESIGN.md §16): the dense-network fabric swept across
+/// node densities — two APs, two slotted polling rounds per density,
+/// per-round drift, handoffs and parked-neighbor interference — run
+/// serially and at `threads` workers. Asserts that every deterministic
+/// per-density field (digest, delivery counts, goodput) is identical
+/// across thread counts and that the telemetry deterministic views are
+/// byte-identical, optionally writing a deterministic per-density table
+/// plus the view to `view_path` for cross-process comparison. Reports
+/// sessions/sec and aggregate goodput per density. Resets telemetry;
+/// callers run it outside their own measured region.
+fn net_leg(smoke: bool, threads: usize, view_path: Option<&str>) -> String {
+    let densities: &[usize] = if smoke { &[4, 8, 16] } else { &[10, 100, 1000] };
+    let (n_aps, spacing_m, rounds) = (2, 4.0, 2);
+    let cfg = NetConfig {
+        drift_step_m: 0.15,
+        ..NetConfig::milback(Fidelity::Fast)
+    };
+    let seed = 0xDE4E_5EED;
+
+    telemetry::reset();
+    let serial = density_sweep(densities, n_aps, spacing_m, rounds, cfg, seed, 1);
+    let serial_view = telemetry::snapshot().deterministic_view().to_json(2);
+
+    telemetry::reset();
+    let parallel = density_sweep(densities, n_aps, spacing_m, rounds, cfg, seed, threads);
+    let parallel_view = telemetry::snapshot().deterministic_view().to_json(2);
+
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.digest, p.digest, "density {} digest diverged", s.nodes);
+        assert_eq!(s.completed, p.completed);
+        assert_eq!(s.delivered, p.delivered);
+        assert_eq!(s.fixes, p.fixes);
+        assert_eq!(s.handoffs, p.handoffs);
+        assert_eq!(s.overruns, p.overruns);
+        assert_eq!(s.delivered_bits, p.delivered_bits);
+        assert_eq!(s.goodput_bps.to_bits(), p.goodput_bps.to_bits());
+    }
+    assert_eq!(
+        serial_view, parallel_view,
+        "net telemetry deterministic views diverged"
+    );
+
+    // The view file holds only deterministic content: the per-density
+    // table and the telemetry view, so two runs at different thread
+    // counts (or in different processes) must produce identical bytes.
+    if let Some(path) = view_path {
+        let mut table = String::from("dense-network density sweep (deterministic view)\n");
+        for p in &serial {
+            table.push_str(&format!(
+                "nodes={} aps={} rounds={} sessions={} completed={} delivered={} fixes={} \
+                 handoffs={} overruns={} bits={} goodput_bps={} digest={:#018x}\n",
+                p.nodes,
+                p.aps,
+                p.rounds,
+                p.sessions,
+                p.completed,
+                p.delivered,
+                p.fixes,
+                p.handoffs,
+                p.overruns,
+                p.delivered_bits,
+                json_f(p.goodput_bps),
+                p.digest,
+            ));
+        }
+        table.push_str(&serial_view);
+        std::fs::write(path, &table).expect("failed to write net deterministic view");
+        println!("net leg: wrote deterministic view to {path}");
+    }
+
+    println!("net leg: {n_aps} APs, {rounds} rounds/density, densities {densities:?}");
+    let mut points = Vec::new();
+    for p in &parallel {
+        println!(
+            "  {} nodes: {:.1} sessions/s, {:.0} bit/s goodput, {}/{} delivered, \
+             {} fixes, {} handoffs, {} overruns",
+            p.nodes,
+            p.sessions_per_s,
+            p.goodput_bps,
+            p.delivered,
+            p.sessions,
+            p.fixes,
+            p.handoffs,
+            p.overruns
+        );
+        points.push(format!(
+            "      {{\n        \"nodes\": {},\n        \"aps\": {},\n        \"rounds\": {},\n        \"sessions\": {},\n        \"completed\": {},\n        \"delivered\": {},\n        \"fixes\": {},\n        \"handoffs\": {},\n        \"overruns\": {},\n        \"delivered_bits\": {},\n        \"goodput_bps\": {},\n        \"sessions_per_s\": {},\n        \"wall_s\": {},\n        \"digest\": \"{:#018x}\"\n      }}",
+            p.nodes,
+            p.aps,
+            p.rounds,
+            p.sessions,
+            p.completed,
+            p.delivered,
+            p.fixes,
+            p.handoffs,
+            p.overruns,
+            p.delivered_bits,
+            json_f(p.goodput_bps),
+            json_f(p.sessions_per_s),
+            json_f(p.wall_s),
+            p.digest,
+        ));
+    }
+    println!("  deterministic: digests identical, views byte-identical");
+
+    format!(
+        "{{\n    \"workload\": \"dense-network fabric: slotted polling rounds across 2 APs with drift, handoffs and 3-neighbor interference\",\n    \"densities\": {densities:?},\n    \"rounds_per_density\": {rounds},\n    \"points\": [\n{}\n    ],\n    \"digests_identical\": true,\n    \"views_byte_identical\": true\n  }}",
+        points.join(",\n"),
+    )
+}
+
 /// The next free `BENCH_<n>.json` name in `dir`: one past the highest
 /// existing index (starting at 1).
 fn next_bench_path(dir: &std::path::Path) -> String {
@@ -387,7 +509,7 @@ fn kernel_json(name: &str, desc: &str, reps: usize, leg: (f64, f64, f64)) -> Str
 }
 
 fn main() {
-    let (out_path, smoke, chaos_only, chaos_view, serve_only, serve_view) = {
+    let (out_path, smoke, chaos_only, chaos_view, serve_only, serve_view, net_only, net_view) = {
         let mut args = std::env::args().skip(1);
         let mut path = None;
         let mut smoke = false;
@@ -395,6 +517,8 @@ fn main() {
         let mut chaos_view = None;
         let mut serve_only = false;
         let mut serve_view = None;
+        let mut net_only = false;
+        let mut net_view = None;
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--out" => {
@@ -409,13 +533,20 @@ fn main() {
                         chaos_view = Some(p);
                     }
                 }
-                // Accepted as the documented opt-in marker; the serving
-                // soak runs in every full invocation regardless.
-                "--serve" => {}
+                // Accepted as the documented opt-in markers; the serving
+                // soak and the density sweep run in every full
+                // invocation regardless.
+                "--serve" | "--net" => {}
                 "--serve-only" => serve_only = true,
                 "--serve-view" => {
                     if let Some(p) = args.next() {
                         serve_view = Some(p);
+                    }
+                }
+                "--net-only" => net_only = true,
+                "--net-view" => {
+                    if let Some(p) = args.next() {
+                        net_view = Some(p);
                     }
                 }
                 _ => {}
@@ -428,6 +559,8 @@ fn main() {
             chaos_view,
             serve_only,
             serve_view,
+            net_only,
+            net_view,
         )
     };
     let bench_name = std::path::Path::new(&out_path)
@@ -439,10 +572,10 @@ fn main() {
     let seed = 0xB16B_00B5;
     let threads = batch::thread_count();
 
-    // Chaos and serve legs first: each resets telemetry for its own
+    // Chaos, serve and net legs first: each resets telemetry for its own
     // serial/parallel view comparison, so they have to run before (not
     // inside) the measured region below.
-    let chaos_json = if serve_only {
+    let chaos_json = if serve_only || net_only {
         String::new()
     } else {
         chaos_leg(smoke, threads, chaos_view.as_deref())
@@ -450,8 +583,16 @@ fn main() {
     if chaos_only {
         return;
     }
-    let serve_json = serve_leg(smoke, threads, serve_view.as_deref());
+    let serve_json = if net_only {
+        String::new()
+    } else {
+        serve_leg(smoke, threads, serve_view.as_deref())
+    };
     if serve_only {
+        return;
+    }
+    let net_json = net_leg(smoke, threads, net_view.as_deref());
+    if net_only {
         return;
     }
 
@@ -902,7 +1043,7 @@ fn main() {
     .join(",\n");
 
     let json = format!(
-        "{{\n  \"bench\": \"{bench_name}\",\n  \"description\": \"Batch-engine, FFT-plan, per-kernel and five-chirp-burst timings on a Fig. 12a localization workload, plus a short end-to-end link leg and the chaos and serving-soak determinism legs\",\n  \"host_threads\": {threads},\n  \"smoke\": {smoke},\n  \"engine\": {{\n    \"workload\": \"localization trial, node at 3 m, Fidelity::Fast\",\n    \"trials\": {trials},\n    \"serial_s\": {},\n    \"parallel_s\": {},\n    \"speedup\": {},\n    \"deterministic\": true\n  }},\n  \"fft_plan\": {{\n    \"size\": {n},\n    \"reps\": {reps},\n    \"unplanned_us_per_fft\": {},\n    \"planned_us_per_fft\": {},\n    \"speedup\": {},\n    \"bitwise_identical\": {bitwise}\n  }},\n  \"kernels\": {{\n{kernels}\n  }},\n  \"localization_burst\": {{\n    \"workload\": \"five-chirp Field-2 burst, 2 RX antennas, Fidelity::Fast\",\n    \"reps\": {burst_reps},\n    \"allocating_ms_per_burst\": {},\n    \"workspace_ms_per_burst\": {},\n    \"speedup\": {},\n    \"allocating_allocs_per_burst\": {burst_alloc_allocs},\n    \"workspace_allocs_per_burst\": {burst_ws_allocs},\n    \"bitwise_identical\": {burst_bitwise},\n    \"deterministic\": true\n  }},\n  \"channel_render\": {{\n    \"workload\": \"single monostatic render, milback_indoor scene, node at 3 m\",\n    \"reps\": {chan_reps},\n    \"uncached_ms_per_render\": {},\n    \"cached_ms_per_render\": {},\n    \"speedup\": {},\n    \"uncached_allocs_per_render\": {chan_uncached_allocs},\n    \"cached_allocs_per_render\": {chan_cached_allocs},\n    \"bitwise_identical\": true\n  }},\n  \"channel_burst\": {{\n    \"workload\": \"five-chirp x two-antenna Field-2 channel render, per-chirp gamma schedules\",\n    \"reps\": {chan_reps},\n    \"uncached_ms_per_burst\": {},\n    \"cached_ms_per_burst\": {},\n    \"speedup\": {},\n    \"cached_allocs_per_burst\": {chan_burst_allocs}\n  }},\n  \"end_to_end_trial\": {{\n    \"workload\": \"warm Fig. 12a localization trial: channel render + DSP pipeline through every cache\",\n    \"reps\": {e2e_reps},\n    \"ms_per_trial\": {},\n    \"allocs_per_trial\": {e2e_allocs}\n  }},\n  \"link_leg\": {{\n    \"trials\": {link_trials},\n    \"elapsed_s\": {},\n    \"total_bit_errors\": {total_errors}\n  }},\n  \"serve\": {serve_json},\n  \"chaos\": {chaos_json},\n  \"telemetry\": {telemetry_json}\n}}\n",
+        "{{\n  \"bench\": \"{bench_name}\",\n  \"description\": \"Batch-engine, FFT-plan, per-kernel and five-chirp-burst timings on a Fig. 12a localization workload, plus a short end-to-end link leg and the chaos and serving-soak determinism legs\",\n  \"host_threads\": {threads},\n  \"smoke\": {smoke},\n  \"engine\": {{\n    \"workload\": \"localization trial, node at 3 m, Fidelity::Fast\",\n    \"trials\": {trials},\n    \"serial_s\": {},\n    \"parallel_s\": {},\n    \"speedup\": {},\n    \"deterministic\": true\n  }},\n  \"fft_plan\": {{\n    \"size\": {n},\n    \"reps\": {reps},\n    \"unplanned_us_per_fft\": {},\n    \"planned_us_per_fft\": {},\n    \"speedup\": {},\n    \"bitwise_identical\": {bitwise}\n  }},\n  \"kernels\": {{\n{kernels}\n  }},\n  \"localization_burst\": {{\n    \"workload\": \"five-chirp Field-2 burst, 2 RX antennas, Fidelity::Fast\",\n    \"reps\": {burst_reps},\n    \"allocating_ms_per_burst\": {},\n    \"workspace_ms_per_burst\": {},\n    \"speedup\": {},\n    \"allocating_allocs_per_burst\": {burst_alloc_allocs},\n    \"workspace_allocs_per_burst\": {burst_ws_allocs},\n    \"bitwise_identical\": {burst_bitwise},\n    \"deterministic\": true\n  }},\n  \"channel_render\": {{\n    \"workload\": \"single monostatic render, milback_indoor scene, node at 3 m\",\n    \"reps\": {chan_reps},\n    \"uncached_ms_per_render\": {},\n    \"cached_ms_per_render\": {},\n    \"speedup\": {},\n    \"uncached_allocs_per_render\": {chan_uncached_allocs},\n    \"cached_allocs_per_render\": {chan_cached_allocs},\n    \"bitwise_identical\": true\n  }},\n  \"channel_burst\": {{\n    \"workload\": \"five-chirp x two-antenna Field-2 channel render, per-chirp gamma schedules\",\n    \"reps\": {chan_reps},\n    \"uncached_ms_per_burst\": {},\n    \"cached_ms_per_burst\": {},\n    \"speedup\": {},\n    \"cached_allocs_per_burst\": {chan_burst_allocs}\n  }},\n  \"end_to_end_trial\": {{\n    \"workload\": \"warm Fig. 12a localization trial: channel render + DSP pipeline through every cache\",\n    \"reps\": {e2e_reps},\n    \"ms_per_trial\": {},\n    \"allocs_per_trial\": {e2e_allocs}\n  }},\n  \"link_leg\": {{\n    \"trials\": {link_trials},\n    \"elapsed_s\": {},\n    \"total_bit_errors\": {total_errors}\n  }},\n  \"net\": {net_json},\n  \"serve\": {serve_json},\n  \"chaos\": {chaos_json},\n  \"telemetry\": {telemetry_json}\n}}\n",
         json_f(serial_s),
         json_f(parallel_s),
         json_f(engine_speedup),

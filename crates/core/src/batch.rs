@@ -65,6 +65,32 @@ pub fn derive_seed(master: u64, index: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Crate-internal SplitMix64 stream for synthetic-input generation
+/// (traffic schedules, rosters, workload draws — mirrors the generator
+/// in `milback_rf::faults`). NOT for channel/noise randomness: networks
+/// draw from their seeded `StdRng`. Seed it with [`derive_seed`] so the
+/// stream depends only on (master, index).
+pub(crate) struct Mix(u64);
+
+impl Mix {
+    pub(crate) fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    pub(crate) fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub(crate) fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
 /// The number of worker threads the engine uses: `MILBACK_THREADS` when
 /// set (≥ 1), otherwise the machine's available parallelism.
 pub fn thread_count() -> usize {

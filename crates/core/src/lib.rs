@@ -18,6 +18,9 @@
 //! * [`serve`] — the session-serving engine: work-stealing pool over
 //!   per-node FIFO chains, bounded submission queues with backpressure,
 //!   telemetry-driven load shedding,
+//! * [`net`] — the dense-network fabric: slotted polling MAC across
+//!   multi-AP coverage cells, inter-node interference through the
+//!   cached ray tables, deterministic handoffs, density sweeps,
 //! * [`chaos`] — deterministic chaos sweeps over sampled fault plans,
 //! * [`tracking`] — Kalman tracking over per-packet fixes,
 //! * [`velocity`] — slow-time Doppler radial-velocity measurement,
@@ -61,6 +64,7 @@ pub mod dense_link;
 pub mod experiments;
 pub mod link;
 pub mod multinode;
+pub mod net;
 pub mod network;
 pub mod protocol;
 pub mod serve;
@@ -76,7 +80,11 @@ pub use config::{ApParams, Fidelity};
 pub use dense_link::DenseDownlinkReport;
 pub use link::{DownlinkReport, UplinkReport};
 pub use multinode::{MultiNetwork, SlotResult};
-pub use network::Network;
+pub use net::{
+    ap_line, density_sweep, net_roster, DensityPoint, Fabric, NetConfig, RoundReport,
+    RoundSchedule, Slot, SlotOutcome,
+};
+pub use network::{Interferer, Network};
 pub use protocol::PacketOutcome;
 pub use serve::{
     Outcome, Resolution, ServeConfig, ServeEngine, ServeReport, SessionRequest, TrafficConfig,

@@ -18,12 +18,30 @@ use milback_node::node::BackscatterNode;
 use milback_node::orientation::NodeOrientationEstimator;
 use milback_rf::channel::{FreqProfile, NodeInterface, Scene, TxComponent};
 use milback_rf::faults::FaultPlan;
-use milback_rf::fsa::Port;
+use milback_rf::fsa::{DualPortFsa, Port};
 use milback_rf::geometry::Pose;
 use milback_rf::workspace::{wave_fingerprint, with_channel_workspace, ChannelWorkspace};
+use milback_telemetry as telemetry;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cell::RefCell;
+
+/// A neighboring node whose leftover reflection clutters this network's
+/// Field-2 captures (inter-node interference, DESIGN.md §16). Plain
+/// `Copy` data so the dense-network fabric can refill a pooled list per
+/// slot without allocating: the pose is in *this* network's AP-local
+/// frame, and `gamma` is the neighbor's constant parked reflection
+/// coefficient pair (see `BackscatterNode::parked_gamma`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interferer {
+    /// Neighbor pose in this network's AP-local frame.
+    pub pose: Pose,
+    /// The neighbor's FSA (its frequency-selective reflection shapes the
+    /// clutter spectrum).
+    pub fsa: DualPortFsa,
+    /// Constant `[Γ_A, Γ_B]` of the parked neighbor.
+    pub gamma: [Cpx; 2],
+}
 
 /// Reusable buffers and cached identity for a Field-2 render
 /// (DESIGN.md §13). Holds the TX reference, the per-chirp capture
@@ -96,6 +114,12 @@ pub struct Network {
     /// `clock_s + local offset`; the [`crate::session`] supervisor
     /// advances it across fields and recovery backoff.
     pub clock_s: f64,
+    /// Parked neighbors whose residual reflections are layered into every
+    /// Field-2 capture as clutter (empty by default; when empty the
+    /// render is bitwise identical to the interference-free build — no
+    /// extra RNG draws, no extra arithmetic). The dense-network fabric
+    /// fills this per scheduled slot.
+    pub interferers: Vec<Interferer>,
     rng: StdRng,
 }
 
@@ -113,6 +137,7 @@ impl Network {
             fidelity,
             faults: FaultPlan::none(),
             clock_s: 0.0,
+            interferers: Vec::new(),
             rng: StdRng::seed_from_u64(seed),
         }
     }
@@ -133,6 +158,7 @@ impl Network {
             fidelity,
             faults: FaultPlan::none(),
             clock_s: 0.0,
+            interferers: Vec::new(),
             rng: StdRng::seed_from_u64(seed),
         }
     }
@@ -148,6 +174,7 @@ impl Network {
             fidelity,
             faults: FaultPlan::none(),
             clock_s: 0.0,
+            interferers: Vec::new(),
             rng: StdRng::seed_from_u64(seed),
         }
     }
@@ -269,6 +296,20 @@ impl Network {
         }
         // Backscatter passes the node's implementation loss twice.
         let two_way_loss = 10f64.powf(-2.0 * self.node.impl_loss_db / 20.0);
+        // Inter-node interference accounting (DESIGN.md §16). The loop
+        // below adds each parked neighbor's reflection into every
+        // capture *deterministically* — counts depend only on the slot's
+        // interferer list, never on thread schedule — so these counters
+        // stay in the deterministic telemetry view. An empty list skips
+        // everything, keeping the single-node render bitwise unchanged.
+        if !self.interferers.is_empty() {
+            telemetry::counter_add("net.interference.bursts", 1);
+            telemetry::counter_add("net.interference.neighbors", self.interferers.len() as u64);
+            telemetry::counter_add(
+                "net.interference.rays",
+                (n_chirps * 2 * self.interferers.len()) as u64,
+            );
+        }
         for (i, pair) in burst.captures.iter_mut().enumerate() {
             let t_off = i as f64 * chirp_cfg.duration;
             let switch = self.node.switch;
@@ -298,6 +339,27 @@ impl Network {
                     ant,
                     rx,
                 );
+                // Parked neighbors' residual reflections layer in next —
+                // after the target's return (matching the multi-node
+                // slice order) and before jitter/noise, so the clutter
+                // rides the same capture window. Constant Γ per
+                // neighbor, no RNG draws: an empty list is bitwise free.
+                for itf in &self.interferers {
+                    let parked = itf.gamma;
+                    let parked_gamma = move |_t: f64| parked;
+                    self.scene.accumulate_backscatter_into(
+                        cw,
+                        comp,
+                        wave_fp,
+                        &NodeInterface {
+                            pose: itf.pose,
+                            fsa: &itf.fsa,
+                            gamma: &parked_gamma,
+                        },
+                        ant,
+                        rx,
+                    );
+                }
                 if jitter > 0.0 {
                     rx.delay_in_place(jitter);
                 }

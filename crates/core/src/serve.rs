@@ -52,7 +52,7 @@
 //!   counts; [`ServeReport::outcome_digest`] fingerprints the resolved
 //!   outcomes for cheap two-run comparison.
 
-use crate::batch::{derive_seed, run_stealing_with_threads, StealQueue};
+use crate::batch::{derive_seed, run_stealing_with_threads, Mix, StealQueue};
 use crate::config::Fidelity;
 use crate::network::Network;
 use crate::session::{FailureKind, Session, SessionConfig, SessionCtx};
@@ -885,7 +885,7 @@ fn run_one(
     res
 }
 
-fn workload_code(w: Workload) -> u64 {
+pub(crate) fn workload_code(w: Workload) -> u64 {
     match w {
         Workload::Localize => 0,
         Workload::Downlink => 1,
@@ -905,30 +905,8 @@ fn outcome_code(o: Outcome) -> u64 {
 }
 
 #[inline]
-fn fnv_word(h: u64, w: u64) -> u64 {
+pub(crate) fn fnv_word(h: u64, w: u64) -> u64 {
     (h ^ w).wrapping_mul(0x0000_0100_0000_01b3)
-}
-
-/// Private SplitMix64 stream for traffic/roster synthesis (mirrors the
-/// generator in `milback_rf::faults`).
-struct Mix(u64);
-
-impl Mix {
-    fn new(seed: u64) -> Self {
-        Self(seed)
-    }
-
-    fn next(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-
-    fn unit(&mut self) -> f64 {
-        (self.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
-    }
 }
 
 #[cfg(test)]

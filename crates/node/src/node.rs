@@ -76,6 +76,19 @@ impl BackscatterNode {
         self.switch.gamma(state)
     }
 
+    /// The node's constant port reflection coefficients while *parked*
+    /// (not scheduled on the MAC): both SPDT switches rest on the
+    /// absorptive throw, so only the residual switch mismatch — through
+    /// the two-way implementation loss — reflects. This is the Γ the
+    /// dense-network fabric feeds the channel for every unscheduled
+    /// neighbor whose leftover reflection clutters a scheduled node's
+    /// capture.
+    pub fn parked_gamma(&self) -> [Cpx; 2] {
+        let two_way = self.impl_loss_amp() * self.impl_loss_amp();
+        let g = self.switch.gamma(SwitchState::Absorptive) * two_way;
+        [g, g]
+    }
+
     /// Builds the channel-facing `Γ(t)` closure from per-port schedules.
     pub fn gamma_schedule<'a>(
         &'a self,

@@ -86,6 +86,31 @@ impl PollSchedule {
         self.slots[k % self.slots.len()]
     }
 
+    /// Airtime window `[start, end)` of absolute slot index `k`,
+    /// seconds from the start of the schedule: slots are laid out
+    /// back-to-back at a fixed pitch of `total_duration + overhead`, and
+    /// the window covers only the on-air packet (the steering overhead
+    /// trails it as a guard). Consecutive windows are disjoint by
+    /// construction — the invariant the dense-network fabric's slotted
+    /// rounds inherit.
+    ///
+    /// ```
+    /// use milback_proto::mac::PollSchedule;
+    /// use milback_proto::packet::PacketConfig;
+    ///
+    /// let s = PollSchedule::round_robin_uplink(3);
+    /// let pkt = PacketConfig::milback();
+    /// let (a0, a1) = s.slot_window(0, &pkt, 1e-3);
+    /// let (b0, _b1) = s.slot_window(1, &pkt, 1e-3);
+    /// assert_eq!(a0, 0.0);
+    /// assert!(a1 <= b0, "adjacent slots must not overlap");
+    /// ```
+    pub fn slot_window(&self, k: usize, pkt: &PacketConfig, steering_overhead: f64) -> (f64, f64) {
+        let pitch = pkt.total_duration() + steering_overhead;
+        let start = k as f64 * pitch;
+        (start, start + pkt.total_duration())
+    }
+
     /// Duration of one full round given the packet configuration plus a
     /// per-slot beam-steering overhead, seconds.
     pub fn round_duration(&self, pkt: &PacketConfig, steering_overhead: f64) -> f64 {
@@ -163,6 +188,27 @@ mod tests {
         let s = PollSchedule::round_robin_uplink(3);
         assert_eq!(s.slot_at(7).node, 1);
         assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn slot_windows_are_disjoint_and_ordered() {
+        let pkt = PacketConfig::milback();
+        let s = PollSchedule::round_robin_uplink(4);
+        let overhead = 1e-3;
+        for k in 0..12 {
+            let (start, end) = s.slot_window(k, &pkt, overhead);
+            assert!(end > start, "slot {k} has no airtime");
+            assert!((end - start - pkt.total_duration()).abs() < 1e-12);
+            let (next_start, _) = s.slot_window(k + 1, &pkt, overhead);
+            assert!(
+                next_start >= end + overhead - 1e-12,
+                "slot {k} bleeds into slot {}",
+                k + 1
+            );
+        }
+        // A full round of windows spans exactly round_duration.
+        let (last_start, _) = s.slot_window(s.len(), &pkt, overhead);
+        assert!((last_start - s.round_duration(&pkt, overhead)).abs() < 1e-12);
     }
 
     #[test]

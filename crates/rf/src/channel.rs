@@ -562,6 +562,45 @@ impl Scene {
         }
     }
 
+    /// Accumulates one additional node's backscatter **on top of** an
+    /// already-rendered capture — the clutter-composition hook behind
+    /// inter-node interference in the dense-network fabric (DESIGN.md
+    /// §16): a scheduled node's Field-2 render first draws its own
+    /// return through [`Scene::monostatic_rx_multi_into`], then layers
+    /// each neighbor's reflected tones in with this method.
+    ///
+    /// Bitwise identical to having passed the extra node in the `nodes`
+    /// slice of [`Scene::monostatic_rx_multi_into`] (the channel is
+    /// linear and both paths run the same [`RayTables`] replay), and
+    /// allocation-free once the neighbor's tables are cached in `ws`.
+    /// `out` must hold the rendered capture (`comp.signal.len()`
+    /// samples).
+    pub fn accumulate_backscatter_into(
+        &self,
+        ws: &mut ChannelWorkspace,
+        comp: &TxComponent,
+        wave_fp: u64,
+        node: &NodeInterface<'_>,
+        rx_idx: usize,
+        out: &mut Signal,
+    ) {
+        assert!(rx_idx < 2, "rx_idx must be 0 or 1");
+        assert_eq!(
+            out.samples.len(),
+            comp.signal.len(),
+            "accumulate over an already-rendered capture"
+        );
+        let key = RayKey {
+            scene: self.static_fingerprint(),
+            wave: wave_fp,
+            rx_idx,
+            pose: pose_bits(&node.pose),
+            fsa: fsa_fingerprint(node.fsa),
+        };
+        let tables = ws.ray_tables(key, || self.build_ray_tables(comp, node, rx_idx));
+        accumulate_node(tables, node.gamma, comp.signal.fs, &mut out.samples);
+    }
+
     /// Reference monostatic render that bypasses every cache: fresh
     /// LUTs, fresh ray tables, fresh buffers. The fast path is asserted
     /// bitwise against this in `tests/channel_equivalence.rs` and the
@@ -982,6 +1021,73 @@ mod tests {
         for i in 0..both.len() {
             let want = a.samples[i] + b.samples[i]; // static paths are zero in free space
             assert!((both.samples[i] - want).abs() < 1e-15, "sample {i}");
+        }
+    }
+
+    #[test]
+    fn accumulate_backscatter_matches_multi_render_bitwise() {
+        // The interference hook (target rendered, then a neighbor layered
+        // in) must equal rendering both nodes through the multi path —
+        // same cache keys, same table replay, bit for bit.
+        let mut scene = Scene::milback_indoor();
+        let fsa = DualPortFsa::milback();
+        let target = Pose::facing_ap(2.0, deg_to_rad(-4.0), deg_to_rad(10.0));
+        let neighbor = Pose::facing_ap(2.4, deg_to_rad(6.0), deg_to_rad(12.0));
+        scene.steer_towards(&target.position);
+        let cfg = ChirpConfig::milback_sawtooth();
+        let comp = TxComponent {
+            signal: cfg.sawtooth(),
+            profile: FreqProfile::Sawtooth(cfg),
+        };
+        let wave_fp = crate::workspace::wave_fingerprint(&comp);
+        let g_t = static_gamma(true);
+        let g_n = static_gamma(false);
+        let node_t = NodeInterface {
+            pose: target,
+            fsa: &fsa,
+            gamma: &g_t,
+        };
+        let node_n = NodeInterface {
+            pose: neighbor,
+            fsa: &fsa,
+            gamma: &g_n,
+        };
+        for rx_idx in 0..2 {
+            let mut ws = crate::workspace::ChannelWorkspace::default();
+            let mut composed = Signal::zeros(comp.signal.fs, comp.signal.fc, comp.signal.len());
+            scene.monostatic_rx_multi_into(
+                &mut ws,
+                &comp,
+                wave_fp,
+                std::slice::from_ref(&node_t),
+                rx_idx,
+                &mut composed,
+            );
+            scene.accumulate_backscatter_into(
+                &mut ws,
+                &comp,
+                wave_fp,
+                &node_n,
+                rx_idx,
+                &mut composed,
+            );
+            let joint = scene.monostatic_rx_multi_uncached(
+                &comp,
+                &[
+                    NodeInterface {
+                        pose: target,
+                        fsa: &fsa,
+                        gamma: &g_t,
+                    },
+                    NodeInterface {
+                        pose: neighbor,
+                        fsa: &fsa,
+                        gamma: &g_n,
+                    },
+                ],
+                rx_idx,
+            );
+            assert_eq!(composed.samples, joint.samples, "rx {rx_idx} diverged");
         }
     }
 

@@ -185,4 +185,37 @@ fn warmed_hot_paths_perform_zero_heap_allocations() {
         steady.outcome_digest, warm.outcome_digest,
         "serving epochs diverged"
     );
+
+    // ---- dense-network fabric round (DESIGN.md §16) ------------------
+    // One scheduled polling round end to end: drift (disabled), cell
+    // assignment, slot layout, per-slot reseed/clock/interferer fill and
+    // the supervised session — all against pooled state. Two nodes with
+    // one parked interferer each keeps the shared channel workspace
+    // within its cache caps (8 ray entries, 2 statics), so a re-keyed
+    // repeat of the warm round must not touch the heap.
+    use milback::net::{ap_line, net_roster, Fabric, NetConfig};
+    let aps = ap_line(1, 4.0);
+    let roster_poses = net_roster(2, &aps, 0x2E7);
+    let net_cfg = NetConfig {
+        max_interferers: 1,
+        localize_fraction: 1.0, // the zero-allocation service class
+        ..NetConfig::milback(Fidelity::Fast)
+    };
+    let mut fabric = Fabric::new(&aps, &roster_poses, net_cfg);
+    fabric.reseed(0xFA8);
+    let warm_round = fabric.run_round(1);
+    assert_eq!(warm_round.sessions, 2, "warm-up round degraded");
+
+    let before = allocs();
+    fabric.reseed(0xFA8);
+    let steady_round = fabric.run_round(1);
+    assert_eq!(
+        allocs() - before,
+        0,
+        "warmed fabric round allocated on the heap"
+    );
+    assert_eq!(
+        steady_round.digest, warm_round.digest,
+        "fabric rounds diverged"
+    );
 }
