@@ -24,9 +24,13 @@ if cargo clippy --version >/dev/null 2>&1; then
     # chain is usually a hidden heap allocation, and index-based loops /
     # manual copy loops hide the slice patterns the cached channel
     # kernels rely on.
+    # needless_pass_by_value keeps the batched/pooled APIs honest: a
+    # by-value Vec or Signal argument on a hot path forces the caller to
+    # clone out of its pool.
     cargo clippy --release "${CARGO_FLAGS[@]}" --all-targets -- -D warnings \
         -W clippy::redundant_clone -W clippy::needless_collect \
-        -W clippy::needless_range_loop -W clippy::manual_memcpy
+        -W clippy::needless_range_loop -W clippy::manual_memcpy \
+        -W clippy::needless_pass_by_value
     # Library paths of the protocol/session layers must not unwrap:
     # every fallible outcome is a typed error or a Degradation report
     # (DESIGN.md §14). --lib skips #[cfg(test)] modules; --no-deps
@@ -54,6 +58,15 @@ echo "==> bench smoke (kernel/burst/channel bitwise asserts)"
 # to its allocating/uncached twin before reporting timings.
 cargo run --release --offline -p milback-bench --bin bench_engine -- \
     --smoke --out target/bench_smoke.json >/dev/null
+
+echo "==> kernel perf gate (burst + range FFT vs committed baseline)"
+# Re-times just the localization burst and the range-FFT kernel at full
+# reps (matching how the baseline was recorded; ~4 s) and fails if
+# either regressed more than 10% against the committed BENCH_6.json.
+# Comparisons are calibration-normalized (DESIGN.md §17.4) so shared-
+# host load cannot trip the gate, with bounded re-measures on a miss.
+cargo run --release --offline -p milback-bench --bin bench_engine -- \
+    --kernels-only --check-against BENCH_6.json
 
 echo "==> chaos smoke (fault-injection determinism)"
 # The chaos leg (DESIGN.md §14) runs supervised sessions under sampled

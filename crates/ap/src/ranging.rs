@@ -106,9 +106,16 @@ impl Localizer {
 
     /// Workspace variant of [`Localizer::profile_diffs`]: fills
     /// `ws.profiles` and `ws.diffs` per antenna, allocation-free on a
-    /// warmed workspace, bitwise identical to the allocating path (each
-    /// chirp's profile is an independent FP computation, so per-antenna
-    /// batching instead of per-chirp interleaving changes nothing).
+    /// warmed workspace, bitwise identical to the allocating path.
+    ///
+    /// Per antenna, all chirps are dechirped and windowed into
+    /// `ws.batch`, the range FFTs run as **one batched plan traversal**
+    /// ([`milback_dsp::plan::FftPlan::forward_many_in_place`]), and the
+    /// spectra are flipped into the profile pool. Each chirp's profile
+    /// is an independent FP computation performed by the same kernels,
+    /// so batching changes nothing numerically (pinned by the
+    /// golden-vector tests in `milback_dsp::plan` and the
+    /// `process_with == process` test below).
     pub fn profile_diffs_with(
         &self,
         ws: &mut DspWorkspace,
@@ -118,10 +125,16 @@ impl Localizer {
         assert!(captures.len() >= 2, "need at least two chirps");
         for ant in 0..2 {
             DspWorkspace::ensure_pool(&mut ws.profiles[ant], captures.len());
+            DspWorkspace::ensure_pool(&mut ws.batch, captures.len());
             for (i, pair) in captures.iter().enumerate() {
                 self.proc.dechirp_into(&pair[ant], tx_ref, &mut ws.dechirp);
-                self.proc
-                    .range_profile_into(&ws.dechirp, &mut ws.fft, &mut ws.profiles[ant][i]);
+                self.proc.window_and_pad_into(&ws.dechirp, &mut ws.batch[i]);
+            }
+            milback_dsp::plan::with_plan(self.proc.fft_len, |p| {
+                p.forward_many_in_place(&mut ws.batch)
+            });
+            for (spec, prof) in ws.batch.iter().zip(ws.profiles[ant].iter_mut()) {
+                self.proc.flip_into(spec, prof);
             }
             pairwise_diff_spectra_into(&ws.profiles[ant], &mut ws.diffs[ant]);
         }

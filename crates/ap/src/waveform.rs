@@ -195,21 +195,39 @@ pub fn ask_waveform(
 /// Generates a single-carrier OOK waveform (the normal-incidence
 /// fallback): one bit per symbol keyed on a single tone at `f`.
 pub fn ook_waveform(tx: &TxConfig, fc: f64, f: f64, bits: &[bool], bit_rate: f64) -> Signal {
+    let mut out = Signal::new(tx.fs, fc, Vec::new());
+    ook_waveform_into(tx, fc, f, bits, bit_rate, &mut out);
+    out
+}
+
+/// Allocation-free [`ook_waveform`]: overwrites `out` (rate, carrier and
+/// samples), reusing its capacity. Bitwise identical to the allocating
+/// form.
+pub fn ook_waveform_into(
+    tx: &TxConfig,
+    fc: f64,
+    f: f64,
+    bits: &[bool],
+    bit_rate: f64,
+    out: &mut Signal,
+) {
     let sps = (tx.fs / bit_rate).round() as usize;
     assert!(sps >= 2, "need at least 2 samples per bit");
     let amp = tx.amplitude();
     let w = 2.0 * std::f64::consts::PI * (f - fc) / tx.fs;
     let n = bits.len() * sps;
-    let mut samples = vec![ZERO; n];
+    out.fs = tx.fs;
+    out.fc = fc;
+    out.samples.clear();
+    out.samples.resize(n, ZERO);
     for (k, &on) in bits.iter().enumerate() {
         if on {
             for i in 0..sps {
                 let t = (k * sps + i) as f64;
-                samples[k * sps + i] = Cpx::from_polar(amp, w * t);
+                out.samples[k * sps + i] = Cpx::from_polar(amp, w * t);
             }
         }
     }
-    Signal::new(tx.fs, fc, samples)
 }
 
 #[cfg(test)]

@@ -1,6 +1,13 @@
 //! End-to-end communication over the simulated channel: OAQFM downlink
 //! (paper §6.1–6.2) and backscatter uplink (§6.3), including carrier
 //! selection from the sensed orientation.
+//!
+//! All per-transfer working buffers live in [`LinkScratch`], pooled on
+//! the [`Network`]: a warmed downlink or uplink performs zero heap
+//! allocations on the node/AP signal path (`tests/zero_alloc.rs` pins
+//! this). The only steady-state allocations left are the decoded payload
+//! `Vec<u8>` handed to the caller and the AP uplink receiver's internal
+//! demodulation buffers (see [`Network::uplink`]).
 
 use crate::network::Network;
 use milback_ap::tone_select::{select_tones, ToneSelection};
@@ -8,10 +15,11 @@ use milback_ap::uplink::{UplinkReceiver, UPLINK_PILOT};
 use milback_ap::waveform;
 use milback_dsp::signal::Signal;
 use milback_hw::power::NodeMode;
-use milback_node::demod::{demodulate_oaqfm, demodulate_ook, EnvelopeSlicer};
-use milback_node::modulator::modulate_uplink;
-use milback_proto::bits::{bit_errors, bits_to_symbols, symbols_to_bits, OaqfmSymbol};
-use milback_proto::frame::{decode_frame, encode_frame, FrameError};
+use milback_hw::switch::{SwitchSchedule, SwitchState};
+use milback_node::demod::{demodulate_oaqfm_into, demodulate_ook_into, DemodScratch, EnvelopeSlicer};
+use milback_node::modulator::modulate_uplink_into;
+use milback_proto::bits::{bit_errors, bits_to_symbols_into, symbols_to_bits_into, OaqfmSymbol};
+use milback_proto::frame::{decode_frame_with, encode_frame_into, FrameError, FrameScratch};
 use milback_rf::channel::{NodeInterface, TxComponent};
 use milback_rf::fsa::Port;
 use milback_rf::{wave_fingerprint, with_channel_workspace};
@@ -25,6 +33,109 @@ pub const MIN_TONE_SEPARATION: f64 = 100e6;
 /// Guard symbols (query running, node silent) before the pilot, so the
 /// receiver's filter transients settle outside the payload.
 pub const GUARD_SYMBOLS: usize = 6;
+
+/// Key identifying a cached uplink query-tone pair: every parameter the
+/// tone synthesis depends on, with `f64`s compared by bit pattern so the
+/// cache never conflates nearly-equal plans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct QueryKey {
+    fs: u64,
+    fc: u64,
+    f_a: u64,
+    f_b: u64,
+    amp: u64,
+    n: usize,
+}
+
+/// Cached uplink query tones for one carrier plan: the two rendered
+/// [`TxComponent`]s plus their wave fingerprints. Repeated uplink
+/// transfers on the same plan reuse these instead of cloning out of the
+/// template cache and re-hashing every time.
+#[derive(Debug, Clone)]
+struct QueryCache {
+    key: QueryKey,
+    comp_a: TxComponent,
+    comp_b: TxComponent,
+    fp_a: u64,
+    fp_b: u64,
+}
+
+/// Pooled working buffers for downlink/uplink transfers, owned by the
+/// [`Network`]. Every transfer `std::mem::take`s the scratch out of the
+/// network, reuses its capacity, and puts it back — so a warmed link
+/// layer stops allocating.
+#[derive(Debug, Clone)]
+pub(crate) struct LinkScratch {
+    /// Encoded frame symbols (payload + CRC).
+    frame: Vec<OaqfmSymbol>,
+    /// Pilot + frame, the on-air symbol stream.
+    symbols: Vec<OaqfmSymbol>,
+    /// Per-tone OOK bit streams (port A / port B); the OOK fallback
+    /// reuses `bits_a` for its pilot+frame bit stream.
+    bits_a: Vec<bool>,
+    bits_b: Vec<bool>,
+    /// Downlink tone waveforms (reclaimed from the `TxComponent`s after
+    /// each transfer).
+    wave_a: Signal,
+    wave_b: Signal,
+    /// Rendered signals at the node's FSA ports.
+    at_a: Signal,
+    at_b: Signal,
+    /// Spare render target (cross-tone leakage / second query tone).
+    port_tmp: Signal,
+    /// Scaled-RF copy inside the node's receive path.
+    rf: Signal,
+    /// Detector video streams, one per port.
+    det_a: Vec<f64>,
+    det_b: Vec<f64>,
+    /// Demodulated symbols.
+    got: Vec<OaqfmSymbol>,
+    /// Sent/received frame bits for the error count.
+    sent_bits: Vec<bool>,
+    got_bits: Vec<bool>,
+    demod: DemodScratch,
+    codec: FrameScratch,
+    /// Uplink switch schedules (their event buffers are reclaimed by
+    /// `modulate_uplink_into`).
+    sched_a: SwitchSchedule,
+    sched_b: SwitchSchedule,
+    /// AP capture buffers, one per RX antenna.
+    rx0: Signal,
+    rx1: Signal,
+    query: Option<QueryCache>,
+}
+
+impl Default for LinkScratch {
+    fn default() -> Self {
+        // `Signal` has no Default (it insists on a positive sample rate);
+        // the placeholder rate is overwritten by every producer.
+        let sig = || Signal::new(1.0, 0.0, Vec::new());
+        Self {
+            frame: Vec::new(),
+            symbols: Vec::new(),
+            bits_a: Vec::new(),
+            bits_b: Vec::new(),
+            wave_a: sig(),
+            wave_b: sig(),
+            at_a: sig(),
+            at_b: sig(),
+            port_tmp: sig(),
+            rf: sig(),
+            det_a: Vec::new(),
+            det_b: Vec::new(),
+            got: Vec::new(),
+            sent_bits: Vec::new(),
+            got_bits: Vec::new(),
+            demod: DemodScratch::default(),
+            codec: FrameScratch::default(),
+            sched_a: SwitchSchedule::Constant(SwitchState::Absorptive),
+            sched_b: SwitchSchedule::Constant(SwitchState::Absorptive),
+            rx0: sig(),
+            rx1: sig(),
+            query: None,
+        }
+    }
+}
 
 /// Outcome of a downlink transfer.
 #[derive(Debug, Clone)]
@@ -87,40 +198,52 @@ impl Network {
     /// Renders a pair of per-tone downlink components to both FSA ports,
     /// including the cross-tone leakage each port receives from the other
     /// tone's side lobes. Returns `(at_port_a, at_port_b)`.
+    pub(crate) fn render_tones_to_ports(
+        &self,
+        comp_a: &TxComponent,
+        comp_b: &TxComponent,
+    ) -> (Signal, Signal) {
+        let fs = comp_a.signal.fs;
+        let fc = comp_a.signal.fc;
+        let mut at_a = Signal::new(fs, fc, Vec::new());
+        let mut at_b = Signal::new(fs, fc, Vec::new());
+        let mut tmp = Signal::new(fs, fc, Vec::new());
+        self.render_tones_to_ports_into(comp_a, comp_b, &mut at_a, &mut at_b, &mut tmp);
+        (at_a, at_b)
+    }
+
+    /// Allocation-free [`Network::render_tones_to_ports`] into pooled
+    /// output signals (`tmp` holds the cross-tone render between adds).
     ///
     /// The four port renders share one [`ChannelWorkspace`] borrow and
     /// each component's [`wave_fingerprint`] is computed once, so the
     /// hoisted port tables are reused across ports and transfers.
     ///
     /// [`ChannelWorkspace`]: milback_rf::ChannelWorkspace
-    pub(crate) fn render_tones_to_ports(
+    pub(crate) fn render_tones_to_ports_into(
         &self,
         comp_a: &TxComponent,
         comp_b: &TxComponent,
-    ) -> (Signal, Signal) {
+        at_a: &mut Signal,
+        at_b: &mut Signal,
+        tmp: &mut Signal,
+    ) {
         let fp_a = wave_fingerprint(comp_a);
         let fp_b = wave_fingerprint(comp_b);
         let pose = &self.node.pose;
         let fsa = &self.node.fsa;
         with_channel_workspace(|ws| {
-            let mut at_a = self
-                .scene
-                .to_node_port_with(ws, comp_a, fp_a, pose, fsa, Port::A);
-            at_a.add(
-                &self
-                    .scene
-                    .to_node_port_with(ws, comp_b, fp_b, pose, fsa, Port::A),
-            );
-            let mut at_b = self
-                .scene
-                .to_node_port_with(ws, comp_b, fp_b, pose, fsa, Port::B);
-            at_b.add(
-                &self
-                    .scene
-                    .to_node_port_with(ws, comp_a, fp_a, pose, fsa, Port::B),
-            );
-            (at_a, at_b)
-        })
+            self.scene
+                .to_node_port_into(ws, comp_a, fp_a, pose, fsa, Port::A, at_a);
+            self.scene
+                .to_node_port_into(ws, comp_b, fp_b, pose, fsa, Port::A, tmp);
+            at_a.add(tmp);
+            self.scene
+                .to_node_port_into(ws, comp_b, fp_b, pose, fsa, Port::B, at_b);
+            self.scene
+                .to_node_port_into(ws, comp_a, fp_a, pose, fsa, Port::B, tmp);
+            at_b.add(tmp);
+        });
     }
 
     /// Chooses OAQFM carriers for the node's current (AP-estimated)
@@ -138,6 +261,10 @@ impl Network {
     /// Runs a full downlink transfer of `payload` at `symbol_rate`
     /// symbols/s. `use_truth` short-circuits orientation sensing (for
     /// microbenchmarks); the end-to-end path senses first.
+    ///
+    /// Steady-state allocations: only the decoded payload `Vec<u8>` in
+    /// the report — all working buffers are pooled in the network's
+    /// [`LinkScratch`].
     pub fn downlink(
         &mut self,
         payload: &[u8],
@@ -146,15 +273,17 @@ impl Network {
     ) -> Option<DownlinkReport> {
         let _span = telemetry::span("core.link.downlink.ns");
         let tones = self.plan_tones(use_truth)?;
-        let frame = encode_frame(payload);
+        let mut scr = std::mem::take(&mut self.link_scratch);
+        encode_frame_into(payload, &mut scr.codec, &mut scr.frame);
         let report = match tones {
             ToneSelection::Dual { f_a, f_b } => {
-                self.downlink_dual(payload, &frame, f_a, f_b, symbol_rate, tones)
+                self.downlink_dual(&mut scr, payload, f_a, f_b, symbol_rate, tones)
             }
             ToneSelection::Single { f } => {
-                self.downlink_ook(payload, &frame, f, symbol_rate, tones)
+                self.downlink_ook(&mut scr, payload, f, symbol_rate, tones)
             }
         };
+        self.link_scratch = scr;
         telemetry::counter_add("core.link.downlink.frames", 1);
         telemetry::counter_add("core.link.downlink.bits", report.total_bits as u64);
         telemetry::counter_add("core.link.downlink.bit_errors", report.bit_errors as u64);
@@ -169,16 +298,17 @@ impl Network {
 
     fn downlink_dual(
         &mut self,
+        scr: &mut LinkScratch,
         payload: &[u8],
-        frame: &[OaqfmSymbol],
         f_a: f64,
         f_b: f64,
         symbol_rate: f64,
         tones: ToneSelection,
     ) -> DownlinkReport {
         // Pilot + frame, so the node's threshold sees both levels early.
-        let mut symbols: Vec<OaqfmSymbol> = UPLINK_PILOT.to_vec();
-        symbols.extend_from_slice(frame);
+        scr.symbols.clear();
+        scr.symbols.extend_from_slice(&UPLINK_PILOT);
+        scr.symbols.extend_from_slice(&scr.frame);
 
         // Simulation bandwidth needs to cover both tones comfortably; the
         // waveform is generated per tone so each FSA port sees its own
@@ -187,22 +317,32 @@ impl Network {
         let fc = 0.5 * (f_a + f_b);
         let mut tx = self.ap.tx;
         tx.fs = fs;
-        let n_symbols = symbols.len();
-        let bits_a: Vec<bool> = symbols.iter().map(|s| s.a_on).collect();
-        let bits_b: Vec<bool> = symbols.iter().map(|s| s.b_on).collect();
+        let n_symbols = scr.symbols.len();
+        scr.bits_a.clear();
+        scr.bits_a.extend(scr.symbols.iter().map(|s| s.a_on));
+        scr.bits_b.clear();
+        scr.bits_b.extend(scr.symbols.iter().map(|s| s.b_on));
         // Each tone at half the total power (√2 amplitude split).
-        let mut wave_a = waveform::ook_waveform(&tx, fc, f_a, &bits_a, symbol_rate);
-        let mut wave_b = waveform::ook_waveform(&tx, fc, f_b, &bits_b, symbol_rate);
-        wave_a.scale(1.0 / 2f64.sqrt());
-        wave_b.scale(1.0 / 2f64.sqrt());
-        let comp_a = TxComponent::tone(wave_a, f_a);
-        let comp_b = TxComponent::tone(wave_b, f_b);
+        waveform::ook_waveform_into(&tx, fc, f_a, &scr.bits_a, symbol_rate, &mut scr.wave_a);
+        waveform::ook_waveform_into(&tx, fc, f_b, &scr.bits_b, symbol_rate, &mut scr.wave_b);
+        scr.wave_a.scale(1.0 / 2f64.sqrt());
+        scr.wave_b.scale(1.0 / 2f64.sqrt());
+        // The components take the waveforms by value; the buffers come
+        // back out of them at the end of the transfer.
+        let placeholder = || Signal::new(1.0, 0.0, Vec::new());
+        let comp_a = TxComponent::tone(std::mem::replace(&mut scr.wave_a, placeholder()), f_a);
+        let comp_b = TxComponent::tone(std::mem::replace(&mut scr.wave_b, placeholder()), f_b);
 
         // Signal at each FSA port = wanted tone + cross-tone leakage.
-        let (at_a, at_b) = self.render_tones_to_ports(&comp_a, &comp_b);
+        self.render_tones_to_ports_into(
+            &comp_a,
+            &comp_b,
+            &mut scr.at_a,
+            &mut scr.at_b,
+            &mut scr.port_tmp,
+        );
 
         // SINR bookkeeping from the known components (steady-state levels).
-        let inc = self.node.pose.incidence_from(&self.scene.tx_pos);
         let p_tx_tone = self.ap.tx.amplitude().powi(2) / 2.0;
         let chain = self.node_chain_gain();
         let g = |port: Port, f: f64| {
@@ -210,7 +350,6 @@ impl Network {
                 .tone_gain_to_port(&self.node.pose, &self.node.fsa, port, f)
                 * chain
         };
-        let _ = inc;
         let v = |p: f64| self.node.detector.ideal_output(p);
         let noise = self.node.detector.output_noise_rms();
         let sinr_a = branch_sinr(
@@ -238,20 +377,32 @@ impl Network {
         );
 
         // Node receive + demodulate.
-        let det_a = self.node_video(&at_a);
-        let det_b = self.node_video(&at_b);
+        self.node_video_into(&scr.at_a, &mut scr.rf, &mut scr.det_a);
+        self.node_video_into(&scr.at_b, &mut scr.rf, &mut scr.det_b);
         let slicer = EnvelopeSlicer::new(fs, symbol_rate);
-        let got = demodulate_oaqfm(&slicer, &det_a, &det_b, 0.0, n_symbols);
-        let got_frame = &got[UPLINK_PILOT.len()..];
+        demodulate_oaqfm_into(
+            &slicer,
+            &scr.det_a,
+            &scr.det_b,
+            0.0,
+            n_symbols,
+            &mut scr.demod,
+            &mut scr.got,
+        );
+        let got_frame = &scr.got[UPLINK_PILOT.len()..];
 
-        let sent_bits = symbols_to_bits(frame);
-        let got_bits = symbols_to_bits(got_frame);
-        let errors = bit_errors(&sent_bits, &got_bits);
+        symbols_to_bits_into(&scr.frame, &mut scr.sent_bits);
+        symbols_to_bits_into(got_frame, &mut scr.got_bits);
+        let errors = bit_errors(&scr.sent_bits, &scr.got_bits);
+        let decoded = decode_frame_with(&mut scr.codec, &scr.got[UPLINK_PILOT.len()..], payload.len());
+        // Reclaim the waveform buffers from the components.
+        scr.wave_a = comp_a.signal;
+        scr.wave_b = comp_b.signal;
         DownlinkReport {
             tones,
-            payload: decode_frame(got_frame, payload.len()),
+            payload: decoded,
             bit_errors: errors,
-            total_bits: sent_bits.len(),
+            total_bits: scr.sent_bits.len(),
             sinr: sinr_a.min(sinr_b),
             decision_snr: dec_a.min(dec_b),
         }
@@ -259,28 +410,35 @@ impl Network {
 
     fn downlink_ook(
         &mut self,
+        scr: &mut LinkScratch,
         payload: &[u8],
-        frame: &[OaqfmSymbol],
         f: f64,
         symbol_rate: f64,
         tones: ToneSelection,
     ) -> DownlinkReport {
         // OOK fallback: 1 bit per symbol on a single carrier.
-        let frame_bits = symbols_to_bits(frame);
-        let mut bits = vec![true, false, true, false]; // pilot
-        bits.extend_from_slice(&frame_bits);
+        symbols_to_bits_into(&scr.frame, &mut scr.sent_bits);
+        scr.bits_a.clear();
+        scr.bits_a.extend_from_slice(&[true, false, true, false]); // pilot
+        scr.bits_a.extend_from_slice(&scr.sent_bits);
 
         let fs = 16.0 * symbol_rate;
         let mut tx = self.ap.tx;
         tx.fs = fs;
-        let wave = waveform::ook_waveform(&tx, f, f, &bits, symbol_rate);
-        let comp = TxComponent::tone(wave, f);
-        let at_a = self
-            .scene
-            .to_node_port(&comp, &self.node.pose, &self.node.fsa, Port::A);
-        let at_b = self
-            .scene
-            .to_node_port(&comp, &self.node.pose, &self.node.fsa, Port::B);
+        waveform::ook_waveform_into(&tx, f, f, &scr.bits_a, symbol_rate, &mut scr.wave_a);
+        let comp = TxComponent::tone(
+            std::mem::replace(&mut scr.wave_a, Signal::new(1.0, 0.0, Vec::new())),
+            f,
+        );
+        let fp = wave_fingerprint(&comp);
+        let pose = &self.node.pose;
+        let fsa = &self.node.fsa;
+        with_channel_workspace(|ws| {
+            self.scene
+                .to_node_port_into(ws, &comp, fp, pose, fsa, Port::A, &mut scr.at_a);
+            self.scene
+                .to_node_port_into(ws, &comp, fp, pose, fsa, Port::B, &mut scr.at_b);
+        });
 
         let p_tx = self.ap.tx.amplitude().powi(2);
         let chain = self.node_chain_gain();
@@ -293,18 +451,29 @@ impl Network {
         let integration = self.node.detector.video_bandwidth / symbol_rate;
         let decision_snr = branch_decision_snr(v_sig, 0.0, noise, integration);
 
-        let det_a = self.node_video(&at_a);
-        let det_b = self.node_video(&at_b);
+        self.node_video_into(&scr.at_a, &mut scr.rf, &mut scr.det_a);
+        self.node_video_into(&scr.at_b, &mut scr.rf, &mut scr.det_b);
         let slicer = EnvelopeSlicer::new(fs, symbol_rate);
-        let got_bits_all = demodulate_ook(&slicer, &det_a, &det_b, 0.0, bits.len());
-        let got_bits = &got_bits_all[4..];
-        let errors = bit_errors(&frame_bits, got_bits);
-        let got_frame = bits_to_symbols(got_bits);
+        let n_bits = scr.bits_a.len();
+        demodulate_ook_into(
+            &slicer,
+            &scr.det_a,
+            &scr.det_b,
+            0.0,
+            n_bits,
+            &mut scr.demod,
+            &mut scr.got_bits,
+        );
+        let got_bits = &scr.got_bits[4..];
+        let errors = bit_errors(&scr.sent_bits, got_bits);
+        bits_to_symbols_into(got_bits, &mut scr.got);
+        let decoded = decode_frame_with(&mut scr.codec, &scr.got, payload.len());
+        scr.wave_a = comp.signal;
         DownlinkReport {
             tones,
-            payload: decode_frame(&got_frame, payload.len()),
+            payload: decoded,
             bit_errors: errors,
-            total_bits: frame_bits.len(),
+            total_bits: scr.sent_bits.len(),
             sinr,
             decision_snr,
         }
@@ -312,6 +481,13 @@ impl Network {
 
     /// Runs a full uplink transfer of `payload` at `symbol_rate`
     /// symbols/s.
+    ///
+    /// Steady-state allocations: the decoded payload `Vec<u8>` plus the
+    /// AP receiver's internal demodulation buffers
+    /// ([`UplinkReceiver::demodulate`] mixes, decimates and projects per
+    /// branch into fresh vectors) — everything node-side and channel-side
+    /// is pooled in [`LinkScratch`]. `tests/zero_alloc.rs` pins the
+    /// total with an upper bound.
     pub fn uplink(
         &mut self,
         payload: &[u8],
@@ -320,6 +496,19 @@ impl Network {
     ) -> Option<UplinkReport> {
         let _span = telemetry::span("core.link.uplink.ns");
         let tones = self.plan_tones(use_truth)?;
+        let mut scr = std::mem::take(&mut self.link_scratch);
+        let report = self.uplink_transfer(&mut scr, payload, symbol_rate, tones);
+        self.link_scratch = scr;
+        report
+    }
+
+    fn uplink_transfer(
+        &mut self,
+        scr: &mut LinkScratch,
+        payload: &[u8],
+        symbol_rate: f64,
+        tones: ToneSelection,
+    ) -> Option<UplinkReport> {
         let (f_a, f_b) = match tones {
             ToneSelection::Dual { f_a, f_b } => (f_a, f_b),
             // Normal incidence: both ports reflect the same tone; the AP
@@ -328,10 +517,11 @@ impl Network {
             ToneSelection::Single { f } => (f, f),
         };
 
-        let frame = encode_frame(payload);
-        let mut symbols: Vec<OaqfmSymbol> = UPLINK_PILOT.to_vec();
-        symbols.extend_from_slice(&frame);
-        let n_symbols = symbols.len();
+        encode_frame_into(payload, &mut scr.codec, &mut scr.frame);
+        scr.symbols.clear();
+        scr.symbols.extend_from_slice(&UPLINK_PILOT);
+        scr.symbols.extend_from_slice(&scr.frame);
+        let n_symbols = scr.symbols.len();
 
         // Query waveform: guard before and after the modulated payload.
         let fs = self.downlink_fs(f_a, f_b);
@@ -346,62 +536,81 @@ impl Network {
         // node's FSA gain is evaluated at that tone's frequency (the whole
         // point of OAQFM: each tone talks to one port's beam). Query tones
         // only depend on the carrier plan, so repeated transfers pull them
-        // from the template cache instead of re-synthesizing.
-        let tone_a = milback_dsp::template::tone(fs, fc, f_a - fc, amp, n)
-            .as_ref()
-            .clone();
-        let tone_b = milback_dsp::template::tone(fs, fc, f_b - fc, amp, n)
-            .as_ref()
-            .clone();
-        let comp_a = TxComponent::tone(tone_a, f_a);
-        let comp_b = TxComponent::tone(tone_b, f_b);
+        // from the per-network cache (itself fed once from the template
+        // cache) instead of re-synthesizing and re-fingerprinting.
+        let key = QueryKey {
+            fs: fs.to_bits(),
+            fc: fc.to_bits(),
+            f_a: f_a.to_bits(),
+            f_b: f_b.to_bits(),
+            amp: amp.to_bits(),
+            n,
+        };
+        if scr.query.as_ref().is_none_or(|q| q.key != key) {
+            let tone_a = milback_dsp::template::tone(fs, fc, f_a - fc, amp, n)
+                .as_ref()
+                .clone();
+            let tone_b = milback_dsp::template::tone(fs, fc, f_b - fc, amp, n)
+                .as_ref()
+                .clone();
+            let comp_a = TxComponent::tone(tone_a, f_a);
+            let comp_b = TxComponent::tone(tone_b, f_b);
+            let fp_a = wave_fingerprint(&comp_a);
+            let fp_b = wave_fingerprint(&comp_b);
+            scr.query = Some(QueryCache {
+                key,
+                comp_a,
+                comp_b,
+                fp_a,
+                fp_b,
+            });
+        }
+        let q = scr.query.as_ref().expect("query cache just filled");
 
         // The node modulates its ports per symbol. A symbol rate beyond
         // the switch's capability is a planning error, not a physics
         // outcome — reject the transfer gracefully instead of panicking.
-        let (sched_a, sched_b) = match modulate_uplink(&self.node.switch, &symbols, t0, symbol_rate)
+        if modulate_uplink_into(
+            &self.node.switch,
+            &scr.symbols,
+            t0,
+            symbol_rate,
+            &mut scr.sched_a,
+            &mut scr.sched_b,
+        )
+        .is_err()
         {
-            Ok(s) => s,
-            Err(_) => {
-                telemetry::counter_add("core.link.uplink.rejected", 1);
-                return None;
-            }
-        };
+            telemetry::counter_add("core.link.uplink.rejected", 1);
+            return None;
+        }
         // Four monostatic renders (two tones × two RX antennas) share one
         // workspace borrow; the per-tone ray tables and static responses
         // are built once and replayed for the other antenna/transfer.
-        let (rx0, rx1) = {
-            let gamma = self.node.gamma_schedule(&sched_a, &sched_b);
+        {
+            let gamma = self.node.gamma_schedule(&scr.sched_a, &scr.sched_b);
             let node_if = NodeInterface {
                 pose: self.node.pose,
                 fsa: &self.node.fsa,
                 gamma: &gamma,
             };
             let nodes = std::slice::from_ref(&node_if);
-            let fp_a = wave_fingerprint(&comp_a);
-            let fp_b = wave_fingerprint(&comp_b);
             with_channel_workspace(|ws| {
-                let mut rx0 = Signal::zeros(fs, fc, comp_a.signal.len());
-                let mut rx1 = Signal::zeros(fs, fc, comp_a.signal.len());
-                let mut tmp = Signal::zeros(fs, fc, comp_a.signal.len());
                 self.scene
-                    .monostatic_rx_multi_into(ws, &comp_a, fp_a, nodes, 0, &mut rx0);
+                    .monostatic_rx_multi_into(ws, &q.comp_a, q.fp_a, nodes, 0, &mut scr.rx0);
                 self.scene
-                    .monostatic_rx_multi_into(ws, &comp_b, fp_b, nodes, 0, &mut tmp);
-                rx0.add(&tmp);
+                    .monostatic_rx_multi_into(ws, &q.comp_b, q.fp_b, nodes, 0, &mut scr.port_tmp);
+                scr.rx0.add(&scr.port_tmp);
                 self.scene
-                    .monostatic_rx_multi_into(ws, &comp_a, fp_a, nodes, 1, &mut rx1);
+                    .monostatic_rx_multi_into(ws, &q.comp_a, q.fp_a, nodes, 1, &mut scr.rx1);
                 self.scene
-                    .monostatic_rx_multi_into(ws, &comp_b, fp_b, nodes, 1, &mut tmp);
-                rx1.add(&tmp);
-                (rx0, rx1)
-            })
-        };
-        let (mut rx0, mut rx1) = (rx0, rx1);
+                    .monostatic_rx_multi_into(ws, &q.comp_b, q.fp_b, nodes, 1, &mut scr.port_tmp);
+                scr.rx1.add(&scr.port_tmp);
+            });
+        }
         // Scheduled impairments act on the AP's captures post-synthesis
         // (no-op, bitwise, when the plan is empty).
-        self.faults.apply_to_rx(self.clock_s, 0, &mut rx0);
-        self.faults.apply_to_rx(self.clock_s, 1, &mut rx1);
+        self.faults.apply_to_rx(self.clock_s, 0, &mut scr.rx0);
+        self.faults.apply_to_rx(self.clock_s, 1, &mut scr.rx1);
 
         let mut receiver = UplinkReceiver::milback(symbol_rate);
         // Uplink noise figure: the LNA's own 3 dB (the node's reflected
@@ -409,25 +618,26 @@ impl Network {
         // the node's implementation loss).
         receiver.lna.nf_db = 3.0;
         let mut rng = self.fork_rng();
-        let (got, stats) = receiver.demodulate(&rx0, &rx1, f_a, f_b, t0, n_symbols, &mut rng);
+        let (got, stats) =
+            receiver.demodulate(&scr.rx0, &scr.rx1, f_a, f_b, t0, n_symbols, &mut rng);
         let got_frame = &got[UPLINK_PILOT.len()..];
 
-        let sent_bits = symbols_to_bits(&frame);
-        let got_bits = symbols_to_bits(got_frame);
-        let errors = bit_errors(&sent_bits, &got_bits);
+        symbols_to_bits_into(&scr.frame, &mut scr.sent_bits);
+        symbols_to_bits_into(got_frame, &mut scr.got_bits);
+        let errors = bit_errors(&scr.sent_bits, &scr.got_bits);
         telemetry::counter_add("core.link.uplink.frames", 1);
-        telemetry::counter_add("core.link.uplink.bits", sent_bits.len() as u64);
+        telemetry::counter_add("core.link.uplink.bits", scr.sent_bits.len() as u64);
         telemetry::counter_add("core.link.uplink.bit_errors", errors as u64);
         let bit_rate = 2.0 * symbol_rate;
         let energy_nj = self.node.power.power_mw(NodeMode::Uplink { bit_rate })
-            * (sent_bits.len() as f64 / bit_rate)
+            * (scr.sent_bits.len() as f64 / bit_rate)
             * 1e6;
         telemetry::observe("node.energy.uplink_nj", energy_nj as u64);
         Some(UplinkReport {
             tones,
-            payload: decode_frame(got_frame, payload.len()),
+            payload: decode_frame_with(&mut scr.codec, got_frame, payload.len()),
             bit_errors: errors,
-            total_bits: sent_bits.len(),
+            total_bits: scr.sent_bits.len(),
             snr: stats.snr,
         })
     }
@@ -446,15 +656,13 @@ impl Network {
     }
 
     /// Renders one port's video-rate detector output for a signal at the
-    /// port.
-    fn node_video(&mut self, at_port: &Signal) -> Vec<f64> {
+    /// port, into a pooled buffer (`rf` holds the scaled RF copy).
+    fn node_video_into(&mut self, at_port: &Signal, rf: &mut Signal, out: &mut Vec<f64>) {
         let mut rng = self.fork_rng();
-        let mut video = self.node.receive_port_video(at_port, &mut rng);
+        self.node.receive_port_video_into(at_port, &mut rng, rf, out);
         // Node-side impairments on the detector output (no-op when the
         // fault plan is empty).
-        self.faults
-            .apply_to_video(self.clock_s, at_port.fs, &mut video);
-        video
+        self.faults.apply_to_video(self.clock_s, at_port.fs, out);
     }
 }
 
@@ -519,5 +727,44 @@ mod tests {
             snrs.push(report.snr);
         }
         assert!(snrs[0] > snrs[1] && snrs[1] > snrs[2], "{snrs:?}");
+    }
+
+    #[test]
+    fn pooled_scratch_survives_payload_size_changes() {
+        // The scratch buffers are reused across transfers; shrinking and
+        // regrowing payloads must not leak stale symbols or bits into the
+        // next frame.
+        let pose = Pose::facing_ap(2.0, 0.0, deg_to_rad(12.0));
+        let mut net = Network::new(pose, Fidelity::Fast, 21);
+        for len in [16usize, 4, 32, 1, 16] {
+            let payload: Vec<u8> = (0..len as u8).map(|i| i.wrapping_mul(29)).collect();
+            let report = net.downlink(&payload, 1e6, true).expect("no tones");
+            assert_eq!(report.bit_errors, 0, "len {len}");
+            assert_eq!(report.payload.as_deref().unwrap(), &payload[..], "len {len}");
+            let report = net.uplink(&payload, 5e6, true).expect("no tones");
+            assert_eq!(report.bit_errors, 0, "len {len}");
+            assert_eq!(report.payload.as_deref().unwrap(), &payload[..], "len {len}");
+        }
+    }
+
+    #[test]
+    fn pooled_transfers_are_deterministic() {
+        // Two identically seeded networks running the same transfer
+        // sequence must agree bit-for-bit — warm scratch reuse cannot
+        // perturb results.
+        let pose = Pose::facing_ap(2.0, 0.0, deg_to_rad(12.0));
+        let mut a = Network::new(pose, Fidelity::Fast, 33);
+        let mut b = Network::new(pose, Fidelity::Fast, 33);
+        for _ in 0..3 {
+            let ra = a.downlink(&[0xC3; 12], 1e6, true).unwrap();
+            let rb = b.downlink(&[0xC3; 12], 1e6, true).unwrap();
+            assert_eq!(ra.bit_errors, rb.bit_errors);
+            assert_eq!(ra.payload.as_deref().ok(), rb.payload.as_deref().ok());
+            assert_eq!(ra.sinr.to_bits(), rb.sinr.to_bits());
+            let ua = a.uplink(&[0x3C; 12], 5e6, true).unwrap();
+            let ub = b.uplink(&[0x3C; 12], 5e6, true).unwrap();
+            assert_eq!(ua.bit_errors, ub.bit_errors);
+            assert_eq!(ua.snr.to_bits(), ub.snr.to_bits());
+        }
     }
 }

@@ -6,6 +6,7 @@
 //! communication procedures live in [`crate::link`].
 
 use crate::config::{ApParams, Fidelity};
+use crate::link::LinkScratch;
 use milback_ap::dechirp::RangeProcessor;
 use milback_ap::orientation::ApOrientationEstimator;
 use milback_ap::ranging::{LocalizationResult, Localizer};
@@ -121,6 +122,10 @@ pub struct Network {
     /// fills this per scheduled slot.
     pub interferers: Vec<Interferer>,
     rng: StdRng,
+    /// Pooled link-layer working buffers: downlink/uplink transfers
+    /// `mem::take` this, reuse its capacity, and put it back, so warmed
+    /// transfers stop allocating (`tests/zero_alloc.rs`).
+    pub(crate) link_scratch: LinkScratch,
 }
 
 impl Network {
@@ -139,6 +144,7 @@ impl Network {
             clock_s: 0.0,
             interferers: Vec::new(),
             rng: StdRng::seed_from_u64(seed),
+            link_scratch: LinkScratch::default(),
         }
     }
 
@@ -160,6 +166,7 @@ impl Network {
             clock_s: 0.0,
             interferers: Vec::new(),
             rng: StdRng::seed_from_u64(seed),
+            link_scratch: LinkScratch::default(),
         }
     }
 
@@ -176,6 +183,7 @@ impl Network {
             clock_s: 0.0,
             interferers: Vec::new(),
             rng: StdRng::seed_from_u64(seed),
+            link_scratch: LinkScratch::default(),
         }
     }
 

@@ -12,7 +12,12 @@ use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssi
 ///
 /// `Cpx` is the sample type of every baseband waveform in MilBack. The
 /// real/imaginary parts correspond to the I/Q components of the signal.
+///
+/// `repr(C)` guarantees the `[re, im]` memory order the SIMD butterfly
+/// kernels ([`crate::simd`]) rely on when reinterpreting `&[Cpx]` as
+/// packed scalar pairs.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[repr(C)]
 pub struct Cpx {
     /// Real (in-phase) component.
     pub re: f64,

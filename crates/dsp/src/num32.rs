@@ -1,0 +1,169 @@
+//! Single-precision complex arithmetic for the opt-in f32 sweep tier.
+//!
+//! [`Cpx32`] mirrors the shape of [`crate::num::Cpx`] with `f32`
+//! components. It exists for sweep workloads (coverage surveys, coarse
+//! range scans) where a magnitude spectrum at ~1e-5 relative accuracy is
+//! plenty and half the memory traffic doubles the effective SIMD width.
+//! The f64 path remains the bitwise reference everywhere; nothing in the
+//! default pipeline touches this type. See [`crate::plan32`] for the
+//! accuracy-bounded FFT plan built on it.
+
+use crate::num::Cpx;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f32` components.
+///
+/// `repr(C)` guarantees the `[re, im]` memory order the SIMD butterfly
+/// kernels ([`crate::simd`]) rely on.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[repr(C)]
+pub struct Cpx32 {
+    /// Real (in-phase) component.
+    pub re: f32,
+    /// Imaginary (quadrature) component.
+    pub im: f32,
+}
+
+/// Single-precision complex zero.
+pub const ZERO32: Cpx32 = Cpx32 { re: 0.0, im: 0.0 };
+
+impl Cpx32 {
+    /// Creates a complex number from rectangular components.
+    #[inline]
+    pub const fn new(re: f32, im: f32) -> Self {
+        Self { re, im }
+    }
+
+    /// Narrows a double-precision sample (used when a sweep path hands
+    /// f64 pipeline data to the f32 tier).
+    #[inline]
+    pub fn from_f64(c: Cpx) -> Self {
+        Self {
+            re: c.re as f32,
+            im: c.im as f32,
+        }
+    }
+
+    /// Widens back to double precision (for comparisons and reporting).
+    #[inline]
+    pub fn to_f64(self) -> Cpx {
+        Cpx::new(self.re as f64, self.im as f64)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Squared magnitude: `re² + im²`.
+    #[inline]
+    pub fn norm_sq(self) -> f32 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude.
+    #[inline]
+    pub fn abs(self) -> f32 {
+        self.norm_sq().sqrt()
+    }
+}
+
+impl Add for Cpx32 {
+    type Output = Cpx32;
+    #[inline]
+    fn add(self, rhs: Cpx32) -> Cpx32 {
+        Cpx32::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Cpx32 {
+    type Output = Cpx32;
+    #[inline]
+    fn sub(self, rhs: Cpx32) -> Cpx32 {
+        Cpx32::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Cpx32 {
+    type Output = Cpx32;
+    #[inline]
+    fn mul(self, rhs: Cpx32) -> Cpx32 {
+        Cpx32::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Mul<f32> for Cpx32 {
+    type Output = Cpx32;
+    #[inline]
+    fn mul(self, k: f32) -> Cpx32 {
+        Cpx32::new(self.re * k, self.im * k)
+    }
+}
+
+impl Neg for Cpx32 {
+    type Output = Cpx32;
+    #[inline]
+    fn neg(self) -> Cpx32 {
+        Cpx32::new(-self.re, -self.im)
+    }
+}
+
+impl AddAssign for Cpx32 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cpx32) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl SubAssign for Cpx32 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Cpx32) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl MulAssign for Cpx32 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Cpx32) {
+        *self = *self * rhs;
+    }
+}
+
+impl Sum for Cpx32 {
+    fn sum<I: Iterator<Item = Cpx32>>(iter: I) -> Cpx32 {
+        iter.fold(ZERO32, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_round_trip() {
+        let a = Cpx32::new(1.5, -2.0);
+        let b = Cpx32::new(-0.25, 3.0);
+        let s = a + b - b;
+        assert!((s.re - a.re).abs() < 1e-6 && (s.im - a.im).abs() < 1e-6);
+        let j = Cpx32::new(0.0, 1.0);
+        let jj = j * j;
+        assert!((jj.re + 1.0).abs() < 1e-6 && jj.im.abs() < 1e-6);
+        assert!((a.norm_sq() - (1.5f32 * 1.5 + 2.0 * 2.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn f64_round_trip() {
+        let c = Cpx::new(0.125, -7.5); // exactly representable both ways
+        assert_eq!(Cpx32::from_f64(c).to_f64(), c);
+    }
+}

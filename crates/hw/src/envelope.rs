@@ -71,16 +71,22 @@ impl EnvelopeDetector {
     /// The input samples are interpreted as volts across the detector's
     /// input impedance, so instantaneous input power is `|x|²/R`.
     pub fn detect<R: Rng + ?Sized>(&self, input: &Signal, rng: &mut R) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.detect_into(input, rng, &mut out);
+        out
+    }
+
+    /// Allocation-free [`EnvelopeDetector::detect`]: clears and refills
+    /// `out`, reusing its capacity. Bitwise identical (same filter state
+    /// progression and noise draw order) to the allocating form.
+    pub fn detect_into<R: Rng + ?Sized>(&self, input: &Signal, rng: &mut R, out: &mut Vec<f64>) {
         let mut lp = OnePole::new(self.video_bandwidth, input.fs);
-        let mut out: Vec<f64> = input
-            .samples
-            .iter()
-            .map(|c| lp.step(self.slope * c.abs()))
-            .collect();
+        out.clear();
+        out.reserve(input.samples.len());
+        out.extend(input.samples.iter().map(|c| lp.step(self.slope * c.abs())));
         // Noise within the video bandwidth, as seen at the output sample
         // rate: the density integrates to σ² = e_n²·BW regardless of fs.
-        add_real_noise(&mut out, self.output_noise_rms(), rng);
-        out
+        add_real_noise(out, self.output_noise_rms(), rng);
     }
 
     /// Detects without noise (for calibration / unit tests).

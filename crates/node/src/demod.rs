@@ -47,20 +47,34 @@ impl EnvelopeSlicer {
     /// Integrates the detector output over each of `n_symbols` symbol
     /// periods starting at `t0` seconds, skipping the settling guard.
     pub fn symbol_levels(&self, detector: &[f64], t0: f64, n_symbols: usize) -> Vec<f64> {
+        let mut levels = Vec::new();
+        self.symbol_levels_into(detector, t0, n_symbols, &mut levels);
+        levels
+    }
+
+    /// Allocation-free [`EnvelopeSlicer::symbol_levels`]: clears and
+    /// refills `out`, reusing its capacity.
+    pub fn symbol_levels_into(
+        &self,
+        detector: &[f64],
+        t0: f64,
+        n_symbols: usize,
+        out: &mut Vec<f64>,
+    ) {
         let sps = self.samples_per_symbol();
-        let mut levels = Vec::with_capacity(n_symbols);
+        out.clear();
+        out.reserve(n_symbols);
         for k in 0..n_symbols {
             let start = ((t0 * self.sample_rate) + (k as f64 + self.guard) * sps) as usize;
             let end =
                 (((t0 * self.sample_rate) + (k as f64 + 1.0) * sps) as usize).min(detector.len());
             if start >= end {
-                levels.push(0.0);
+                out.push(0.0);
                 continue;
             }
             let sum: f64 = detector[start..end].iter().sum();
-            levels.push(sum / (end - start) as f64);
+            out.push(sum / (end - start) as f64);
         }
-        levels
     }
 
     /// Picks a decision threshold from the observed levels: the midpoint
@@ -76,6 +90,25 @@ impl EnvelopeSlicer {
     pub fn slice(levels: &[f64], threshold: f64) -> Vec<bool> {
         levels.iter().map(|v| *v > threshold).collect()
     }
+
+    /// Allocation-free [`EnvelopeSlicer::slice`]: clears and refills
+    /// `out`, reusing its capacity.
+    pub fn slice_into(levels: &[f64], threshold: f64, out: &mut Vec<bool>) {
+        out.clear();
+        out.extend(levels.iter().map(|v| *v > threshold));
+    }
+}
+
+/// Reusable intermediate buffers (per-symbol levels, per-branch slices,
+/// the OOK combined stream) for the `_into` demodulators, pooled by the
+/// link layer across transfers.
+#[derive(Debug, Default, Clone)]
+pub struct DemodScratch {
+    levels_a: Vec<f64>,
+    levels_b: Vec<f64>,
+    bits_a: Vec<bool>,
+    bits_b: Vec<bool>,
+    combined: Vec<f64>,
 }
 
 /// Demodulates the two detector outputs into OAQFM symbols.
@@ -100,6 +133,35 @@ pub fn demodulate_oaqfm(
         .zip(bb)
         .map(|(a_on, b_on)| OaqfmSymbol { a_on, b_on })
         .collect()
+}
+
+/// Allocation-free [`demodulate_oaqfm`]: intermediates run in `scratch`,
+/// symbols land in `out` (capacity reused). Identical decisions to the
+/// allocating form.
+pub fn demodulate_oaqfm_into(
+    slicer: &EnvelopeSlicer,
+    det_a: &[f64],
+    det_b: &[f64],
+    t0: f64,
+    n_symbols: usize,
+    scratch: &mut DemodScratch,
+    out: &mut Vec<OaqfmSymbol>,
+) {
+    milback_telemetry::counter_add("node.demod.oaqfm.symbols", n_symbols as u64);
+    slicer.symbol_levels_into(det_a, t0, n_symbols, &mut scratch.levels_a);
+    slicer.symbol_levels_into(det_b, t0, n_symbols, &mut scratch.levels_b);
+    let ta = EnvelopeSlicer::threshold(&scratch.levels_a);
+    let tb = EnvelopeSlicer::threshold(&scratch.levels_b);
+    EnvelopeSlicer::slice_into(&scratch.levels_a, ta, &mut scratch.bits_a);
+    EnvelopeSlicer::slice_into(&scratch.levels_b, tb, &mut scratch.bits_b);
+    out.clear();
+    out.extend(
+        scratch
+            .bits_a
+            .iter()
+            .zip(&scratch.bits_b)
+            .map(|(&a_on, &b_on)| OaqfmSymbol { a_on, b_on }),
+    );
 }
 
 /// Demodulates dense (multi-amplitude) OAQFM: per-symbol levels on each
@@ -155,6 +217,28 @@ pub fn demodulate_ook(
     let levels = slicer.symbol_levels(&combined, t0, n_bits);
     let thr = EnvelopeSlicer::threshold(&levels);
     EnvelopeSlicer::slice(&levels, thr)
+}
+
+/// Allocation-free [`demodulate_ook`]: intermediates run in `scratch`,
+/// bit decisions land in `out` (capacity reused). Identical decisions to
+/// the allocating form.
+pub fn demodulate_ook_into(
+    slicer: &EnvelopeSlicer,
+    det_a: &[f64],
+    det_b: &[f64],
+    t0: f64,
+    n_bits: usize,
+    scratch: &mut DemodScratch,
+    out: &mut Vec<bool>,
+) {
+    milback_telemetry::counter_add("node.demod.ook.bits", n_bits as u64);
+    scratch.combined.clear();
+    scratch
+        .combined
+        .extend(det_a.iter().zip(det_b).map(|(a, b)| a + b));
+    slicer.symbol_levels_into(&scratch.combined, t0, n_bits, &mut scratch.levels_a);
+    let thr = EnvelopeSlicer::threshold(&scratch.levels_a);
+    EnvelopeSlicer::slice_into(&scratch.levels_a, thr, out);
 }
 
 #[cfg(test)]

@@ -95,6 +95,60 @@ pub fn modulate_uplink(
     ))
 }
 
+/// Allocation-free [`modulate_uplink`]: reuses the event buffers inside
+/// `out_a`/`out_b` when they already hold [`SwitchSchedule::Events`]
+/// schedules (the link layer's pooled steady state). Produces the same
+/// schedules as the allocating form.
+pub fn modulate_uplink_into(
+    switch: &SpdtSwitch,
+    symbols: &[OaqfmSymbol],
+    t0: f64,
+    symbol_rate: f64,
+    out_a: &mut SwitchSchedule,
+    out_b: &mut SwitchSchedule,
+) -> Result<(), ModulationError> {
+    assert!(symbol_rate > 0.0, "symbol rate must be positive");
+    if !switch.supports_rate(symbol_rate) {
+        return Err(ModulationError::SymbolRateTooHigh {
+            requested_hz: symbol_rate as u64,
+            limit_hz: switch.max_toggle_hz as u64,
+        });
+    }
+    // Reclaim the previous schedules' event buffers where possible.
+    let reclaim = |slot: &mut SwitchSchedule| -> Vec<(f64, SwitchState)> {
+        match std::mem::replace(slot, SwitchSchedule::Constant(SwitchState::Absorptive)) {
+            SwitchSchedule::Events(mut v) => {
+                v.clear();
+                v
+            }
+            _ => Vec::new(),
+        }
+    };
+    let mut ev_a = reclaim(out_a);
+    let mut ev_b = reclaim(out_b);
+    let ts = 1.0 / symbol_rate;
+    ev_a.push((0.0, SwitchState::Absorptive));
+    ev_b.push((0.0, SwitchState::Absorptive));
+    for (k, s) in symbols.iter().enumerate() {
+        let t = t0 + k as f64 * ts;
+        let state = |on: bool| {
+            if on {
+                SwitchState::Reflective
+            } else {
+                SwitchState::Absorptive
+            }
+        };
+        ev_a.push((t, state(s.a_on)));
+        ev_b.push((t, state(s.b_on)));
+    }
+    let t_end = t0 + symbols.len() as f64 * ts;
+    ev_a.push((t_end, SwitchState::Absorptive));
+    ev_b.push((t_end, SwitchState::Absorptive));
+    *out_a = SwitchSchedule::from_events(ev_a);
+    *out_b = SwitchSchedule::from_events(ev_b);
+    Ok(())
+}
+
 /// Maximum raw uplink bit rate for a switch: one toggle per symbol, two
 /// bits per OAQFM symbol.
 pub fn max_uplink_bit_rate(switch: &SpdtSwitch) -> f64 {

@@ -120,9 +120,25 @@ impl BackscatterNode {
     /// rate (no ADC) — used for payload demodulation where the MCU samples
     /// at the symbol rate via a comparator rather than the slow ADC.
     pub fn receive_port_video<R: Rng + ?Sized>(&self, at_port: &Signal, rng: &mut R) -> Vec<f64> {
-        let mut sig = at_port.clone();
-        sig.scale(self.switch.through_gain().sqrt() * self.impl_loss_amp());
-        self.detector.detect(&sig, rng)
+        let mut out = Vec::new();
+        self.receive_port_video_into(at_port, rng, &mut Signal::new(at_port.fs, 0.0, Vec::new()), &mut out);
+        out
+    }
+
+    /// Allocation-free [`Self::receive_port_video`]: the scaled RF copy
+    /// lands in `rf_scratch` (a pooled `Signal`; the scale must apply to
+    /// the complex samples *before* envelope detection to stay bitwise
+    /// identical) and the video stream in `out`, both reusing capacity.
+    pub fn receive_port_video_into<R: Rng + ?Sized>(
+        &self,
+        at_port: &Signal,
+        rng: &mut R,
+        rf_scratch: &mut Signal,
+        out: &mut Vec<f64>,
+    ) {
+        rf_scratch.copy_from(at_port);
+        rf_scratch.scale(self.switch.through_gain().sqrt() * self.impl_loss_amp());
+        self.detector.detect_into(rf_scratch, rng, out);
     }
 
     /// Convenience: the constant absorptive schedule (both ports

@@ -110,6 +110,59 @@ pub fn symbols_to_bits(symbols: &[OaqfmSymbol]) -> Vec<bool> {
     bits
 }
 
+/// Allocation-free [`bytes_to_bits`]: clears and refills `out`.
+pub fn bytes_to_bits_into(bytes: &[u8], out: &mut Vec<bool>) {
+    out.clear();
+    out.reserve(bytes.len() * 8);
+    for &b in bytes {
+        for i in (0..8).rev() {
+            out.push((b >> i) & 1 == 1);
+        }
+    }
+}
+
+/// Allocation-free [`bits_to_bytes`]: clears and refills `out`.
+///
+/// # Panics
+/// Panics if the bit count is not a multiple of 8.
+pub fn bits_to_bytes_into(bits: &[bool], out: &mut Vec<u8>) {
+    assert!(
+        bits.len().is_multiple_of(8),
+        "bit count must be a multiple of 8"
+    );
+    out.clear();
+    out.reserve(bits.len() / 8);
+    out.extend(bits.chunks(8).map(|chunk| {
+        chunk
+            .iter()
+            .fold(0u8, |acc, &bit| (acc << 1) | u8::from(bit))
+    }));
+}
+
+/// Allocation-free [`bits_to_symbols`]: clears and refills `out`,
+/// reusing its capacity (the link layer's pooled symbol buffers).
+pub fn bits_to_symbols_into(bits: &[bool], out: &mut Vec<OaqfmSymbol>) {
+    out.clear();
+    out.reserve(bits.len().div_ceil(2));
+    let mut it = bits.iter();
+    while let Some(&first) = it.next() {
+        let second = it.next().copied().unwrap_or(false);
+        out.push(OaqfmSymbol::from_bits(first, second));
+    }
+}
+
+/// Allocation-free [`symbols_to_bits`]: clears and refills `out`,
+/// reusing its capacity.
+pub fn symbols_to_bits_into(symbols: &[OaqfmSymbol], out: &mut Vec<bool>) {
+    out.clear();
+    out.reserve(symbols.len() * 2);
+    for s in symbols {
+        let (a, b) = s.to_bits();
+        out.push(a);
+        out.push(b);
+    }
+}
+
 /// Counts bit errors between two equal-length bit slices.
 pub fn bit_errors(a: &[bool], b: &[bool]) -> usize {
     assert_eq!(a.len(), b.len(), "length mismatch in bit_errors");

@@ -67,6 +67,51 @@ pub fn decode_frame(symbols: &[OaqfmSymbol], payload_bytes: usize) -> Result<Vec
         .ok_or(FrameError::CrcMismatch)
 }
 
+/// Reusable intermediate buffers for the frame codec, so repeated
+/// transfers (the link layer's steady state) encode and decode without
+/// heap allocation beyond the decoded payload itself.
+#[derive(Debug, Default, Clone)]
+pub struct FrameScratch {
+    bytes: Vec<u8>,
+    bits: Vec<bool>,
+}
+
+/// Allocation-free (steady-state) [`encode_frame`]: the CRC trailer and
+/// bit expansion run in `scratch`, symbols land in `out`. Produces the
+/// same symbol stream as [`encode_frame`].
+pub fn encode_frame_into(payload: &[u8], scratch: &mut FrameScratch, out: &mut Vec<OaqfmSymbol>) {
+    scratch.bytes.clear();
+    scratch.bytes.reserve(payload.len() + 2);
+    scratch.bytes.extend_from_slice(payload);
+    let crc = crate::crc::crc16_ccitt(payload);
+    scratch.bytes.push((crc >> 8) as u8);
+    scratch.bytes.push((crc & 0xFF) as u8);
+    crate::bits::bytes_to_bits_into(&scratch.bytes, &mut scratch.bits);
+    crate::bits::bits_to_symbols_into(&scratch.bits, out);
+}
+
+/// [`decode_frame`] against caller-owned intermediate buffers. The only
+/// allocation on success is the returned payload `Vec` itself — an
+/// owned deliverable the caller keeps.
+pub fn decode_frame_with(
+    scratch: &mut FrameScratch,
+    symbols: &[OaqfmSymbol],
+    payload_bytes: usize,
+) -> Result<Vec<u8>, FrameError> {
+    let expected = frame_symbols(payload_bytes);
+    if symbols.len() != expected {
+        return Err(FrameError::LengthMismatch {
+            expected,
+            got: symbols.len(),
+        });
+    }
+    crate::bits::symbols_to_bits_into(symbols, &mut scratch.bits);
+    crate::bits::bits_to_bytes_into(&scratch.bits, &mut scratch.bytes);
+    check_crc(&scratch.bytes)
+        .map(|p| p.to_vec())
+        .ok_or(FrameError::CrcMismatch)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

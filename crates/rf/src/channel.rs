@@ -417,6 +417,25 @@ impl Scene {
         fsa: &DualPortFsa,
         port: Port,
     ) -> Signal {
+        let mut out = Signal::new(comp.signal.fs, comp.signal.fc, Vec::new());
+        self.to_node_port_into(ws, comp, wave_fp, pose, fsa, port, &mut out);
+        out
+    }
+
+    /// Allocation-free [`Scene::to_node_port_with`]: overwrites `out`
+    /// (rate, carrier and samples), reusing its capacity. Bitwise
+    /// identical to the allocating form.
+    #[allow(clippy::too_many_arguments)] // mirrors to_node_port_with + out
+    pub fn to_node_port_into(
+        &self,
+        ws: &mut ChannelWorkspace,
+        comp: &TxComponent,
+        wave_fp: u64,
+        pose: &Pose,
+        fsa: &DualPortFsa,
+        port: Port,
+        out: &mut Signal,
+    ) {
         let key = PortKey {
             scene: self.static_fingerprint(),
             wave: wave_fp,
@@ -425,11 +444,12 @@ impl Scene {
             port,
         };
         let tables = ws.port_tables(key, || self.build_port_tables(comp, pose, fsa, port));
-        let mut out = comp.signal.delayed(tables.tau);
+        out.fs = comp.signal.fs;
+        out.fc = comp.signal.fc;
+        comp.signal.delayed_into(tables.tau, &mut out.samples);
         for (c, amp) in out.samples.iter_mut().zip(&tables.amp) {
             *c *= tables.carrier_phase * *amp;
         }
-        out
     }
 
     /// Builds the hoisted [`PortTables`] for one downlink ray: the

@@ -218,4 +218,53 @@ fn warmed_hot_paths_perform_zero_heap_allocations() {
         steady_round.digest, warm_round.digest,
         "fabric rounds diverged"
     );
+
+    // ---- pooled link layer: downlink ---------------------------------
+    // Every per-transfer buffer lives in the network's `LinkScratch`
+    // (waveforms, port renders, detector videos, demod/codec scratch),
+    // so a warmed downlink's only heap allocation is the decoded payload
+    // `Vec<u8>` handed back in the report — exactly one acquisition per
+    // transfer.
+    let pose = Pose::facing_ap(2.0, 0.0, deg_to_rad(12.0));
+    let mut link_net = Network::new(pose, Fidelity::Fast, 0x11A8);
+    let payload: Vec<u8> = (0..16).collect();
+    for _ in 0..2 {
+        let report = link_net.downlink(&payload, 1e6, true).expect("no tones");
+        assert_eq!(report.bit_errors, 0, "warm-up downlink degraded");
+    }
+    let before = allocs();
+    for _ in 0..3 {
+        let report = link_net.downlink(&payload, 1e6, true).expect("no tones");
+        assert_eq!(report.payload.as_deref().unwrap(), &payload[..]);
+    }
+    assert_eq!(
+        allocs() - before,
+        3,
+        "warmed downlink allocated beyond the decoded payload"
+    );
+
+    // ---- pooled link layer: uplink -----------------------------------
+    // Node and channel side are fully pooled (schedules, query tones,
+    // AP captures). The honest remainder is the AP receiver itself:
+    // `UplinkReceiver::demodulate` mixes/decimates/projects each branch
+    // into fresh vectors — a fixed, payload-independent set of buffers —
+    // plus the decoded payload. Pin the total so it can only shrink.
+    for _ in 0..2 {
+        let report = link_net.uplink(&payload, 5e6, true).expect("no tones");
+        assert_eq!(report.bit_errors, 0, "warm-up uplink degraded");
+    }
+    let before = allocs();
+    let reps = 3u64;
+    for _ in 0..reps {
+        let report = link_net.uplink(&payload, 5e6, true).expect("no tones");
+        assert_eq!(report.payload.as_deref().unwrap(), &payload[..]);
+    }
+    // Measured remainder: 46/transfer, all inside the AP receiver (two
+    // `branch` chains, symbol points, projections, slices, the returned
+    // symbol vector) plus the payload. Pinned so it can only shrink.
+    let per_transfer = (allocs() - before) / reps;
+    assert!(
+        per_transfer <= 46,
+        "warmed uplink allocated {per_transfer}/transfer (receiver internals + payload expected)"
+    );
 }
