@@ -31,11 +31,13 @@ if cargo clippy --version >/dev/null 2>&1; then
         -W clippy::redundant_clone -W clippy::needless_collect \
         -W clippy::needless_range_loop -W clippy::manual_memcpy \
         -W clippy::needless_pass_by_value
-    # Library paths of the protocol/session layers must not unwrap:
-    # every fallible outcome is a typed error or a Degradation report
-    # (DESIGN.md §14). --lib skips #[cfg(test)] modules; --no-deps
-    # keeps the lint off the vendored stubs.
-    cargo clippy --release --offline --lib --no-deps -p milback -p milback-proto \
+    # Library paths of the protocol/session layers — and the node/RF
+    # substrate they call into — must not unwrap: every fallible outcome
+    # is a typed error or a Degradation report (DESIGN.md §14). --lib
+    # skips #[cfg(test)] modules; --no-deps keeps the lint off the
+    # vendored stubs.
+    cargo clippy --release --offline --lib --no-deps \
+        -p milback -p milback-proto -p milback-node -p milback-rf \
         -- -D warnings -W clippy::unwrap_used
 else
     echo "==> clippy not installed; skipping lint" >&2
@@ -107,6 +109,19 @@ MILBACK_TELEMETRY=1 MILBACK_THREADS=1 cargo run --release --offline -p milback-b
 MILBACK_TELEMETRY=1 MILBACK_THREADS=4 cargo run --release --offline -p milback-bench --bin bench_engine -- \
     --smoke --net --net-only --net-view target/net_view_2.json >/dev/null
 cmp target/net_view_1.json target/net_view_2.json
+
+echo "==> adaptive smoke (closed-loop controller determinism)"
+# The adaptive leg (DESIGN.md §18) runs the adaptive-vs-fixed scenario
+# sweep — every §14 stressor fixed and closed-loop on paired seeds —
+# through the batch engine; inside one process it already asserts the
+# 1-thread and N-thread sweeps bitwise equal. The two runs below pin
+# cross-process AND cross-thread-count determinism: the deterministic
+# per-scenario tables must compare equal with cmp at 1 and at 4 workers.
+MILBACK_TELEMETRY=1 MILBACK_THREADS=1 cargo run --release --offline -p milback-bench --bin bench_engine -- \
+    --smoke --adaptive-only --adaptive-view target/adaptive_view_1.txt >/dev/null
+MILBACK_TELEMETRY=1 MILBACK_THREADS=4 cargo run --release --offline -p milback-bench --bin bench_engine -- \
+    --smoke --adaptive-only --adaptive-view target/adaptive_view_2.txt >/dev/null
+cmp target/adaptive_view_1.txt target/adaptive_view_2.txt
 
 echo "==> docs freshness (ARCHITECTURE/README section refs resolve in DESIGN.md)"
 # Every "DESIGN.md §N" reference in the top-level maps must point at a

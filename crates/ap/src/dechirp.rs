@@ -115,7 +115,12 @@ impl RangeProcessor {
     /// [`RangeProcessor::range_spectrum_into`] — its dechirp products
     /// are genuinely complex and that path is the bitwise reference;
     /// this entry point serves real-capture and sweep workloads.
-    pub fn range_spectrum_real_into(&self, dechirped: &[f64], scratch: &mut Vec<f64>, out: &mut Vec<Cpx>) {
+    pub fn range_spectrum_real_into(
+        &self,
+        dechirped: &[f64],
+        scratch: &mut Vec<f64>,
+        out: &mut Vec<Cpx>,
+    ) {
         milback_telemetry::counter_add("ap.dechirp.spectra_real", 1);
         buffer::track_growth(scratch, self.fft_len.max(dechirped.len()));
         scratch.clear();
@@ -128,9 +133,7 @@ impl RangeProcessor {
             }
         }
         scratch.resize(self.fft_len, 0.0);
-        milback_dsp::realfft::with_real_plan(self.fft_len, |p| {
-            p.forward_full_into(scratch, out)
-        });
+        milback_dsp::realfft::with_real_plan(self.fft_len, |p| p.forward_full_into(scratch, out));
     }
 
     /// Real-input counterpart of [`RangeProcessor::range_profile_into`]:
@@ -443,14 +446,26 @@ mod tests {
         let mut stage = Vec::new();
         let mut spec32 = Vec::new();
         let mut reference = Vec::new();
-        proc.range_power_into(&de.samples, Fidelity::Reference, &mut stage, &mut spec32, &mut reference);
+        proc.range_power_into(
+            &de.samples,
+            Fidelity::Reference,
+            &mut stage,
+            &mut spec32,
+            &mut reference,
+        );
         // The reference tier is the profile power, bit for bit.
         let profile = proc.range_profile(&de);
         let ref_powers: Vec<f64> = profile.iter().map(|c| c.norm_sq()).collect();
         assert_eq!(reference, ref_powers);
 
         let mut sweep = Vec::new();
-        proc.range_power_into(&de.samples, Fidelity::Sweep, &mut stage, &mut spec32, &mut sweep);
+        proc.range_power_into(
+            &de.samples,
+            Fidelity::Sweep,
+            &mut stage,
+            &mut spec32,
+            &mut sweep,
+        );
         assert_eq!(sweep.len(), reference.len());
         let peak = reference.iter().cloned().fold(f64::MIN_POSITIVE, f64::max);
         // Amplitude bound 1e-4·|X|max ⇒ power bound ~3e-4·peak power.

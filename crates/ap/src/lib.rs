@@ -63,6 +63,6 @@ pub use pulse_compression::PulseCompressionRanger;
 pub use range_doppler::{RangeDopplerMap, RangeDopplerProcessor};
 pub use ranging::{LocalizationResult, Localizer};
 pub use tone_select::{select_tones, ToneSelection};
-pub use uplink::{ook_ber, UplinkReceiver, UplinkStats, UPLINK_PILOT};
+pub use uplink::{ook_ber, UplinkReceiver, UplinkScratch, UplinkStats, UPLINK_PILOT};
 pub use waveform::TxConfig;
 pub use workspace::{with_workspace, DspWorkspace};

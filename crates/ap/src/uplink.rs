@@ -15,10 +15,12 @@
 //! symbol stream starts with the known [`milback_proto::packet`] uplink
 //! pilot, which fixes the sign.
 
+use milback_dsp::filter::Fir;
 use milback_dsp::noise::thermal_noise_power;
 use milback_dsp::num::Cpx;
-
+use milback_dsp::phasor;
 use milback_dsp::signal::Signal;
+use milback_dsp::window::Window;
 use milback_proto::bits::OaqfmSymbol;
 use milback_rf::frontend::{Lna, Mixer};
 use rand::Rng;
@@ -54,6 +56,50 @@ pub struct UplinkStats {
     pub branch_snr: [f64; 2],
 }
 
+/// Pooled working buffers for [`UplinkReceiver::demodulate_into`]:
+/// the branch decision stream, mixer LO, anti-alias filter output,
+/// per-symbol points, decision levels and the cached FIR designs. A
+/// warmed scratch makes repeated demodulations allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct UplinkScratch {
+    /// Branch working signal samples (filtered/decimated in place).
+    work: Vec<Cpx>,
+    /// Anti-alias filter output (ping-pong with `work`).
+    filt: Vec<Cpx>,
+    /// Mixer LO phasor ramp.
+    lo: Vec<Cpx>,
+    /// Per-symbol complex means.
+    pts: Vec<Cpx>,
+    /// Projected decision levels, per branch.
+    lev_a: Vec<f64>,
+    lev_b: Vec<f64>,
+    /// Sliced decisions, per branch.
+    dec_a: Vec<bool>,
+    dec_b: Vec<bool>,
+    /// On/off level clusters for the SNR estimate.
+    on: Vec<f64>,
+    off: Vec<f64>,
+    /// Anti-alias FIR designs keyed by `(cutoff, fs)` bit patterns.
+    /// The decimation cascade reuses a handful of designs per symbol
+    /// rate (a few stages x the adaptive rate ladder), so the cache
+    /// stays small and a warmed chain stops designing filters.
+    firs: Vec<((u64, u64), Fir)>,
+}
+
+/// Index of the cached anti-alias design for `(cutoff, fs)`, building
+/// and inserting it on first use.
+fn cached_fir(firs: &mut Vec<((u64, u64), Fir)>, cutoff: f64, fs: f64) -> usize {
+    let key = (cutoff.to_bits(), fs.to_bits());
+    if let Some(i) = firs.iter().position(|(k, _)| *k == key) {
+        return i;
+    }
+    firs.push((
+        key,
+        Fir::lowpass_with_window(cutoff, fs, 127, Window::BlackmanHarris),
+    ));
+    firs.len() - 1
+}
+
 /// The AP's uplink receiver.
 #[derive(Debug, Clone, Copy)]
 pub struct UplinkReceiver {
@@ -83,82 +129,104 @@ impl UplinkReceiver {
         self.symbol_rate * self.samples_per_symbol as f64
     }
 
-    /// Cascaded decimation from the capture rate down to the processing
-    /// rate, with Blackman-Harris anti-alias filters: the stopband must
-    /// crush the cross-tone clutter (up to ~60 dB above the node's
-    /// signal), which a standard Hamming design cannot.
-    fn decimate_to(&self, mut sig: Signal) -> Signal {
-        use milback_dsp::filter::Fir;
-        use milback_dsp::window::Window;
-        loop {
-            let ratio = sig.fs / self.target_fs();
-            if ratio < 2.0 {
-                return sig;
-            }
-            let factor = (ratio.floor() as usize).clamp(2, 8);
-            let new_fs = sig.fs / factor as f64;
-            let fir = Fir::lowpass_with_window(0.35 * new_fs, sig.fs, 127, Window::BlackmanHarris);
-            let filtered = fir.apply(&sig.samples);
-            let samples = filtered.iter().step_by(factor).copied().collect();
-            sig = Signal::new(new_fs, sig.fc, samples);
-        }
-    }
-
     /// One branch of the Figure-7 chain: antenna capture → LNA (adds
     /// thermal noise) → mix with the tone at `f_tone` → decimate → DC
     /// block. Returns the complex baseband decision stream and its rate.
     pub fn branch<R: Rng + ?Sized>(&self, rx: &Signal, f_tone: f64, rng: &mut R) -> Signal {
-        let mut sig = rx.clone();
+        let mut scr = UplinkScratch::default();
+        let fs = self.branch_pooled(&mut scr, rx, f_tone, rng);
+        Signal::new(fs, rx.fc, scr.work)
+    }
+
+    /// [`UplinkReceiver::branch`] into the scratch's working buffer
+    /// (`scr.work` holds the decision stream on return; the returned
+    /// value is its sample rate). Identical arithmetic — LNA noise
+    /// draws, mixer products, anti-alias accumulation, decimation
+    /// phase, DC-block mean — so the pooled chain is bitwise-identical
+    /// to the allocating one.
+    fn branch_pooled<R: Rng + ?Sized>(
+        &self,
+        scr: &mut UplinkScratch,
+        rx: &Signal,
+        f_tone: f64,
+        rng: &mut R,
+    ) -> f64 {
+        let work = std::mem::take(&mut scr.work);
+        let mut sig = Signal::new(rx.fs, rx.fc, work);
+        sig.copy_from(rx);
         let capture_bw = sig.fs;
         // LNA noise over the full capture bandwidth; decimation later
         // reduces it to the detection bandwidth, as the hardware BPF does.
         self.lna.apply(&mut sig, capture_bw, rng);
-        let lo = Signal::tone(sig.fs, sig.fc, f_tone - sig.fc, 1.0, sig.len());
-        let mixed = self.mixer.downconvert(&sig, &lo);
-        let mut low = self.decimate_to(mixed);
+        // Mix with the query tone (the LO phasor ramp of Signal::tone).
+        let w = 2.0 * std::f64::consts::PI * (f_tone - sig.fc) / sig.fs;
+        scr.lo.clear();
+        scr.lo.resize(sig.len(), milback_dsp::num::ZERO);
+        phasor::fill_linear(1.0, 0.0, w, &mut scr.lo);
+        self.mixer.downconvert_in_place(&mut sig, &scr.lo);
+        // Cascaded decimation down to the processing rate, with
+        // Blackman-Harris anti-alias filters: the stopband must crush
+        // the cross-tone clutter (up to ~60 dB above the node's
+        // signal), which a standard Hamming design cannot. Filter
+        // designs are cached per (cutoff, rate) in the scratch.
+        loop {
+            let ratio = sig.fs / self.target_fs();
+            if ratio < 2.0 {
+                break;
+            }
+            let factor = (ratio.floor() as usize).clamp(2, 8);
+            let new_fs = sig.fs / factor as f64;
+            let idx = cached_fir(&mut scr.firs, 0.35 * new_fs, sig.fs);
+            scr.firs[idx].1.apply_into(&sig.samples, &mut scr.filt);
+            sig.samples.clear();
+            sig.samples.extend(scr.filt.iter().step_by(factor).copied());
+            sig.fs = new_fs;
+        }
         // DC block (the band-pass filter of Fig. 7): remove the capture
         // mean, which holds all static clutter + self-interference energy.
         // The mean is estimated over the central 80% of the capture —
         // the decimation filters' edge transients attenuate the clutter DC
         // near the capture boundaries and would bias a full-span mean.
-        let n = low.len();
+        let n = sig.len();
         let trim = n / 10;
-        let core = &low.samples[trim..n.saturating_sub(trim).max(trim + 1)];
+        let core = &sig.samples[trim..n.saturating_sub(trim).max(trim + 1)];
         let mean: Cpx = core.iter().copied().sum::<Cpx>() / core.len().max(1) as f64;
-        for c in low.samples.iter_mut() {
+        for c in sig.samples.iter_mut() {
             *c -= mean;
         }
-        low
+        let fs = sig.fs;
+        scr.work = sig.samples;
+        fs
     }
 
     /// Per-symbol complex means of a decision stream starting at `t0`.
-    fn symbol_points(&self, stream: &Signal, t0: f64, n: usize) -> Vec<Cpx> {
-        let sps = stream.fs / self.symbol_rate;
-        let mut out = Vec::with_capacity(n);
+    fn symbol_points_into(&self, fs: f64, stream: &[Cpx], t0: f64, n: usize, out: &mut Vec<Cpx>) {
+        let sps = fs / self.symbol_rate;
+        out.clear();
         for k in 0..n {
-            let start = ((t0 * stream.fs) + (k as f64 + 0.25) * sps) as usize;
-            let end = (((t0 * stream.fs) + (k as f64 + 0.95) * sps) as usize).min(stream.len());
+            let start = ((t0 * fs) + (k as f64 + 0.25) * sps) as usize;
+            let end = (((t0 * fs) + (k as f64 + 0.95) * sps) as usize).min(stream.len());
             if start >= end {
                 out.push(milback_dsp::num::ZERO);
                 continue;
             }
-            let sum: Cpx = stream.samples[start..end].iter().copied().sum();
+            let sum: Cpx = stream[start..end].iter().copied().sum();
             out.push(sum / (end - start) as f64);
         }
-        out
     }
 
     /// Projects complex symbol points onto their dominant axis and fixes
-    /// the sign with the pilot pattern. Returns real decision levels.
-    fn project(points: &[Cpx], pilot_on: &[bool]) -> Vec<f64> {
+    /// the sign with the pilot pattern, writing real decision levels.
+    fn project_into(points: &[Cpx], pilot_on: &[bool], levels: &mut Vec<f64>) {
         // Dominant axis via the second-moment direction: arg(Σ p²)/2.
         let m2: Cpx = points.iter().map(|p| *p * *p).sum();
         let axis = Cpx::cis(-m2.arg() / 2.0);
-        let mut levels: Vec<f64> = points.iter().map(|p| (*p * axis).re).collect();
+        levels.clear();
+        levels.extend(points.iter().map(|p| (*p * axis).re));
         // Pilot correlation fixes the ± ambiguity.
         let corr: f64 = pilot_on
             .iter()
-            .zip(&levels)
+            .zip(levels.iter())
             .map(|(&on, &l)| if on { l } else { -l })
             .sum();
         if corr < 0.0 {
@@ -166,38 +234,43 @@ impl UplinkReceiver {
                 *l = -*l;
             }
         }
-        levels
     }
 
     /// Slices projected levels at the midpoint threshold.
-    fn slice(levels: &[f64]) -> Vec<bool> {
+    fn slice_into(levels: &[f64], out: &mut Vec<bool>) {
         let max = levels.iter().cloned().fold(f64::MIN, f64::max);
         let min = levels.iter().cloned().fold(f64::MAX, f64::min);
         let thr = (max + min) / 2.0;
-        levels.iter().map(|l| *l > thr).collect()
+        out.clear();
+        out.extend(levels.iter().map(|l| *l > thr));
     }
 
     /// SNR of the decision variable from sliced levels: distance between
-    /// cluster means squared over the summed cluster variances.
-    fn level_snr(levels: &[f64], decisions: &[bool]) -> f64 {
-        let on: Vec<f64> = levels
-            .iter()
-            .zip(decisions)
-            .filter(|(_, d)| **d)
-            .map(|(l, _)| *l)
-            .collect();
-        let off: Vec<f64> = levels
-            .iter()
-            .zip(decisions)
-            .filter(|(_, d)| !**d)
-            .map(|(l, _)| *l)
-            .collect();
+    /// cluster means squared over the summed cluster variances. `on` /
+    /// `off` are pooled cluster buffers.
+    fn level_snr(levels: &[f64], decisions: &[bool], on: &mut Vec<f64>, off: &mut Vec<f64>) -> f64 {
+        on.clear();
+        on.extend(
+            levels
+                .iter()
+                .zip(decisions)
+                .filter(|(_, d)| **d)
+                .map(|(l, _)| *l),
+        );
+        off.clear();
+        off.extend(
+            levels
+                .iter()
+                .zip(decisions)
+                .filter(|(_, d)| !**d)
+                .map(|(l, _)| *l),
+        );
         if on.is_empty() || off.is_empty() {
             return 0.0;
         }
-        let mu_on = milback_dsp::stats::mean(&on);
-        let mu_off = milback_dsp::stats::mean(&off);
-        let var = milback_dsp::stats::variance(&on) + milback_dsp::stats::variance(&off);
+        let mu_on = milback_dsp::stats::mean(on);
+        let mu_off = milback_dsp::stats::mean(off);
+        let var = milback_dsp::stats::variance(on) + milback_dsp::stats::variance(off);
         if var <= 0.0 {
             return f64::INFINITY;
         }
@@ -222,32 +295,63 @@ impl UplinkReceiver {
         n_symbols: usize,
         rng: &mut R,
     ) -> (Vec<OaqfmSymbol>, UplinkStats) {
-        let pilot_a: Vec<bool> = UPLINK_PILOT.iter().map(|s| s.a_on).collect();
-        let pilot_b: Vec<bool> = UPLINK_PILOT.iter().map(|s| s.b_on).collect();
+        let mut scr = UplinkScratch::default();
+        let mut out = Vec::new();
+        let stats =
+            self.demodulate_into(&mut scr, rx0, rx1, f_a, f_b, t0, n_symbols, rng, &mut out);
+        (out, stats)
+    }
 
-        let stream_a = self.branch(rx0, f_a, rng);
-        let stream_b = self.branch(rx1, f_b, rng);
-        let pts_a = self.symbol_points(&stream_a, t0, n_symbols);
-        let pts_b = self.symbol_points(&stream_b, t0, n_symbols);
-        let lev_a = Self::project(&pts_a, &pilot_a);
-        let lev_b = Self::project(&pts_b, &pilot_b);
-        let dec_a = Self::slice(&lev_a);
-        let dec_b = Self::slice(&lev_b);
+    /// [`UplinkReceiver::demodulate`] through pooled buffers: a warmed
+    /// scratch makes the whole demodulation chain allocation-free
+    /// (pinned by `tests/zero_alloc.rs`). Each branch runs end-to-end
+    /// (chain → points → levels → decisions) before the other so one
+    /// working buffer serves both; the LNA of branch A draws from `rng`
+    /// before branch B exactly as in the two-pass form, so results are
+    /// bitwise identical.
+    #[allow(clippy::too_many_arguments)] // one argument per physical input
+    pub fn demodulate_into<R: Rng + ?Sized>(
+        &self,
+        scr: &mut UplinkScratch,
+        rx0: &Signal,
+        rx1: &Signal,
+        f_a: f64,
+        f_b: f64,
+        t0: f64,
+        n_symbols: usize,
+        rng: &mut R,
+        out: &mut Vec<OaqfmSymbol>,
+    ) -> UplinkStats {
+        let mut pilot_a = [false; UPLINK_PILOT.len()];
+        let mut pilot_b = [false; UPLINK_PILOT.len()];
+        for (i, s) in UPLINK_PILOT.iter().enumerate() {
+            pilot_a[i] = s.a_on;
+            pilot_b[i] = s.b_on;
+        }
 
-        let snr_a = Self::level_snr(&lev_a, &dec_a);
-        let snr_b = Self::level_snr(&lev_b, &dec_b);
-        let symbols = dec_a
-            .into_iter()
-            .zip(dec_b)
-            .map(|(a_on, b_on)| OaqfmSymbol { a_on, b_on })
-            .collect();
-        (
-            symbols,
-            UplinkStats {
-                snr: snr_a.min(snr_b),
-                branch_snr: [snr_a, snr_b],
-            },
-        )
+        let fs_a = self.branch_pooled(scr, rx0, f_a, rng);
+        self.symbol_points_into(fs_a, &scr.work, t0, n_symbols, &mut scr.pts);
+        Self::project_into(&scr.pts, &pilot_a, &mut scr.lev_a);
+        Self::slice_into(&scr.lev_a, &mut scr.dec_a);
+        let snr_a = Self::level_snr(&scr.lev_a, &scr.dec_a, &mut scr.on, &mut scr.off);
+
+        let fs_b = self.branch_pooled(scr, rx1, f_b, rng);
+        self.symbol_points_into(fs_b, &scr.work, t0, n_symbols, &mut scr.pts);
+        Self::project_into(&scr.pts, &pilot_b, &mut scr.lev_b);
+        Self::slice_into(&scr.lev_b, &mut scr.dec_b);
+        let snr_b = Self::level_snr(&scr.lev_b, &scr.dec_b, &mut scr.on, &mut scr.off);
+
+        out.clear();
+        out.extend(
+            scr.dec_a
+                .iter()
+                .zip(&scr.dec_b)
+                .map(|(&a_on, &b_on)| OaqfmSymbol { a_on, b_on }),
+        );
+        UplinkStats {
+            snr: snr_a.min(snr_b),
+            branch_snr: [snr_a, snr_b],
+        }
     }
 
     /// Analytic noise power in the decision bandwidth (`symbol_rate` Hz of

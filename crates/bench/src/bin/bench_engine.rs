@@ -83,6 +83,7 @@
 //! sweep, and `--net-view <path>` writes a deterministic per-density
 //! table plus the telemetry view for cross-process comparison.
 
+use milback::adaptation::{adaptive_sweep_with_threads, AdaptiveComparison};
 use milback::batch;
 use milback::chaos::{chaos_sweep_with_threads, default_points};
 use milback::net::{density_sweep, NetConfig};
@@ -462,6 +463,156 @@ fn net_leg(smoke: bool, threads: usize, view_path: Option<&str>) -> String {
     format!(
         "{{\n    \"workload\": \"dense-network fabric: slotted polling rounds across 2 APs with drift, handoffs and 3-neighbor interference\",\n    \"densities\": {densities:?},\n    \"rounds_per_density\": {rounds},\n    \"points\": [\n{}\n    ],\n    \"digests_identical\": true,\n    \"views_byte_identical\": true\n  }}",
         points.join(",\n"),
+    )
+}
+
+/// A finite float as 6-decimal JSON, `null` otherwise (the fixed arm
+/// of a scenario that delivers nothing has infinite energy-per-byte,
+/// and bare `inf` is not valid JSON).
+fn json_f_or_null(v: f64) -> String {
+    if v.is_finite() {
+        json_f(v)
+    } else {
+        "null".to_string()
+    }
+}
+
+/// One adaptive-leg CSV row (also reused for the deterministic view).
+fn adaptive_csv_row(scenario: &str, variant: &str, o: &milback::AdaptiveOutcome) -> String {
+    let epb = o.energy_per_byte_uj();
+    format!(
+        "{scenario},{variant},{},{},{},{},{},{},{},{},{},{},{}\n",
+        o.sessions_ok + o.sessions_failed,
+        o.delivered_bytes,
+        o.offered_bytes,
+        o.sessions_failed,
+        json_f(o.elapsed_s),
+        json_f(o.energy_uj),
+        json_f(o.goodput_kbps()),
+        if epb.is_finite() {
+            json_f(epb)
+        } else {
+            "inf".to_string()
+        },
+        o.ook_sessions,
+        o.trimmed_sessions,
+        o.slowed_sessions,
+    )
+}
+
+const ADAPTIVE_CSV_HEADER: &str = "scenario,variant,sessions,delivered_bytes,offered_bytes,\
+     sessions_failed,elapsed_s,energy_uj,goodput_kbps,energy_per_byte_uj,ook_sessions,\
+     trimmed_sessions,slowed_sessions\n";
+
+/// Adaptive-link leg: the closed-loop [`milback::LinkPolicy`] controller
+/// against the fixed configuration across the §14 fault menagerie
+/// (DESIGN.md §18). Runs the paired sweep serially and at `threads`
+/// workers, asserts the comparisons are identical (thread invariance),
+/// and in full (non-smoke) runs writes `results/adaptive_chaos.{csv,txt}`
+/// and requires adaptive to win on both metrics under >= 3 scenarios.
+fn adaptive_leg(smoke: bool, threads: usize, view_path: Option<&str>) -> String {
+    let (n_sessions, trials) = if smoke { (6, 1) } else { (20, 2) };
+    let seed = 0xADA9_7001;
+
+    let t0 = Instant::now();
+    let serial = adaptive_sweep_with_threads(n_sessions, trials, seed, 1);
+    let serial_s = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let parallel = adaptive_sweep_with_threads(n_sessions, trials, seed, threads);
+    let parallel_s = t0.elapsed().as_secs_f64();
+    assert_eq!(serial, parallel, "adaptive sweep lost thread invariance");
+
+    let mut csv = String::from(ADAPTIVE_CSV_HEADER);
+    let mut table = String::from(
+        "adaptive-vs-fixed chaos sweep (closed-loop LinkPolicy, DESIGN.md s18)\n\
+         scenario          variant   deliv/offer  goodput_kbps  energy_uj/B  ook trim slow\n",
+    );
+    let mut wins = 0usize;
+    for c in &serial {
+        let name = c.scenario.name();
+        csv.push_str(&adaptive_csv_row(name, "fixed", &c.fixed));
+        csv.push_str(&adaptive_csv_row(name, "adaptive", &c.adaptive));
+        for (variant, o) in [("fixed", &c.fixed), ("adaptive", &c.adaptive)] {
+            table.push_str(&format!(
+                "{name:<17} {variant:<9} {:>5}/{:<5}  {:>12}  {:>11}  {:>3} {:>4} {:>4}\n",
+                o.delivered_bytes,
+                o.offered_bytes,
+                json_f(o.goodput_kbps()),
+                if o.energy_per_byte_uj().is_finite() {
+                    json_f(o.energy_per_byte_uj())
+                } else {
+                    "inf".to_string()
+                },
+                o.ook_sessions,
+                o.trimmed_sessions,
+                o.slowed_sessions,
+            ));
+        }
+        if c.adaptive_wins() {
+            wins += 1;
+            table.push_str(&format!("{name:<17} -> adaptive wins on both metrics\n"));
+        }
+    }
+    table.push_str(&format!(
+        "adaptive strictly better on goodput AND energy/byte under {wins}/{} scenarios\n",
+        serial.len(),
+    ));
+    println!("adaptive leg: {n_sessions} sessions x {trials} trials per scenario x variant");
+    print!("{table}");
+    println!(
+        "  serial {serial_s:.2} s, parallel({threads}) {parallel_s:.2} s, comparisons identical"
+    );
+
+    if !smoke {
+        assert!(
+            wins >= 3,
+            "adaptive controller won only {wins} scenarios (need >= 3)"
+        );
+        std::fs::create_dir_all("results").expect("failed to create results/");
+        std::fs::write("results/adaptive_chaos.csv", &csv)
+            .expect("failed to write results/adaptive_chaos.csv");
+        std::fs::write("results/adaptive_chaos.txt", &table)
+            .expect("failed to write results/adaptive_chaos.txt");
+        println!("  wrote results/adaptive_chaos.csv, results/adaptive_chaos.txt");
+    }
+
+    // Deterministic view: CSV + table only (no wall timings), so two
+    // runs at any thread counts must produce identical bytes.
+    if let Some(path) = view_path {
+        let view = format!("{csv}\n{table}");
+        std::fs::write(path, &view).expect("failed to write adaptive deterministic view");
+        println!("adaptive leg: wrote deterministic view to {path}");
+    }
+
+    let scenario_json: Vec<String> = serial
+        .iter()
+        .map(|c: &AdaptiveComparison| {
+            let fixed = &c.fixed;
+            let adaptive = &c.adaptive;
+            format!(
+                "      {{\n        \"scenario\": \"{}\",\n        \"fixed\": {{\n          \"delivered_bytes\": {},\n          \"offered_bytes\": {},\n          \"sessions_failed\": {},\n          \"goodput_kbps\": {},\n          \"energy_per_byte_uj\": {}\n        }},\n        \"adaptive\": {{\n          \"delivered_bytes\": {},\n          \"offered_bytes\": {},\n          \"sessions_failed\": {},\n          \"goodput_kbps\": {},\n          \"energy_per_byte_uj\": {},\n          \"ook_sessions\": {},\n          \"trimmed_sessions\": {},\n          \"slowed_sessions\": {}\n        }},\n        \"adaptive_wins\": {}\n      }}",
+                c.scenario.name(),
+                fixed.delivered_bytes,
+                fixed.offered_bytes,
+                fixed.sessions_failed,
+                json_f(fixed.goodput_kbps()),
+                json_f_or_null(fixed.energy_per_byte_uj()),
+                adaptive.delivered_bytes,
+                adaptive.offered_bytes,
+                adaptive.sessions_failed,
+                json_f(adaptive.goodput_kbps()),
+                json_f_or_null(adaptive.energy_per_byte_uj()),
+                adaptive.ook_sessions,
+                adaptive.trimmed_sessions,
+                adaptive.slowed_sessions,
+                c.adaptive_wins(),
+            )
+        })
+        .collect();
+
+    format!(
+        "{{\n    \"workload\": \"closed-loop LinkPolicy vs fixed configuration, paired seeds, s14 fault menagerie\",\n    \"sessions_per_trial\": {n_sessions},\n    \"trials\": {trials},\n    \"scenarios\": [\n{}\n    ],\n    \"adaptive_wins\": {wins},\n    \"thread_invariant\": true\n  }}",
+        scenario_json.join(",\n"),
     )
 }
 
@@ -1072,6 +1223,8 @@ fn main() {
         serve_view,
         net_only,
         net_view,
+        adaptive_only,
+        adaptive_view,
         kernels_only,
         check_against,
     ) = {
@@ -1084,6 +1237,8 @@ fn main() {
         let mut serve_view = None;
         let mut net_only = false;
         let mut net_view = None;
+        let mut adaptive_only = false;
+        let mut adaptive_view = None;
         let mut kernels_only = false;
         let mut check_against = None;
         while let Some(a) = args.next() {
@@ -1103,7 +1258,7 @@ fn main() {
                 // Accepted as the documented opt-in markers; the serving
                 // soak and the density sweep run in every full
                 // invocation regardless.
-                "--serve" | "--net" => {}
+                "--serve" | "--net" | "--adaptive" => {}
                 "--serve-only" => serve_only = true,
                 "--serve-view" => {
                     if let Some(p) = args.next() {
@@ -1114,6 +1269,12 @@ fn main() {
                 "--net-view" => {
                     if let Some(p) = args.next() {
                         net_view = Some(p);
+                    }
+                }
+                "--adaptive-only" => adaptive_only = true,
+                "--adaptive-view" => {
+                    if let Some(p) = args.next() {
+                        adaptive_view = Some(p);
                     }
                 }
                 "--kernels-only" => kernels_only = true,
@@ -1134,6 +1295,8 @@ fn main() {
             serve_view,
             net_only,
             net_view,
+            adaptive_only,
+            adaptive_view,
             kernels_only,
             check_against,
         )
@@ -1182,7 +1345,7 @@ fn main() {
     // Chaos, serve and net legs first: each resets telemetry for its own
     // serial/parallel view comparison, so they have to run before (not
     // inside) the measured region below.
-    let chaos_json = if serve_only || net_only {
+    let chaos_json = if serve_only || net_only || adaptive_only {
         String::new()
     } else {
         chaos_leg(smoke, threads, chaos_view.as_deref())
@@ -1190,7 +1353,7 @@ fn main() {
     if chaos_only {
         return;
     }
-    let serve_json = if net_only {
+    let serve_json = if net_only || adaptive_only {
         String::new()
     } else {
         serve_leg(smoke, threads, serve_view.as_deref())
@@ -1198,8 +1361,16 @@ fn main() {
     if serve_only {
         return;
     }
-    let net_json = net_leg(smoke, threads, net_view.as_deref());
+    let net_json = if adaptive_only {
+        String::new()
+    } else {
+        net_leg(smoke, threads, net_view.as_deref())
+    };
     if net_only {
+        return;
+    }
+    let adaptive_json = adaptive_leg(smoke, threads, adaptive_view.as_deref());
+    if adaptive_only {
         return;
     }
 
@@ -1429,7 +1600,7 @@ fn main() {
 
     let calib_us_str = json_f(legs.calib_us);
     let json = format!(
-        "{{\n  \"bench\": \"{bench_name}\",\n  \"description\": \"Batch-engine, FFT-plan, per-kernel and five-chirp-burst timings on a Fig. 12a localization workload, plus a short end-to-end link leg and the chaos and serving-soak determinism legs\",\n  \"host_threads\": {threads},\n  \"smoke\": {smoke},\n  \"timing_calibration\": {{\n    \"workload\": \"fixed pure-FP recurrence; host-speed reference for the CI ratio gate\",\n    \"calib_us\": {calib_us_str}\n  }},\n  \"engine\": {{\n    \"workload\": \"localization trial, node at 3 m, Fidelity::Fast\",\n    \"trials\": {trials},\n    \"serial_s\": {},\n    \"parallel_s\": {},\n    \"speedup\": {},\n    \"deterministic\": true\n  }},\n  \"fft_plan\": {{\n    \"size\": {},\n    \"reps\": {},\n    \"unplanned_us_per_fft\": {},\n    \"planned_us_per_fft\": {},\n    \"speedup\": {},\n    \"bitwise_identical\": {}\n  }},\n  \"kernels\": {{\n{}\n  }},\n  \"localization_burst\": {{\n    \"workload\": \"five-chirp Field-2 burst, 2 RX antennas, Fidelity::Fast\",\n    \"reps\": {},\n    \"allocating_ms_per_burst\": {},\n    \"workspace_ms_per_burst\": {},\n    \"speedup\": {},\n    \"allocating_allocs_per_burst\": {},\n    \"workspace_allocs_per_burst\": {},\n    \"bitwise_identical\": {},\n    \"deterministic\": true\n  }},\n  \"channel_render\": {{\n    \"workload\": \"single monostatic render, milback_indoor scene, node at 3 m\",\n    \"reps\": {chan_reps},\n    \"uncached_ms_per_render\": {},\n    \"cached_ms_per_render\": {},\n    \"speedup\": {},\n    \"uncached_allocs_per_render\": {chan_uncached_allocs},\n    \"cached_allocs_per_render\": {chan_cached_allocs},\n    \"bitwise_identical\": true\n  }},\n  \"channel_burst\": {{\n    \"workload\": \"five-chirp x two-antenna Field-2 channel render, per-chirp gamma schedules\",\n    \"reps\": {chan_reps},\n    \"uncached_ms_per_burst\": {},\n    \"cached_ms_per_burst\": {},\n    \"speedup\": {},\n    \"cached_allocs_per_burst\": {chan_burst_allocs}\n  }},\n  \"end_to_end_trial\": {{\n    \"workload\": \"warm Fig. 12a localization trial: channel render + DSP pipeline through every cache\",\n    \"reps\": {e2e_reps},\n    \"ms_per_trial\": {},\n    \"allocs_per_trial\": {e2e_allocs}\n  }},\n  \"link_leg\": {{\n    \"trials\": {link_trials},\n    \"elapsed_s\": {},\n    \"total_bit_errors\": {total_errors}\n  }},\n  \"net\": {net_json},\n  \"serve\": {serve_json},\n  \"chaos\": {chaos_json},\n  \"telemetry\": {telemetry_json}\n}}\n",
+        "{{\n  \"bench\": \"{bench_name}\",\n  \"description\": \"Batch-engine, FFT-plan, per-kernel and five-chirp-burst timings on a Fig. 12a localization workload, plus a short end-to-end link leg and the chaos and serving-soak determinism legs\",\n  \"host_threads\": {threads},\n  \"smoke\": {smoke},\n  \"timing_calibration\": {{\n    \"workload\": \"fixed pure-FP recurrence; host-speed reference for the CI ratio gate\",\n    \"calib_us\": {calib_us_str}\n  }},\n  \"engine\": {{\n    \"workload\": \"localization trial, node at 3 m, Fidelity::Fast\",\n    \"trials\": {trials},\n    \"serial_s\": {},\n    \"parallel_s\": {},\n    \"speedup\": {},\n    \"deterministic\": true\n  }},\n  \"fft_plan\": {{\n    \"size\": {},\n    \"reps\": {},\n    \"unplanned_us_per_fft\": {},\n    \"planned_us_per_fft\": {},\n    \"speedup\": {},\n    \"bitwise_identical\": {}\n  }},\n  \"kernels\": {{\n{}\n  }},\n  \"localization_burst\": {{\n    \"workload\": \"five-chirp Field-2 burst, 2 RX antennas, Fidelity::Fast\",\n    \"reps\": {},\n    \"allocating_ms_per_burst\": {},\n    \"workspace_ms_per_burst\": {},\n    \"speedup\": {},\n    \"allocating_allocs_per_burst\": {},\n    \"workspace_allocs_per_burst\": {},\n    \"bitwise_identical\": {},\n    \"deterministic\": true\n  }},\n  \"channel_render\": {{\n    \"workload\": \"single monostatic render, milback_indoor scene, node at 3 m\",\n    \"reps\": {chan_reps},\n    \"uncached_ms_per_render\": {},\n    \"cached_ms_per_render\": {},\n    \"speedup\": {},\n    \"uncached_allocs_per_render\": {chan_uncached_allocs},\n    \"cached_allocs_per_render\": {chan_cached_allocs},\n    \"bitwise_identical\": true\n  }},\n  \"channel_burst\": {{\n    \"workload\": \"five-chirp x two-antenna Field-2 channel render, per-chirp gamma schedules\",\n    \"reps\": {chan_reps},\n    \"uncached_ms_per_burst\": {},\n    \"cached_ms_per_burst\": {},\n    \"speedup\": {},\n    \"cached_allocs_per_burst\": {chan_burst_allocs}\n  }},\n  \"end_to_end_trial\": {{\n    \"workload\": \"warm Fig. 12a localization trial: channel render + DSP pipeline through every cache\",\n    \"reps\": {e2e_reps},\n    \"ms_per_trial\": {},\n    \"allocs_per_trial\": {e2e_allocs}\n  }},\n  \"link_leg\": {{\n    \"trials\": {link_trials},\n    \"elapsed_s\": {},\n    \"total_bit_errors\": {total_errors}\n  }},\n  \"adaptive\": {adaptive_json},\n  \"net\": {net_json},\n  \"serve\": {serve_json},\n  \"chaos\": {chaos_json},\n  \"telemetry\": {telemetry_json}\n}}\n",
         json_f(serial_s),
         json_f(parallel_s),
         json_f(engine_speedup),

@@ -12,7 +12,10 @@
 //!   preamble, payload,
 //! * [`multinode`] — SDM multi-node deployments with a polling MAC,
 //! * [`dense_link`] — multi-amplitude "dense OAQFM" (§9.4 extension),
-//! * [`adaptation`] — rate fallback and stop-and-wait ARQ delivery,
+//! * [`adaptation`] — the closed-loop [`adaptation::LinkPolicy`]
+//!   controller (rate/OOK/chirp/ARQ levers), rate fallback,
+//!   stop-and-wait ARQ delivery, and the adaptive-vs-fixed chaos
+//!   evaluation,
 //! * [`session`] — the self-healing session supervisor: bounded retry,
 //!   backoff, reduced-chirp fallback, typed degradation reports,
 //! * [`serve`] — the session-serving engine: work-stealing pool over
@@ -73,7 +76,10 @@ pub mod survey;
 pub mod tracking;
 pub mod velocity;
 
-pub use adaptation::AdaptiveReport;
+pub use adaptation::{
+    adaptive_sweep_with_threads, AdaptiveComparison, AdaptiveOutcome, AdaptiveReport, LinkPolicy,
+    PolicyConfig, PolicyFeedback, ScenarioKind, SessionPlan, SCENARIOS,
+};
 pub use batch::{derive_seed, run_trials, sweep, Trial};
 pub use chaos::{chaos_sweep, ChaosOutcome, ChaosPoint};
 pub use config::{ApParams, Fidelity};

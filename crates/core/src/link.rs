@@ -2,7 +2,7 @@
 //! (paper §6.1–6.2) and backscatter uplink (§6.3), including carrier
 //! selection from the sensed orientation.
 //!
-//! All per-transfer working buffers live in [`LinkScratch`], pooled on
+//! All per-transfer working buffers live in `LinkScratch`, pooled on
 //! the [`Network`]: a warmed downlink or uplink performs zero heap
 //! allocations on the node/AP signal path (`tests/zero_alloc.rs` pins
 //! this). The only steady-state allocations left are the decoded payload
@@ -11,12 +11,14 @@
 
 use crate::network::Network;
 use milback_ap::tone_select::{select_tones, ToneSelection};
-use milback_ap::uplink::{UplinkReceiver, UPLINK_PILOT};
+use milback_ap::uplink::{UplinkReceiver, UplinkScratch, UPLINK_PILOT};
 use milback_ap::waveform;
 use milback_dsp::signal::Signal;
 use milback_hw::power::NodeMode;
 use milback_hw::switch::{SwitchSchedule, SwitchState};
-use milback_node::demod::{demodulate_oaqfm_into, demodulate_ook_into, DemodScratch, EnvelopeSlicer};
+use milback_node::demod::{
+    demodulate_oaqfm_into, demodulate_ook_into, DemodScratch, EnvelopeSlicer,
+};
 use milback_node::modulator::modulate_uplink_into;
 use milback_proto::bits::{bit_errors, bits_to_symbols_into, symbols_to_bits_into, OaqfmSymbol};
 use milback_proto::frame::{decode_frame_with, encode_frame_into, FrameError, FrameScratch};
@@ -102,6 +104,8 @@ pub(crate) struct LinkScratch {
     /// AP capture buffers, one per RX antenna.
     rx0: Signal,
     rx1: Signal,
+    /// The uplink receiver's pooled demodulation buffers.
+    uplink: UplinkScratch,
     query: Option<QueryCache>,
 }
 
@@ -132,6 +136,7 @@ impl Default for LinkScratch {
             sched_b: SwitchSchedule::Constant(SwitchState::Absorptive),
             rx0: sig(),
             rx1: sig(),
+            uplink: UplinkScratch::default(),
             query: None,
         }
     }
@@ -249,13 +254,23 @@ impl Network {
     /// Chooses OAQFM carriers for the node's current (AP-estimated)
     /// orientation. Uses the true orientation when `use_truth` — handy in
     /// microbenchmarks — otherwise runs AP-side orientation sensing first.
+    ///
+    /// When [`Network::force_single_tone`] is set (the adaptive
+    /// controller's CW-interference fallback) the dual-tone plan is
+    /// collapsed to single-carrier OOK *after* selection, so the RNG
+    /// draw order of the sensing path is untouched.
     pub fn plan_tones(&mut self, use_truth: bool) -> Option<ToneSelection> {
         let orientation = if use_truth {
             self.true_orientation()
         } else {
             self.sense_orientation_at_ap()?
         };
-        select_tones(&self.node.fsa, orientation, MIN_TONE_SEPARATION)
+        let sel = select_tones(&self.node.fsa, orientation, MIN_TONE_SEPARATION)?;
+        Some(if self.force_single_tone {
+            sel.collapsed()
+        } else {
+            sel
+        })
     }
 
     /// Runs a full downlink transfer of `payload` at `symbol_rate`
@@ -264,7 +279,7 @@ impl Network {
     ///
     /// Steady-state allocations: only the decoded payload `Vec<u8>` in
     /// the report — all working buffers are pooled in the network's
-    /// [`LinkScratch`].
+    /// `LinkScratch`.
     pub fn downlink(
         &mut self,
         payload: &[u8],
@@ -394,7 +409,11 @@ impl Network {
         symbols_to_bits_into(&scr.frame, &mut scr.sent_bits);
         symbols_to_bits_into(got_frame, &mut scr.got_bits);
         let errors = bit_errors(&scr.sent_bits, &scr.got_bits);
-        let decoded = decode_frame_with(&mut scr.codec, &scr.got[UPLINK_PILOT.len()..], payload.len());
+        let decoded = decode_frame_with(
+            &mut scr.codec,
+            &scr.got[UPLINK_PILOT.len()..],
+            payload.len(),
+        );
         // Reclaim the waveform buffers from the components.
         scr.wave_a = comp_a.signal;
         scr.wave_b = comp_b.signal;
@@ -486,7 +505,7 @@ impl Network {
     /// AP receiver's internal demodulation buffers
     /// ([`UplinkReceiver::demodulate`] mixes, decimates and projects per
     /// branch into fresh vectors) — everything node-side and channel-side
-    /// is pooled in [`LinkScratch`]. `tests/zero_alloc.rs` pins the
+    /// is pooled in `LinkScratch`. `tests/zero_alloc.rs` pins the
     /// total with an upper bound.
     pub fn uplink(
         &mut self,
@@ -517,10 +536,24 @@ impl Network {
             ToneSelection::Single { f } => (f, f),
         };
 
+        let single = matches!(tones, ToneSelection::Single { .. });
         encode_frame_into(payload, &mut scr.codec, &mut scr.frame);
+        symbols_to_bits_into(&scr.frame, &mut scr.sent_bits);
         scr.symbols.clear();
         scr.symbols.extend_from_slice(&UPLINK_PILOT);
-        scr.symbols.extend_from_slice(&scr.frame);
+        if single {
+            // OOK: both ports key the same bit each symbol (like the
+            // pilot), so the two reflections add coherently and either
+            // antenna branch alone recovers the stream — 1 bit/symbol at
+            // twice the symbol count instead of 2 separable bits.
+            scr.symbols.extend(
+                scr.sent_bits
+                    .iter()
+                    .map(|&b| OaqfmSymbol { a_on: b, b_on: b }),
+            );
+        } else {
+            scr.symbols.extend_from_slice(&scr.frame);
+        }
         let n_symbols = scr.symbols.len();
 
         // Query waveform: guard before and after the modulated payload.
@@ -597,13 +630,25 @@ impl Network {
             with_channel_workspace(|ws| {
                 self.scene
                     .monostatic_rx_multi_into(ws, &q.comp_a, q.fp_a, nodes, 0, &mut scr.rx0);
-                self.scene
-                    .monostatic_rx_multi_into(ws, &q.comp_b, q.fp_b, nodes, 0, &mut scr.port_tmp);
+                self.scene.monostatic_rx_multi_into(
+                    ws,
+                    &q.comp_b,
+                    q.fp_b,
+                    nodes,
+                    0,
+                    &mut scr.port_tmp,
+                );
                 scr.rx0.add(&scr.port_tmp);
                 self.scene
                     .monostatic_rx_multi_into(ws, &q.comp_a, q.fp_a, nodes, 1, &mut scr.rx1);
-                self.scene
-                    .monostatic_rx_multi_into(ws, &q.comp_b, q.fp_b, nodes, 1, &mut scr.port_tmp);
+                self.scene.monostatic_rx_multi_into(
+                    ws,
+                    &q.comp_b,
+                    q.fp_b,
+                    nodes,
+                    1,
+                    &mut scr.port_tmp,
+                );
                 scr.rx1.add(&scr.port_tmp);
             });
         }
@@ -618,24 +663,52 @@ impl Network {
         // the node's implementation loss).
         receiver.lna.nf_db = 3.0;
         let mut rng = self.fork_rng();
-        let (got, stats) =
-            receiver.demodulate(&scr.rx0, &scr.rx1, f_a, f_b, t0, n_symbols, &mut rng);
-        let got_frame = &got[UPLINK_PILOT.len()..];
+        let stats = receiver.demodulate_into(
+            &mut scr.uplink,
+            &scr.rx0,
+            &scr.rx1,
+            f_a,
+            f_b,
+            t0,
+            n_symbols,
+            &mut rng,
+            &mut scr.got,
+        );
+        let got_frame = &scr.got[UPLINK_PILOT.len()..];
 
-        symbols_to_bits_into(&scr.frame, &mut scr.sent_bits);
-        symbols_to_bits_into(got_frame, &mut scr.got_bits);
+        if single {
+            // Both branches carry the duplicated bit; trust the one whose
+            // decision clusters separated better.
+            let use_a = stats.branch_snr[0] >= stats.branch_snr[1];
+            scr.got_bits.clear();
+            scr.got_bits.extend(
+                got_frame
+                    .iter()
+                    .map(|s| if use_a { s.a_on } else { s.b_on }),
+            );
+        } else {
+            symbols_to_bits_into(got_frame, &mut scr.got_bits);
+        }
         let errors = bit_errors(&scr.sent_bits, &scr.got_bits);
         telemetry::counter_add("core.link.uplink.frames", 1);
         telemetry::counter_add("core.link.uplink.bits", scr.sent_bits.len() as u64);
         telemetry::counter_add("core.link.uplink.bit_errors", errors as u64);
-        let bit_rate = 2.0 * symbol_rate;
+        let bit_rate = tones.bits_per_symbol() as f64 * symbol_rate;
         let energy_nj = self.node.power.power_mw(NodeMode::Uplink { bit_rate })
             * (scr.sent_bits.len() as f64 / bit_rate)
             * 1e6;
         telemetry::observe("node.energy.uplink_nj", energy_nj as u64);
+        let payload_res = if single {
+            // Re-pack the recovered bit stream into frame symbols for the
+            // shared frame decoder.
+            bits_to_symbols_into(&scr.got_bits, &mut scr.got);
+            decode_frame_with(&mut scr.codec, &scr.got, payload.len())
+        } else {
+            decode_frame_with(&mut scr.codec, got_frame, payload.len())
+        };
         Some(UplinkReport {
             tones,
-            payload: decode_frame_with(&mut scr.codec, got_frame, payload.len()),
+            payload: payload_res,
             bit_errors: errors,
             total_bits: scr.sent_bits.len(),
             snr: stats.snr,
@@ -659,7 +732,8 @@ impl Network {
     /// port, into a pooled buffer (`rf` holds the scaled RF copy).
     fn node_video_into(&mut self, at_port: &Signal, rf: &mut Signal, out: &mut Vec<f64>) {
         let mut rng = self.fork_rng();
-        self.node.receive_port_video_into(at_port, &mut rng, rf, out);
+        self.node
+            .receive_port_video_into(at_port, &mut rng, rf, out);
         // Node-side impairments on the detector output (no-op when the
         // fault plan is empty).
         self.faults.apply_to_video(self.clock_s, at_port.fs, out);
@@ -740,10 +814,18 @@ mod tests {
             let payload: Vec<u8> = (0..len as u8).map(|i| i.wrapping_mul(29)).collect();
             let report = net.downlink(&payload, 1e6, true).expect("no tones");
             assert_eq!(report.bit_errors, 0, "len {len}");
-            assert_eq!(report.payload.as_deref().unwrap(), &payload[..], "len {len}");
+            assert_eq!(
+                report.payload.as_deref().unwrap(),
+                &payload[..],
+                "len {len}"
+            );
             let report = net.uplink(&payload, 5e6, true).expect("no tones");
             assert_eq!(report.bit_errors, 0, "len {len}");
-            assert_eq!(report.payload.as_deref().unwrap(), &payload[..], "len {len}");
+            assert_eq!(
+                report.payload.as_deref().unwrap(),
+                &payload[..],
+                "len {len}"
+            );
         }
     }
 

@@ -84,6 +84,7 @@
 //! assert!(cells.contains(&0) && cells.contains(&1));
 //! ```
 
+use crate::adaptation::{LinkPolicy, PolicyFeedback};
 use crate::batch::{derive_seed, run_stealing_with_threads, Mix, StealQueue};
 use crate::config::Fidelity;
 use crate::network::{Interferer, Network};
@@ -140,6 +141,13 @@ pub struct NetConfig {
     pub uplink_fraction: f64,
     /// Payload bytes per exchange slot.
     pub payload_len: usize,
+    /// Enables the per-lane closed-loop [`LinkPolicy`] controller
+    /// (DESIGN.md §18): each node's lane carries a policy whose state
+    /// persists across that node's slots within a run, adapting uplink
+    /// rate, OOK fallback, Field-2 chirp count and ARQ budgets from
+    /// observed outcomes. `false` (the default) keeps round digests
+    /// bitwise identical to the fixed-configuration fabric.
+    pub adaptive: bool,
 }
 
 impl NetConfig {
@@ -161,6 +169,7 @@ impl NetConfig {
             localize_fraction: 0.6,
             uplink_fraction: 0.4,
             payload_len: 16,
+            adaptive: false,
         }
     }
 }
@@ -375,6 +384,10 @@ pub struct RoundReport {
 struct NetLane {
     net: Network,
     packet: Packet,
+    /// Closed-loop link controller for this node. Only consulted when
+    /// [`NetConfig::adaptive`] is set; reset on [`Fabric::reseed`] so
+    /// runs stay independent.
+    policy: LinkPolicy,
 }
 
 /// A dense-network deployment: many nodes, several APs, one slotted MAC.
@@ -434,6 +447,7 @@ impl Fabric {
                         mode: LinkMode::Downlink,
                         payload: Vec::new(),
                     },
+                    policy: LinkPolicy::default(),
                 })
             })
             .collect();
@@ -506,6 +520,7 @@ impl Fabric {
             lane.net.clock_s = 0.0;
             lane.net.reseed(master_seed);
             lane.net.interferers.clear();
+            lane.policy.reset();
         }
     }
 
@@ -749,7 +764,13 @@ impl Fabric {
         };
         match workload {
             Workload::Localize => {
-                let s = self.session.localize_in(ctx, net);
+                let s = if cfg.adaptive {
+                    let mut scfg = self.session.config;
+                    scfg.field2_chirps = lane.policy.field2_chirps();
+                    Session::new(scfg).localize_in(ctx, net)
+                } else {
+                    self.session.localize_in(ctx, net)
+                };
                 rec.completed = true;
                 rec.delivered = s.fix.is_some();
                 rec.degradations =
@@ -768,7 +789,18 @@ impl Fabric {
                     (0..cfg.payload_len)
                         .map(|b| (seed.rotate_left(((b % 8) * 8) as u32) as u8) ^ (b as u8)),
                 );
-                match self.session.run_in(ctx, net, &lane.packet, false) {
+                let outcome = if cfg.adaptive {
+                    let sp = lane.policy.plan(&self.session.config, lane.packet.mode);
+                    net.force_single_tone = sp.force_ook;
+                    let out = Session::new(sp.config).run_in(ctx, net, &lane.packet, false);
+                    net.force_single_tone = false;
+                    let fb = PolicyFeedback::from_outcome(&out, lane.policy.config.snr_floor);
+                    lane.policy.observe(&fb);
+                    out
+                } else {
+                    self.session.run_in(ctx, net, &lane.packet, false)
+                };
+                match outcome {
                     Ok(r) => {
                         rec.completed = true;
                         rec.degradations = r.degradations.len().min(255) as u8;

@@ -52,6 +52,7 @@
 //!   counts; [`ServeReport::outcome_digest`] fingerprints the resolved
 //!   outcomes for cheap two-run comparison.
 
+use crate::adaptation::{LinkPolicy, PolicyFeedback};
 use crate::batch::{derive_seed, run_stealing_with_threads, Mix, StealQueue};
 use crate::config::Fidelity;
 use crate::network::Network;
@@ -229,6 +230,13 @@ pub struct ServeConfig {
     pub shed_service_s: f64,
     /// Modeled parallel servers draining the admission backlog.
     pub virtual_workers: usize,
+    /// Enables the per-lane closed-loop [`LinkPolicy`] controller
+    /// (DESIGN.md §18): each node's lane carries a policy whose state
+    /// persists across that node's sessions within an epoch, adapting
+    /// uplink rate, OOK fallback, Field-2 chirp count and ARQ budgets
+    /// from observed outcomes. `false` (the default) keeps every epoch
+    /// digest bitwise identical to the fixed-configuration engine.
+    pub adaptive: bool,
 }
 
 impl ServeConfig {
@@ -245,6 +253,7 @@ impl ServeConfig {
             virtual_service_s: 0.030,
             shed_service_s: 0.010,
             virtual_workers: 1,
+            adaptive: false,
         }
     }
 }
@@ -393,6 +402,10 @@ struct NodeLane {
     packet: Packet,
     plan: FaultPlan,
     served: u32,
+    /// Closed-loop link controller for this node. Only consulted when
+    /// [`ServeConfig::adaptive`] is set; reset at every epoch boundary
+    /// so epochs stay independent.
+    policy: LinkPolicy,
 }
 
 /// One request waiting in the bounded submission buffer.
@@ -465,6 +478,7 @@ impl ServeEngine {
                     },
                     plan: FaultPlan::none(),
                     served: 0,
+                    policy: LinkPolicy::default(),
                 })
             })
             .collect();
@@ -516,6 +530,7 @@ impl ServeEngine {
             lane.net.clock_s = 0.0;
             lane.net.reseed(master_seed);
             lane.served = 0;
+            lane.policy.reset();
         }
     }
 
@@ -641,6 +656,7 @@ impl ServeEngine {
             let slots = &self.slots;
             let session = self.session;
             let epoch_seed = self.epoch_seed;
+            let adaptive = self.config.adaptive;
             run_stealing_with_threads(&self.claims, n_jobs, workers, |job| {
                 let node = active[job];
                 let mut lane = lanes[node].lock().unwrap_or_else(|e| e.into_inner());
@@ -661,7 +677,7 @@ impl ServeEngine {
                 };
                 for entry in &chains[node] {
                     let t0 = Instant::now();
-                    let res = run_one(&session, epoch_seed, &mut lane, &mut ctx, entry);
+                    let res = run_one(&session, adaptive, epoch_seed, &mut lane, &mut ctx, entry);
                     let ns = t0.elapsed().as_nanos() as u64;
                     telemetry::observe("core.serve.session.ns", ns);
                     let mut slot = slots[entry.ticket]
@@ -793,8 +809,12 @@ impl ServeEngine {
 /// Runs one chained session against its lane. Everything that decides
 /// the outcome — seed, clock, fault plan — derives from `(epoch_seed,
 /// ticket, lane history)`, never from the worker or the wall clock.
+/// With `adaptive` set the lane's [`LinkPolicy`] plans each session and
+/// observes its outcome; the policy state is part of the lane history,
+/// so the determinism contract is unchanged.
 fn run_one(
     session: &Session,
+    adaptive: bool,
     epoch_seed: u64,
     lane: &mut NodeLane,
     ctx: &mut SessionCtx,
@@ -806,6 +826,7 @@ fn run_one(
         packet,
         plan,
         served,
+        policy,
     } = lane;
     let seed = derive_seed(epoch_seed, ticket as u64);
     net.reseed(seed);
@@ -833,7 +854,13 @@ fn run_one(
 
     match req.workload {
         Workload::Localize => {
-            let s = session.localize_in(ctx, net);
+            let s = if adaptive {
+                let mut cfg = session.config;
+                cfg.field2_chirps = policy.field2_chirps();
+                Session::new(cfg).localize_in(ctx, net)
+            } else {
+                session.localize_in(ctx, net)
+            };
             res.outcome = Outcome::Completed;
             res.chirps_used = s.chirps_used.min(255) as u8;
             res.degradations = (s.dropped > 0) as u8 + s.fell_back as u8 + s.fix.is_none() as u8;
@@ -853,7 +880,18 @@ fn run_one(
                     .map(|i| (seed.rotate_left(((i % 8) * 8) as u32) as u8) ^ (i as u8)),
             );
             res.shed = shed;
-            match session.run_in(ctx, net, packet, shed) {
+            let outcome = if adaptive {
+                let sp = policy.plan(&session.config, packet.mode);
+                net.force_single_tone = sp.force_ook;
+                let out = Session::new(sp.config).run_in(ctx, net, packet, shed);
+                net.force_single_tone = false;
+                let fb = PolicyFeedback::from_outcome(&out, policy.config.snr_floor);
+                policy.observe(&fb);
+                out
+            } else {
+                session.run_in(ctx, net, packet, shed)
+            };
+            match outcome {
                 Ok(r) => {
                     res.outcome = Outcome::Completed;
                     res.mode_attempts = r.mode_attempts.min(255) as u8;

@@ -118,6 +118,13 @@ impl std::fmt::Display for SessionError {
 
 impl std::error::Error for SessionError {}
 
+/// Payload symbol rate the packet's nominal airtime is quoted at:
+/// [`SessionConfig::milback`]'s 1 Msym/s. Sessions at other rates charge
+/// payload airtime scaled by `NOMINAL_SYMBOL_RATE / symbol_rate`, so the
+/// default config is bitwise unchanged while the adaptive controller's
+/// rate steps (DESIGN.md §18) see their real airtime effect.
+pub const NOMINAL_SYMBOL_RATE: f64 = 1e6;
+
 /// Retry/fallback budgets for one supervised exchange.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SessionConfig {
@@ -135,6 +142,12 @@ pub struct SessionConfig {
     pub energy_floor: f64,
     /// Payload symbol rate, symbols/s.
     pub symbol_rate: f64,
+    /// Field-2 chirps rendered for localization (the paper's burst is
+    /// five; the adaptive controller may trim to three when the
+    /// reduced-chirp fallback keeps winning). Must be ≥ 2 — background
+    /// subtraction needs one pair. Charged Field-2 airtime scales with
+    /// the count.
+    pub field2_chirps: usize,
 }
 
 impl Default for SessionConfig {
@@ -155,7 +168,22 @@ impl SessionConfig {
             min_chirps: 2,
             energy_floor: 0.05,
             symbol_rate: 1e6,
+            field2_chirps: 5,
         }
+    }
+
+    /// Charged Field-2 airtime for one window under this config: the
+    /// per-chirp duration times the configured chirp count. Identical to
+    /// `pkt.field2_duration()` at the default five chirps.
+    pub fn field2_airtime_s(&self, pkt: &milback_proto::packet::PacketConfig) -> f64 {
+        pkt.field2_chirp.duration * self.field2_chirps as f64
+    }
+
+    /// Charged payload airtime under this config: the packet's nominal
+    /// payload duration scaled by `NOMINAL_SYMBOL_RATE / symbol_rate`.
+    /// Exactly `pkt.payload_duration()` at the default 1 Msym/s.
+    pub fn payload_airtime_s(&self, pkt: &milback_proto::packet::PacketConfig) -> f64 {
+        pkt.payload_duration() * (NOMINAL_SYMBOL_RATE / self.symbol_rate)
     }
 }
 
@@ -346,12 +374,12 @@ impl Session {
             (None, 0, None)
         } else {
             let (fix, chirps_used) = self.localize_with_triage_in(ctx, net, &mut degradations);
-            net.clock_s += pkt.field2_duration();
+            net.clock_s += cfg.field2_airtime_s(&pkt);
             if fix.is_none() {
                 degradations.push(Degradation::NoFix);
             }
             let ap_orientation = net.sense_orientation_at_ap();
-            net.clock_s += pkt.field2_duration();
+            net.clock_s += cfg.field2_airtime_s(&pkt);
             if ap_orientation.is_none() {
                 degradations.push(Degradation::NoApOrientation);
             }
@@ -365,7 +393,7 @@ impl Session {
             LinkMode::Downlink => self.deliver_downlink(
                 net,
                 packet,
-                pkt.payload_duration(),
+                cfg.payload_airtime_s(&pkt),
                 shed_field2,
                 &mut downlink,
                 &mut backoff_s,
@@ -373,7 +401,7 @@ impl Session {
             LinkMode::Uplink => self.deliver_uplink(
                 net,
                 packet,
-                pkt.payload_duration(),
+                cfg.payload_airtime_s(&pkt),
                 shed_field2,
                 &mut uplink,
                 &mut backoff_s,
@@ -443,7 +471,7 @@ impl Session {
     pub fn localize_in(&self, ctx: &mut SessionCtx, net: &mut Network) -> LocalizeSummary {
         let pkt = net.fidelity.packet();
         let summary = self.triage_localize(ctx, net);
-        net.clock_s += pkt.field2_duration();
+        net.clock_s += self.config.field2_airtime_s(&pkt);
         summary
     }
 
@@ -456,7 +484,7 @@ impl Session {
     /// allocating implementation it replaced.
     fn triage_localize(&self, ctx: &mut SessionCtx, net: &mut Network) -> LocalizeSummary {
         let cfg = &self.config;
-        net.field2_captures_into(&mut ctx.chan, 5, &mut ctx.burst);
+        net.field2_captures_into(&mut ctx.chan, cfg.field2_chirps, &mut ctx.burst);
         let n = ctx.burst.captures.len();
 
         // Per-chirp energy across both antennas.
@@ -535,7 +563,12 @@ impl Session {
         let cfg = &self.config;
         for attempt in 1..=cfg.payload_attempts {
             let report = net.downlink(&packet.payload, cfg.symbol_rate, cached_tones);
-            net.clock_s += airtime_s;
+            // Single-carrier OOK carries 1 bit/symbol instead of 2, so
+            // the same payload occupies twice the airtime.
+            net.clock_s += match &report {
+                Some(r) if r.tones.bits_per_symbol() == 1 => 2.0 * airtime_s,
+                _ => airtime_s,
+            };
             if let Some(r) = report {
                 let ok = r.payload.is_ok();
                 *out = Some(r);
@@ -572,7 +605,11 @@ impl Session {
         loop {
             attempts += 1;
             let report = net.uplink(tx.frame()?, cfg.symbol_rate, cached_tones);
-            net.clock_s += airtime_s;
+            // OOK attempts take twice the airtime (see deliver_downlink).
+            net.clock_s += match &report {
+                Some(r) if r.tones.bits_per_symbol() == 1 => 2.0 * airtime_s,
+                _ => airtime_s,
+            };
             let ack = report.as_ref().and_then(|r| match &r.payload {
                 Ok(received) => rx.on_frame(received).map(|(ack, _)| ack),
                 Err(_) => None,

@@ -116,10 +116,20 @@ impl Fir {
     /// Convolves the filter with a complex signal ("same" mode: output has
     /// the input length, aligned to remove the group delay).
     pub fn apply(&self, input: &[Cpx]) -> Vec<Cpx> {
+        let mut out = Vec::new();
+        self.apply_into(input, &mut out);
+        out
+    }
+
+    /// [`Fir::apply`] into a pooled buffer: `out` is cleared and refilled
+    /// (reusing its capacity), with accumulation order identical to
+    /// `apply` — same input, same taps, bitwise-same output.
+    pub fn apply_into(&self, input: &[Cpx], out: &mut Vec<Cpx>) {
         let n = input.len();
         let k = self.taps.len();
         let delay = (k - 1) / 2;
-        let mut out = vec![ZERO; n];
+        out.clear();
+        out.resize(n, ZERO);
         for (i, slot) in out.iter_mut().enumerate() {
             let mut acc = ZERO;
             for (j, t) in self.taps.iter().enumerate() {
@@ -132,7 +142,6 @@ impl Fir {
             }
             *slot = acc;
         }
-        out
     }
 
     /// Applies the filter to a real-valued signal.

@@ -115,11 +115,7 @@ impl RealFftPlan {
         let mut z = self.scratch.borrow_mut();
         crate::buffer::track_growth(&mut z, h);
         z.clear();
-        z.extend(
-            input
-                .chunks_exact(2)
-                .map(|p| Cpx::new(p[0], p[1])),
-        );
+        z.extend(input.chunks_exact(2).map(|p| Cpx::new(p[0], p[1])));
         self.half.forward_in_place(&mut z);
 
         crate::buffer::track_growth(out, h + 1);

@@ -26,6 +26,9 @@
 //! the `repr(C)` layout of both types.
 
 #![cfg(target_arch = "x86_64")]
+// `usize::is_multiple_of` needs Rust 1.87; the workspace declares
+// rust-version 1.75, so the debug asserts keep the manual `%` form.
+#![allow(clippy::manual_is_multiple_of)]
 
 use crate::num::Cpx;
 use crate::num32::Cpx32;
@@ -40,8 +43,8 @@ use core::arch::x86_64::*;
 pub fn avx_available() -> bool {
     use std::sync::OnceLock;
     static FORCE_SCALAR: OnceLock<bool> = OnceLock::new();
-    let forced = *FORCE_SCALAR
-        .get_or_init(|| std::env::var("MILBACK_FORCE_SCALAR").is_ok_and(|v| v == "1"));
+    let forced =
+        *FORCE_SCALAR.get_or_init(|| std::env::var("MILBACK_FORCE_SCALAR").is_ok_and(|v| v == "1"));
     !forced && std::arch::is_x86_feature_detected!("avx")
 }
 

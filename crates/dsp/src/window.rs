@@ -131,9 +131,11 @@ pub fn apply_window(data: &mut [crate::num::Cpx], window: Window) {
 /// bitwise identical to [`apply_window`].
 const MAX_CACHED_WINDOWS: usize = 64;
 
+type WindowCache =
+    std::cell::RefCell<std::collections::HashMap<(Window, usize), std::rc::Rc<[f64]>>>;
+
 thread_local! {
-    static WINDOW_CACHE: std::cell::RefCell<std::collections::HashMap<(Window, usize), std::rc::Rc<[f64]>>> =
-        std::cell::RefCell::new(std::collections::HashMap::new());
+    static WINDOW_CACHE: WindowCache = std::cell::RefCell::new(std::collections::HashMap::new());
 }
 
 /// The cached `n`-point coefficient table for `window` (built on first

@@ -121,7 +121,12 @@ impl BackscatterNode {
     /// at the symbol rate via a comparator rather than the slow ADC.
     pub fn receive_port_video<R: Rng + ?Sized>(&self, at_port: &Signal, rng: &mut R) -> Vec<f64> {
         let mut out = Vec::new();
-        self.receive_port_video_into(at_port, rng, &mut Signal::new(at_port.fs, 0.0, Vec::new()), &mut out);
+        self.receive_port_video_into(
+            at_port,
+            rng,
+            &mut Signal::new(at_port.fs, 0.0, Vec::new()),
+            &mut out,
+        );
         out
     }
 

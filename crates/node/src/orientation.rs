@@ -58,7 +58,7 @@ impl NodeOrientationEstimator {
         // Exclude sub-noise candidates: threshold halfway between the
         // median and the max.
         let mut sorted = smoothed.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(f64::total_cmp);
         let floor = sorted[sorted.len() / 2];
         let peak = sorted[sorted.len() - 1];
         if peak <= floor {

@@ -9,6 +9,7 @@
 
 use milback_dsp::filter::Fir;
 use milback_dsp::noise::{add_awgn, thermal_noise_power};
+use milback_dsp::num::Cpx;
 use milback_dsp::signal::Signal;
 use rand::Rng;
 
@@ -67,6 +68,18 @@ impl Mixer {
         let mut out = rf.conj_multiply(lo);
         out.scale_db(-self.conversion_loss_db);
         out
+    }
+
+    /// [`Mixer::downconvert`] in place: `rf[i] *= lo[i]*`, truncated to
+    /// the shorter length, then the conversion loss — bitwise identical
+    /// to the allocating form, for pooled receive chains.
+    pub fn downconvert_in_place(&self, rf: &mut Signal, lo: &[Cpx]) {
+        let n = rf.len().min(lo.len());
+        rf.samples.truncate(n);
+        for (s, l) in rf.samples.iter_mut().zip(lo) {
+            *s *= l.conj();
+        }
+        rf.scale_db(-self.conversion_loss_db);
     }
 }
 

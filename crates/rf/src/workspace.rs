@@ -204,13 +204,14 @@ impl<K: PartialEq + Copy, V> Lru<K, V> {
                     self.entries.push(entry);
                     self.entries.len() - 1
                 } else {
+                    // `cap >= 1`, so a full cache always has an eviction
+                    // victim; fall back to slot 0 rather than panicking.
                     let i = self
                         .entries
                         .iter()
                         .enumerate()
                         .min_by_key(|(_, e)| e.stamp)
-                        .map(|(i, _)| i)
-                        .unwrap();
+                        .map_or(0, |(i, _)| i);
                     self.entries[i] = entry;
                     i
                 }
